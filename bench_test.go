@@ -1,0 +1,406 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one per artifact), plus the performance benches for the
+// engine components. Workloads are synthetic quarters with planted
+// ground truth; sizes are scaled to keep a full -bench=. run in
+// minutes on a laptop. The maras-bench command runs the same
+// experiments with full reporting (and -paper-scale for the published
+// sizes).
+package maras_test
+
+import (
+	"fmt"
+	"testing"
+
+	"maras/internal/apriori"
+	"maras/internal/assoc"
+	"maras/internal/cleaning"
+	"maras/internal/core"
+	"maras/internal/ebgm"
+	"maras/internal/eval"
+	"maras/internal/faers"
+	"maras/internal/fpgrowth"
+	"maras/internal/glyph"
+	"maras/internal/lcm"
+	"maras/internal/mcac"
+	"maras/internal/rank"
+	"maras/internal/studysim"
+	"maras/internal/synth"
+	"maras/internal/trend"
+	"maras/internal/txdb"
+)
+
+const (
+	benchReports = 6000
+	benchMinSup  = 6
+)
+
+// benchQuarter caches one synthetic quarter across benchmarks.
+var benchQuarterCache *faers.Quarter
+var benchTruthCache *synth.GroundTruth
+
+func benchQuarter(b *testing.B) (*faers.Quarter, *synth.GroundTruth) {
+	b.Helper()
+	if benchQuarterCache == nil {
+		cfg := synth.DefaultConfig("2014Q1", 1)
+		cfg.Reports = benchReports
+		q, gt, err := synth.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchQuarterCache, benchTruthCache = q, gt
+	}
+	return benchQuarterCache, benchTruthCache
+}
+
+func benchDB(b *testing.B) *txdb.DB {
+	b.Helper()
+	q, _ := benchQuarter(b)
+	db, _, err := core.EncodeReports(q.Reports(), core.NewOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkTable51_QuarterStats regenerates Table 5.1: per-quarter
+// dataset statistics after cleaning.
+func BenchmarkTable51_QuarterStats(b *testing.B) {
+	q, _ := benchQuarter(b)
+	reports := q.Reports()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cleaned, _ := cleaning.Clean(reports, cleaning.Defaults())
+		exp := faers.FilterExpedited(cleaned)
+		if len(exp) == 0 {
+			b.Fatal("no expedited reports")
+		}
+	}
+}
+
+// BenchmarkFig51_RuleReduction regenerates Fig 5.1: the Total /
+// Filtered / MCACs counts for one quarter.
+func BenchmarkFig51_RuleReduction(b *testing.B) {
+	q, _ := benchQuarter(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.NewOptions()
+		opts.MinSupport = benchMinSup
+		opts.CountRules = true
+		a, err := core.RunQuarter(q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := a.Counts
+		if !(c.TotalRules >= c.FilteredRules && c.FilteredRules >= c.MCACs && c.MCACs > 0) {
+			b.Fatalf("reduction shape violated: %+v", c)
+		}
+	}
+}
+
+// BenchmarkTable52_TopK regenerates Table 5.2: the top-5 lists under
+// the four ranking methods.
+func BenchmarkTable52_TopK(b *testing.B) {
+	q, _ := benchQuarter(b)
+	methods := []rank.Method{
+		rank.ByConfidence, rank.ByLift, rank.ByExclusivenessConf, rank.ByExclusivenessLift,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range methods {
+			opts := core.NewOptions()
+			opts.MinSupport = benchMinSup
+			opts.Method = m
+			opts.TopK = 5
+			a, err := core.RunQuarter(q, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(a.Signals) == 0 {
+				b.Fatal("no signals")
+			}
+		}
+	}
+}
+
+// BenchmarkCaseStudies regenerates the Section 5.4 case-study
+// evaluation: rank every planted interaction under exclusiveness.
+func BenchmarkCaseStudies(b *testing.B) {
+	q, gt := benchQuarter(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.NewOptions()
+		opts.MinSupport = benchMinSup
+		opts.TopK = 0
+		a, err := core.RunQuarter(q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys := make([]string, len(a.Signals))
+		for j := range a.Signals {
+			keys[j] = a.Signals[j].Key()
+		}
+		res := eval.Score(keys, gt.Keys())
+		if res.FirstHitRank == 0 {
+			b.Fatal("no planted interaction recovered")
+		}
+	}
+}
+
+// BenchmarkFig52_UserStudy regenerates Fig 5.2: the simulated user
+// study over the full question battery.
+func BenchmarkFig52_UserStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := studysim.Run(studysim.DefaultConfig(int64(i)))
+		if len(res) != 6 {
+			b.Fatal("battery incomplete")
+		}
+	}
+}
+
+// BenchmarkFigs4_GlyphRendering regenerates the Chapter 4 visuals:
+// glyph, zoom, panorama and bar-chart SVGs for the top signals.
+func BenchmarkFigs4_GlyphRendering(b *testing.B) {
+	q, _ := benchQuarter(b)
+	opts := core.NewOptions()
+	opts.MinSupport = benchMinSup
+	opts.TopK = 20
+	a, err := core.RunQuarter(q, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		b.Fatal("no signals")
+	}
+	entries := make([]glyph.PanoramaEntry, len(a.Signals))
+	for i, s := range a.Signals {
+		entries[i] = glyph.PanoramaEntry{Cluster: s.Cluster, Score: s.Score}
+	}
+	dict := a.Dict()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top := a.Signals[0]
+		if len(glyph.Contextual(top.Cluster, glyph.Options{Dict: dict})) == 0 ||
+			len(glyph.Zoom(top.Cluster, dict)) == 0 ||
+			len(glyph.BarChart(top.Cluster, glyph.Options{Dict: dict})) == 0 ||
+			len(glyph.Panorama(entries, 5, glyph.Options{Dict: dict})) == 0 {
+			b.Fatal("empty rendering")
+		}
+	}
+}
+
+// --- engine performance benches (P1) ---
+
+// BenchmarkMineFPGrowth measures the FP-Growth closed-itemset path.
+func BenchmarkMineFPGrowth(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := fpgrowth.MineClosed(db, fpgrowth.Options{MinSupport: benchMinSup, MaxLen: 10})
+		if len(sets) == 0 {
+			b.Fatal("nothing mined")
+		}
+	}
+}
+
+// BenchmarkMineLCM measures the LCM closed-itemset engine on the
+// same workload (unbounded length — LCM enumerates only closed sets,
+// so it needs no safety cap).
+func BenchmarkMineLCM(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := lcm.MineClosed(db, lcm.Options{MinSupport: benchMinSup})
+		if len(sets) == 0 {
+			b.Fatal("nothing mined")
+		}
+	}
+}
+
+// BenchmarkMineFPGrowthUnbounded is the FP-Growth closed path without
+// the length cap, the apples-to-apples comparison for BenchmarkMineLCM.
+func BenchmarkMineFPGrowthUnbounded(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := fpgrowth.MineClosed(db, fpgrowth.Options{MinSupport: benchMinSup})
+		if len(sets) == 0 {
+			b.Fatal("nothing mined")
+		}
+	}
+}
+
+// BenchmarkMineApriori measures the Apriori baseline on the same
+// workload (frequent itemsets only; Apriori has no closed variant).
+func BenchmarkMineApriori(b *testing.B) {
+	db := benchDB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets := apriori.Mine(db, apriori.Options{MinSupport: benchMinSup, MaxLen: 10})
+		if len(sets) == 0 {
+			b.Fatal("nothing mined")
+		}
+	}
+}
+
+// BenchmarkSupportQueries measures exact posting-list support lookups,
+// the primitive behind contextual-rule evaluation.
+func BenchmarkSupportQueries(b *testing.B) {
+	db := benchDB(b)
+	closed := fpgrowth.MineClosed(db, fpgrowth.Options{MinSupport: benchMinSup, MaxLen: 10})
+	if len(closed) == 0 {
+		b.Fatal("nothing mined")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := closed[i%len(closed)]
+		if db.Support(fs.Items) != fs.Support {
+			b.Fatal("support mismatch")
+		}
+	}
+}
+
+// BenchmarkMCACConstruction measures cluster building over the full
+// target rule set.
+func BenchmarkMCACConstruction(b *testing.B) {
+	db := benchDB(b)
+	closed := fpgrowth.MineClosed(db, fpgrowth.Options{MinSupport: benchMinSup, MaxLen: 10})
+	targets := assoc.FromItemsets(db, closed, assoc.GenOptions{MinDrugs: 2, MaxDrugs: 5})
+	if len(targets) == 0 {
+		b.Fatal("no targets")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clusters := mcac.BuildAll(db, targets)
+		if len(clusters) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+// BenchmarkExclusivenessScoring measures ranking over built clusters.
+func BenchmarkExclusivenessScoring(b *testing.B) {
+	db := benchDB(b)
+	closed := fpgrowth.MineClosed(db, fpgrowth.Options{MinSupport: benchMinSup, MaxLen: 10})
+	targets := assoc.FromItemsets(db, closed, assoc.GenOptions{MinDrugs: 2, MaxDrugs: 5})
+	clusters := mcac.BuildAll(db, targets)
+	if len(clusters) == 0 {
+		b.Fatal("no clusters")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked := rank.Rank(clusters, rank.ByExclusivenessConf, rank.Options{Theta: 0.5})
+		if len(ranked) == 0 {
+			b.Fatal("no ranking")
+		}
+	}
+}
+
+// BenchmarkPipelineEndToEnd measures the full Run over one quarter.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	q, _ := benchQuarter(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.NewOptions()
+		opts.MinSupport = benchMinSup
+		a, err := core.RunQuarter(q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(a.Signals) == 0 {
+			b.Fatal("no signals")
+		}
+	}
+}
+
+// BenchmarkTrendQuarters measures the surveillance extension: mining
+// and trajectory assembly over four small quarters.
+func BenchmarkTrendQuarters(b *testing.B) {
+	var quarters []*faers.Quarter
+	for i, label := range []string{"2014Q1", "2014Q2", "2014Q3", "2014Q4"} {
+		cfg := synth.DefaultConfig(label, int64(i+1))
+		cfg.Reports = 2500
+		q, _, err := synth.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quarters = append(quarters, q)
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = benchMinSup
+	opts.TopK = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := trend.Run(quarters, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(a.Trajectories) == 0 {
+			b.Fatal("no trajectories")
+		}
+	}
+}
+
+// BenchmarkEBGMFit measures the MGPS prior fit plus scoring over the
+// candidate rule set.
+func BenchmarkEBGMFit(b *testing.B) {
+	db := benchDB(b)
+	closed := fpgrowth.MineClosed(db, fpgrowth.Options{MinSupport: benchMinSup, MaxLen: 10})
+	targets := assoc.FromItemsets(db, closed, assoc.GenOptions{MinDrugs: 2, MaxDrugs: 5})
+	n := float64(db.Len())
+	obs := make([]ebgm.Observation, len(targets))
+	for i := range targets {
+		e := float64(targets[i].AntSupport) * float64(targets[i].ConSupport) / n
+		if e <= 0 {
+			e = 1e-9
+		}
+		obs[i] = ebgm.Observation{N: targets[i].Support, E: e}
+	}
+	if len(obs) == 0 {
+		b.Fatal("no observations")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prior, _, err := ebgm.Fit(obs, ebgm.DefaultPrior())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ebgm.Evaluate(obs, prior); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerate measures the synthetic FAERS generator itself.
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := synth.DefaultConfig("2014Q1", int64(i))
+		cfg.Reports = benchReports
+		if _, _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCleaning measures the cleaning stage alone at varying
+// misspelling pressure.
+func BenchmarkCleaning(b *testing.B) {
+	for _, rate := range []float64{0.0, 0.01, 0.05} {
+		b.Run(fmt.Sprintf("misspell=%.2f", rate), func(b *testing.B) {
+			cfg := synth.DefaultConfig("2014Q1", 5)
+			cfg.Reports = benchReports
+			cfg.MisspellRate = rate
+			q, _, err := synth.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reports := q.Reports()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, _ := cleaning.Clean(reports, cleaning.Defaults())
+				if len(out) == 0 {
+					b.Fatal("everything cleaned away")
+				}
+			}
+		})
+	}
+}

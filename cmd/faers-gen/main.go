@@ -1,0 +1,80 @@
+// Command faers-gen generates synthetic FAERS quarters in the real
+// FAERS ASCII layout (DEMO/DRUG/REAC/OUTC $-delimited files), with
+// planted drug-drug-interaction ground truth written alongside as
+// ground_truth_<label>.txt. It stands in for downloading the public
+// FAERS extracts the paper mined.
+//
+// Usage:
+//
+//	faers-gen -out data -quarters 2014Q1,2014Q2 -reports 15000 -seed 1
+//	faers-gen -out data -paper-scale   # ~126k reports per quarter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"maras/internal/faers"
+	"maras/internal/knowledge"
+	"maras/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faers-gen: ")
+
+	var (
+		out        = flag.String("out", "data", "output directory")
+		quarters   = flag.String("quarters", "2014Q1,2014Q2,2014Q3,2014Q4", "comma-separated quarter labels")
+		reports    = flag.Int("reports", 0, "reports per quarter (0 = config default)")
+		seed       = flag.Int64("seed", 1, "base random seed (quarter i uses seed+i)")
+		paperScale = flag.Bool("paper-scale", false, "use the paper's Table 5.1 scale (~126k reports/quarter)")
+	)
+	flag.Parse()
+
+	labels := strings.Split(*quarters, ",")
+	for i, label := range labels {
+		label = strings.TrimSpace(label)
+		cfg := synth.DefaultConfig(label, *seed+int64(i))
+		if *paperScale {
+			cfg = synth.PaperScaleConfig(label, *seed+int64(i))
+		}
+		if *reports > 0 {
+			cfg.Reports = *reports
+		}
+		q, gt, err := synth.Generate(cfg)
+		if err != nil {
+			log.Fatalf("generate %s: %v", label, err)
+		}
+		if err := faers.SaveQuarter(*out, q); err != nil {
+			log.Fatalf("save %s: %v", label, err)
+		}
+		if err := writeGroundTruth(*out, label, gt); err != nil {
+			log.Fatalf("ground truth %s: %v", label, err)
+		}
+		fmt.Printf("%s: %d reports, %d drug rows, %d reaction rows -> %s\n",
+			label, len(q.Demos), len(q.Drugs), len(q.Reacs), *out)
+	}
+}
+
+// writeGroundTruth records the planted interactions, one per line:
+// DRUG+DRUG<TAB>reaction;reaction<TAB>severity.
+func writeGroundTruth(dir, label string, gt *synth.GroundTruth) error {
+	path := filepath.Join(dir, fmt.Sprintf("ground_truth_%s.txt", label))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, in := range gt.Interactions {
+		fmt.Fprintf(f, "%s\t%s\t%s\n",
+			knowledge.DrugKey(in.Drugs),
+			strings.Join(in.Reactions, ";"),
+			in.Severity)
+	}
+	return nil
+}

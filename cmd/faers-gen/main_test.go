@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maras/internal/synth"
+)
+
+func TestWriteGroundTruth(t *testing.T) {
+	dir := t.TempDir()
+	gt := &synth.GroundTruth{Interactions: []synth.Interaction{
+		{Drugs: []string{"B", "A"}, Reactions: []string{"r1", "r2"}},
+		{Drugs: []string{"C", "D"}, Reactions: []string{"r3"}},
+	}}
+	if err := writeGroundTruth(dir, "2014Q1", gt); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ground_truth_2014Q1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	fields := strings.Split(lines[0], "\t")
+	if len(fields) != 3 {
+		t.Fatalf("fields = %v", fields)
+	}
+	if fields[0] != "A+B" {
+		t.Errorf("key = %q, want canonical A+B", fields[0])
+	}
+	if fields[1] != "r1;r2" {
+		t.Errorf("reactions = %q", fields[1])
+	}
+}

@@ -1,0 +1,135 @@
+// Command maras-bench regenerates every table and figure of the
+// paper's evaluation (Chapter 5) plus the ablations called out in
+// DESIGN.md, on synthetic FAERS quarters with planted ground truth.
+//
+// Experiments (-exp):
+//
+//	table5.1      dataset statistics per quarter (Table 5.1)
+//	fig5.1        rule-space reduction: Total vs Filtered vs MCACs (Fig 5.1)
+//	table5.2      top-5 multi-drug associations under 4 rankings (Table 5.2)
+//	cases         case studies: ranks of planted known interactions (Section 5.4)
+//	fig5.2        simulated user study: glyph vs bar-chart accuracy (Fig 5.2)
+//	figs4         render glyph/panorama/zoom/bar-chart SVGs (Figs 4.1-4.3, 5.3)
+//	ablate-theta  exclusiveness θ sweep (ablation A1)
+//	ablate-decay  decay-function ablation (A2)
+//	ablate-closed closed vs non-closed rule base (A3)
+//	baselines     exclusiveness vs improvement/lift/PRR/ROR (A4)
+//	all           everything above
+//
+// Usage:
+//
+//	maras-bench -exp all [-seed 1] [-reports 15000] [-minsup 8]
+//	            [-paper-scale] [-svg-out figures]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"maras/internal/faers"
+	"maras/internal/synth"
+)
+
+type benchConfig struct {
+	seed       int64
+	reports    int
+	minsup     int
+	paperScale bool
+	svgOut     string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maras-bench: ")
+
+	var (
+		exp        = flag.String("exp", "all", "experiment id (see command doc)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		reports    = flag.Int("reports", 0, "reports per quarter (0 = config default)")
+		minsup     = flag.Int("minsup", 8, "absolute minimum support for mining")
+		paperScale = flag.Bool("paper-scale", false, "use the paper's Table 5.1 scale")
+		svgOut     = flag.String("svg-out", "figures", "output directory for figs4 SVGs")
+	)
+	flag.Parse()
+
+	cfg := benchConfig{
+		seed: *seed, reports: *reports, minsup: *minsup,
+		paperScale: *paperScale, svgOut: *svgOut,
+	}
+
+	runners := map[string]func(benchConfig) error{
+		"table5.1":       runTable51,
+		"fig5.1":         runFig51,
+		"table5.2":       runTable52,
+		"cases":          runCases,
+		"fig5.2":         runFig52,
+		"figs4":          runFigs4,
+		"ablate-theta":   runAblateTheta,
+		"ablate-decay":   runAblateDecay,
+		"ablate-closed":  runAblateClosed,
+		"ablate-suspect": runAblateSuspect,
+		"baselines":      runBaselines,
+		"trend":          runTrend,
+	}
+	order := []string{
+		"table5.1", "fig5.1", "table5.2", "cases", "fig5.2", "figs4",
+		"ablate-theta", "ablate-decay", "ablate-closed", "ablate-suspect",
+		"baselines", "trend",
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			log.Fatalf("unknown experiment %q (have: %s, all)", id, strings.Join(order, ", "))
+		}
+		fmt.Printf("\n================ %s ================\n\n", id)
+		if err := run(cfg); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+	}
+	_ = os.Stdout.Sync()
+}
+
+// quarterCache avoids regenerating the same quarters across
+// experiments in one invocation.
+var quarterCache = map[string]cachedQuarter{}
+
+type cachedQuarter struct {
+	quarter *faers.Quarter
+	truth   *synth.GroundTruth
+}
+
+// genQuarter returns the synthetic quarter for label under cfg,
+// generating it on first use.
+func genQuarter(cfg benchConfig, label string, seedOffset int64) (*faers.Quarter, *synth.GroundTruth, error) {
+	key := fmt.Sprintf("%s/%d/%d/%v", label, cfg.seed+seedOffset, cfg.reports, cfg.paperScale)
+	if c, ok := quarterCache[key]; ok {
+		return c.quarter, c.truth, nil
+	}
+	sc := synth.DefaultConfig(label, cfg.seed+seedOffset)
+	if cfg.paperScale {
+		sc = synth.PaperScaleConfig(label, cfg.seed+seedOffset)
+	}
+	if cfg.reports > 0 {
+		sc.Reports = cfg.reports
+	}
+	q, gt, err := synth.Generate(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	quarterCache[key] = cachedQuarter{q, gt}
+	return q, gt, nil
+}
+
+var quarterLabels = []string{"2014Q1", "2014Q2", "2014Q3", "2014Q4"}

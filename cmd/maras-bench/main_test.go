@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestGenQuarterCaches(t *testing.T) {
+	cfg := benchConfig{seed: 99, reports: 300, minsup: 3}
+	q1, gt1, err := genQuarter(cfg, "2014Q1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, gt2, err := genQuarter(cfg, "2014Q1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 || gt1 != gt2 {
+		t.Error("same config should return the cached quarter")
+	}
+	q3, _, err := genQuarter(cfg, "2014Q2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3 == q1 {
+		t.Error("different label must not hit the same cache entry")
+	}
+	if len(q1.Demos) < cfg.reports {
+		t.Errorf("generated %d demos, want >= %d", len(q1.Demos), cfg.reports)
+	}
+}
+
+func TestPaperTable51CoversAllQuarters(t *testing.T) {
+	for _, label := range quarterLabels {
+		p, ok := paperTable51[label]
+		if !ok {
+			t.Errorf("paper numbers missing for %s", label)
+			continue
+		}
+		if p[0] < 100_000 || p[1] < 30_000 || p[2] < 9_000 {
+			t.Errorf("%s paper numbers implausible: %v", label, p)
+		}
+	}
+}
+
+func TestDrugKeyHelper(t *testing.T) {
+	cfg := benchConfig{seed: 5, reports: 300, minsup: 3}
+	q, _, err := genQuarter(cfg, "2014Q1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := buildDB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 {
+		t.Fatal("empty db")
+	}
+}

@@ -1,0 +1,185 @@
+// Command maras-mine runs the full MARAS pipeline over a FAERS
+// quarter (real or synthetic — same file layout) and prints the
+// ranked multi-drug adverse-reaction signals.
+//
+// Usage:
+//
+//	maras-mine -data data -quarter 2014Q1 [-top 20] [-method exclusiveness]
+//	           [-minsup 8] [-theta 0.5] [-format text|json|csv]
+//	           [-drug ASPIRIN] [-novel]
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"maras/internal/core"
+	"maras/internal/faers"
+	"maras/internal/network"
+	"maras/internal/rank"
+	"maras/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maras-mine: ")
+
+	var (
+		data    = flag.String("data", "data", "directory with FAERS quarter files")
+		quarter = flag.String("quarter", "2014Q1", "quarter label")
+		top     = flag.Int("top", 20, "signals to print")
+		method  = flag.String("method", "exclusiveness", "ranking: exclusiveness|exclusiveness-lift|confidence|lift|improvement")
+		minsup  = flag.Int("minsup", 8, "absolute minimum support")
+		theta   = flag.Float64("theta", 0.5, "exclusiveness variation penalty θ in [0,1]")
+		format  = flag.String("format", "text", "output: text|json|csv|dot (Graphviz interaction network)")
+		drug    = flag.String("drug", "", "only signals mentioning this drug or reaction")
+		novel   = flag.Bool("novel", false, "only signals absent from the knowledge base")
+		suspect = flag.Bool("suspect-only", false, "mine only suspect drugs (role PS/SS/I)")
+	)
+	flag.Parse()
+
+	q, err := faers.LoadQuarter(*data, *quarter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = *minsup
+	opts.Theta = *theta
+	opts.SuspectOnly = *suspect
+	opts.TopK = 0 // filter first, cut later
+	m, err := parseMethod(*method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Method = m
+
+	a, err := core.RunQuarter(q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	signals := a.Signals
+	if *drug != "" {
+		signals = a.FilterSignals(strings.ToUpper(*drug))
+		if len(signals) == 0 {
+			// Reaction terms are sentence-case; retry verbatim.
+			signals = a.FilterSignals(*drug)
+		}
+	}
+	if *novel {
+		filtered := signals[:0:0]
+		for _, s := range signals {
+			if s.Known == nil {
+				filtered = append(filtered, s)
+			}
+		}
+		signals = filtered
+	}
+	if *top > 0 && len(signals) > *top {
+		signals = signals[:*top]
+	}
+
+	switch *format {
+	case "text":
+		printText(os.Stdout, a, signals, *quarter)
+	case "json":
+		printJSON(os.Stdout, signals)
+	case "csv":
+		printCSV(os.Stdout, signals)
+	case "dot":
+		fmt.Fprint(os.Stdout, network.Build(signals).DOT())
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+}
+
+func parseMethod(s string) (rank.Method, error) {
+	switch s {
+	case "exclusiveness":
+		return rank.ByExclusivenessConf, nil
+	case "exclusiveness-lift":
+		return rank.ByExclusivenessLift, nil
+	case "confidence":
+		return rank.ByConfidence, nil
+	case "lift":
+		return rank.ByLift, nil
+	case "improvement":
+		return rank.ByImprovement, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+func printText(w io.Writer, a *core.Analysis, signals []core.Signal, quarter string) {
+	fmt.Fprintf(w, "Quarter %s: %d reports, %d drugs, %d reactions (after cleaning: %d duplicates removed, %d spellings fixed)\n\n",
+		quarter, a.Stats.Reports, a.Stats.Drugs, a.Stats.Reactions,
+		a.Cleaning.DuplicateReports, a.Cleaning.DrugSpellingsFixed+a.Cleaning.ReacSpellingsFixed)
+	t := report.NewTable("Ranked multi-drug ADR signals",
+		"Rank", "Score", "Drugs", "Reactions", "Sup", "Conf", "Lift", "Status")
+	for _, s := range signals {
+		status := "novel"
+		if s.Known != nil {
+			status = "known (" + s.Known.Severity.String() + ")"
+		}
+		t.AddRow(s.Rank, s.Score,
+			strings.Join(s.Drugs, "+"),
+			strings.Join(s.Reactions, "; "),
+			s.Support, s.Confidence, s.Lift, status)
+	}
+	t.Render(w)
+}
+
+type jsonSignal struct {
+	Rank      int      `json:"rank"`
+	Score     float64  `json:"score"`
+	Drugs     []string `json:"drugs"`
+	Reactions []string `json:"reactions"`
+	Support   int      `json:"support"`
+	Conf      float64  `json:"confidence"`
+	Lift      float64  `json:"lift"`
+	Known     bool     `json:"known"`
+	Source    string   `json:"source,omitempty"`
+	Reports   []string `json:"report_ids"`
+}
+
+func printJSON(w io.Writer, signals []core.Signal) {
+	out := make([]jsonSignal, len(signals))
+	for i, s := range signals {
+		out[i] = jsonSignal{
+			Rank: s.Rank, Score: s.Score, Drugs: s.Drugs, Reactions: s.Reactions,
+			Support: s.Support, Conf: s.Confidence, Lift: s.Lift,
+			Known: s.Known != nil, Reports: s.ReportIDs,
+		}
+		if s.Known != nil {
+			out[i].Source = s.Known.Source
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printCSV(out io.Writer, signals []core.Signal) {
+	w := csv.NewWriter(out)
+	defer w.Flush()
+	w.Write([]string{"rank", "score", "drugs", "reactions", "support", "confidence", "lift", "known"})
+	for _, s := range signals {
+		w.Write([]string{
+			fmt.Sprint(s.Rank),
+			fmt.Sprintf("%.6f", s.Score),
+			strings.Join(s.Drugs, "+"),
+			strings.Join(s.Reactions, ";"),
+			fmt.Sprint(s.Support),
+			fmt.Sprintf("%.4f", s.Confidence),
+			fmt.Sprintf("%.4f", s.Lift),
+			fmt.Sprint(s.Known != nil),
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"maras/internal/core"
+	"maras/internal/faers"
+	"maras/internal/rank"
+)
+
+func testAnalysis(t *testing.T) *core.Analysis {
+	t.Helper()
+	var reports []faers.Report
+	id := 0
+	add := func(drugs, reacs []string) {
+		id++
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("%d", 1000+id), CaseID: fmt.Sprintf("c%d", id),
+			ReportCode: "EXP", Drugs: drugs, Reactions: reacs,
+		})
+	}
+	for i := 0; i < 10; i++ {
+		add([]string{"ASPIRIN", "WARFARIN"}, []string{"Haemorrhage"})
+	}
+	for i := 0; i < 20; i++ {
+		add([]string{"ASPIRIN"}, []string{"Nausea"})
+		add([]string{"WARFARIN"}, []string{"Dizziness"})
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = 3
+	a, err := core.Run(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]rank.Method{
+		"exclusiveness":      rank.ByExclusivenessConf,
+		"exclusiveness-lift": rank.ByExclusivenessLift,
+		"confidence":         rank.ByConfidence,
+		"lift":               rank.ByLift,
+		"improvement":        rank.ByImprovement,
+	}
+	for in, want := range cases {
+		got, err := parseMethod(in)
+		if err != nil || got != want {
+			t.Errorf("parseMethod(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestPrintText(t *testing.T) {
+	a := testAnalysis(t)
+	var buf bytes.Buffer
+	printText(&buf, a, a.Signals, "2014Q1")
+	out := buf.String()
+	for _, want := range []string{"Quarter 2014Q1", "ASPIRIN+WARFARIN", "Haemorrhage", "known (severe)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintJSON(t *testing.T) {
+	a := testAnalysis(t)
+	var buf bytes.Buffer
+	printJSON(&buf, a.Signals)
+	var out []jsonSignal
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no signals in json")
+	}
+	top := out[0]
+	if top.Rank != 1 || top.Support != 10 || !top.Known || top.Source == "" {
+		t.Errorf("top json signal = %+v", top)
+	}
+	if len(top.Reports) != 10 {
+		t.Errorf("report ids = %d", len(top.Reports))
+	}
+}
+
+func TestPrintCSV(t *testing.T) {
+	a := testAnalysis(t)
+	var buf bytes.Buffer
+	printCSV(&buf, a.Signals)
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid csv: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("csv rows = %d", len(rows))
+	}
+	if rows[0][0] != "rank" || len(rows[0]) != 8 {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "1" || !strings.Contains(rows[1][2], "ASPIRIN") {
+		t.Errorf("first row = %v", rows[1])
+	}
+}

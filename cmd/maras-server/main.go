@@ -1,0 +1,388 @@
+// Command maras-server serves the MARAS interactive visual interface
+// (Chapter 4): a panoramagram of contextual glyphs over the ranked
+// signals, per-signal zoom views with the MCAC bar-chart alternative,
+// drug/reaction search, and drill-down to the raw supporting reports.
+//
+// Usage:
+//
+//	maras-server -data data -quarter 2014Q1 [-addr :8080] [-minsup 8]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"maras/internal/core"
+	"maras/internal/faers"
+	"maras/internal/glyph"
+	"maras/internal/network"
+	"maras/internal/strata"
+)
+
+type server struct {
+	analysis *core.Analysis
+	quarter  string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("maras-server: ")
+
+	var (
+		data    = flag.String("data", "data", "directory with FAERS quarter files")
+		quarter = flag.String("quarter", "2014Q1", "quarter label")
+		addr    = flag.String("addr", ":8080", "listen address")
+		minsup  = flag.Int("minsup", 8, "absolute minimum support")
+		topK    = flag.Int("top", 60, "signals to keep")
+	)
+	flag.Parse()
+
+	q, err := faers.LoadQuarter(*data, *quarter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = *minsup
+	opts.TopK = *topK
+	log.Printf("mining %s ...", *quarter)
+	a, err := core.RunQuarter(q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ready: %d signals over %d reports", len(a.Signals), a.Stats.Reports)
+
+	s := &server{analysis: a, quarter: *quarter}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/signal/", s.handleSignal)
+	mux.HandleFunc("/glyph/", s.handleGlyph)
+	mux.HandleFunc("/barchart/", s.handleBarChart)
+	mux.HandleFunc("/report/", s.handleReport)
+	mux.HandleFunc("/api/signals", s.handleAPISignals)
+	mux.HandleFunc("/network.dot", s.handleNetworkDOT)
+	mux.HandleFunc("/network.json", s.handleNetworkJSON)
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>MARAS — {{.Quarter}}</title>
+<style>
+body{font-family:sans-serif;margin:2em;background:#fafafa}
+.grid{display:flex;flex-wrap:wrap;gap:12px}
+.card{background:#fff;border:1px solid #ddd;border-radius:8px;padding:8px;width:180px;text-align:center}
+.card a{text-decoration:none;color:#333;font-size:12px}
+.known{color:#b33}
+input{padding:6px;width:260px}
+</style></head><body>
+<h1>MARAS — Multi-Drug ADR Signals ({{.Quarter}})</h1>
+<p>{{.Reports}} reports · {{.Drugs}} drugs · {{.Reactions}} reactions ·
+{{.SignalCount}} ranked signals. Larger core + shorter sectors = more exclusive interaction.</p>
+<form method="get"><input name="q" placeholder="search drug or reaction" value="{{.Query}}"></form>
+<div class="grid">
+{{range .Signals}}
+  <div class="card">
+    <a href="/signal/{{.Rank}}">
+      <img src="/glyph/{{.Rank}}" width="160" height="160" alt="glyph">
+      <div><b>#{{.Rank}}</b> {{.DrugList}}</div>
+      <div>score {{printf "%.3f" .Score}}{{if .Known}} · <span class="known">known</span>{{end}}</div>
+    </a>
+  </div>
+{{end}}
+</div></body></html>`))
+
+type indexData struct {
+	Quarter     string
+	Reports     int
+	Drugs       int
+	Reactions   int
+	SignalCount int
+	Query       string
+	Signals     []indexSignal
+}
+
+type indexSignal struct {
+	Rank     int
+	Score    float64
+	DrugList string
+	Known    bool
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	query := strings.TrimSpace(r.URL.Query().Get("q"))
+	signals := s.analysis.Signals
+	if query != "" {
+		signals = s.analysis.FilterSignals(strings.ToUpper(query))
+		if len(signals) == 0 {
+			signals = s.analysis.FilterSignals(query)
+		}
+	}
+	d := indexData{
+		Quarter:     s.quarter,
+		Reports:     s.analysis.Stats.Reports,
+		Drugs:       s.analysis.Stats.Drugs,
+		Reactions:   s.analysis.Stats.Reactions,
+		SignalCount: len(s.analysis.Signals),
+		Query:       query,
+	}
+	for _, sig := range signals {
+		d.Signals = append(d.Signals, indexSignal{
+			Rank:     sig.Rank,
+			Score:    sig.Score,
+			DrugList: strings.Join(sig.Drugs, " + "),
+			Known:    sig.Known != nil,
+		})
+	}
+	if err := indexTmpl.Execute(w, d); err != nil {
+		log.Printf("index: %v", err)
+	}
+}
+
+var signalTmpl = template.Must(template.New("signal").Parse(`<!DOCTYPE html>
+<html><head><title>MARAS signal #{{.Rank}}</title>
+<style>
+body{font-family:sans-serif;margin:2em;background:#fafafa}
+.row{display:flex;gap:24px;align-items:flex-start}
+table{border-collapse:collapse}
+td,th{border:1px solid #ccc;padding:4px 8px;font-size:13px}
+.known{background:#fee;padding:8px;border-radius:6px}
+</style></head><body>
+<p><a href="/">&larr; all signals</a></p>
+<h1>#{{.Rank}} {{.DrugList}} &rArr; {{.ReactionList}}</h1>
+<p>score {{printf "%.4f" .Score}} · support {{.Support}} · confidence {{printf "%.3f" .Confidence}} · lift {{printf "%.2f" .Lift}}{{if .SOCList}} · {{.SOCList}}{{end}}</p>
+{{if .Known}}<div class="known"><b>Known interaction</b> ({{.KnownSeverity}}): {{.KnownMechanism}} — <i>{{.KnownSource}}</i></div>{{end}}
+<div class="row">
+  <div><h3>Contextual glyph (zoom)</h3><img src="/glyph/{{.Rank}}?zoom=1" width="420"></div>
+  <div><h3>MCAC bar-chart</h3><img src="/barchart/{{.Rank}}" width="420"></div>
+</div>
+<h3>Context (sub-rules)</h3>
+<table><tr><th>Drugs</th><th>Confidence</th><th>Lift</th><th>Support</th></tr>
+{{range .Context}}<tr><td>{{.Drugs}}</td><td>{{printf "%.3f" .Confidence}}</td><td>{{printf "%.2f" .Lift}}</td><td>{{.Support}}</td></tr>{{end}}
+</table>
+<h3>Demographics of supporting reports</h3>
+<p>Sex: {{.SexBreakdown}} (χ²={{printf "%.1f" .SexChi}}) · Age: {{.AgeBreakdown}} (χ²={{printf "%.1f" .AgeChi}})
+{{if .Enriched}}<br>Enriched strata: {{.Enriched}}{{end}}</p>
+<h3>Supporting reports ({{len .ReportIDs}})</h3>
+<p>{{range .ReportIDs}}<a href="/report/{{.}}">{{.}}</a> {{end}}</p>
+</body></html>`))
+
+type signalData struct {
+	Rank           int
+	Score          float64
+	DrugList       string
+	ReactionList   string
+	Support        int
+	Confidence     float64
+	Lift           float64
+	Known          bool
+	KnownSeverity  string
+	KnownMechanism string
+	KnownSource    string
+	Context        []contextRow
+	ReportIDs      []string
+	ReportList     string
+	SOCList        string
+	SexBreakdown   string
+	AgeBreakdown   string
+	SexChi         float64
+	AgeChi         float64
+	Enriched       string
+}
+
+type contextRow struct {
+	Drugs      string
+	Confidence float64
+	Lift       float64
+	Support    int
+}
+
+// renderDist formats a distribution as "F:12 M:3".
+func renderDist(d strata.Distribution) string {
+	parts := make([]string, 0, len(d))
+	for _, k := range d.Keys() {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, d[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (s *server) signalByRank(path, prefix string) (*core.Signal, bool) {
+	rankStr := strings.TrimPrefix(path, prefix)
+	rankStr = strings.TrimSuffix(rankStr, "/")
+	n, err := strconv.Atoi(rankStr)
+	if err != nil || n < 1 || n > len(s.analysis.Signals) {
+		return nil, false
+	}
+	return &s.analysis.Signals[n-1], true
+}
+
+func (s *server) handleSignal(w http.ResponseWriter, r *http.Request) {
+	sig, ok := s.signalByRank(r.URL.Path, "/signal/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	dict := s.analysis.Dict()
+	d := signalData{
+		Rank:         sig.Rank,
+		Score:        sig.Score,
+		DrugList:     strings.Join(sig.Drugs, " + "),
+		ReactionList: strings.Join(sig.Reactions, ", "),
+		Support:      sig.Support,
+		Confidence:   sig.Confidence,
+		Lift:         sig.Lift,
+		ReportIDs:    sig.ReportIDs,
+		ReportList:   strings.Join(sig.ReportIDs, ", "),
+	}
+	socs := make([]string, len(sig.SOCs))
+	for i, soc := range sig.SOCs {
+		socs[i] = string(soc)
+	}
+	d.SOCList = strings.Join(socs, "; ")
+	prof := s.analysis.Demographics(sig)
+	d.SexBreakdown = renderDist(prof.SexSignal)
+	d.AgeBreakdown = renderDist(prof.AgeSignal)
+	d.SexChi = prof.SexChiSquare
+	d.AgeChi = prof.AgeChiSquare
+	d.Enriched = strings.Join(prof.Enriched(0.15), ", ")
+	if sig.Known != nil {
+		d.Known = true
+		d.KnownSeverity = sig.Known.Severity.String()
+		d.KnownMechanism = sig.Known.Mechanism
+		d.KnownSource = sig.Known.Source
+	}
+	for _, cr := range sig.Cluster.ContextRules() {
+		d.Context = append(d.Context, contextRow{
+			Drugs:      strings.Join(dict.SortedNames(cr.Antecedent), " + "),
+			Confidence: cr.Confidence,
+			Lift:       cr.Lift,
+			Support:    cr.Support,
+		})
+	}
+	if err := signalTmpl.Execute(w, d); err != nil {
+		log.Printf("signal: %v", err)
+	}
+}
+
+func (s *server) handleGlyph(w http.ResponseWriter, r *http.Request) {
+	sig, ok := s.signalByRank(r.URL.Path, "/glyph/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if r.URL.Query().Get("zoom") != "" {
+		fmt.Fprint(w, glyph.Zoom(sig.Cluster, s.analysis.Dict()))
+		return
+	}
+	fmt.Fprint(w, glyph.Contextual(sig.Cluster, glyph.Options{Dict: s.analysis.Dict()}))
+}
+
+var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><title>Report {{.PrimaryID}}</title>
+<style>body{font-family:sans-serif;margin:2em;background:#fafafa}
+td,th{border:1px solid #ccc;padding:4px 8px;font-size:13px}table{border-collapse:collapse}</style></head><body>
+<p><a href="/">&larr; all signals</a></p>
+<h1>Report {{.PrimaryID}}</h1>
+<table>
+<tr><th>Case</th><td>{{.CaseID}}</td></tr>
+<tr><th>Type</th><td>{{.ReportCode}}</td></tr>
+<tr><th>Age</th><td>{{.Age}} {{.AgeCode}}</td></tr>
+<tr><th>Sex</th><td>{{.Sex}}</td></tr>
+<tr><th>Country</th><td>{{.Country}}</td></tr>
+<tr><th>Event date</th><td>{{.EventDate}}</td></tr>
+<tr><th>Drugs</th><td>{{.DrugList}}</td></tr>
+<tr><th>Reactions</th><td>{{.ReacList}}</td></tr>
+<tr><th>Outcomes</th><td>{{.OutcomeList}}</td></tr>
+</table></body></html>`))
+
+// handleReport shows one raw report — the drill-down the paper's
+// Section 4.1 requires ("analyze the original data reports submitted
+// by patients that supports the corresponding drug-drug interactions").
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/report/"), "/")
+	rep, ok := s.analysis.Report(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	data := struct {
+		PrimaryID, CaseID, ReportCode, Age, AgeCode, Sex, Country, EventDate string
+		DrugList, ReacList, OutcomeList                                      string
+	}{
+		PrimaryID: rep.PrimaryID, CaseID: rep.CaseID, ReportCode: rep.ReportCode,
+		Age: rep.Age, AgeCode: rep.AgeCode, Sex: rep.Sex, Country: rep.Country,
+		EventDate:   rep.EventDate,
+		DrugList:    strings.Join(rep.Drugs, ", "),
+		ReacList:    strings.Join(rep.Reactions, ", "),
+		OutcomeList: strings.Join(rep.Outcomes, ", "),
+	}
+	if err := reportTmpl.Execute(w, data); err != nil {
+		log.Printf("report: %v", err)
+	}
+}
+
+// handleAPISignals serves the ranked signals as JSON for programmatic
+// clients.
+func (s *server) handleAPISignals(w http.ResponseWriter, r *http.Request) {
+	type apiSignal struct {
+		Rank         int      `json:"rank"`
+		Score        float64  `json:"score"`
+		Drugs        []string `json:"drugs"`
+		Reactions    []string `json:"reactions"`
+		Support      int      `json:"support"`
+		Confidence   float64  `json:"confidence"`
+		Lift         float64  `json:"lift"`
+		Known        bool     `json:"known"`
+		SeriousShare float64  `json:"serious_share"`
+		ReportIDs    []string `json:"report_ids"`
+	}
+	out := make([]apiSignal, len(s.analysis.Signals))
+	for i, sig := range s.analysis.Signals {
+		out[i] = apiSignal{
+			Rank: sig.Rank, Score: sig.Score, Drugs: sig.Drugs, Reactions: sig.Reactions,
+			Support: sig.Support, Confidence: sig.Confidence, Lift: sig.Lift,
+			Known: sig.Known != nil, SeriousShare: sig.SeriousShare, ReportIDs: sig.ReportIDs,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		log.Printf("api: %v", err)
+	}
+}
+
+// handleNetworkDOT exports the drug-interaction graph as Graphviz DOT.
+func (s *server) handleNetworkDOT(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	fmt.Fprint(w, network.Build(s.analysis.Signals).DOT())
+}
+
+// handleNetworkJSON exports the graph as d3-style nodes/links JSON.
+func (s *server) handleNetworkJSON(w http.ResponseWriter, r *http.Request) {
+	data, err := network.Build(s.analysis.Signals).JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *server) handleBarChart(w http.ResponseWriter, r *http.Request) {
+	sig, ok := s.signalByRank(r.URL.Path, "/barchart/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	fmt.Fprint(w, glyph.BarChart(sig.Cluster, glyph.Options{Size: 420, Dict: s.analysis.Dict()}))
+}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"maras/internal/core"
+	"maras/internal/faers"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	var reports []faers.Report
+	id := 0
+	add := func(drugs, reacs []string) {
+		id++
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("%d", 1000+id), CaseID: fmt.Sprintf("c%d", id),
+			ReportCode: "EXP", Drugs: drugs, Reactions: reacs,
+		})
+	}
+	for i := 0; i < 10; i++ {
+		add([]string{"ASPIRIN", "WARFARIN"}, []string{"Haemorrhage"})
+	}
+	for i := 0; i < 20; i++ {
+		add([]string{"ASPIRIN"}, []string{"Nausea"})
+		add([]string{"WARFARIN"}, []string{"Dizziness"})
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = 3
+	a, err := core.Run(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Fatal("no signals for server fixture")
+	}
+	return &server{analysis: a, quarter: "2014Q1"}
+}
+
+func get(t *testing.T, h http.HandlerFunc, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h(rec, req)
+	return rec
+}
+
+func TestIndexPage(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleIndex, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"MARAS", "2014Q1", "/signal/1", "/glyph/1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestIndexSearch(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleIndex, "/?q=aspirin")
+	body := rec.Body.String()
+	if !strings.Contains(body, "ASPIRIN") {
+		t.Error("search for aspirin found nothing")
+	}
+	rec = get(t, s.handleIndex, "/?q=nosuchdrug")
+	if strings.Contains(rec.Body.String(), "/signal/1") {
+		t.Error("search for unknown drug should return no cards")
+	}
+}
+
+func TestIndexNotFoundPath(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleIndex, "/bogus")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", rec.Code)
+	}
+}
+
+func TestSignalPage(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleSignal, "/signal/1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"ASPIRIN", "WARFARIN", "Haemorrhage", "Known interaction", "Supporting reports"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("signal page missing %q", want)
+		}
+	}
+}
+
+func TestSignalOutOfRange(t *testing.T) {
+	s := testServer(t)
+	for _, url := range []string{"/signal/0", "/signal/9999", "/signal/abc"} {
+		if rec := get(t, s.handleSignal, url); rec.Code != http.StatusNotFound {
+			t.Errorf("%s: status = %d, want 404", url, rec.Code)
+		}
+	}
+}
+
+func TestGlyphSVG(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleGlyph, "/glyph/1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.HasPrefix(rec.Body.String(), "<svg") {
+		t.Error("not svg")
+	}
+	zoom := get(t, s.handleGlyph, "/glyph/1?zoom=1")
+	if len(zoom.Body.String()) <= len(rec.Body.String()) {
+		t.Error("zoom view should be richer than the card glyph")
+	}
+}
+
+func TestReportPage(t *testing.T) {
+	s := testServer(t)
+	id := s.analysis.Signals[0].ReportIDs[0]
+	rec := get(t, s.handleReport, "/report/"+id)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{id, "ASPIRIN", "Haemorrhage"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("report page missing %q", want)
+		}
+	}
+	if rec := get(t, s.handleReport, "/report/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("missing report: status %d, want 404", rec.Code)
+	}
+}
+
+func TestAPISignals(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleAPISignals, "/api/signals")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var out []struct {
+		Rank    int      `json:"rank"`
+		Drugs   []string `json:"drugs"`
+		Support int      `json:"support"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if len(out) == 0 || out[0].Rank != 1 || len(out[0].Drugs) < 2 {
+		t.Errorf("api payload wrong: %+v", out)
+	}
+}
+
+func TestNetworkEndpoints(t *testing.T) {
+	s := testServer(t)
+	dot := get(t, s.handleNetworkDOT, "/network.dot")
+	if dot.Code != http.StatusOK || !strings.HasPrefix(dot.Body.String(), "graph maras") {
+		t.Errorf("network.dot: %d %q", dot.Code, dot.Body.String()[:30])
+	}
+	if !strings.Contains(dot.Body.String(), "ASPIRIN") {
+		t.Error("network.dot missing drugs")
+	}
+	js := get(t, s.handleNetworkJSON, "/network.json")
+	if js.Code != http.StatusOK {
+		t.Fatalf("network.json status %d", js.Code)
+	}
+	var out struct {
+		Nodes []struct {
+			Drug string `json:"drug"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(js.Body.Bytes(), &out); err != nil {
+		t.Fatalf("network.json invalid: %v", err)
+	}
+	if len(out.Nodes) == 0 {
+		t.Error("network.json empty")
+	}
+}
+
+func TestSignalDemographicsShown(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleSignal, "/signal/1")
+	if !strings.Contains(rec.Body.String(), "Demographics of supporting reports") {
+		t.Error("demographics section missing")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s.handleBarChart, "/barchart/1")
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "<svg") {
+		t.Fatalf("barchart: status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "<rect") {
+		t.Error("no bars rendered")
+	}
+}

@@ -1,0 +1,70 @@
+package maras_test
+
+import (
+	"fmt"
+
+	"maras"
+)
+
+// ExampleAnalyze demonstrates the minimal end-to-end flow: feed
+// reports in, read ranked interaction signals out.
+func ExampleAnalyze() {
+	var reports []maras.Report
+	add := func(drugs []string, reactions ...string) {
+		reports = append(reports, maras.Report{
+			ID:    fmt.Sprintf("r%03d", len(reports)+1),
+			Drugs: drugs, Reactions: reactions,
+		})
+	}
+	for i := 0; i < 10; i++ {
+		add([]string{"aspirin", "warfarin"}, "haemorrhage")
+	}
+	for i := 0; i < 25; i++ {
+		add([]string{"aspirin"}, "nausea")
+		add([]string{"warfarin"}, "dizziness")
+	}
+
+	analysis, err := maras.Analyze(reports, maras.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	top := analysis.Signals[0]
+	fmt.Printf("%v => %v\n", top.Drugs, top.Reactions)
+	fmt.Printf("support %d, confidence %.2f, known: %v\n", top.Support, top.Confidence, top.IsKnown())
+	// Output:
+	// [ASPIRIN WARFARIN] => [Haemorrhage]
+	// support 10, confidence 1.00, known: true
+}
+
+// ExampleAnalyze_context shows how a signal's contextual sub-rules
+// expose whether the combination — not a single drug — drives the
+// reactions.
+func ExampleAnalyze_context() {
+	var reports []maras.Report
+	add := func(id string, drugs []string, reactions ...string) {
+		reports = append(reports, maras.Report{ID: id, Drugs: drugs, Reactions: reactions})
+	}
+	for i := 0; i < 8; i++ {
+		add(fmt.Sprintf("i%d", i), []string{"drugx", "drugy"}, "bad reaction")
+	}
+	for i := 0; i < 20; i++ {
+		add(fmt.Sprintf("x%d", i), []string{"drugx"}, "mild reaction")
+		add(fmt.Sprintf("y%d", i), []string{"drugy"}, "mild reaction")
+	}
+
+	opts := maras.DefaultOptions()
+	opts.MinSupport = 4
+	analysis, err := maras.Analyze(reports, opts)
+	if err != nil {
+		panic(err)
+	}
+	top := analysis.Signals[0]
+	for _, ctx := range top.Context {
+		fmt.Printf("%v alone: confidence %.2f\n", ctx.Drugs, ctx.Confidence)
+	}
+	fmt.Printf("combination: confidence %.2f\n", top.Confidence)
+	// Output:
+	// [DRUGX] alone: confidence 0.29
+	// [DRUGY] alone: confidence 0.29
+	// combination: confidence 1.00
+}

@@ -1,0 +1,64 @@
+// Quickstart: detect a multi-drug adverse reaction signal from a
+// small in-memory report set using the public maras API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maras"
+)
+
+func main() {
+	// A miniature spontaneous-reporting corpus: aspirin+warfarin
+	// co-reports with haemorrhage, while each drug alone is mostly
+	// followed by its own mundane reactions.
+	var reports []maras.Report
+	add := func(drugs []string, reactions ...string) {
+		reports = append(reports, maras.Report{
+			ID:    fmt.Sprintf("r%03d", len(reports)+1),
+			Drugs: drugs, Reactions: reactions,
+		})
+	}
+	for i := 0; i < 12; i++ {
+		add([]string{"Aspirin", "Warfarin"}, "Haemorrhage")
+	}
+	for i := 0; i < 30; i++ {
+		add([]string{"Aspirin"}, "Nausea")
+		add([]string{"Warfarin"}, "Dizziness")
+	}
+	for i := 0; i < 15; i++ {
+		add([]string{"Lisinopril"}, "Cough")
+	}
+
+	analysis, err := maras.Analyze(reports, maras.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Mined %d reports (%d drugs, %d reaction terms)\n\n",
+		analysis.Reports, analysis.Drugs, analysis.Reactions)
+	for _, sig := range analysis.Signals {
+		fmt.Printf("#%d  %v => %v\n", sig.Rank, sig.Drugs, sig.Reactions)
+		fmt.Printf("    exclusiveness %.3f · support %d · confidence %.2f · lift %.2f\n",
+			sig.Score, sig.Support, sig.Confidence, sig.Lift)
+		for _, ctx := range sig.Context {
+			fmt.Printf("    context %v: confidence %.2f\n", ctx.Drugs, ctx.Confidence)
+		}
+		if sig.IsKnown() {
+			fmt.Printf("    KNOWN interaction (%s): %s\n", sig.Known.Severity, sig.Known.Mechanism)
+		} else {
+			fmt.Println("    candidate novel interaction")
+		}
+		fmt.Printf("    supporting reports: %v\n\n", sig.ReportIDs[:min(5, len(sig.ReportIDs))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module maras
+
+go 1.22

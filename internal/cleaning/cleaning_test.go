@@ -1,0 +1,246 @@
+package cleaning
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"maras/internal/faers"
+)
+
+func TestNormalizeDrug(t *testing.T) {
+	cases := map[string]string{
+		"aspirin":               "ASPIRIN",
+		"  Aspirin  ":           "ASPIRIN",
+		"ASPIRIN 81MG TAB":      "ASPIRIN",
+		"ASPIRIN 81 MG TABLETS": "ASPIRIN",
+		"warfarin sodium":       "WARFARIN SODIUM",
+		"Tylenol.":              "TYLENOL",
+		"XOLAIR  150MG":         "XOLAIR",
+		"b12 100":               "B12",
+		"":                      "",
+		"   ":                   "",
+		"ZOMETA 4MG/5ML INJ":    "ZOMETA",
+	}
+	for in, want := range cases {
+		if got := NormalizeDrug(in); got != want {
+			t.Errorf("NormalizeDrug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeReaction(t *testing.T) {
+	cases := map[string]string{
+		"acute RENAL failure":  "Acute renal failure",
+		"  nausea ":            "Nausea",
+		"OSTEONECROSIS OF JAW": "Osteonecrosis of jaw",
+		"rash.":                "Rash",
+		"":                     "",
+	}
+	for in, want := range cases {
+		if got := NormalizeReaction(in); got != want {
+			t.Errorf("NormalizeReaction(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"ASPIRIN", "ASPIRIN", 0},
+		{"ASPIRIN", "ASPRIN", 1},  // deletion
+		{"ASPIRIN", "ASPIRNI", 1}, // transposition (Damerau)
+		{"WARFARIN", "WARFRIN", 1},
+		{"abc", "cba", 2},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		return EditDistance(a, b) == EditDistance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceTriangleIneq(t *testing.T) {
+	f := func(a, b, c string) bool {
+		trim := func(s string) string {
+			if len(s) > 15 {
+				return s[:15]
+			}
+			return s
+		}
+		a, b, c = trim(a), trim(b), trim(c)
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrectorSnapsRareToCanonical(t *testing.T) {
+	counts := map[string]int{
+		"ASPIRIN":  100,
+		"ASPRIN":   1, // misspelling
+		"WARFARIN": 50,
+	}
+	c := NewCorrector(counts, Defaults())
+	if got, changed := c.Correct("ASPRIN"); !changed || got != "ASPIRIN" {
+		t.Errorf("Correct(ASPRIN) = %q,%v, want ASPIRIN,true", got, changed)
+	}
+	// Canonical names stay put.
+	if got, changed := c.Correct("ASPIRIN"); changed || got != "ASPIRIN" {
+		t.Errorf("Correct(ASPIRIN) = %q,%v", got, changed)
+	}
+	// A rare name with no close canonical neighbor stays put.
+	if got, changed := c.Correct("XYZZYDRUG"); changed || got != "XYZZYDRUG" {
+		t.Errorf("Correct(XYZZYDRUG) = %q,%v", got, changed)
+	}
+}
+
+func TestCorrectorShortNamesConservative(t *testing.T) {
+	counts := map[string]int{"ABC": 100, "ABD": 1}
+	c := NewCorrector(counts, Defaults())
+	// len/4 = 0 for 3-char names: never snap, too risky.
+	if got, changed := c.Correct("ABD"); changed {
+		t.Errorf("short name snapped: %q", got)
+	}
+}
+
+func TestCorrectorPrefersFrequent(t *testing.T) {
+	counts := map[string]int{
+		"METAMIZOLE": 80,
+		"METAMIZOLC": 40, // also canonical, same distance from the typo
+		"METAMIZOLX": 1,
+	}
+	opts := Defaults()
+	opts.MinCanonCount = 10
+	c := NewCorrector(counts, opts)
+	got, changed := c.Correct("METAMIZOLX")
+	if !changed || got != "METAMIZOLE" {
+		t.Errorf("Correct = %q,%v, want most-frequent METAMIZOLE", got, changed)
+	}
+}
+
+func report(id, caseID string, drugs, reacs []string) faers.Report {
+	return faers.Report{PrimaryID: id, CaseID: caseID, Drugs: drugs, Reactions: reacs}
+}
+
+func TestCleanNormalizesAndDedups(t *testing.T) {
+	in := []faers.Report{
+		report("1", "c1", []string{"aspirin 81mg tab", "ASPIRIN", "warfarin"}, []string{"NAUSEA", "nausea", "rash"}),
+	}
+	out, st := Clean(in, Defaults())
+	if len(out) != 1 {
+		t.Fatalf("reports out = %d", len(out))
+	}
+	if !reflect.DeepEqual(out[0].Drugs, []string{"ASPIRIN", "WARFARIN"}) {
+		t.Errorf("drugs = %v", out[0].Drugs)
+	}
+	if !reflect.DeepEqual(out[0].Reactions, []string{"Nausea", "Rash"}) {
+		t.Errorf("reactions = %v", out[0].Reactions)
+	}
+	if st.WithinReportDupDrugs != 1 || st.WithinReportDupReacs != 1 {
+		t.Errorf("dup stats = %+v", st)
+	}
+}
+
+func TestCleanDropsEmptyReports(t *testing.T) {
+	in := []faers.Report{
+		report("1", "c1", []string{"ASPIRIN"}, nil),
+		report("2", "c2", nil, []string{"Rash"}),
+		report("3", "c3", []string{"ASPIRIN"}, []string{"Rash"}),
+	}
+	out, st := Clean(in, Defaults())
+	if len(out) != 1 || out[0].PrimaryID != "3" {
+		t.Fatalf("out = %+v", out)
+	}
+	if st.EmptyReports != 2 {
+		t.Errorf("EmptyReports = %d", st.EmptyReports)
+	}
+}
+
+func TestCleanDropsDuplicateCases(t *testing.T) {
+	in := []faers.Report{
+		report("1", "caseA", []string{"X"}, []string{"R"}),
+		report("2", "caseA", []string{"X", "Y"}, []string{"R"}), // same case, later version
+		report("3", "caseB", []string{"X"}, []string{"R"}),      // same content, distinct case: kept
+	}
+	out, st := Clean(in, Defaults())
+	if len(out) != 2 {
+		t.Fatalf("out = %d reports, want 2", len(out))
+	}
+	if st.DuplicateReports != 1 {
+		t.Errorf("DuplicateReports = %d, want 1", st.DuplicateReports)
+	}
+}
+
+func TestCleanSpellCorrection(t *testing.T) {
+	var in []faers.Report
+	for i := 0; i < 10; i++ {
+		in = append(in, report(string(rune('a'+i)), "", []string{"IBUPROFEN"}, []string{"Acute renal failure"}))
+	}
+	in = append(in, report("typo", "", []string{"IBUPROFEN", "IBUPROFEM"}, []string{"Acute renal failure"}))
+	opts := Defaults()
+	opts.DropDuplicateReports = false
+	out, st := Clean(in, opts)
+	if st.DrugSpellingsFixed != 1 {
+		t.Fatalf("DrugSpellingsFixed = %d, want 1", st.DrugSpellingsFixed)
+	}
+	last := out[len(out)-1]
+	if !reflect.DeepEqual(last.Drugs, []string{"IBUPROFEN"}) {
+		t.Errorf("typo report drugs = %v (should snap+dedup to IBUPROFEN)", last.Drugs)
+	}
+}
+
+func TestCleanStatsConsistency(t *testing.T) {
+	in := []faers.Report{
+		report("1", "c1", []string{"A"}, []string{"r"}),
+		report("2", "c1", []string{"A"}, []string{"r"}),
+		report("3", "", nil, nil),
+	}
+	out, st := Clean(in, Defaults())
+	if st.ReportsIn != 3 || st.ReportsOut != len(out) {
+		t.Errorf("stats in/out inconsistent: %+v vs %d", st, len(out))
+	}
+	if st.ReportsOut+st.DuplicateReports+st.EmptyReports != st.ReportsIn {
+		t.Errorf("stats don't add up: %+v", st)
+	}
+}
+
+func TestCleanNoSpellCorrectOption(t *testing.T) {
+	var in []faers.Report
+	for i := 0; i < 10; i++ {
+		in = append(in, report(string(rune('a'+i)), "", []string{"IBUPROFEN"}, []string{"Rash"}))
+	}
+	in = append(in, report("typo", "", []string{"IBUPROFEM"}, []string{"Rash"}))
+	opts := Defaults()
+	opts.SpellCorrect = false
+	opts.DropDuplicateReports = false
+	out, st := Clean(in, opts)
+	if st.DrugSpellingsFixed != 0 {
+		t.Errorf("spell correction ran when disabled")
+	}
+	if !reflect.DeepEqual(out[len(out)-1].Drugs, []string{"IBUPROFEM"}) {
+		t.Errorf("typo was altered: %v", out[len(out)-1].Drugs)
+	}
+}

@@ -1,0 +1,376 @@
+// Package core wires the MARAS pipeline end to end (Fig 1.1 and
+// Section 5.2): report cleaning, transaction encoding, closed-itemset
+// mining with FP-Growth, drug→ADR rule generation, multi-level
+// contextual cluster construction, exclusiveness ranking, knowledge-
+// base validation, and linking every signal back to the raw reports
+// that support it.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"maras/internal/assoc"
+	"maras/internal/cleaning"
+	"maras/internal/faers"
+	"maras/internal/fpgrowth"
+	"maras/internal/knowledge"
+	"maras/internal/mcac"
+	"maras/internal/meddra"
+	"maras/internal/rank"
+	"maras/internal/strata"
+	"maras/internal/txdb"
+	"maras/internal/types"
+)
+
+// Options configures a pipeline run. NewOptions supplies the paper's
+// defaults.
+type Options struct {
+	Cleaning cleaning.Options
+
+	// ExpeditedOnly keeps only EXP reports, as the paper does.
+	ExpeditedOnly bool
+
+	// SuspectOnly narrows each report to its suspect drugs (role
+	// codes PS/SS/I) before mining, the standard pharmacovigilance
+	// restriction that drops concomitant-medication noise. Reports
+	// without role data keep all their drugs.
+	SuspectOnly bool
+
+	// MinSupport is the absolute minimum support for mining; the
+	// paper runs with a low threshold to catch rare combinations.
+	MinSupport int
+	// MaxItems caps mined itemset length (drugs+reactions) as a
+	// safety valve against pathological reports.
+	MaxItems int
+
+	// MinDrugs / MaxDrugs bound the antecedent size of target rules.
+	MinDrugs int
+	MaxDrugs int
+
+	// Method is the cluster ranking strategy.
+	Method rank.Method
+	// Theta is the exclusiveness CV penalty θ ∈ [0,1].
+	Theta float64
+	// Decay weights contextual levels; nil = linear (paper).
+	Decay rank.Decay
+
+	// TopK bounds the number of returned signals; 0 = all.
+	TopK int
+
+	// CountRules additionally sizes the unfiltered and filtered rule
+	// spaces (Fig 5.1's Total and Filtered series). Off by default:
+	// the total-rule count walks power sets of every frequent
+	// itemset and exists only for the reduction experiment.
+	CountRules bool
+
+	// Knowledge is the validation base; nil = builtin.
+	Knowledge *knowledge.Base
+}
+
+// NewOptions returns the paper-shaped defaults.
+func NewOptions() Options {
+	return Options{
+		Cleaning:      cleaning.Defaults(),
+		ExpeditedOnly: true,
+		MinSupport:    4,
+		MaxItems:      10,
+		MinDrugs:      2,
+		MaxDrugs:      5,
+		Method:        rank.ByExclusivenessConf,
+		Theta:         0.5,
+		TopK:          100,
+	}
+}
+
+// Signal is one ranked drug-drug-interaction candidate.
+type Signal struct {
+	Rank  int
+	Score float64
+
+	Drugs     []string // sorted drug names
+	Reactions []string // sorted reaction terms
+
+	Support     int
+	Confidence  float64
+	Lift        float64
+	SupportType assoc.SupportType
+
+	// Cluster is the full MCAC backing the signal (for glyphs and
+	// drill-down).
+	Cluster *mcac.Cluster
+
+	// Known is the matching curated interaction, nil if the
+	// combination is not in the knowledge base — i.e. a candidate
+	// novel interaction.
+	Known *knowledge.Interaction
+
+	// SeriousShare is the fraction of supporting reports carrying a
+	// severe outcome code (death, hospitalization, ...), the severity
+	// criterion the interactive interface filters on.
+	SeriousShare float64
+
+	// SOCs are the MedDRA-style system organ classes of the signal's
+	// reactions, deduplicated, for organ-system triage.
+	SOCs []meddra.SOC
+
+	// ReportIDs are the primary IDs of the reports containing all of
+	// the signal's drugs and reactions (the raw-report link of
+	// Section 4.1).
+	ReportIDs []string
+}
+
+// Key returns the canonical drug-combination key of the signal.
+func (s *Signal) Key() string { return knowledge.DrugKey(s.Drugs) }
+
+// Counts tracks the rule-space reduction of Fig 5.1.
+type Counts struct {
+	TotalRules    int // classical ARM rule space: Σ(2^|U|−2) over frequent U
+	FilteredRules int // drug→ADR rules from all frequent itemsets
+	MCACs         int // closed multi-drug clusters scored
+}
+
+// Analysis is a completed pipeline run.
+type Analysis struct {
+	Stats    txdb.Stats
+	Cleaning cleaning.Stats
+	Counts   Counts
+	Signals  []Signal
+
+	db         *txdb.DB
+	dict       *types.Dictionary
+	reports    map[string]faers.Report // original reports by primary ID
+	reportList []faers.Report          // original reports, input order
+}
+
+// Report returns the original (uncleaned) report with the given
+// primary ID and whether it exists — the raw-report drill-down of
+// Section 4.1 ("It is essential to analyze the original data reports
+// submitted by patients").
+func (a *Analysis) Report(primaryID string) (faers.Report, bool) {
+	r, ok := a.reports[primaryID]
+	return r, ok
+}
+
+// Demographics profiles the supporting reports of a signal against
+// the whole population (sex and age-band distributions with
+// chi-square screens) — the relevant-factors investigation Section
+// 4.1 calls for.
+func (a *Analysis) Demographics(s *Signal) strata.Profile {
+	return strata.Build(a.reportList, s.ReportIDs)
+}
+
+// DB exposes the transaction database (read-only) for drill-down and
+// visualization layers.
+func (a *Analysis) DB() *txdb.DB { return a.db }
+
+// Dict exposes the dictionary used to encode the reports.
+func (a *Analysis) Dict() *types.Dictionary { return a.dict }
+
+// EncodeReports runs the ingest half of the pipeline — expedited
+// filtering, cleaning, and dictionary encoding into a frozen
+// transaction database — so experiment harnesses can drive the mining
+// layers directly.
+func EncodeReports(reports []faers.Report, opts Options) (*txdb.DB, cleaning.Stats, error) {
+	if opts.ExpeditedOnly {
+		reports = faers.FilterExpedited(reports)
+	}
+	if opts.SuspectOnly {
+		narrowed := make([]faers.Report, len(reports))
+		for i, r := range reports {
+			n := r
+			n.Drugs = r.SuspectDrugs()
+			n.DrugRoles = nil // alignment is gone after narrowing
+			narrowed[i] = n
+		}
+		reports = narrowed
+	}
+	cleaned, cstats := cleaning.Clean(reports, opts.Cleaning)
+	if len(cleaned) == 0 {
+		return nil, cstats, fmt.Errorf("core: no usable reports after cleaning (in=%d)", cstats.ReportsIn)
+	}
+	dict := types.NewDictionary()
+	db := txdb.New(dict)
+	for _, r := range cleaned {
+		items := make(types.Itemset, 0, len(r.Drugs)+len(r.Reactions))
+		for _, d := range r.Drugs {
+			items = append(items, dict.Intern(d, types.DomainDrug))
+		}
+		for _, a := range r.Reactions {
+			items = append(items, dict.Intern(a, types.DomainReaction))
+		}
+		db.Add(r.PrimaryID, items)
+	}
+	db.Freeze()
+	return db, cstats, nil
+}
+
+// Run executes the full pipeline over raw reports.
+func Run(reports []faers.Report, opts Options) (*Analysis, error) {
+	if opts.MinSupport < 1 {
+		opts.MinSupport = 1
+	}
+	if opts.MinDrugs < 2 {
+		opts.MinDrugs = 2
+	}
+	if opts.Knowledge == nil {
+		opts.Knowledge = knowledge.Builtin()
+	}
+
+	serious := make(map[string]bool)
+	byID := make(map[string]faers.Report, len(reports))
+	for i := range reports {
+		byID[reports[i].PrimaryID] = reports[i]
+		if reports[i].Serious() {
+			serious[reports[i].PrimaryID] = true
+		}
+	}
+	db, cstats, err := EncodeReports(reports, opts)
+	if err != nil {
+		return nil, err
+	}
+	dict := db.Dict()
+
+	// Mine: closed itemsets for the rule base; the full frequent set
+	// only to size the unfiltered rule space (Fig 5.1 counts).
+	mopts := fpgrowth.Options{MinSupport: opts.MinSupport, MaxLen: opts.MaxItems}
+	frequent := fpgrowth.Mine(db, mopts)
+	closed := fpgrowth.FilterClosed(frequent)
+
+	var counts Counts
+	if opts.CountRules {
+		counts.TotalRules = assoc.CountTraditionalRules(frequent)
+		counts.FilteredRules = assoc.CountDrugADRRules(dict, frequent)
+	}
+
+	targets := assoc.FromItemsets(db, closed, assoc.GenOptions{
+		MinDrugs: opts.MinDrugs,
+		MaxDrugs: opts.MaxDrugs,
+	})
+	clusters := mcac.BuildAll(db, targets)
+	counts.MCACs = len(clusters)
+
+	ranked := rank.Rank(clusters, opts.Method, rank.Options{Theta: opts.Theta, Decay: opts.Decay})
+	if opts.TopK > 0 && len(ranked) > opts.TopK {
+		ranked = ranked[:opts.TopK]
+	}
+
+	signals := make([]Signal, len(ranked))
+	var tidBuf []txdb.TID
+	for i, r := range ranked {
+		c := r.Cluster
+		drugs := dict.SortedNames(c.Target.Antecedent)
+		reacs := dict.SortedNames(c.Target.Consequent)
+		tidBuf = db.TIDs(c.Target.Complete(), tidBuf)
+		ids := make([]string, len(tidBuf))
+		nSerious := 0
+		for j, tid := range tidBuf {
+			ids[j] = db.Tx(tid).ReportID
+			if serious[ids[j]] {
+				nSerious++
+			}
+		}
+		sort.Strings(ids)
+		seriousShare := 0.0
+		if len(ids) > 0 {
+			seriousShare = float64(nSerious) / float64(len(ids))
+		}
+		signals[i] = Signal{
+			Rank:         i + 1,
+			Score:        r.Score,
+			Drugs:        drugs,
+			Reactions:    reacs,
+			Support:      c.Target.Support,
+			Confidence:   c.Target.Confidence,
+			Lift:         c.Target.Lift,
+			SupportType:  assoc.Classify(db, c.Target.Complete()),
+			Cluster:      c,
+			Known:        opts.Knowledge.Lookup(drugs),
+			SeriousShare: seriousShare,
+			SOCs:         meddra.ClassifyAll(reacs),
+			ReportIDs:    ids,
+		}
+	}
+
+	return &Analysis{
+		Stats:      db.Stats(),
+		Cleaning:   cstats,
+		Counts:     counts,
+		Signals:    signals,
+		db:         db,
+		dict:       dict,
+		reports:    byID,
+		reportList: reports,
+	}, nil
+}
+
+// RunQuarter is a convenience wrapper: assemble the quarter's reports
+// and Run.
+func RunQuarter(q *faers.Quarter, opts Options) (*Analysis, error) {
+	return Run(q.Reports(), opts)
+}
+
+// FilterSignals returns the signals mentioning the given drug or
+// reaction name (case-sensitive match against the cleaned names), the
+// search behaviour of the interactive interface (Section 4.1).
+func (a *Analysis) FilterSignals(name string) []Signal {
+	var out []Signal
+	for _, s := range a.Signals {
+		if containsString(s.Drugs, name) || containsString(s.Reactions, name) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NovelSignals returns signals absent from the knowledge base — the
+// "unknown drug-drug interactions" the interestingness preference
+// targets.
+func (a *Analysis) NovelSignals() []Signal {
+	var out []Signal
+	for _, s := range a.Signals {
+		if s.Known == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SignalsBySOC returns the signals whose reactions touch the given
+// system organ class — organ-system triage for the interactive
+// interface.
+func (a *Analysis) SignalsBySOC(soc meddra.SOC) []Signal {
+	var out []Signal
+	for _, s := range a.Signals {
+		for _, c := range s.SOCs {
+			if c == soc {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SeriousSignals returns signals whose supporting reports carry a
+// severe outcome at least as often as minShare — the "interactions
+// that may lead to particularly severe adverse reactions" filter of
+// Section 4.1.
+func (a *Analysis) SeriousSignals(minShare float64) []Signal {
+	var out []Signal
+	for _, s := range a.Signals {
+		if s.SeriousShare >= minShare {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func containsString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

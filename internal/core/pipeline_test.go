@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"maras/internal/eval"
+	"maras/internal/faers"
+	"maras/internal/knowledge"
+	"maras/internal/rank"
+	"maras/internal/synth"
+)
+
+// handReports builds a tiny corpus with one strong interaction
+// (X+Y -> Bleeding) over background noise.
+func handReports() []faers.Report {
+	var out []faers.Report
+	id := 0
+	add := func(drugs, reacs []string) {
+		id++
+		out = append(out, faers.Report{
+			PrimaryID:  fmt.Sprintf("%d", 1000+id),
+			CaseID:     fmt.Sprintf("C%d", id),
+			ReportCode: "EXP",
+			Drugs:      drugs,
+			Reactions:  reacs,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		add([]string{"DRUGX", "DRUGY"}, []string{"Bleeding"})
+	}
+	for i := 0; i < 20; i++ {
+		add([]string{"DRUGX"}, []string{"Nausea"})
+		add([]string{"DRUGY"}, []string{"Headache"})
+	}
+	// A dominated pair: DRUGU alone causes Rash as often as the pair.
+	for i := 0; i < 8; i++ {
+		add([]string{"DRUGU", "DRUGV"}, []string{"Rash"})
+		add([]string{"DRUGU"}, []string{"Rash"})
+	}
+	// Background.
+	for i := 0; i < 30; i++ {
+		add([]string{fmt.Sprintf("BG%d", i%7)}, []string{"Dizziness"})
+	}
+	return out
+}
+
+func TestRunFindsPlantedInteraction(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+	a, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Fatal("no signals")
+	}
+	top := a.Signals[0]
+	if top.Key() != "DRUGX+DRUGY" {
+		t.Errorf("top signal = %s (score %.3f), want DRUGX+DRUGY", top.Key(), top.Score)
+	}
+	if top.Support != 8 {
+		t.Errorf("top support = %d, want 8", top.Support)
+	}
+	if top.Confidence < 0.2 {
+		t.Errorf("top confidence = %v", top.Confidence)
+	}
+	// The dominated pair must rank below the true interaction.
+	xy := eval.RankOf(signalKeys(a.Signals), "DRUGX+DRUGY")
+	uv := eval.RankOf(signalKeys(a.Signals), "DRUGU+DRUGV")
+	if uv != 0 && uv < xy {
+		t.Errorf("dominated pair ranked %d above true interaction %d", uv, xy)
+	}
+}
+
+func signalKeys(sig []Signal) []string {
+	out := make([]string, len(sig))
+	for i := range sig {
+		out[i] = sig[i].Key()
+	}
+	return out
+}
+
+func TestRunSignalFields(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+	a, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range a.Signals {
+		if s.Rank != i+1 {
+			t.Errorf("rank %d at index %d", s.Rank, i)
+		}
+		if len(s.Drugs) < 2 {
+			t.Errorf("signal %d has %d drugs", i, len(s.Drugs))
+		}
+		if len(s.ReportIDs) == 0 {
+			t.Errorf("signal %d has no supporting reports", i)
+		}
+		if s.Cluster == nil {
+			t.Errorf("signal %d lacks cluster", i)
+		}
+		if s.Support <= 0 {
+			t.Errorf("signal %d support %d", i, s.Support)
+		}
+	}
+}
+
+func TestRunReportLinking(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+	a, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := a.Signals[0]
+	if len(top.ReportIDs) != top.Support {
+		t.Errorf("report links %d != support %d", len(top.ReportIDs), top.Support)
+	}
+}
+
+func TestRunCountsMonotone(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+	opts.CountRules = true
+	a, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Counts
+	if !(c.TotalRules >= c.FilteredRules && c.FilteredRules >= c.MCACs) {
+		t.Errorf("rule reduction violated: total=%d filtered=%d mcacs=%d",
+			c.TotalRules, c.FilteredRules, c.MCACs)
+	}
+	if c.MCACs == 0 {
+		t.Error("no MCACs built")
+	}
+}
+
+func TestRunExpeditedFilter(t *testing.T) {
+	reports := handReports()
+	// Flip half the background to PER.
+	for i := range reports {
+		if i%2 == 0 && len(reports[i].Drugs) == 1 {
+			reports[i].ReportCode = "PER"
+		}
+	}
+	withFilter, err := Run(reports, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := NewOptions()
+	opts.ExpeditedOnly = false
+	without, err := Run(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withFilter.Stats.Reports >= without.Stats.Reports {
+		t.Errorf("EXP filter did not reduce reports: %d vs %d",
+			withFilter.Stats.Reports, without.Stats.Reports)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	if _, err := Run(nil, NewOptions()); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 2
+	opts.TopK = 1
+	a, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) != 1 {
+		t.Errorf("TopK=1 returned %d signals", len(a.Signals))
+	}
+}
+
+func TestFilterSignalsAndNovel(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+	a, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := a.FilterSignals("DRUGX")
+	if len(hits) == 0 {
+		t.Error("FilterSignals(DRUGX) empty")
+	}
+	for _, s := range hits {
+		found := false
+		for _, d := range s.Drugs {
+			if d == "DRUGX" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("signal %s does not mention DRUGX", s.Key())
+		}
+	}
+	if len(a.FilterSignals("NOSUCH")) != 0 {
+		t.Error("FilterSignals(NOSUCH) non-empty")
+	}
+	// All the hand-made signals are novel (not in the builtin KB).
+	if len(a.NovelSignals()) != len(a.Signals) {
+		t.Error("hand-made signals should all be novel")
+	}
+}
+
+func TestRunKnowledgeValidation(t *testing.T) {
+	var reports []faers.Report
+	for i := 0; i < 10; i++ {
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("%d", i), CaseID: fmt.Sprintf("c%d", i), ReportCode: "EXP",
+			Drugs:     []string{"ASPIRIN", "WARFARIN"},
+			Reactions: []string{"Haemorrhage"},
+		})
+	}
+	for i := 0; i < 20; i++ {
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("a%d", i), CaseID: fmt.Sprintf("ca%d", i), ReportCode: "EXP",
+			Drugs:     []string{"ASPIRIN"},
+			Reactions: []string{"Nausea"},
+		})
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("w%d", i), CaseID: fmt.Sprintf("cw%d", i), ReportCode: "EXP",
+			Drugs:     []string{"WARFARIN"},
+			Reactions: []string{"Dizziness"},
+		})
+	}
+	opts := NewOptions()
+	opts.MinSupport = 3
+	a, err := Run(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Signal
+	for i := range a.Signals {
+		if a.Signals[i].Key() == "ASPIRIN+WARFARIN" {
+			hit = &a.Signals[i]
+		}
+	}
+	if hit == nil {
+		t.Fatal("aspirin+warfarin signal missing")
+	}
+	if hit.Known == nil {
+		t.Fatal("knowledge-base validation missed a curated interaction")
+	}
+	if hit.Known.Severity != knowledge.Severe {
+		t.Errorf("severity = %v", hit.Known.Severity)
+	}
+}
+
+// End-to-end on synthetic data: planted interactions should be
+// recoverable with decent precision.
+func TestRunOnSyntheticQuarter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic end-to-end in -short mode")
+	}
+	cfg := synth.DefaultConfig("2014Q1", 42)
+	cfg.Reports = 8000
+	cfg.DrugVocab = 800
+	cfg.ReactionVocab = 300
+	cfg.ExposureRate = 0.08
+	q, gt, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := NewOptions()
+	opts.MinSupport = 8
+	a, err := RunQuarter(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eval.Score(signalKeys(a.Signals), gt.Keys())
+	if res.RecallAt[50] < 0.3 {
+		t.Errorf("recall@50 = %.2f, want >= 0.3 (found %d signals; first hit rank %d)",
+			res.RecallAt[50], len(a.Signals), res.FirstHitRank)
+	}
+	if res.FirstHitRank == 0 || res.FirstHitRank > 10 {
+		t.Errorf("first planted interaction at rank %d, want top-10", res.FirstHitRank)
+	}
+	// Exclusiveness must beat raw confidence at surfacing truth.
+	optsConf := opts
+	optsConf.Method = rank.ByConfidence
+	ac, err := RunQuarter(q, optsConf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resConf := eval.Score(signalKeys(ac.Signals), gt.Keys())
+	if res.MRR < resConf.MRR {
+		t.Errorf("exclusiveness MRR %.3f below confidence MRR %.3f", res.MRR, resConf.MRR)
+	}
+}

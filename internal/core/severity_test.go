@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"maras/internal/faers"
+	"maras/internal/meddra"
+)
+
+func TestSeriousShare(t *testing.T) {
+	var reports []faers.Report
+	id := 0
+	add := func(outcomes []string, drugs, reacs []string) {
+		id++
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("%d", id), CaseID: fmt.Sprintf("c%d", id),
+			ReportCode: "EXP", Drugs: drugs, Reactions: reacs, Outcomes: outcomes,
+		})
+	}
+	// 10 interaction reports, 4 with severe outcomes.
+	for i := 0; i < 10; i++ {
+		var oc []string
+		if i < 4 {
+			oc = []string{"HO"}
+		}
+		add(oc, []string{"X", "Y"}, []string{"Bad"})
+	}
+	for i := 0; i < 15; i++ {
+		add(nil, []string{"X"}, []string{"Meh"})
+		add(nil, []string{"Y"}, []string{"Meh"})
+	}
+	opts := NewOptions()
+	opts.MinSupport = 3
+	a, err := Run(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig *Signal
+	for i := range a.Signals {
+		if a.Signals[i].Key() == "X+Y" {
+			sig = &a.Signals[i]
+		}
+	}
+	if sig == nil {
+		t.Fatal("X+Y signal missing")
+	}
+	if sig.SeriousShare < 0.39 || sig.SeriousShare > 0.41 {
+		t.Errorf("SeriousShare = %v, want 0.4", sig.SeriousShare)
+	}
+	if got := a.SeriousSignals(0.3); len(got) == 0 {
+		t.Error("SeriousSignals(0.3) should include X+Y")
+	}
+	if got := a.SeriousSignals(0.9); len(got) != 0 {
+		t.Errorf("SeriousSignals(0.9) = %d signals, want 0", len(got))
+	}
+}
+
+func TestSuspectOnlyNarrowsDrugs(t *testing.T) {
+	var reports []faers.Report
+	for i := 0; i < 8; i++ {
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("%d", i), CaseID: fmt.Sprintf("c%d", i), ReportCode: "EXP",
+			Drugs:     []string{"SUSA", "SUSB", "CONC"},
+			DrugRoles: []string{"PS", "SS", "C"},
+			Reactions: []string{"Bad"},
+		})
+	}
+	for i := 0; i < 12; i++ {
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("a%d", i), CaseID: fmt.Sprintf("ca%d", i), ReportCode: "EXP",
+			Drugs: []string{"SUSA"}, DrugRoles: []string{"PS"}, Reactions: []string{"Meh"},
+		})
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("b%d", i), CaseID: fmt.Sprintf("cb%d", i), ReportCode: "EXP",
+			Drugs: []string{"SUSB"}, DrugRoles: []string{"PS"}, Reactions: []string{"Meh"},
+		})
+	}
+	opts := NewOptions()
+	opts.MinSupport = 3
+	opts.SuspectOnly = true
+	a, err := Run(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a.Signals {
+		for _, d := range s.Drugs {
+			if d == "CONC" {
+				t.Fatalf("concomitant drug leaked into signal %s", s.Key())
+			}
+		}
+	}
+	found := false
+	for _, s := range a.Signals {
+		if s.Key() == "SUSA+SUSB" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("suspect pair signal missing")
+	}
+}
+
+func TestSignalSOCs(t *testing.T) {
+	var reports []faers.Report
+	for i := 0; i < 6; i++ {
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("%d", i), CaseID: fmt.Sprintf("c%d", i), ReportCode: "EXP",
+			Drugs: []string{"X", "Y"}, Reactions: []string{"Acute renal failure", "Rash"},
+		})
+	}
+	for i := 0; i < 10; i++ {
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("x%d", i), CaseID: fmt.Sprintf("cx%d", i), ReportCode: "EXP",
+			Drugs: []string{"X"}, Reactions: []string{"Nausea"},
+		})
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("y%d", i), CaseID: fmt.Sprintf("cy%d", i), ReportCode: "EXP",
+			Drugs: []string{"Y"}, Reactions: []string{"Headache"},
+		})
+	}
+	opts := NewOptions()
+	opts.MinSupport = 3
+	a, err := Run(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Fatal("no signals")
+	}
+	top := a.Signals[0]
+	if len(top.SOCs) != 2 {
+		t.Fatalf("SOCs = %v, want renal + skin", top.SOCs)
+	}
+	renal := a.SignalsBySOC(meddra.SOCRenal)
+	if len(renal) == 0 {
+		t.Error("SignalsBySOC(renal) empty")
+	}
+	if got := a.SignalsBySOC(meddra.SOCCardiac); len(got) != 0 {
+		t.Errorf("SignalsBySOC(cardiac) = %d, want 0", len(got))
+	}
+}

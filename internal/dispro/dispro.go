@@ -1,0 +1,146 @@
+// Package dispro implements the disproportionality statistics that
+// the paper cites as the pharmacovigilance state of the art it
+// improves on (Section 1.2 / Related Work): measures built from the
+// 2×2 contingency table of reports over a drug set D and reaction set
+// R. They serve as the signal-detection baselines in experiment A4.
+//
+// The contingency table over N reports:
+//
+//	           reaction R    no reaction
+//	drugs D         a             b
+//	no drugs D      c             d
+//
+// with a+b+c+d = N. All counts are computed exactly from posting
+// lists; "drugs D" means every drug in D appears in the report.
+package dispro
+
+import (
+	"math"
+
+	"maras/internal/txdb"
+	"maras/internal/types"
+)
+
+// Table is the 2×2 contingency table of a drug set vs a reaction set.
+type Table struct {
+	A int // reports with all drugs and all reactions
+	B int // reports with all drugs, not all reactions
+	C int // reports without all drugs, with all reactions
+	D int // reports with neither
+}
+
+// N returns the total report count.
+func (t Table) N() int { return t.A + t.B + t.C + t.D }
+
+// Contingency builds the table for (drugs, reactions) against db.
+func Contingency(db *txdb.DB, drugs, reactions types.Itemset) Table {
+	a := db.Support(drugs.Union(reactions))
+	drugSup := db.Support(drugs)
+	reacSup := db.Support(reactions)
+	n := db.Len()
+	return Table{
+		A: a,
+		B: drugSup - a,
+		C: reacSup - a,
+		D: n - drugSup - reacSup + a,
+	}
+}
+
+// haldane applies the Haldane–Anscombe 0.5 correction when any cell
+// is zero, the standard continuity fix for ratio measures.
+func (t Table) haldane() (a, b, c, d float64) {
+	a, b, c, d = float64(t.A), float64(t.B), float64(t.C), float64(t.D)
+	if t.A == 0 || t.B == 0 || t.C == 0 || t.D == 0 {
+		a += 0.5
+		b += 0.5
+		c += 0.5
+		d += 0.5
+	}
+	return a, b, c, d
+}
+
+// PRR returns the Proportional Reporting Ratio:
+// [a/(a+b)] / [c/(c+d)].
+func (t Table) PRR() float64 {
+	a, b, c, d := t.haldane()
+	num := a / (a + b)
+	den := c / (c + d)
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// ROR returns the Reporting Odds Ratio: (a·d)/(b·c).
+func (t Table) ROR() float64 {
+	a, b, c, d := t.haldane()
+	if b*c == 0 {
+		return math.Inf(1)
+	}
+	return (a * d) / (b * c)
+}
+
+// RRR returns the Relative Reporting Ratio: a·N / ((a+b)(a+c)) — the
+// observed-to-expected count ratio under independence, the measure
+// Harpaz et al. pair with multi-item rule mining.
+func (t Table) RRR() float64 {
+	a, b, c, _ := t.haldane()
+	n := a + b + c + float64(t.D)
+	exp := (a + b) * (a + c) / n
+	if exp == 0 {
+		return math.Inf(1)
+	}
+	return a / exp
+}
+
+// ChiSquare returns the Yates-corrected chi-square statistic of the
+// table, the significance screen conventionally combined with PRR
+// (signal: PRR ≥ 2, chi² ≥ 4, a ≥ 3).
+func (t Table) ChiSquare() float64 {
+	a, b, c, d := float64(t.A), float64(t.B), float64(t.C), float64(t.D)
+	n := a + b + c + d
+	if n == 0 {
+		return 0
+	}
+	det := a*d - b*c
+	adj := math.Abs(det) - n/2
+	if adj < 0 {
+		adj = 0
+	}
+	den := (a + b) * (c + d) * (a + c) * (b + d)
+	if den == 0 {
+		return 0
+	}
+	return n * adj * adj / den
+}
+
+// Signal reports whether the table meets the conventional
+// Evans/MHRA signal criteria: PRR ≥ 2, chi² ≥ 4 and at least 3
+// co-occurrence reports.
+func (t Table) Signal() bool {
+	return t.A >= 3 && t.PRR() >= 2 && t.ChiSquare() >= 4
+}
+
+// Score evaluates all measures at once for reporting.
+type Score struct {
+	Table     Table
+	PRR       float64
+	ROR       float64
+	RRR       float64
+	ChiSquare float64
+	Signal    bool
+}
+
+// Evaluate computes every disproportionality measure for (drugs,
+// reactions) against db.
+func Evaluate(db *txdb.DB, drugs, reactions types.Itemset) Score {
+	t := Contingency(db, drugs, reactions)
+	return Score{
+		Table:     t,
+		PRR:       t.PRR(),
+		ROR:       t.ROR(),
+		RRR:       t.RRR(),
+		ChiSquare: t.ChiSquare(),
+		Signal:    t.Signal(),
+	}
+}

@@ -1,0 +1,163 @@
+package dispro
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"maras/internal/txdb"
+	"maras/internal/types"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestContingencyCounts(t *testing.T) {
+	dict := types.NewDictionary()
+	d1 := dict.Intern("d1", types.DomainDrug)
+	d2 := dict.Intern("d2", types.DomainDrug)
+	a1 := dict.Intern("a1", types.DomainReaction)
+	db := txdb.New(dict)
+	// 3 reports with d1,d2,a1; 2 with d1,d2 only; 4 with a1 only; 1 blank drug d1.
+	for i := 0; i < 3; i++ {
+		db.Add(fmt.Sprintf("x%d", i), types.NewItemset(d1, d2, a1))
+	}
+	for i := 0; i < 2; i++ {
+		db.Add(fmt.Sprintf("y%d", i), types.NewItemset(d1, d2))
+	}
+	for i := 0; i < 4; i++ {
+		db.Add(fmt.Sprintf("z%d", i), types.NewItemset(a1))
+	}
+	db.Add("w", types.NewItemset(d1))
+	db.Freeze()
+
+	tab := Contingency(db, types.NewItemset(d1, d2), types.NewItemset(a1))
+	if tab.A != 3 || tab.B != 2 || tab.C != 4 || tab.D != 1 {
+		t.Fatalf("table = %+v, want A=3 B=2 C=4 D=1", tab)
+	}
+	if tab.N() != 10 {
+		t.Errorf("N = %d", tab.N())
+	}
+}
+
+func TestPRRHandComputed(t *testing.T) {
+	// a=30,b=70,c=10,d=890: PRR = (30/100)/(10/900) = 27.
+	tab := Table{A: 30, B: 70, C: 10, D: 890}
+	if !approx(tab.PRR(), 27) {
+		t.Errorf("PRR = %v, want 27", tab.PRR())
+	}
+}
+
+func TestRORHandComputed(t *testing.T) {
+	tab := Table{A: 30, B: 70, C: 10, D: 890}
+	want := (30.0 * 890.0) / (70.0 * 10.0)
+	if !approx(tab.ROR(), want) {
+		t.Errorf("ROR = %v, want %v", tab.ROR(), want)
+	}
+}
+
+func TestRRRHandComputed(t *testing.T) {
+	// RRR = a·N / ((a+b)(a+c)) = 30·1000/(100·40) = 7.5.
+	tab := Table{A: 30, B: 70, C: 10, D: 890}
+	if !approx(tab.RRR(), 7.5) {
+		t.Errorf("RRR = %v, want 7.5", tab.RRR())
+	}
+}
+
+func TestZeroCellCorrection(t *testing.T) {
+	tab := Table{A: 5, B: 0, C: 2, D: 100}
+	for name, v := range map[string]float64{"PRR": tab.PRR(), "ROR": tab.ROR(), "RRR": tab.RRR()} {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Errorf("%s with zero cell = %v, want finite (Haldane correction)", name, v)
+		}
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	// Independence: chi² near 0.
+	indep := Table{A: 25, B: 25, C: 25, D: 25}
+	if got := indep.ChiSquare(); got > 0.5 {
+		t.Errorf("independent table chi² = %v, want ~0", got)
+	}
+	// Strong association: chi² large.
+	strong := Table{A: 50, B: 5, C: 5, D: 50}
+	if got := strong.ChiSquare(); got < 30 {
+		t.Errorf("strong table chi² = %v, want > 30", got)
+	}
+	empty := Table{}
+	if empty.ChiSquare() != 0 {
+		t.Error("empty table chi² should be 0")
+	}
+}
+
+func TestSignalCriteria(t *testing.T) {
+	// Meets PRR>=2, chi²>=4, a>=3.
+	sig := Table{A: 30, B: 70, C: 10, D: 890}
+	if !sig.Signal() {
+		t.Error("expected signal")
+	}
+	// Too few co-reports.
+	few := Table{A: 2, B: 1, C: 1, D: 996}
+	if few.Signal() {
+		t.Error("a<3 should not signal")
+	}
+	// No disproportionality.
+	flat := Table{A: 25, B: 25, C: 25, D: 25}
+	if flat.Signal() {
+		t.Error("flat table should not signal")
+	}
+}
+
+func TestEvaluateEndToEnd(t *testing.T) {
+	dict := types.NewDictionary()
+	x := dict.Intern("X", types.DomainDrug)
+	y := dict.Intern("Y", types.DomainDrug)
+	bad := dict.Intern("Bad", types.DomainReaction)
+	other := dict.Intern("Other", types.DomainReaction)
+	db := txdb.New(dict)
+	id := 0
+	add := func(items ...types.Item) {
+		id++
+		db.Add(fmt.Sprintf("r%d", id), types.NewItemset(items...))
+	}
+	for i := 0; i < 20; i++ {
+		add(x, y, bad)
+	}
+	for i := 0; i < 200; i++ {
+		add(x, other)
+	}
+	for i := 0; i < 200; i++ {
+		add(y, other)
+	}
+	for i := 0; i < 500; i++ {
+		add(other)
+	}
+	db.Freeze()
+
+	s := Evaluate(db, types.NewItemset(x, y), types.NewItemset(bad))
+	if !s.Signal {
+		t.Errorf("planted signal not detected: %+v", s)
+	}
+	if s.PRR < 2 || s.RRR < 2 {
+		t.Errorf("PRR=%v RRR=%v, want both >= 2", s.PRR, s.RRR)
+	}
+	// A non-associated pair must not signal.
+	ns := Evaluate(db, types.NewItemset(x), types.NewItemset(bad))
+	// x alone co-occurs with bad only inside the x+y reports: 20 of
+	// 220 x-reports vs 0 elsewhere — actually still disproportionate.
+	// The meaningful check: combination scores higher than single.
+	if ns.PRR >= s.PRR {
+		t.Errorf("single-drug PRR %v >= combination PRR %v", ns.PRR, s.PRR)
+	}
+}
+
+func TestTableNAndDegenerate(t *testing.T) {
+	if (Table{}).N() != 0 {
+		t.Error("empty N")
+	}
+	z := Table{}
+	// All-zero table: measures must not panic; values are finite or Inf.
+	_ = z.PRR()
+	_ = z.ROR()
+	_ = z.RRR()
+	_ = z.ChiSquare()
+}

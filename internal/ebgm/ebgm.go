@@ -1,0 +1,370 @@
+// Package ebgm implements the Multi-item Gamma Poisson Shrinker
+// (MGPS) of DuMouchel, the empirical-Bayes disproportionality method
+// behind the FDA's own signal detection and the Fram/DuMouchel KDD'03
+// system the paper cites as prior art ("Empirical bayesian data
+// mining for discovering patterns in post-marketing drug safety").
+// It completes the baseline suite of experiment A4 with the strongest
+// classical competitor.
+//
+// Model: the observed report count N for a (drug set, reaction set)
+// pair is Poisson with mean λ·E, where E is the expected count under
+// independence and λ follows a two-component gamma mixture prior
+//
+//	λ ~ w·Gamma(α1, β1) + (1−w)·Gamma(α2, β2).
+//
+// The posterior of λ given (N, E) is again a gamma mixture, and the
+// reported statistics are
+//
+//	EBGM  = exp(E[ln λ | N, E])  — the shrunken relative ratio,
+//	EB05  = 5th posterior percentile (the conservative signal score).
+//
+// The five prior parameters are fit by maximizing the marginal
+// likelihood of all (N, E) pairs with a projected gradient-free
+// Nelder-Mead search, the standard practice for MGPS
+// implementations.
+package ebgm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Observation is one (observed, expected) count pair.
+type Observation struct {
+	N int     // observed co-occurrence reports
+	E float64 // expected count under independence, > 0
+}
+
+// Prior is the two-component gamma mixture prior over λ.
+type Prior struct {
+	Alpha1, Beta1 float64 // first gamma component (shape, rate)
+	Alpha2, Beta2 float64 // second gamma component
+	W             float64 // weight of the first component, in (0,1)
+}
+
+// DefaultPrior is DuMouchel's published starting point (α1=.2, β1=.1,
+// α2=2, β2=4, w=1/3), a sensible prior when fitting is skipped.
+func DefaultPrior() Prior {
+	return Prior{Alpha1: 0.2, Beta1: 0.1, Alpha2: 2, Beta2: 4, W: 1.0 / 3.0}
+}
+
+func (p Prior) valid() error {
+	vals := []float64{p.Alpha1, p.Beta1, p.Alpha2, p.Beta2}
+	for _, v := range vals {
+		if !(v > 1e-8) || math.IsInf(v, 0) || math.IsNaN(v) {
+			return fmt.Errorf("ebgm: non-positive prior parameter in %+v", p)
+		}
+	}
+	if !(p.W > 0 && p.W < 1) {
+		return fmt.Errorf("ebgm: mixture weight %v outside (0,1)", p.W)
+	}
+	return nil
+}
+
+// logNegBin returns log P(N=n | α, β, E): the gamma-Poisson marginal,
+// a negative binomial with size α and probability β/(β+E).
+func logNegBin(n int, alpha, beta, e float64) float64 {
+	x := float64(n)
+	return lgamma(alpha+x) - lgamma(alpha) - lgamma(x+1) +
+		alpha*math.Log(beta/(beta+e)) + x*math.Log(e/(beta+e))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// LogMarginal returns the log marginal likelihood of obs under p.
+func LogMarginal(obs []Observation, p Prior) float64 {
+	ll := 0.0
+	for _, o := range obs {
+		l1 := logNegBin(o.N, p.Alpha1, p.Beta1, o.E)
+		l2 := logNegBin(o.N, p.Alpha2, p.Beta2, o.E)
+		ll += logSumExp(math.Log(p.W)+l1, math.Log(1-p.W)+l2)
+	}
+	return ll
+}
+
+func logSumExp(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if math.IsInf(a, -1) {
+		return a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// Posterior holds the posterior gamma mixture for one observation.
+type Posterior struct {
+	Alpha1, Beta1 float64
+	Alpha2, Beta2 float64
+	Q             float64 // posterior weight of component 1
+}
+
+// PosteriorOf computes the posterior mixture of λ given one
+// observation under prior p. Conjugacy: component i becomes
+// Gamma(αi+N, βi+E) with weight ∝ prior weight × marginal.
+func PosteriorOf(o Observation, p Prior) Posterior {
+	l1 := math.Log(p.W) + logNegBin(o.N, p.Alpha1, p.Beta1, o.E)
+	l2 := math.Log(1-p.W) + logNegBin(o.N, p.Alpha2, p.Beta2, o.E)
+	z := logSumExp(l1, l2)
+	return Posterior{
+		Alpha1: p.Alpha1 + float64(o.N), Beta1: p.Beta1 + o.E,
+		Alpha2: p.Alpha2 + float64(o.N), Beta2: p.Beta2 + o.E,
+		Q: math.Exp(l1 - z),
+	}
+}
+
+// EBGM returns exp(E[ln λ]): the geometric-mean shrinkage estimate of
+// the relative reporting ratio.
+func (po Posterior) EBGM() float64 {
+	elog := po.Q*(digamma(po.Alpha1)-math.Log(po.Beta1)) +
+		(1-po.Q)*(digamma(po.Alpha2)-math.Log(po.Beta2))
+	return math.Exp(elog)
+}
+
+// Quantile returns the q-th posterior quantile of λ (bisection over
+// the mixture CDF). EB05 is Quantile(0.05).
+func (po Posterior) Quantile(q float64) float64 {
+	if q <= 0 || q >= 1 {
+		panic("ebgm: quantile must be in (0,1)")
+	}
+	cdf := func(x float64) float64 {
+		return po.Q*gammaCDF(x, po.Alpha1, po.Beta1) +
+			(1-po.Q)*gammaCDF(x, po.Alpha2, po.Beta2)
+	}
+	lo, hi := 0.0, 1.0
+	for cdf(hi) < q {
+		hi *= 2
+		if hi > 1e12 {
+			return hi
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-10*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if cdf(mid) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// EB05 is the conventional conservative signal score: the 5th
+// posterior percentile of λ. EB05 ≥ 2 is the usual signal criterion.
+func (po Posterior) EB05() float64 { return po.Quantile(0.05) }
+
+// Score is the EBGM evaluation of one observation.
+type Score struct {
+	Observation Observation
+	EBGM        float64
+	EB05        float64
+}
+
+// Evaluate scores every observation under prior p.
+func Evaluate(obs []Observation, p Prior) ([]Score, error) {
+	if err := p.valid(); err != nil {
+		return nil, err
+	}
+	out := make([]Score, len(obs))
+	for i, o := range obs {
+		po := PosteriorOf(o, p)
+		out[i] = Score{Observation: o, EBGM: po.EBGM(), EB05: po.EB05()}
+	}
+	return out, nil
+}
+
+// Fit maximizes the marginal likelihood over the five prior
+// parameters with Nelder-Mead in a log/logit-transformed space
+// (keeping parameters in their domains). Returns the fitted prior and
+// its log marginal likelihood. obs must be non-empty with E > 0.
+func Fit(obs []Observation, start Prior) (Prior, float64, error) {
+	if len(obs) == 0 {
+		return Prior{}, 0, fmt.Errorf("ebgm: no observations to fit")
+	}
+	for _, o := range obs {
+		if !(o.E > 0) {
+			return Prior{}, 0, fmt.Errorf("ebgm: observation with non-positive expectation %v", o.E)
+		}
+	}
+	if err := start.valid(); err != nil {
+		return Prior{}, 0, err
+	}
+	// Parameter transform: θ = (ln α1, ln β1, ln α2, ln β2, logit w).
+	encode := func(p Prior) [5]float64 {
+		return [5]float64{
+			math.Log(p.Alpha1), math.Log(p.Beta1),
+			math.Log(p.Alpha2), math.Log(p.Beta2),
+			math.Log(p.W / (1 - p.W)),
+		}
+	}
+	decode := func(t [5]float64) Prior {
+		return Prior{
+			Alpha1: math.Exp(clampF(t[0])), Beta1: math.Exp(clampF(t[1])),
+			Alpha2: math.Exp(clampF(t[2])), Beta2: math.Exp(clampF(t[3])),
+			W: 1 / (1 + math.Exp(-clampF(t[4]))),
+		}
+	}
+	obj := func(t [5]float64) float64 {
+		return -LogMarginal(obs, decode(t)) // minimize negative LL
+	}
+	best := nelderMead(obj, encode(start), 400)
+	p := decode(best)
+	return p, LogMarginal(obs, p), nil
+}
+
+func clampF(x float64) float64 {
+	if x > 30 {
+		return 30
+	}
+	if x < -30 {
+		return -30
+	}
+	return x
+}
+
+// nelderMead is a compact simplex minimizer over a fixed-dimension
+// parameter vector.
+func nelderMead(f func([5]float64) float64, start [5]float64, iters int) [5]float64 {
+	const dim = 5
+	type vertex struct {
+		x [5]float64
+		v float64
+	}
+	simplex := make([]vertex, dim+1)
+	simplex[0] = vertex{start, f(start)}
+	for i := 0; i < dim; i++ {
+		x := start
+		step := 0.5
+		if x[i] == 0 {
+			x[i] = step
+		} else {
+			x[i] += step
+		}
+		simplex[i+1] = vertex{x, f(x)}
+	}
+	for it := 0; it < iters; it++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		bestV, worst := simplex[0], simplex[dim]
+		// Centroid of all but worst.
+		var c [5]float64
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				c[j] += simplex[i].x[j] / float64(dim)
+			}
+		}
+		combine := func(coef float64) vertex {
+			var x [5]float64
+			for j := 0; j < dim; j++ {
+				x[j] = c[j] + coef*(worst.x[j]-c[j])
+			}
+			return vertex{x, f(x)}
+		}
+		refl := combine(-1)
+		switch {
+		case refl.v < bestV.v:
+			if exp := combine(-2); exp.v < refl.v {
+				simplex[dim] = exp
+			} else {
+				simplex[dim] = refl
+			}
+		case refl.v < simplex[dim-1].v:
+			simplex[dim] = refl
+		default:
+			if con := combine(0.5); con.v < worst.v {
+				simplex[dim] = con
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= dim; i++ {
+					var x [5]float64
+					for j := 0; j < dim; j++ {
+						x[j] = bestV.x[j] + 0.5*(simplex[i].x[j]-bestV.x[j])
+					}
+					simplex[i] = vertex{x, f(x)}
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	return simplex[0].x
+}
+
+// digamma computes ψ(x) via the asymptotic series after shifting the
+// argument above 10 with the recurrence ψ(x) = ψ(x+1) − 1/x.
+func digamma(x float64) float64 {
+	result := 0.0
+	for x < 10 {
+		result -= 1 / x
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// ln x − 1/(2x) − 1/(12x²) + 1/(120x⁴) − 1/(252x⁶) + 1/(240x⁸)
+	return result + math.Log(x) - inv/2 -
+		inv2*(1.0/12-inv2*(1.0/120-inv2*(1.0/252-inv2/240)))
+}
+
+// gammaCDF returns P(X ≤ x) for X ~ Gamma(shape α, rate β): the
+// regularized lower incomplete gamma P(α, βx).
+func gammaCDF(x, alpha, beta float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGamma(alpha, beta*x)
+}
+
+// regIncGamma computes the regularized lower incomplete gamma
+// P(a, x) with the series expansion for x < a+1 and the continued
+// fraction for the complement otherwise (Numerical Recipes scheme).
+func regIncGamma(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		// Series: P(a,x) = e^{−x} x^a / Γ(a) · Σ x^n / (a(a+1)...(a+n))
+		ap := a
+		sum := 1 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lgamma(a))
+	}
+	// Continued fraction for Q(a,x) = 1 − P(a,x).
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lgamma(a)) * h
+	return 1 - q
+}

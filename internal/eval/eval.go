@@ -1,0 +1,138 @@
+// Package eval scores ranked drug-drug-interaction signals against
+// the synthetic generator's planted ground truth: precision@k,
+// recall@k, mean reciprocal rank, and per-interaction rank lookups.
+// This quantifies what the paper could only argue through case
+// studies — whether the exclusiveness ranking actually surfaces the
+// true interactions ahead of the baselines (experiments E4, A1–A4).
+package eval
+
+import (
+	"sort"
+
+	"maras/internal/knowledge"
+)
+
+// RankedKey is one ranked prediction: the canonical drug-combination
+// key (knowledge.DrugKey) in rank order, best first.
+type RankedKey = string
+
+// Result summarizes ranking quality against a truth set.
+type Result struct {
+	Truth        int // number of ground-truth interactions
+	Predictions  int // number of ranked predictions scored
+	PrecisionAt  map[int]float64
+	RecallAt     map[int]float64
+	MRR          float64 // mean reciprocal rank over truth entries
+	FirstHitRank int     // 1-based rank of the first true positive; 0 = none
+}
+
+// Ks are the cutoffs Result reports by default.
+var Ks = []int{1, 3, 5, 10, 20, 50}
+
+// Score evaluates ranked (best first) against truthKeys.
+// Duplicate ranked keys count once, at their best rank.
+func Score(ranked []RankedKey, truthKeys []string) Result {
+	truth := make(map[string]bool, len(truthKeys))
+	for _, k := range truthKeys {
+		truth[k] = true
+	}
+	res := Result{
+		Truth:       len(truth),
+		Predictions: len(ranked),
+		PrecisionAt: make(map[int]float64, len(Ks)),
+		RecallAt:    make(map[int]float64, len(Ks)),
+	}
+	bestRank := make(map[string]int) // truth key -> best 1-based rank
+	seen := make(map[string]bool, len(ranked))
+	dedup := make([]string, 0, len(ranked))
+	for _, k := range ranked {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		dedup = append(dedup, k)
+		if truth[k] {
+			if _, ok := bestRank[k]; !ok {
+				bestRank[k] = len(dedup)
+			}
+		}
+	}
+	for _, k := range Ks {
+		hits := 0
+		limit := k
+		if limit > len(dedup) {
+			limit = len(dedup)
+		}
+		for i := 0; i < limit; i++ {
+			if truth[dedup[i]] {
+				hits++
+			}
+		}
+		if k > 0 {
+			res.PrecisionAt[k] = float64(hits) / float64(min(k, max(1, len(dedup))))
+		}
+		if res.Truth > 0 {
+			res.RecallAt[k] = float64(hits) / float64(res.Truth)
+		}
+	}
+	// MRR over truth entries (missing entries contribute 0).
+	if res.Truth > 0 {
+		sum := 0.0
+		first := 0
+		ranks := make([]int, 0, len(bestRank))
+		for _, r := range bestRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		if len(ranks) > 0 {
+			first = ranks[0]
+		}
+		for _, r := range ranks {
+			sum += 1 / float64(r)
+		}
+		res.MRR = sum / float64(res.Truth)
+		res.FirstHitRank = first
+	}
+	return res
+}
+
+// RankOf returns the 1-based rank of key within ranked (after
+// dedup), or 0 if absent.
+func RankOf(ranked []RankedKey, key string) int {
+	seen := make(map[string]bool, len(ranked))
+	pos := 0
+	for _, k := range ranked {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		pos++
+		if k == key {
+			return pos
+		}
+	}
+	return 0
+}
+
+// KeysOf converts drug-name slices into canonical combination keys.
+func KeysOf(drugSets [][]string) []string {
+	out := make([]string, len(drugSets))
+	for i, ds := range drugSets {
+		out[i] = knowledge.DrugKey(ds)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestScorePerfectRanking(t *testing.T) {
+	truth := []string{"A+B", "C+D"}
+	ranked := []RankedKey{"A+B", "C+D", "E+F"}
+	r := Score(ranked, truth)
+	if !approx(r.PrecisionAt[1], 1) {
+		t.Errorf("P@1 = %v", r.PrecisionAt[1])
+	}
+	if !approx(r.RecallAt[3], 1) {
+		t.Errorf("R@3 = %v", r.RecallAt[3])
+	}
+	// MRR = (1/1 + 1/2)/2 = 0.75
+	if !approx(r.MRR, 0.75) {
+		t.Errorf("MRR = %v", r.MRR)
+	}
+	if r.FirstHitRank != 1 {
+		t.Errorf("FirstHitRank = %d", r.FirstHitRank)
+	}
+}
+
+func TestScoreMisses(t *testing.T) {
+	truth := []string{"A+B"}
+	ranked := []RankedKey{"X+Y", "P+Q"}
+	r := Score(ranked, truth)
+	if r.MRR != 0 || r.FirstHitRank != 0 {
+		t.Errorf("miss: MRR=%v first=%d", r.MRR, r.FirstHitRank)
+	}
+	if r.RecallAt[10] != 0 {
+		t.Errorf("R@10 = %v", r.RecallAt[10])
+	}
+}
+
+func TestScoreMidRank(t *testing.T) {
+	truth := []string{"A+B"}
+	ranked := []RankedKey{"X+Y", "P+Q", "A+B", "Z+W"}
+	r := Score(ranked, truth)
+	if r.FirstHitRank != 3 {
+		t.Errorf("FirstHitRank = %d, want 3", r.FirstHitRank)
+	}
+	if !approx(r.MRR, 1.0/3.0) {
+		t.Errorf("MRR = %v", r.MRR)
+	}
+	if !approx(r.PrecisionAt[3], 1.0/3.0) {
+		t.Errorf("P@3 = %v", r.PrecisionAt[3])
+	}
+	if r.PrecisionAt[1] != 0 {
+		t.Errorf("P@1 = %v", r.PrecisionAt[1])
+	}
+}
+
+func TestScoreDuplicatesCountOnce(t *testing.T) {
+	truth := []string{"A+B"}
+	ranked := []RankedKey{"A+B", "A+B", "A+B"}
+	r := Score(ranked, truth)
+	// Dedup leaves one prediction; P@1 = 1, recall@1 = 1.
+	if !approx(r.PrecisionAt[1], 1) || !approx(r.RecallAt[1], 1) {
+		t.Errorf("dup handling: %+v", r)
+	}
+}
+
+func TestScoreShortList(t *testing.T) {
+	truth := []string{"A+B", "C+D", "E+F", "G+H"}
+	ranked := []RankedKey{"A+B"}
+	r := Score(ranked, truth)
+	// Fewer predictions than k: precision over the available list.
+	if !approx(r.PrecisionAt[5], 1) {
+		t.Errorf("P@5 with 1 prediction = %v, want 1", r.PrecisionAt[5])
+	}
+	if !approx(r.RecallAt[5], 0.25) {
+		t.Errorf("R@5 = %v, want 0.25", r.RecallAt[5])
+	}
+}
+
+func TestScoreEmptyInputs(t *testing.T) {
+	r := Score(nil, nil)
+	if r.Truth != 0 || r.MRR != 0 {
+		t.Errorf("empty = %+v", r)
+	}
+	r = Score(nil, []string{"A+B"})
+	if r.RecallAt[5] != 0 {
+		t.Error("no predictions should give 0 recall")
+	}
+}
+
+func TestRankOf(t *testing.T) {
+	ranked := []RankedKey{"X", "Y", "Y", "Z"}
+	if got := RankOf(ranked, "Z"); got != 3 { // dedup: X,Y,Z
+		t.Errorf("RankOf(Z) = %d, want 3", got)
+	}
+	if got := RankOf(ranked, "Q"); got != 0 {
+		t.Errorf("RankOf(missing) = %d", got)
+	}
+}
+
+func TestKeysOf(t *testing.T) {
+	keys := KeysOf([][]string{{"warfarin", "Aspirin"}, {"b", "a"}})
+	if keys[0] != "ASPIRIN+WARFARIN" || keys[1] != "A+B" {
+		t.Errorf("KeysOf = %v", keys)
+	}
+}

@@ -1,0 +1,140 @@
+package faers
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FileSet names the four ASCII files of a quarter, following the FDA
+// naming convention DEMOyyQq.txt etc. for label "20yyQq".
+type FileSet struct {
+	Demo, Drug, Reac, Outc string
+}
+
+// FilesFor returns the conventional file names for a quarter label
+// like "2014Q1" inside dir.
+func FilesFor(dir, label string) (FileSet, error) {
+	short, err := shortLabel(label)
+	if err != nil {
+		return FileSet{}, err
+	}
+	return FileSet{
+		Demo: filepath.Join(dir, "DEMO"+short+".txt"),
+		Drug: filepath.Join(dir, "DRUG"+short+".txt"),
+		Reac: filepath.Join(dir, "REAC"+short+".txt"),
+		Outc: filepath.Join(dir, "OUTC"+short+".txt"),
+	}, nil
+}
+
+// shortLabel converts "2014Q1" to "14Q1".
+func shortLabel(label string) (string, error) {
+	l := strings.ToUpper(strings.TrimSpace(label))
+	if len(l) != 6 || l[4] != 'Q' || !allDigits(l[:4]) || l[5] < '1' || l[5] > '4' {
+		return "", fmt.Errorf("faers: bad quarter label %q (want e.g. 2014Q1)", label)
+	}
+	return l[2:], nil
+}
+
+func allDigits(s string) bool {
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// LoadQuarter reads a quarter's four tables from dir. A missing OUTC
+// file is tolerated (outcomes are optional for mining).
+func LoadQuarter(dir, label string) (*Quarter, error) {
+	fs, err := FilesFor(dir, label)
+	if err != nil {
+		return nil, err
+	}
+	q := &Quarter{Label: strings.ToUpper(strings.TrimSpace(label))}
+
+	if q.Demos, err = readFile(fs.Demo, ReadDemo); err != nil {
+		return nil, err
+	}
+	if q.Drugs, err = readFile(fs.Drug, ReadDrug); err != nil {
+		return nil, err
+	}
+	if q.Reacs, err = readFile(fs.Reac, ReadReac); err != nil {
+		return nil, err
+	}
+	q.Outcs, err = readFile(fs.Outc, ReadOutc)
+	if err != nil {
+		if os.IsNotExist(underlying(err)) {
+			q.Outcs = nil
+		} else {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// SaveQuarter writes the quarter's tables into dir using the
+// conventional names, creating dir if needed.
+func SaveQuarter(dir string, q *Quarter) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("faers: %w", err)
+	}
+	fs, err := FilesFor(dir, q.Label)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(fs.Demo, q.Demos, WriteDemo); err != nil {
+		return err
+	}
+	if err := writeFile(fs.Drug, q.Drugs, WriteDrug); err != nil {
+		return err
+	}
+	if err := writeFile(fs.Reac, q.Reacs, WriteReac); err != nil {
+		return err
+	}
+	return writeFile(fs.Outc, q.Outcs, WriteOutc)
+}
+
+func readFile[T any](path string, read func(r io.Reader) ([]T, error)) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("faers: %w", err)
+	}
+	defer f.Close()
+	rows, err := read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+func writeFile[T any](path string, rows []T, write func(w io.Writer, rows []T) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("faers: %w", err)
+	}
+	if err := write(f, rows); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// underlying unwraps to the deepest error for os.IsNotExist checks.
+func underlying(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	for {
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return err
+		}
+		err = inner
+	}
+}

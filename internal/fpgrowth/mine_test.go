@@ -1,0 +1,361 @@
+package fpgrowth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"maras/internal/txdb"
+	"maras/internal/types"
+)
+
+// buildDB constructs a DB from transactions given as item-ID slices.
+func buildDB(t testing.TB, txs [][]int) *txdb.DB {
+	t.Helper()
+	dict := types.NewDictionary()
+	maxID := 0
+	for _, tx := range txs {
+		for _, id := range tx {
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	for i := 0; i <= maxID; i++ {
+		dict.Intern(fmt.Sprintf("i%d", i), types.DomainDrug)
+	}
+	db := txdb.New(dict)
+	for r, tx := range txs {
+		items := make(types.Itemset, 0, len(tx))
+		for _, id := range tx {
+			items = append(items, types.Item(id))
+		}
+		db.Add(fmt.Sprintf("r%d", r), items.Normalize())
+	}
+	db.Freeze()
+	return db
+}
+
+// bruteFrequent enumerates frequent itemsets by exhaustive subset
+// enumeration over the item universe (exponential; tests only).
+func bruteFrequent(db *txdb.DB, minsup, maxLen int) map[string]int {
+	universe := map[types.Item]bool{}
+	for _, tx := range db.Transactions() {
+		for _, it := range tx.Items {
+			universe[it] = true
+		}
+	}
+	items := make(types.Itemset, 0, len(universe))
+	for it := range universe {
+		items = append(items, it)
+	}
+	items = items.Normalize()
+
+	out := map[string]int{}
+	n := len(items)
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var s types.Itemset
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s = append(s, items[i])
+			}
+		}
+		if maxLen > 0 && len(s) > maxLen {
+			continue
+		}
+		sup := db.Support(s)
+		if sup >= minsup {
+			out[s.Key()] = sup
+		}
+	}
+	return out
+}
+
+func bruteClosed(db *txdb.DB, minsup int) map[string]int {
+	freq := bruteFrequent(db, minsup, 0)
+	closed := map[string]int{}
+	for k, sup := range freq {
+		s := keyToSet(k)
+		isClosed := true
+		for k2, sup2 := range freq {
+			if k2 == k || sup2 != sup {
+				continue
+			}
+			if keyToSet(k2).ProperSupersetOf(s) {
+				isClosed = false
+				break
+			}
+		}
+		if isClosed {
+			closed[k] = sup
+		}
+	}
+	return closed
+}
+
+func keyToSet(key string) types.Itemset {
+	var s types.Itemset
+	var cur int
+	seen := false
+	for i := 0; i <= len(key); i++ {
+		if i == len(key) || key[i] == ',' {
+			if seen {
+				s = append(s, types.Item(cur))
+			}
+			cur = 0
+			seen = false
+			continue
+		}
+		cur = cur*10 + int(key[i]-'0')
+		seen = true
+	}
+	return s
+}
+
+func TestMineKnownExample(t *testing.T) {
+	// Classic textbook database.
+	db := buildDB(t, [][]int{
+		{1, 2, 5},
+		{2, 4},
+		{2, 3},
+		{1, 2, 4},
+		{1, 3},
+		{2, 3},
+		{1, 3},
+		{1, 2, 3, 5},
+		{1, 2, 3},
+	})
+	got := map[string]int{}
+	for _, fs := range Mine(db, Options{MinSupport: 2}) {
+		got[fs.Items.Key()] = fs.Support
+	}
+	want := bruteFrequent(db, 2, 0)
+	if len(got) != len(want) {
+		t.Fatalf("mined %d itemsets, brute force %d\n got=%v\nwant=%v", len(got), len(want), got, want)
+	}
+	for k, sup := range want {
+		if got[k] != sup {
+			t.Errorf("itemset %s: support %d, want %d", k, got[k], sup)
+		}
+	}
+}
+
+func TestMineMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		nItems := 3 + rng.Intn(8)
+		nTx := 5 + rng.Intn(40)
+		txs := make([][]int, nTx)
+		for i := range txs {
+			for id := 0; id < nItems; id++ {
+				if rng.Float64() < 0.35 {
+					txs[i] = append(txs[i], id)
+				}
+			}
+			if len(txs[i]) == 0 {
+				txs[i] = []int{rng.Intn(nItems)}
+			}
+		}
+		db := buildDB(t, txs)
+		minsup := 1 + rng.Intn(4)
+
+		got := map[string]int{}
+		for _, fs := range Mine(db, Options{MinSupport: minsup}) {
+			if old, dup := got[fs.Items.Key()]; dup && old != fs.Support {
+				t.Fatalf("trial %d: duplicate itemset %v with conflicting supports %d/%d",
+					trial, fs.Items, old, fs.Support)
+			}
+			got[fs.Items.Key()] = fs.Support
+		}
+		want := bruteFrequent(db, minsup, 0)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (minsup=%d): mined %d itemsets, want %d", trial, minsup, len(got), len(want))
+		}
+		for k, sup := range want {
+			if got[k] != sup {
+				t.Fatalf("trial %d: itemset %s support %d, want %d", trial, k, got[k], sup)
+			}
+		}
+	}
+}
+
+func TestMineClosedMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		nItems := 3 + rng.Intn(7)
+		nTx := 5 + rng.Intn(30)
+		txs := make([][]int, nTx)
+		for i := range txs {
+			for id := 0; id < nItems; id++ {
+				if rng.Float64() < 0.4 {
+					txs[i] = append(txs[i], id)
+				}
+			}
+			if len(txs[i]) == 0 {
+				txs[i] = []int{rng.Intn(nItems)}
+			}
+		}
+		db := buildDB(t, txs)
+		minsup := 1 + rng.Intn(3)
+
+		got := map[string]int{}
+		for _, fs := range MineClosed(db, Options{MinSupport: minsup}) {
+			got[fs.Items.Key()] = fs.Support
+		}
+		want := bruteClosed(db, minsup)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (minsup=%d): %d closed sets, want %d\n got=%v\nwant=%v",
+				trial, minsup, len(got), len(want), got, want)
+		}
+		for k, sup := range want {
+			if got[k] != sup {
+				t.Fatalf("trial %d: closed set %s support %d, want %d", trial, k, got[k], sup)
+			}
+		}
+	}
+}
+
+func TestMineMaxLen(t *testing.T) {
+	db := buildDB(t, [][]int{
+		{1, 2, 3, 4},
+		{1, 2, 3, 4},
+		{1, 2, 3, 4},
+	})
+	for _, fs := range Mine(db, Options{MinSupport: 1, MaxLen: 2}) {
+		if len(fs.Items) > 2 {
+			t.Errorf("MaxLen=2 emitted %v", fs.Items)
+		}
+	}
+	n2 := len(Mine(db, Options{MinSupport: 1, MaxLen: 2}))
+	if n2 != 4+6 { // C(4,1)+C(4,2)
+		t.Errorf("MaxLen=2 mined %d sets, want 10", n2)
+	}
+}
+
+func TestMineFuncEarlyStop(t *testing.T) {
+	db := buildDB(t, [][]int{
+		{1, 2, 3},
+		{1, 2, 3},
+	})
+	n := 0
+	MineFunc(db, Options{MinSupport: 1}, func(FrequentSet) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestMineEmptyDB(t *testing.T) {
+	dict := types.NewDictionary()
+	db := txdb.New(dict)
+	db.Freeze()
+	if got := Mine(db, Options{MinSupport: 1}); len(got) != 0 {
+		t.Errorf("empty DB mined %d sets", len(got))
+	}
+}
+
+func TestMineMinSupportFiltering(t *testing.T) {
+	db := buildDB(t, [][]int{
+		{1}, {1}, {1}, {2},
+	})
+	sets := Mine(db, Options{MinSupport: 2})
+	if len(sets) != 1 || sets[0].Items.Key() != "1" || sets[0].Support != 3 {
+		t.Errorf("got %v, want only {1}:3", sets)
+	}
+}
+
+func TestClosure(t *testing.T) {
+	db := buildDB(t, [][]int{
+		{1, 2, 3},
+		{1, 2, 3},
+		{1, 2, 4},
+	})
+	// Closure of {1} is {1,2}: items 1 and 2 co-occur in every tx with 1.
+	got := Closure(db, types.NewItemset(1))
+	if !got.Equal(types.NewItemset(1, 2)) {
+		t.Errorf("Closure({1}) = %v, want {1,2}", got)
+	}
+	// Closure of {1,3} is {1,2,3}.
+	got = Closure(db, types.NewItemset(1, 3))
+	if !got.Equal(types.NewItemset(1, 2, 3)) {
+		t.Errorf("Closure({1,3}) = %v, want {1,2,3}", got)
+	}
+	// Closure of an absent set returns the set.
+	got = Closure(db, types.NewItemset(9))
+	if !got.Equal(types.NewItemset(9)) {
+		t.Errorf("Closure(absent) = %v", got)
+	}
+}
+
+// Property: every closed itemset equals its own closure, and every
+// frequent itemset's support equals its closure's support.
+func TestClosureProperties(t *testing.T) {
+	db := buildDB(t, [][]int{
+		{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3},
+		{2, 3}, {1, 3}, {1, 2, 3, 5}, {1, 2, 3},
+	})
+	for _, fs := range MineClosed(db, Options{MinSupport: 1}) {
+		cl := Closure(db, fs.Items)
+		if !cl.Equal(fs.Items) {
+			t.Errorf("closed set %v has closure %v", fs.Items, cl)
+		}
+	}
+	for _, fs := range Mine(db, Options{MinSupport: 1}) {
+		cl := Closure(db, fs.Items)
+		if db.Support(cl) != fs.Support {
+			t.Errorf("set %v support %d but closure %v support %d",
+				fs.Items, fs.Support, cl, db.Support(cl))
+		}
+	}
+}
+
+// Property: every mined support equals the exact posting-list
+// support — the miner and the query engine must agree.
+func TestMinedSupportsMatchQueryEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		nItems := 5 + rng.Intn(6)
+		nTx := 20 + rng.Intn(50)
+		txs := make([][]int, nTx)
+		for i := range txs {
+			for id := 0; id < nItems; id++ {
+				if rng.Float64() < 0.35 {
+					txs[i] = append(txs[i], id)
+				}
+			}
+			if len(txs[i]) == 0 {
+				txs[i] = []int{rng.Intn(nItems)}
+			}
+		}
+		db := buildDB(t, txs)
+		for _, fs := range Mine(db, Options{MinSupport: 2}) {
+			if got := db.Support(fs.Items); got != fs.Support {
+				t.Fatalf("trial %d: mined support %d for %v, query engine says %d",
+					trial, fs.Support, fs.Items, got)
+			}
+		}
+	}
+}
+
+func TestMineClosedDeterministicOrder(t *testing.T) {
+	db := buildDB(t, [][]int{
+		{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3},
+	})
+	a := MineClosed(db, Options{MinSupport: 1})
+	b := MineClosed(db, Options{MinSupport: 1})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if !a[i].Items.Equal(b[i].Items) || a[i].Support != b[i].Support {
+			t.Fatalf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Support > a[i-1].Support {
+			t.Fatalf("not sorted by support desc at %d", i)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package glyph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"maras/internal/assoc"
+	"maras/internal/mcac"
+	"maras/internal/types"
+)
+
+// randomCluster fabricates a cluster with random confidences,
+// including out-of-range values the renderer must clamp.
+func randomCluster(rng *rand.Rand) mcac.Cluster {
+	n := 2 + rng.Intn(3)
+	ant := make(types.Itemset, n)
+	for i := range ant {
+		ant[i] = types.Item(i)
+	}
+	c := mcac.Cluster{Target: assoc.Rule{
+		Antecedent: ant,
+		Consequent: types.Itemset{types.Item(100)},
+		Confidence: rng.Float64()*1.4 - 0.2, // may exceed [0,1]
+		Lift:       rng.Float64() * 10,
+		Support:    rng.Intn(50),
+	}}
+	for k := n - 1; k >= 1; k-- {
+		level := mcac.Level{Cardinality: k}
+		count := 1 + rng.Intn(4)
+		for j := 0; j < count; j++ {
+			sub := make(types.Itemset, k)
+			for i := range sub {
+				sub[i] = types.Item(i + j)
+			}
+			level.Rules = append(level.Rules, assoc.Rule{
+				Antecedent: sub,
+				Consequent: c.Target.Consequent,
+				Confidence: rng.Float64()*1.4 - 0.2,
+				Lift:       rng.Float64() * 10,
+			})
+		}
+		c.Levels = append(c.Levels, level)
+	}
+	return c
+}
+
+// All renderers must emit structurally sound SVG for arbitrary
+// cluster shapes: balanced tags, no NaN coordinates, and exactly one
+// svg envelope.
+func TestRenderersFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 100; trial++ {
+		c := randomCluster(rng)
+		for name, doc := range map[string]string{
+			"contextual": Contextual(&c, Options{}),
+			"zoom":       Contextual(&c, Options{Size: 300, Labels: true}),
+			"barchart":   BarChart(&c, Options{}),
+		} {
+			if strings.Count(doc, "<svg") != 1 || strings.Count(doc, "</svg>") != 1 {
+				t.Fatalf("trial %d %s: unbalanced svg envelope", trial, name)
+			}
+			for _, bad := range []string{"NaN", "Inf", "--", `=""`} {
+				if strings.Contains(doc, bad) {
+					t.Fatalf("trial %d %s: contains %q", trial, name, bad)
+				}
+			}
+		}
+	}
+}
+
+func TestPanoramaFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		entries := make([]PanoramaEntry, n)
+		for i := range entries {
+			c := randomCluster(rng)
+			entries[i] = PanoramaEntry{Cluster: &c, Score: rng.Float64()}
+		}
+		doc := Panorama(entries, 1+rng.Intn(5), Options{})
+		if strings.Count(doc, "<svg") != 1 {
+			t.Fatalf("trial %d: nested svg envelopes", trial)
+		}
+		if strings.Count(doc, "<g ") != n {
+			t.Fatalf("trial %d: %d groups for %d entries", trial, strings.Count(doc, "<g "), n)
+		}
+	}
+}

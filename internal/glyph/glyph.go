@@ -1,0 +1,198 @@
+package glyph
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"maras/internal/assoc"
+	"maras/internal/mcac"
+	"maras/internal/types"
+)
+
+// Options tunes glyph rendering.
+type Options struct {
+	// Size is the square canvas edge in pixels (default 160).
+	Size float64
+	// Labels adds per-sector text labels (the zoom view).
+	Labels bool
+	// Dict translates item IDs for tooltips and labels; nil renders
+	// raw IDs.
+	Dict *types.Dictionary
+}
+
+func (o Options) normalized() Options {
+	if o.Size <= 0 {
+		o.Size = 160
+	}
+	return o
+}
+
+// Contextual renders the cluster as a Contextual Glyph (Fig 4.1):
+// inner circle = target confidence, annular sectors = contextual
+// rules, clockwise from 12 o'clock, cardinality bands dark→light,
+// within-band ordering by descending confidence (mcac.Cluster already
+// stores that order).
+func Contextual(c *mcac.Cluster, opts Options) string {
+	opts = opts.normalized()
+	size := opts.Size
+	s := newSVG(size, size)
+	cx, cy := size/2, size/2
+	maxR := size*0.5 - 2
+	if opts.Labels {
+		maxR = size*0.5 - size*0.14 // leave a ring for labels
+	}
+	minInner := maxR * 0.12
+
+	// Inner circle: radius ∝ target confidence.
+	innerR := minInner + (maxR*0.45-minInner)*clamp01(c.Target.Confidence)
+	ringW := maxR - innerR
+
+	n := c.ContextSize()
+	rules := c.ContextRules()
+	if n > 0 {
+		arc := 2 * math.Pi / float64(n)
+		maxCard := c.DrugCount() - 1
+		for i, r := range rules {
+			a0 := float64(i) * arc
+			a1 := a0 + arc
+			// Sector extends outward; the gap between its arc and the
+			// inner circle encodes the rule's confidence: a confident
+			// contextual rule reaches far from the center.
+			outer := innerR + ringW*clamp01(r.Confidence)
+			if outer < innerR+1.5 {
+				outer = innerR + 1.5 // hairline so the sector stays visible
+			}
+			title := sectorTitle(&r, opts.Dict)
+			s.path(sectorPath(cx, cy, innerR, outer, a0+0.01, a1-0.01),
+				levelColor(len(r.Antecedent), maxCard), "white", 0.5, title)
+			if opts.Labels {
+				mid := (a0 + a1) / 2
+				lx := cx + (maxR+size*0.07)*math.Sin(mid)
+				ly := cy - (maxR+size*0.07)*math.Cos(mid)
+				s.text(lx, ly, size*0.035, "middle", shortLabel(&r, opts.Dict))
+			}
+		}
+	}
+	s.circle(cx, cy, innerR, targetColor)
+	if opts.Labels {
+		s.text(cx, cy+size*0.012, size*0.04, "middle", fmt.Sprintf("%.2f", c.Target.Confidence))
+	}
+	return s.done()
+}
+
+// BarChart renders the cluster as the Fig 5.3 bar chart: the target
+// rule's confidence first, then every contextual rule's confidence,
+// grouped by cardinality band.
+func BarChart(c *mcac.Cluster, opts Options) string {
+	opts = opts.normalized()
+	rules := c.ContextRules()
+	n := 1 + len(rules)
+	w := opts.Size
+	h := opts.Size * 0.75
+	s := newSVG(w, h)
+
+	margin := w * 0.06
+	plotW := w - 2*margin
+	plotH := h - 2*margin
+	barW := plotW / float64(n) * 0.8
+	gap := plotW / float64(n) * 0.2
+
+	// Axis.
+	s.line(margin, h-margin, w-margin, h-margin, "#444", 1)
+	s.line(margin, margin, margin, h-margin, "#444", 1)
+
+	draw := func(i int, conf float64, fill, title string) {
+		x := margin + float64(i)*(barW+gap) + gap/2
+		bh := plotH * clamp01(conf)
+		s.rect(x, h-margin-bh, barW, bh, fill, title)
+	}
+	draw(0, c.Target.Confidence, targetColor,
+		fmt.Sprintf("target conf=%.3f", c.Target.Confidence))
+	maxCard := c.DrugCount() - 1
+	for i, r := range rules {
+		draw(i+1, r.Confidence, levelColor(len(r.Antecedent), maxCard),
+			sectorTitle(&r, opts.Dict))
+	}
+	return s.done()
+}
+
+// PanoramaEntry is one cell of the panoramagram.
+type PanoramaEntry struct {
+	Cluster *mcac.Cluster
+	Score   float64
+	Caption string
+}
+
+// Panorama lays out glyphs on a grid ordered as given (the caller
+// passes rank order), each captioned — Fig 4.2's overview of the
+// discovered associations across ranking scores.
+func Panorama(entries []PanoramaEntry, perRow int, opts Options) string {
+	opts = opts.normalized()
+	if perRow <= 0 {
+		perRow = 5
+	}
+	cell := opts.Size
+	capH := cell * 0.18
+	rows := (len(entries) + perRow - 1) / perRow
+	w := float64(perRow) * cell
+	h := float64(rows) * (cell + capH)
+	s := newSVG(w, h)
+	for i, e := range entries {
+		col := i % perRow
+		row := i / perRow
+		x := float64(col) * cell
+		y := float64(row) * (cell + capH)
+		s.group(fmt.Sprintf("translate(%.1f,%.1f)", x, y))
+		inner := Contextual(e.Cluster, opts)
+		s.b.WriteString(stripSVGEnvelope(inner))
+		s.groupEnd()
+		caption := e.Caption
+		if caption == "" {
+			caption = fmt.Sprintf("score %.3f", e.Score)
+		}
+		s.text(x+cell/2, y+cell+capH*0.6, cell*0.07, "middle", caption)
+	}
+	return s.done()
+}
+
+// Zoom renders the labeled zoom-in view (Fig 4.3) of a single cluster.
+func Zoom(c *mcac.Cluster, dict *types.Dictionary) string {
+	return Contextual(c, Options{Size: 420, Labels: true, Dict: dict})
+}
+
+// stripSVGEnvelope removes the outer <svg ...> and </svg> tags so a
+// rendered glyph can be embedded in a group.
+func stripSVGEnvelope(doc string) string {
+	start := strings.Index(doc, ">")
+	end := strings.LastIndex(doc, "</svg>")
+	if start < 0 || end < 0 || end <= start {
+		return doc
+	}
+	return doc[start+1 : end]
+}
+
+func sectorTitle(r *assoc.Rule, dict *types.Dictionary) string {
+	return fmt.Sprintf("%s => %s (conf=%.3f)", nameList(r.Antecedent, dict), nameList(r.Consequent, dict), r.Confidence)
+}
+
+func shortLabel(r *assoc.Rule, dict *types.Dictionary) string {
+	return nameList(r.Antecedent, dict)
+}
+
+func nameList(set types.Itemset, dict *types.Dictionary) string {
+	if dict == nil {
+		return set.String()
+	}
+	return strings.Join(dict.SortedNames(set), "+")
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+package knowledge
+
+import "testing"
+
+func TestDrugKeyCanonical(t *testing.T) {
+	a := DrugKey([]string{"warfarin", "ASPIRIN"})
+	b := DrugKey([]string{"Aspirin", " WARFARIN "})
+	if a != b {
+		t.Errorf("keys differ: %q vs %q", a, b)
+	}
+	if a != "ASPIRIN+WARFARIN" {
+		t.Errorf("key = %q", a)
+	}
+}
+
+func TestBuiltinContainsCaseStudies(t *testing.T) {
+	b := Builtin()
+	cases := [][]string{
+		{"IBUPROFEN", "METAMIZOLE"},
+		{"METHOTREXATE", "PROGRAF"},
+		{"PREVACID", "NEXIUM"},
+		{"XOLAIR", "SINGULAIR", "PREDNISONE"},
+		{"ASPIRIN", "WARFARIN"},
+	}
+	for _, drugs := range cases {
+		inter := b.Lookup(drugs)
+		if inter == nil {
+			t.Errorf("case-study interaction %v missing from builtin base", drugs)
+			continue
+		}
+		if len(inter.Reactions) == 0 || inter.Mechanism == "" || inter.Source == "" {
+			t.Errorf("interaction %v incompletely curated: %+v", drugs, inter)
+		}
+	}
+}
+
+func TestLookupOrderInsensitive(t *testing.T) {
+	b := Builtin()
+	x := b.Lookup([]string{"METAMIZOLE", "IBUPROFEN"})
+	y := b.Lookup([]string{"IBUPROFEN", "METAMIZOLE"})
+	if x == nil || x != y {
+		t.Error("lookup should be order-insensitive and hit the same entry")
+	}
+}
+
+func TestKnownAndMissing(t *testing.T) {
+	b := Builtin()
+	if !b.Known([]string{"ASPIRIN", "WARFARIN"}) {
+		t.Error("aspirin+warfarin should be known")
+	}
+	if b.Known([]string{"ASPIRIN", "NEXIUM"}) {
+		t.Error("aspirin+nexium should be unknown")
+	}
+	if b.Known([]string{"ASPIRIN"}) {
+		t.Error("single drug is not an interaction")
+	}
+}
+
+func TestAllSortedAndComplete(t *testing.T) {
+	b := Builtin()
+	all := b.All()
+	if len(all) != b.Len() || len(all) < 10 {
+		t.Fatalf("All() returned %d entries (Len=%d)", len(all), b.Len())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Key() > all[i].Key() {
+			t.Fatal("All() not sorted")
+		}
+	}
+	for _, e := range all {
+		if len(e.Drugs) < 2 {
+			t.Errorf("entry %v has fewer than 2 drugs", e.Drugs)
+		}
+	}
+}
+
+func TestNewOverrides(t *testing.T) {
+	b := New([]Interaction{
+		{Drugs: []string{"A", "B"}, Reactions: []string{"r1"}, Severity: Minor},
+		{Drugs: []string{"B", "A"}, Reactions: []string{"r2"}, Severity: Severe},
+	})
+	got := b.Lookup([]string{"A", "B"})
+	if got == nil || got.Severity != Severe || got.Reactions[0] != "r2" {
+		t.Errorf("later entry should override: %+v", got)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Minor.String() != "minor" || Moderate.String() != "moderate" || Severe.String() != "severe" {
+		t.Error("severity names wrong")
+	}
+	if Severity(9).String() != "unknown" {
+		t.Error("unknown severity")
+	}
+}

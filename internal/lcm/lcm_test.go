@@ -1,0 +1,196 @@
+package lcm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"maras/internal/fpgrowth"
+	"maras/internal/txdb"
+	"maras/internal/types"
+)
+
+func buildDB(t testing.TB, txs [][]int) *txdb.DB {
+	t.Helper()
+	dict := types.NewDictionary()
+	maxID := 0
+	for _, tx := range txs {
+		for _, id := range tx {
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	for i := 0; i <= maxID; i++ {
+		dict.Intern(fmt.Sprintf("i%d", i), types.DomainDrug)
+	}
+	db := txdb.New(dict)
+	for r, tx := range txs {
+		items := make(types.Itemset, 0, len(tx))
+		for _, id := range tx {
+			items = append(items, types.Item(id))
+		}
+		db.Add(fmt.Sprintf("r%d", r), items.Normalize())
+	}
+	db.Freeze()
+	return db
+}
+
+func asMap(sets []fpgrowth.FrequentSet) map[string]int {
+	m := make(map[string]int, len(sets))
+	for _, fs := range sets {
+		m[fs.Items.Key()] = fs.Support
+	}
+	return m
+}
+
+func TestMineClosedKnownExample(t *testing.T) {
+	db := buildDB(t, [][]int{
+		{1, 2, 5},
+		{2, 4},
+		{2, 3},
+		{1, 2, 4},
+		{1, 3},
+		{2, 3},
+		{1, 3},
+		{1, 2, 3, 5},
+		{1, 2, 3},
+	})
+	got := asMap(MineClosed(db, Options{MinSupport: 2}))
+	want := asMap(fpgrowth.MineClosed(db, fpgrowth.Options{MinSupport: 2}))
+	if len(got) != len(want) {
+		t.Fatalf("lcm %d closed sets, fpgrowth %d\nlcm=%v\nfp=%v", len(got), len(want), got, want)
+	}
+	for k, sup := range want {
+		if got[k] != sup {
+			t.Errorf("set %s: lcm=%d fpgrowth=%d", k, got[k], sup)
+		}
+	}
+}
+
+// The two engines must agree exactly on random databases.
+func TestMineClosedMatchesFPGrowthRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		nItems := 4 + rng.Intn(9)
+		nTx := 8 + rng.Intn(60)
+		txs := make([][]int, nTx)
+		for i := range txs {
+			for id := 0; id < nItems; id++ {
+				if rng.Float64() < 0.35 {
+					txs[i] = append(txs[i], id)
+				}
+			}
+			if len(txs[i]) == 0 {
+				txs[i] = []int{rng.Intn(nItems)}
+			}
+		}
+		db := buildDB(t, txs)
+		minsup := 1 + rng.Intn(4)
+
+		got := asMap(MineClosed(db, Options{MinSupport: minsup}))
+		want := asMap(fpgrowth.MineClosed(db, fpgrowth.Options{MinSupport: minsup}))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (minsup=%d): lcm %d sets, fpgrowth %d", trial, minsup, len(got), len(want))
+		}
+		for k, sup := range want {
+			if got[k] != sup {
+				t.Fatalf("trial %d: set %s lcm=%d fpgrowth=%d", trial, k, got[k], sup)
+			}
+		}
+	}
+}
+
+// Dense data: every transaction shares a common prefix — the closure
+// of the empty set is non-empty and must be emitted once.
+func TestMineClosedCommonItems(t *testing.T) {
+	db := buildDB(t, [][]int{
+		{0, 1, 2},
+		{0, 1, 3},
+		{0, 1, 4},
+	})
+	sets := MineClosed(db, Options{MinSupport: 1})
+	got := asMap(sets)
+	if got["0,1"] != 3 {
+		t.Errorf("common pair {0,1} support = %d, want 3 (got %v)", got["0,1"], got)
+	}
+	// No duplicates.
+	if len(got) != len(sets) {
+		t.Error("duplicate closed sets emitted")
+	}
+}
+
+func TestMineClosedEmptyAndDegenerate(t *testing.T) {
+	dict := types.NewDictionary()
+	db := txdb.New(dict)
+	db.Freeze()
+	if got := MineClosed(db, Options{MinSupport: 1}); len(got) != 0 {
+		t.Errorf("empty DB mined %d", len(got))
+	}
+	one := buildDB(t, [][]int{{7}})
+	sets := MineClosed(one, Options{MinSupport: 1})
+	if len(sets) != 1 || sets[0].Items.Key() != "7" {
+		t.Errorf("single-item DB = %v", sets)
+	}
+}
+
+func TestMineClosedMaxLenFallsBack(t *testing.T) {
+	db := buildDB(t, [][]int{{1, 2, 3}, {1, 2, 3}, {1, 2}})
+	got := asMap(MineClosed(db, Options{MinSupport: 1, MaxLen: 2}))
+	want := asMap(fpgrowth.MineClosed(db, fpgrowth.Options{MinSupport: 1, MaxLen: 2}))
+	if len(got) != len(want) {
+		t.Fatalf("MaxLen fallback disagrees: %v vs %v", got, want)
+	}
+}
+
+func TestMineClosedOrderingDeterministic(t *testing.T) {
+	db := buildDB(t, [][]int{
+		{1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3},
+	})
+	a := MineClosed(db, Options{MinSupport: 1})
+	b := MineClosed(db, Options{MinSupport: 1})
+	for i := range a {
+		if !a[i].Items.Equal(b[i].Items) || a[i].Support != b[i].Support {
+			t.Fatal("nondeterministic ordering")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Support > a[i-1].Support {
+			t.Fatal("not sorted by support desc")
+		}
+	}
+}
+
+func TestContainsAllTids(t *testing.T) {
+	post := []txdb.TID{1, 3, 5, 7, 9}
+	cases := []struct {
+		sub  []txdb.TID
+		want bool
+	}{
+		{nil, true},
+		{[]txdb.TID{1}, true},
+		{[]txdb.TID{9}, true},
+		{[]txdb.TID{3, 7}, true},
+		{[]txdb.TID{1, 3, 5, 7, 9}, true},
+		{[]txdb.TID{2}, false},
+		{[]txdb.TID{1, 2}, false},
+		{[]txdb.TID{1, 3, 5, 7, 9, 11}, false},
+	}
+	for _, c := range cases {
+		if got := containsAllTids(post, c.sub); got != c.want {
+			t.Errorf("containsAllTids(%v) = %v, want %v", c.sub, got, c.want)
+		}
+	}
+}
+
+func TestIntersectTids(t *testing.T) {
+	a := []txdb.TID{1, 2, 4, 8}
+	b := []txdb.TID{2, 3, 4, 9}
+	got := intersectTids(a, b)
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("intersect = %v", got)
+	}
+	if len(intersectTids(a, nil)) != 0 {
+		t.Error("intersect with empty should be empty")
+	}
+}

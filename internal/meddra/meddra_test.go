@@ -1,0 +1,135 @@
+package meddra
+
+import (
+	"testing"
+)
+
+func TestClassifyCurated(t *testing.T) {
+	cases := map[string]SOC{
+		"Haemorrhage":             SOCVascular,
+		"Acute renal failure":     SOCRenal,
+		"Osteoporosis":            SOCMusculoskel,
+		"Serotonin syndrome":      SOCNervous,
+		"Drug ineffective":        SOCGeneral,
+		"Blood glucose increased": SOCInvestigations,
+		"Rhabdomyolysis":          SOCMusculoskel,
+		"Hyperkalaemia":           SOCMetabolism,
+		"Cardiac arrest":          SOCCardiac,
+		"Asthma":                  SOCRespiratory,
+	}
+	for term, want := range cases {
+		if got := Classify(term); got != want {
+			t.Errorf("Classify(%q) = %q, want %q", term, got, want)
+		}
+	}
+}
+
+func TestClassifyCaseInsensitive(t *testing.T) {
+	if Classify("HAEMORRHAGE") != Classify("haemorrhage") {
+		t.Error("classification should be case-insensitive")
+	}
+}
+
+func TestClassifyWithQualifiers(t *testing.T) {
+	cases := map[string]SOC{
+		"Acute renal failure neonatal type 7": SOCRenal,
+		"Rash postoperative":                  SOCSkin,
+		"Dyspnoea exertional type 8":          SOCRespiratory,
+		"Osteonecrosis of jaw neonatal":       SOCMusculoskel,
+		"Hypoglycaemia nocturnal type 3":      SOCMetabolism,
+	}
+	for term, want := range cases {
+		if got := Classify(term); got != want {
+			t.Errorf("Classify(%q) = %q, want %q", term, got, want)
+		}
+	}
+}
+
+func TestClassifyKeywordFallback(t *testing.T) {
+	cases := map[string]SOC{
+		"Renal impairment unspecified": SOCRenal,
+		"Hepatotoxicity":               SOCHepatic,
+		"Deep vein thrombosis":         SOCVascular,
+		"Wound infection":              SOCInfections,
+		"Platelet count decreased":     SOCInvestigations,
+	}
+	for term, want := range cases {
+		if got := Classify(term); got != want {
+			t.Errorf("Classify(%q) = %q, want %q", term, got, want)
+		}
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	if got := Classify("Zorblax phenomenon"); got != SOCUnclassified {
+		t.Errorf("unknown term classified as %q", got)
+	}
+	if got := Classify(""); got != SOCUnclassified {
+		t.Errorf("empty term classified as %q", got)
+	}
+}
+
+func TestClassifyAllDedups(t *testing.T) {
+	socs := ClassifyAll([]string{"Nausea", "Vomiting", "Haemorrhage"})
+	if len(socs) != 2 {
+		t.Fatalf("ClassifyAll = %v, want 2 distinct SOCs", socs)
+	}
+	if socs[0] != SOCGastro || socs[1] != SOCVascular {
+		t.Errorf("order wrong: %v", socs)
+	}
+}
+
+func TestGroupTerms(t *testing.T) {
+	groups := GroupTerms([]string{"Nausea", "Diarrhoea", "Rash", "Zorblax phenomenon"})
+	if len(groups[SOCGastro]) != 2 {
+		t.Errorf("gastro group = %v", groups[SOCGastro])
+	}
+	if len(groups[SOCSkin]) != 1 {
+		t.Errorf("skin group = %v", groups[SOCSkin])
+	}
+	if len(groups[SOCUnclassified]) != 1 {
+		t.Errorf("unclassified group = %v", groups[SOCUnclassified])
+	}
+}
+
+func TestStripQualifiers(t *testing.T) {
+	cases := map[string]string{
+		"acute renal failure neonatal type 7": "acute renal failure",
+		"rash postoperative":                  "rash",
+		"pain":                                "pain",
+		"type":                                "type", // never strip to empty
+	}
+	for in, want := range cases {
+		if got := stripQualifiers(in); got != want {
+			t.Errorf("stripQualifiers(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Every term in the synthetic generator's base vocabulary should
+// classify to a real SOC (not unclassified) — the curated table and
+// keyword rules must cover the vocabulary we emit.
+func TestSyntheticVocabularyCoverage(t *testing.T) {
+	baseTerms := []string{
+		"Nausea", "Dizziness", "Headache", "Fatigue", "Rash", "Pruritus",
+		"Vomiting", "Diarrhoea", "Constipation", "Insomnia", "Anxiety",
+		"Dyspnoea", "Oedema peripheral", "Pain", "Arthralgia", "Myalgia",
+		"Pyrexia", "Anaemia", "Hypertension", "Hypotension", "Tachycardia",
+		"Bradycardia", "Syncope", "Tremor", "Somnolence", "Dry mouth",
+		"Abdominal pain", "Back pain", "Chest pain", "Cough", "Asthenia",
+		"Malaise", "Weight decreased", "Weight increased", "Alopecia",
+		"Hyperhidrosis", "Palpitations", "Vision blurred", "Tinnitus",
+		"Depression", "Confusional state", "Fall", "Drug ineffective",
+		"Drug interaction", "Osteoporosis", "Osteoarthritis",
+		"Neuropathy peripheral", "Osteonecrosis of jaw", "Acute renal failure",
+		"Haemorrhage", "Asthma", "Hyperkalaemia", "Rhabdomyolysis",
+		"Serotonin syndrome", "Hypoglycaemia", "Blood glucose increased",
+		"Lactic acidosis", "Pancytopenia", "Bone marrow failure",
+		"Lithium toxicity", "Cardiac arrest", "Toxicity to various agents",
+	}
+	for _, term := range baseTerms {
+		if Classify(term) == SOCUnclassified {
+			t.Errorf("vocabulary term %q unclassified", term)
+		}
+	}
+}

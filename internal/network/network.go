@@ -1,0 +1,183 @@
+// Package network exports the discovered drug-drug-interaction
+// signals as a drug graph: nodes are drugs (sized by how many reports
+// mention them in signals), edges connect drugs that appear together
+// in a signal (weighted by the best signal score, flagged when the
+// combination is a curated known interaction). Output formats are
+// Graphviz DOT — for rendering with standard tooling — and a plain
+// JSON node/link structure for web front-ends.
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"maras/internal/core"
+)
+
+// Node is one drug in the interaction graph.
+type Node struct {
+	Drug string `json:"drug"`
+	// Signals counts the signals mentioning this drug.
+	Signals int `json:"signals"`
+	// Support sums the supporting reports over those signals.
+	Support int `json:"support"`
+}
+
+// Edge is an undirected drug-drug link carried by at least one signal.
+type Edge struct {
+	A, B string `json:"-"`
+	// Score is the best signal score over signals containing both.
+	Score float64 `json:"score"`
+	// Support is the best support over those signals.
+	Support int `json:"support"`
+	// Known marks edges whose exact two-drug combination is curated.
+	Known bool `json:"known"`
+	// Reactions are the reactions of the best-scoring signal.
+	Reactions []string `json:"reactions"`
+}
+
+// Graph is the assembled interaction network.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// Build assembles the graph from ranked signals. Signals with more
+// than two drugs contribute a clique over their drugs (each pair gets
+// the signal's score), the standard projection for hypergraph
+// signals; Known is only set on edges whose own pair is curated.
+func Build(signals []core.Signal) *Graph {
+	nodes := map[string]*Node{}
+	type key struct{ a, b string }
+	edges := map[key]*Edge{}
+
+	for i := range signals {
+		s := &signals[i]
+		for _, d := range s.Drugs {
+			n := nodes[d]
+			if n == nil {
+				n = &Node{Drug: d}
+				nodes[d] = n
+			}
+			n.Signals++
+			n.Support += s.Support
+		}
+		for x := 0; x < len(s.Drugs); x++ {
+			for y := x + 1; y < len(s.Drugs); y++ {
+				a, b := s.Drugs[x], s.Drugs[y]
+				if a > b {
+					a, b = b, a
+				}
+				k := key{a, b}
+				e := edges[k]
+				if e == nil {
+					e = &Edge{A: a, B: b}
+					edges[k] = e
+				}
+				if s.Score > e.Score || e.Support == 0 {
+					e.Score = s.Score
+					e.Support = s.Support
+					e.Reactions = s.Reactions
+					// Known only if this very pair is the curated
+					// combination (not a projection of a larger set).
+					e.Known = len(s.Drugs) == 2 && s.Known != nil
+				}
+			}
+		}
+	}
+
+	g := &Graph{}
+	for _, n := range nodes {
+		g.Nodes = append(g.Nodes, *n)
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool {
+		if g.Nodes[i].Support != g.Nodes[j].Support {
+			return g.Nodes[i].Support > g.Nodes[j].Support
+		}
+		return g.Nodes[i].Drug < g.Nodes[j].Drug
+	})
+	for _, e := range edges {
+		g.Edges = append(g.Edges, *e)
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].Score != g.Edges[j].Score {
+			return g.Edges[i].Score > g.Edges[j].Score
+		}
+		if g.Edges[i].A != g.Edges[j].A {
+			return g.Edges[i].A < g.Edges[j].A
+		}
+		return g.Edges[i].B < g.Edges[j].B
+	})
+	return g
+}
+
+// DOT renders the graph in Graphviz format. Node size follows signal
+// count; known-interaction edges are red and bold; edge labels carry
+// the top reaction.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph maras {\n")
+	b.WriteString("  layout=neato;\n  overlap=false;\n  node [shape=ellipse, style=filled, fillcolor=\"#dbe9f6\", fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes {
+		size := 0.6 + 0.15*float64(n.Signals)
+		if size > 2.2 {
+			size = 2.2
+		}
+		fmt.Fprintf(&b, "  %s [width=%.2f, tooltip=\"%d signals, %d reports\"];\n",
+			dotID(n.Drug), size, n.Signals, n.Support)
+	}
+	for _, e := range g.Edges {
+		attrs := []string{
+			fmt.Sprintf("penwidth=%.1f", 1+3*clamp01(e.Score)),
+			fmt.Sprintf("label=%q", firstOr(e.Reactions, "")),
+			"fontsize=9",
+		}
+		if e.Known {
+			attrs = append(attrs, `color="#bb3333"`, "style=bold")
+		}
+		fmt.Fprintf(&b, "  %s -- %s [%s];\n", dotID(e.A), dotID(e.B), strings.Join(attrs, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// jsonEdge mirrors Edge with source/target fields for d3-style use.
+type jsonEdge struct {
+	Source string `json:"source"`
+	Target string `json:"target"`
+	Edge
+}
+
+// JSON renders the graph as {"nodes": [...], "links": [...]}.
+func (g *Graph) JSON() ([]byte, error) {
+	links := make([]jsonEdge, len(g.Edges))
+	for i, e := range g.Edges {
+		links[i] = jsonEdge{Source: e.A, Target: e.B, Edge: e}
+	}
+	return json.MarshalIndent(struct {
+		Nodes []Node     `json:"nodes"`
+		Links []jsonEdge `json:"links"`
+	}{g.Nodes, links}, "", "  ")
+}
+
+// dotID quotes a drug name as a safe DOT identifier.
+func dotID(name string) string { return fmt.Sprintf("%q", name) }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func firstOr(s []string, def string) string {
+	if len(s) > 0 {
+		return s[0]
+	}
+	return def
+}

@@ -1,0 +1,149 @@
+package network
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"maras/internal/core"
+	"maras/internal/knowledge"
+)
+
+func testSignals() []core.Signal {
+	kb := knowledge.Builtin().Lookup([]string{"ASPIRIN", "WARFARIN"})
+	return []core.Signal{
+		{
+			Rank: 1, Score: 0.8, Support: 12,
+			Drugs:     []string{"ASPIRIN", "WARFARIN"},
+			Reactions: []string{"Haemorrhage"},
+			Known:     kb,
+		},
+		{
+			Rank: 2, Score: 0.6, Support: 9,
+			Drugs:     []string{"DRUGA", "DRUGB", "DRUGC"},
+			Reactions: []string{"Rash"},
+		},
+		{
+			Rank: 3, Score: 0.4, Support: 20,
+			Drugs:     []string{"ASPIRIN", "DRUGA"},
+			Reactions: []string{"Nausea"},
+		},
+	}
+}
+
+func TestBuildNodes(t *testing.T) {
+	g := Build(testSignals())
+	if len(g.Nodes) != 5 {
+		t.Fatalf("nodes = %d, want 5", len(g.Nodes))
+	}
+	byDrug := map[string]Node{}
+	for _, n := range g.Nodes {
+		byDrug[n.Drug] = n
+	}
+	if byDrug["ASPIRIN"].Signals != 2 || byDrug["ASPIRIN"].Support != 32 {
+		t.Errorf("ASPIRIN node = %+v", byDrug["ASPIRIN"])
+	}
+	if byDrug["DRUGB"].Signals != 1 {
+		t.Errorf("DRUGB node = %+v", byDrug["DRUGB"])
+	}
+	// Sorted by support desc.
+	if g.Nodes[0].Drug != "ASPIRIN" {
+		t.Errorf("first node = %s", g.Nodes[0].Drug)
+	}
+}
+
+func TestBuildEdges(t *testing.T) {
+	g := Build(testSignals())
+	// A-W, A-DRUGA, plus the 3 clique edges of A/B/C = 5.
+	if len(g.Edges) != 5 {
+		t.Fatalf("edges = %d, want 5", len(g.Edges))
+	}
+	var aw *Edge
+	for i := range g.Edges {
+		if g.Edges[i].A == "ASPIRIN" && g.Edges[i].B == "WARFARIN" {
+			aw = &g.Edges[i]
+		}
+	}
+	if aw == nil {
+		t.Fatal("aspirin-warfarin edge missing")
+	}
+	if !aw.Known {
+		t.Error("aspirin-warfarin should be flagged known")
+	}
+	if aw.Score != 0.8 || aw.Support != 12 {
+		t.Errorf("edge = %+v", aw)
+	}
+	// Clique projection of the 3-drug signal must not be marked known.
+	for _, e := range g.Edges {
+		if e.A == "DRUGA" && e.B == "DRUGB" && e.Known {
+			t.Error("projected clique edge flagged known")
+		}
+	}
+}
+
+func TestEdgeKeepsBestSignal(t *testing.T) {
+	signals := []core.Signal{
+		{Score: 0.3, Support: 5, Drugs: []string{"X", "Y"}, Reactions: []string{"r1"}},
+		{Score: 0.9, Support: 8, Drugs: []string{"X", "Y"}, Reactions: []string{"r2"}},
+	}
+	g := Build(signals)
+	if len(g.Edges) != 1 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	if g.Edges[0].Score != 0.9 || g.Edges[0].Reactions[0] != "r2" {
+		t.Errorf("edge did not keep best signal: %+v", g.Edges[0])
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := Build(testSignals())
+	dot := g.DOT()
+	if !strings.HasPrefix(dot, "graph maras {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("not a DOT graph")
+	}
+	for _, want := range []string{`"ASPIRIN"`, `"WARFARIN"`, "--", "Haemorrhage", `color="#bb3333"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Node and edge counts.
+	if got := strings.Count(dot, " -- "); got != 5 {
+		t.Errorf("DOT has %d edges, want 5", got)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	g := Build(testSignals())
+	data, err := g.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Nodes []Node `json:"nodes"`
+		Links []struct {
+			Source string  `json:"source"`
+			Target string  `json:"target"`
+			Score  float64 `json:"score"`
+			Known  bool    `json:"known"`
+		} `json:"links"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	if len(out.Nodes) != 5 || len(out.Links) != 5 {
+		t.Errorf("json shape: %d nodes, %d links", len(out.Nodes), len(out.Links))
+	}
+	if out.Links[0].Source == "" || out.Links[0].Target == "" {
+		t.Error("links missing endpoints")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	g := Build(nil)
+	if len(g.Nodes) != 0 || len(g.Edges) != 0 {
+		t.Error("empty build not empty")
+	}
+	if !strings.Contains(g.DOT(), "graph maras") {
+		t.Error("empty DOT invalid")
+	}
+}

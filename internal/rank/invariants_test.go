@@ -1,0 +1,110 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+
+	"maras/internal/mcac"
+)
+
+// Invariant: with the confidence measure, the exclusiveness score is
+// bounded above by the target confidence (context means are
+// non-negative and decay weights are ≤ 1) and below by −1.
+func TestExclusivenessBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(3)
+		p := rng.Float64()
+		levels := make([][]float64, n-1)
+		for i := range levels {
+			k := 1 + rng.Intn(3)
+			vals := make([]float64, k)
+			for j := range vals {
+				vals[j] = rng.Float64()
+			}
+			levels[i] = vals
+		}
+		c := makeCluster(n, p, levels...)
+		theta := rng.Float64()
+		score := Exclusiveness(&c, Options{Theta: theta})
+		if score > p+1e-9 {
+			t.Fatalf("score %v exceeds target confidence %v", score, p)
+		}
+		if score < -1-1e-9 {
+			t.Fatalf("score %v below -1", score)
+		}
+	}
+}
+
+// Invariant: raising any contextual confidence (θ=0) never raises the
+// score — the measure is monotone decreasing in its context.
+func TestExclusivenessMonotoneInContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 200; trial++ {
+		p := 0.5 + 0.5*rng.Float64()
+		a := rng.Float64() * 0.5
+		b := rng.Float64() * 0.5
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cLow := makeCluster(2, p, []float64{lo, lo})
+		cHigh := makeCluster(2, p, []float64{hi, hi})
+		sLow := Exclusiveness(&cLow, Options{Theta: 0})
+		sHigh := Exclusiveness(&cHigh, Options{Theta: 0})
+		if sHigh > sLow+1e-12 {
+			t.Fatalf("raising context %v->%v raised score %v->%v", lo, hi, sLow, sHigh)
+		}
+	}
+}
+
+// Invariant: Improvement never exceeds the plain context-average
+// exclusiveness with a uniform context (min ≤ mean).
+func TestImprovementLEFlatWithUniformContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		p := rng.Float64()
+		n := 2 + rng.Intn(3)
+		vals := make([]float64, (1<<uint(n))-2)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		// Build a single flat level (cardinality structure irrelevant
+		// to this invariant when compared against the flat formula).
+		c := makeCluster(n, p, vals)
+		imp := Improvement(&c)
+		flat := ExclusivenessFlat(&c, Options{Theta: 0})
+		if imp > flat+1e-12 {
+			t.Fatalf("improvement %v > flat exclusiveness %v (min > mean?)", imp, flat)
+		}
+	}
+}
+
+// Invariant: Rank output is a permutation of its input clusters, for
+// every method.
+func TestRankIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 25
+	clusters := make([]mcac.Cluster, n)
+	for i := range clusters {
+		ctx := []float64{rng.Float64(), rng.Float64()}
+		clusters[i] = makeCluster(2, rng.Float64(), ctx)
+		clusters[i].Target.Support = 100 + i // unique tag
+	}
+	for _, m := range []Method{
+		ByConfidence, ByLift, ByExclusivenessConf, ByExclusivenessLift, ByImprovement,
+	} {
+		ranked := Rank(clusters, m, Options{Theta: 0.5})
+		if len(ranked) != n {
+			t.Fatalf("%v: ranked %d of %d", m, len(ranked), n)
+		}
+		seen := map[int]bool{}
+		for _, r := range ranked {
+			tag := r.Cluster.Target.Support
+			if seen[tag] {
+				t.Fatalf("%v: cluster %d appears twice", m, tag)
+			}
+			seen[tag] = true
+		}
+	}
+}

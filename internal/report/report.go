@@ -1,0 +1,195 @@
+// Package report renders the experiment harness's tables and figures
+// as plain text: aligned tables with optional markdown mode, and
+// log-scale ASCII bar figures for the rule-reduction plot (Fig 5.1).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v, floats with
+// 4 significant digits.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		case float32:
+			row[i] = formatFloat(float64(x))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e12 {
+		return fmt.Sprintf("%.1f", x)
+	}
+	if math.Abs(x) >= 1000 || (math.Abs(x) < 0.001 && x != 0) {
+		return fmt.Sprintf("%.3e", x)
+	}
+	return fmt.Sprintf("%.4f", x)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+		fmt.Fprintln(w, strings.Repeat("=", len(t.Title)))
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// String renders the table into a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.headers, " | "))
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// LogBars renders grouped values as a log10-scale ASCII bar figure —
+// the shape of Fig 5.1 (series per group, log count axis).
+type LogBars struct {
+	Title  string
+	groups []logGroup
+	series []string
+}
+
+type logGroup struct {
+	label  string
+	values []float64
+}
+
+// NewLogBars creates a figure with the given series names.
+func NewLogBars(title string, series ...string) *LogBars {
+	return &LogBars{Title: title, series: series}
+}
+
+// AddGroup appends a labeled group with one value per series.
+func (l *LogBars) AddGroup(label string, values ...float64) {
+	l.groups = append(l.groups, logGroup{label: label, values: values})
+}
+
+// Render draws the figure: one bar row per (group, series), bar
+// length proportional to log10(value).
+func (l *LogBars) Render(w io.Writer) {
+	const width = 50
+	maxLog := 0.0
+	for _, g := range l.groups {
+		for _, v := range g.values {
+			if lv := safeLog10(v); lv > maxLog {
+				maxLog = lv
+			}
+		}
+	}
+	if maxLog == 0 {
+		maxLog = 1
+	}
+	if l.Title != "" {
+		fmt.Fprintf(w, "%s  (bar length ∝ log10)\n", l.Title)
+	}
+	nameW := 0
+	for _, s := range l.series {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	for _, g := range l.groups {
+		fmt.Fprintf(w, "%s\n", g.label)
+		for i, v := range g.values {
+			name := ""
+			if i < len(l.series) {
+				name = l.series[i]
+			}
+			bar := int(safeLog10(v) / maxLog * width)
+			fmt.Fprintf(w, "  %s %s %.0f\n", pad(name, nameW), strings.Repeat("#", bar), v)
+		}
+	}
+}
+
+// String renders the figure into a string.
+func (l *LogBars) String() string {
+	var b strings.Builder
+	l.Render(&b)
+	return b.String()
+}
+
+func safeLog10(v float64) float64 {
+	if v < 1 {
+		return 0
+	}
+	return math.Log10(v)
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("Demo", "Name", "Count")
+	tb.AddRow("short", 1)
+	tb.AddRow("a much longer name", 123456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, underline, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	// Count column should be aligned: find column of "Count" in header
+	// and confirm rows place values consistently.
+	if !strings.Contains(out, "a much longer name  123456") {
+		t.Errorf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableFloats(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.123456)
+	tb.AddRow(2.0)
+	tb.AddRow(1234567.0)
+	out := tb.String()
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("float formatting: %s", out)
+	}
+	if !strings.Contains(out, "2.0") {
+		t.Errorf("integral float: %s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("T", "A", "B")
+	tb.AddRow("x", "y")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| A | B |") || !strings.Contains(md, "| --- | --- |") || !strings.Contains(md, "| x | y |") {
+		t.Errorf("markdown:\n%s", md)
+	}
+	if !strings.HasPrefix(md, "### T") {
+		t.Errorf("markdown title: %s", md)
+	}
+}
+
+func TestLogBars(t *testing.T) {
+	lb := NewLogBars("Fig", "Total", "Filtered", "MCACs")
+	lb.AddGroup("Q1", 1_000_000, 10_000, 100)
+	lb.AddGroup("Q2", 500_000, 5_000, 50)
+	out := lb.String()
+	if !strings.Contains(out, "Q1") || !strings.Contains(out, "Total") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	// Bars must be monotone within a group on log scale.
+	lines := strings.Split(out, "\n")
+	var lens []int
+	for _, l := range lines {
+		if strings.Contains(l, "#") && strings.Contains(l, "Total") ||
+			strings.Contains(l, "#") && strings.Contains(l, "Filtered") ||
+			strings.Contains(l, "#") && strings.Contains(l, "MCACs") {
+			lens = append(lens, strings.Count(l, "#"))
+		}
+	}
+	if len(lens) < 6 {
+		t.Fatalf("expected 6 bars, got %d:\n%s", len(lens), out)
+	}
+	if !(lens[0] > lens[1] && lens[1] > lens[2]) {
+		t.Errorf("Q1 bars not decreasing: %v\n%s", lens, out)
+	}
+}
+
+func TestLogBarsZeroSafe(t *testing.T) {
+	lb := NewLogBars("Z", "s")
+	lb.AddGroup("g", 0)
+	out := lb.String()
+	if !strings.Contains(out, "0") {
+		t.Errorf("zero value: %s", out)
+	}
+}

@@ -1,0 +1,141 @@
+package studysim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRunShape(t *testing.T) {
+	res := Run(DefaultConfig(1))
+	if len(res) != 6 { // 3 drug counts × 2 visuals
+		t.Fatalf("got %d conditions, want 6", len(res))
+	}
+	seen := map[Condition]bool{}
+	for _, r := range res {
+		if seen[r.Condition] {
+			t.Errorf("duplicate condition %+v", r.Condition)
+		}
+		seen[r.Condition] = true
+		if r.Trials != 50 {
+			t.Errorf("condition %+v has %d trials, want 50", r.Condition, r.Trials)
+		}
+		if r.Correct < 0 || r.Correct > r.Trials {
+			t.Errorf("correct out of range: %+v", r)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(DefaultConfig(7))
+	b := Run(DefaultConfig(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// The study's headline result: glyphs beat bar-charts at every
+// interaction size (Fig 5.2).
+func TestGlyphBeatsBarchart(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Participants = 400 // large N to squeeze out sampling noise
+	res := Run(cfg)
+	acc := map[Condition]float64{}
+	for _, r := range res {
+		acc[r.Condition] = r.Accuracy()
+	}
+	for _, drugs := range []int{2, 3, 4} {
+		g := acc[Condition{Drugs: drugs, Visual: ContextualGlyph}]
+		b := acc[Condition{Drugs: drugs, Visual: BarChart}]
+		if g <= b {
+			t.Errorf("%d drugs: glyph %.2f <= barchart %.2f", drugs, g, b)
+		}
+		if g < 0.5 {
+			t.Errorf("%d drugs: glyph accuracy %.2f unrealistically low", drugs, g)
+		}
+	}
+	// The gap should widen with more drugs (more bars to compare),
+	// matching the paper's 4-drug result being the most lopsided.
+	gap2 := acc[Condition{Drugs: 2, Visual: ContextualGlyph}] - acc[Condition{Drugs: 2, Visual: BarChart}]
+	gap4 := acc[Condition{Drugs: 4, Visual: ContextualGlyph}] - acc[Condition{Drugs: 4, Visual: BarChart}]
+	if gap4 <= gap2-0.05 {
+		t.Errorf("gap should not shrink with more drugs: 2-drug gap %.2f, 4-drug gap %.2f", gap2, gap4)
+	}
+}
+
+func TestMakeQuestionHasOneWinner(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultConfig(5)
+	for trial := 0; trial < 50; trial++ {
+		st := makeQuestion(rng, cfg, 3, 4)
+		if len(st) != 4 {
+			t.Fatalf("choices = %d", len(st))
+		}
+		ci := correctIndex(st)
+		// The winner should be clearly separated.
+		for i, s := range st {
+			if i == ci {
+				continue
+			}
+			if s.Exclusiveness >= st[ci].Exclusiveness {
+				t.Fatalf("trial %d: stimulus %d (%.3f) >= winner (%.3f)",
+					trial, i, s.Exclusiveness, st[ci].Exclusiveness)
+			}
+		}
+		if st[ci].Exclusiveness < 0.3 {
+			t.Fatalf("winner exclusiveness %.3f too weak", st[ci].Exclusiveness)
+		}
+	}
+}
+
+func TestFabricateClusterShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, drugs := range []int{2, 3, 4} {
+		c := fabricate(rng, drugs, 0.8, 0.1, 0.3)
+		if c.DrugCount() != drugs {
+			t.Errorf("DrugCount = %d", c.DrugCount())
+		}
+		if got, want := c.ContextSize(), (1<<uint(drugs))-2; got != want {
+			t.Errorf("%d drugs: context %d, want %d", drugs, got, want)
+		}
+	}
+}
+
+func TestPerceiveBarsNoiseGrowsWithBars(t *testing.T) {
+	cfg := DefaultConfig(0)
+	rng := rand.New(rand.NewSource(2))
+	// Variance of perceived score should be larger for 4-drug (15
+	// bars) than 2-drug (3 bars) clusters.
+	varOf := func(drugs int) float64 {
+		c := fabricate(rng, drugs, 0.8, 0.1, 0.2)
+		n := 300
+		var sum, ss float64
+		for i := 0; i < n; i++ {
+			v := perceiveBars(rng, cfg, &c)
+			sum += v
+			ss += v * v
+		}
+		mean := sum / float64(n)
+		return ss/float64(n) - mean*mean
+	}
+	if v2, v4 := varOf(2), varOf(4); v4 <= v2 {
+		t.Errorf("bar-read variance should grow with bars: %g vs %g", v2, v4)
+	}
+}
+
+func TestVisualString(t *testing.T) {
+	if ContextualGlyph.String() == BarChart.String() {
+		t.Error("visual names collide")
+	}
+}
+
+func TestResultAccuracy(t *testing.T) {
+	r := Result{Correct: 30, Trials: 50}
+	if r.Accuracy() != 0.6 {
+		t.Errorf("accuracy = %v", r.Accuracy())
+	}
+	if (Result{}).Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}

@@ -1,0 +1,531 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"maras/internal/faers"
+	"maras/internal/knowledge"
+)
+
+// Config parameterizes a synthetic quarter. The zero value is not
+// usable; start from DefaultConfig or PaperScaleConfig.
+type Config struct {
+	Seed    int64
+	Label   string // quarter label, e.g. "2014Q1"
+	Reports int    // reports to generate
+
+	DrugVocab     int     // distinct drug names
+	ReactionVocab int     // distinct reaction terms
+	DrugZipf      float64 // popularity skew of drugs (s exponent)
+	ReactionZipf  float64 // popularity skew of reactions
+
+	Classes        int     // therapeutic classes for correlated co-prescription
+	ClassCohesion  float64 // probability an extra drug comes from the same class
+	MeanDrugs      float64 // mean drugs per report (geometric-ish)
+	MaxDrugs       int     // hard cap per report
+	MeanReactions  float64 // mean background reactions per report
+	ProfileADRProb float64 // probability a taken drug expresses one of its profile ADRs
+
+	// Planted interactions.
+	Interactions []Interaction
+	// ExposureRate is the fraction of reports drawn as interaction
+	// exposures (spread across the planted interactions).
+	ExposureRate float64
+	// TriggerProb is the probability an exposure expresses the
+	// interaction's reactions.
+	TriggerProb float64
+	// SoloTriggerProb is the probability a single planted drug
+	// expresses the interaction reaction on its own (kept low so the
+	// signal is exclusive to the combination).
+	SoloTriggerProb float64
+
+	// Noise for the cleaning stage.
+	MisspellRate  float64 // per drug mention
+	DuplicateRate float64 // per report: emit a duplicate case copy
+	ExpeditedRate float64 // share of reports marked EXP
+}
+
+// Interaction is a planted ground-truth drug-drug interaction.
+type Interaction struct {
+	Drugs     []string
+	Reactions []string
+	Severity  knowledge.Severity
+}
+
+// GroundTruth records what was planted, for the evaluator.
+type GroundTruth struct {
+	Interactions []Interaction
+}
+
+// Keys returns the canonical drug-combination keys of the planted
+// interactions.
+func (g *GroundTruth) Keys() []string {
+	out := make([]string, len(g.Interactions))
+	for i := range g.Interactions {
+		out[i] = knowledge.DrugKey(g.Interactions[i].Drugs)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultConfig is the laptop-scale configuration (about 1/8 of the
+// paper's quarter sizes) used by tests and the default bench harness.
+func DefaultConfig(label string, seed int64) Config {
+	return Config{
+		Seed:    seed,
+		Label:   label,
+		Reports: 15_000,
+
+		DrugVocab:     4_500,
+		ReactionVocab: 1_100,
+		DrugZipf:      1.05,
+		ReactionZipf:  1.0,
+
+		Classes:        60,
+		ClassCohesion:  0.45,
+		MeanDrugs:      3.2,
+		MaxDrugs:       12,
+		MeanReactions:  2.4,
+		ProfileADRProb: 0.35,
+
+		Interactions:    BuiltinInteractions(),
+		ExposureRate:    0.03,
+		TriggerProb:     0.9,
+		SoloTriggerProb: 0.01,
+
+		MisspellRate:  0.01,
+		DuplicateRate: 0.008,
+		ExpeditedRate: 0.82,
+	}
+}
+
+// PaperScaleConfig approximates the paper's Table 5.1 scale
+// (~126k reports, ~35k drug strings, ~9k reaction terms per quarter).
+// Generating and mining it fits in memory but takes noticeably longer;
+// the bench harness selects it behind a flag.
+func PaperScaleConfig(label string, seed int64) Config {
+	c := DefaultConfig(label, seed)
+	c.Reports = 126_000
+	c.DrugVocab = 36_000
+	c.ReactionVocab = 9_200
+	c.Classes = 250
+	return c
+}
+
+// BuiltinInteractions converts the curated knowledge base into
+// planted interactions.
+func BuiltinInteractions() []Interaction {
+	kb := knowledge.Builtin().All()
+	out := make([]Interaction, len(kb))
+	for i, e := range kb {
+		out[i] = Interaction{Drugs: e.Drugs, Reactions: e.Reactions, Severity: e.Severity}
+	}
+	return out
+}
+
+// Generate produces a synthetic quarter and its ground truth. The
+// same Config (including Seed) always yields byte-identical output.
+func Generate(cfg Config) (*faers.Quarter, *GroundTruth, error) {
+	if cfg.Reports <= 0 || cfg.DrugVocab <= 0 || cfg.ReactionVocab <= 0 {
+		return nil, nil, fmt.Errorf("synth: non-positive size in config %+v", cfg)
+	}
+	if cfg.MaxDrugs <= 0 {
+		cfg.MaxDrugs = 12
+	}
+	if cfg.Label == "" {
+		cfg.Label = "2014Q1"
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := newWorld(rng, cfg)
+
+	q := &faers.Quarter{Label: cfg.Label}
+	pid := 0
+	caseNo := 0
+	for i := 0; i < cfg.Reports; i++ {
+		drugs, reacs, suspects, severe := w.sampleReport(rng)
+		pid++
+		caseNo++
+		emitReport(q, rng, cfg, pid, caseNo, drugs, reacs, suspects, severe, w)
+		// Occasionally re-report the same case (a consumer report
+		// followed by the manufacturer's expedited copy) — the
+		// duplicates the cleaning stage must collapse.
+		if rng.Float64() < cfg.DuplicateRate {
+			pid++
+			emitReport(q, rng, cfg, pid, caseNo, drugs, reacs, suspects, severe, w)
+		}
+	}
+	gt := &GroundTruth{Interactions: append([]Interaction(nil), cfg.Interactions...)}
+	return q, gt, nil
+}
+
+// world holds the sampled static structure of a synthetic population.
+type world struct {
+	cfg        Config
+	drugs      []string
+	reacs      []string
+	drugCum    []float64 // cumulative Zipf weights for drug sampling
+	reacCum    []float64
+	classOf    []int   // drug index -> class
+	classDrugs [][]int // class -> drug indices
+	// profile[d] lists reaction indices drug d plausibly causes.
+	profile [][]int
+	// interactions with resolved indices.
+	inters []resolvedInteraction
+}
+
+type resolvedInteraction struct {
+	drugIdx []int
+	reacIdx []int
+	severe  bool
+}
+
+func newWorld(rng *rand.Rand, cfg Config) *world {
+	w := &world{cfg: cfg}
+
+	// Vocabulary: planted-interaction names claim their spots first.
+	taken := map[string]bool{}
+	var plantedDrugs, plantedReacs []string
+	for _, in := range cfg.Interactions {
+		for _, d := range in.Drugs {
+			if !taken[d] {
+				taken[d] = true
+				plantedDrugs = append(plantedDrugs, d)
+			}
+		}
+	}
+	takenReac := map[string]bool{}
+	for _, in := range cfg.Interactions {
+		for _, r := range in.Reactions {
+			if !takenReac[r] {
+				takenReac[r] = true
+				plantedReacs = append(plantedReacs, r)
+			}
+		}
+	}
+	nGen := cfg.DrugVocab - len(plantedDrugs)
+	if nGen < 0 {
+		nGen = 0
+	}
+	w.drugs = append(plantedDrugs, makeDrugNames(rng, nGen, taken)...)
+	nGenR := cfg.ReactionVocab - len(plantedReacs)
+	if nGenR < 0 {
+		nGenR = 0
+	}
+	w.reacs = append(plantedReacs, makeReactionTerms(rng, nGenR, takenReac)...)
+
+	// Shuffle popularity ranks so planted drugs sit at realistic
+	// mid-popularity positions rather than all at the head.
+	drugRank := rng.Perm(len(w.drugs))
+	reacRank := rng.Perm(len(w.reacs))
+	dw := zipfWeights(len(w.drugs), cfg.DrugZipf)
+	rw := zipfWeights(len(w.reacs), cfg.ReactionZipf)
+	// Planted drugs get boosted popularity: their solo support must be
+	// substantial for the exclusiveness contrast to be measurable.
+	w.drugCum = make([]float64, len(w.drugs))
+	acc := 0.0
+	for i := range w.drugs {
+		weight := dw[drugRank[i]]
+		if i < len(plantedDrugs) {
+			const plantedFloor = 200 // rank whose popularity planted drugs at least match
+			if floor := dw[plantedFloor%len(dw)]; weight < floor {
+				weight = floor
+			}
+		}
+		acc += weight
+		w.drugCum[i] = acc
+	}
+	w.reacCum = make([]float64, len(w.reacs))
+	acc = 0.0
+	for i := range w.reacs {
+		weight := rw[reacRank[i]]
+		if i < len(plantedReacs) {
+			// Interaction ADRs (haemorrhage, osteoporosis, ...) are
+			// common background terms in real FAERS; give them at
+			// least mid-head popularity so rarity alone (raw lift /
+			// PRR) cannot trivially identify the planted signals.
+			const reacFloor = 40
+			if floor := rw[reacFloor%len(rw)]; weight < floor {
+				weight = floor
+			}
+		}
+		acc += weight
+		w.reacCum[i] = acc
+	}
+
+	// Therapeutic classes.
+	n := cfg.Classes
+	if n <= 0 {
+		n = 1
+	}
+	w.classOf = make([]int, len(w.drugs))
+	w.classDrugs = make([][]int, n)
+	for i := range w.drugs {
+		c := rng.Intn(n)
+		w.classOf[i] = c
+		w.classDrugs[c] = append(w.classDrugs[c], i)
+	}
+
+	// Per-drug ADR profiles: 1-4 characteristic reactions each.
+	w.profile = make([][]int, len(w.drugs))
+	for i := range w.drugs {
+		k := 1 + rng.Intn(4)
+		for j := 0; j < k; j++ {
+			w.profile[i] = append(w.profile[i], w.sampleReaction(rng))
+		}
+	}
+
+	// Resolve planted interactions to indices.
+	drugIdx := map[string]int{}
+	for i, d := range w.drugs {
+		drugIdx[d] = i
+	}
+	reacIdx := map[string]int{}
+	for i, r := range w.reacs {
+		reacIdx[r] = i
+	}
+	for _, in := range cfg.Interactions {
+		ri := resolvedInteraction{severe: in.Severity == knowledge.Severe}
+		ok := true
+		for _, d := range in.Drugs {
+			idx, found := drugIdx[d]
+			if !found {
+				ok = false
+				break
+			}
+			ri.drugIdx = append(ri.drugIdx, idx)
+		}
+		for _, r := range in.Reactions {
+			idx, found := reacIdx[r]
+			if !found {
+				ok = false
+				break
+			}
+			ri.reacIdx = append(ri.reacIdx, idx)
+		}
+		if ok {
+			w.inters = append(w.inters, ri)
+		}
+	}
+	return w
+}
+
+// sampleDrug draws a drug index from the Zipf popularity.
+func (w *world) sampleDrug(rng *rand.Rand) int {
+	return sampleCum(rng, w.drugCum)
+}
+
+// sampleReaction draws a reaction index from the Zipf popularity.
+func (w *world) sampleReaction(rng *rand.Rand) int {
+	return sampleCum(rng, w.reacCum)
+}
+
+func sampleCum(rng *rand.Rand, cum []float64) int {
+	total := cum[len(cum)-1]
+	x := rng.Float64() * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sampleReport draws one report's drug set, reaction set and suspect
+// drugs (as vocabulary indices) plus a severity flag.
+func (w *world) sampleReport(rng *rand.Rand) (drugs, reacs, suspects map[int]bool, severe bool) {
+	cfg := w.cfg
+	drugs = make(map[int]bool)
+	reacs = make(map[int]bool)
+	suspects = make(map[int]bool)
+
+	// Exposure to a planted interaction? Interaction drugs become the
+	// report's suspects — reporters name the drugs they blame.
+	if len(w.inters) > 0 && rng.Float64() < cfg.ExposureRate {
+		in := w.inters[rng.Intn(len(w.inters))]
+		for _, d := range in.drugIdx {
+			drugs[d] = true
+			suspects[d] = true
+		}
+		if rng.Float64() < cfg.TriggerProb {
+			for _, r := range in.reacIdx {
+				reacs[r] = true
+			}
+			severe = severe || in.severe
+		}
+	}
+
+	// Background polypharmacy with class cohesion.
+	nDrugs := 1 + geometric(rng, cfg.MeanDrugs)
+	if nDrugs > cfg.MaxDrugs {
+		nDrugs = cfg.MaxDrugs
+	}
+	first := w.sampleDrug(rng)
+	drugs[first] = true
+	if len(suspects) == 0 {
+		// No interaction exposure: the first-reported drug carries
+		// the primary-suspect role, as in real spontaneous reports.
+		suspects[first] = true
+	}
+	class := w.classOf[first]
+	for len(drugs) < nDrugs {
+		var d int
+		if rng.Float64() < cfg.ClassCohesion && len(w.classDrugs[class]) > 1 {
+			d = w.classDrugs[class][rng.Intn(len(w.classDrugs[class]))]
+		} else {
+			d = w.sampleDrug(rng)
+		}
+		drugs[d] = true
+	}
+
+	// Drug-profile reactions. Iterate in sorted order: ranging over
+	// the map directly would consume rng draws in nondeterministic
+	// order and break reproducibility.
+	for _, d := range sortedKeys(drugs) {
+		for _, r := range w.profile[d] {
+			if rng.Float64() < cfg.ProfileADRProb {
+				reacs[r] = true
+			}
+		}
+		// Rare solo expression of interaction reactions keeps the
+		// contextual rules non-degenerate.
+		for _, in := range w.inters {
+			if containsInt(in.drugIdx, d) && rng.Float64() < cfg.SoloTriggerProb {
+				reacs[in.reacIdx[rng.Intn(len(in.reacIdx))]] = true
+			}
+		}
+	}
+
+	// Background noise reactions.
+	nReacs := geometric(rng, cfg.MeanReactions)
+	for i := 0; i < nReacs; i++ {
+		reacs[w.sampleReaction(rng)] = true
+	}
+	if len(reacs) == 0 {
+		reacs[w.sampleReaction(rng)] = true
+	}
+	if !severe {
+		severe = rng.Float64() < 0.25
+	}
+	return drugs, reacs, suspects, severe
+}
+
+// geometric samples a geometric-ish count with the given mean.
+func geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (1 + mean)
+	n := 0
+	for rng.Float64() > p {
+		n++
+		if n > 64 {
+			break
+		}
+	}
+	return n
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+var sexes = []string{"F", "M", "F", "M", "UNK"}
+var countries = []string{"US", "US", "US", "CA", "GB", "DE", "FR", "JP", "MX", "BR"}
+var outcomes = []string{"HO", "DE", "LT", "DS", "OT"}
+
+// emitReport appends one report's rows to the quarter.
+func emitReport(q *faers.Quarter, rng *rand.Rand, cfg Config, pid, caseNo int,
+	drugs, reacs, suspects map[int]bool, severe bool, w *world) {
+
+	primary := fmt.Sprintf("%d", 100_000_000+pid)
+	caseID := fmt.Sprintf("C%08d", caseNo)
+	rept := "PER"
+	if rng.Float64() < cfg.ExpeditedRate {
+		rept = "EXP"
+	}
+	age := ""
+	if rng.Float64() < 0.85 {
+		age = fmt.Sprintf("%d", 18+rng.Intn(75))
+	}
+	q.Demos = append(q.Demos, faers.Demo{
+		PrimaryID:  primary,
+		CaseID:     caseID,
+		EventDate:  fmt.Sprintf("2014%02d%02d", 1+rng.Intn(3), 1+rng.Intn(28)),
+		ReportCode: rept,
+		Age:        age,
+		AgeCode:    "YR",
+		Sex:        sexes[rng.Intn(len(sexes))],
+		Country:    countries[rng.Intn(len(countries))],
+	})
+
+	idxs := sortedKeys(drugs)
+	primarySet := false
+	for seq, d := range idxs {
+		name := w.drugs[d]
+		if rng.Float64() < cfg.MisspellRate {
+			name = misspell(rng, name)
+		}
+		// Suspect drugs (the ones the reporter blames) carry PS/SS
+		// roles; everything else is concomitant medication.
+		role := "C"
+		if suspects[d] {
+			if !primarySet {
+				role = "PS"
+				primarySet = true
+			} else {
+				role = "SS"
+			}
+		}
+		q.Drugs = append(q.Drugs, faers.Drug{
+			PrimaryID: primary, Seq: seq + 1, RoleCode: role, Name: name,
+		})
+	}
+	for _, r := range sortedKeys(reacs) {
+		q.Reacs = append(q.Reacs, faers.Reac{PrimaryID: primary, Term: w.reacs[r]})
+	}
+	if severe {
+		q.Outcs = append(q.Outcs, faers.Outc{PrimaryID: primary, Code: outcomes[rng.Intn(len(outcomes))]})
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// misspell injects one realistic typo: drop, double, swap, or
+// substitute a single character.
+func misspell(rng *rand.Rand, name string) string {
+	if len(name) < 5 {
+		return name
+	}
+	b := []byte(name)
+	i := 1 + rng.Intn(len(b)-2)
+	switch rng.Intn(4) {
+	case 0: // drop
+		return string(append(b[:i:i], b[i+1:]...))
+	case 1: // double
+		return string(b[:i]) + string(b[i]) + string(b[i:])
+	case 2: // swap
+		b[i], b[i-1] = b[i-1], b[i]
+		return string(b)
+	default: // substitute
+		b[i] = "AEIOURSTLN"[rng.Intn(10)]
+		return string(b)
+	}
+}

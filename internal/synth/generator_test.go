@@ -1,0 +1,348 @@
+package synth
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"maras/internal/cleaning"
+	"maras/internal/faers"
+	"maras/internal/knowledge"
+)
+
+// tinyConfig keeps tests fast.
+func tinyConfig(seed int64) Config {
+	cfg := DefaultConfig("2014Q1", seed)
+	cfg.Reports = 800
+	cfg.DrugVocab = 300
+	cfg.ReactionVocab = 120
+	cfg.Classes = 12
+	cfg.ExposureRate = 0.05
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, err := Generate(tinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(tinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different quarters")
+	}
+	c, _, err := Generate(tinyConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Drugs, c.Drugs) {
+		t.Fatal("different seeds produced identical drug tables")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := tinyConfig(1)
+	q, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Demos) < cfg.Reports {
+		t.Errorf("demos = %d, want >= %d", len(q.Demos), cfg.Reports)
+	}
+	if len(gt.Interactions) == 0 {
+		t.Error("no ground truth planted")
+	}
+	reports := q.Reports()
+	if len(reports) != len(q.Demos) {
+		t.Errorf("reports %d != demos %d", len(reports), len(q.Demos))
+	}
+	// Every report must have at least one drug and one reaction.
+	for _, r := range reports[:50] {
+		if len(r.Drugs) == 0 || len(r.Reactions) == 0 {
+			t.Fatalf("report %s empty: %+v", r.PrimaryID, r)
+		}
+	}
+}
+
+func TestGenerateVocabularyBounds(t *testing.T) {
+	cfg := tinyConfig(3)
+	q, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drugs := map[string]bool{}
+	for _, d := range q.Drugs {
+		drugs[cleaning.NormalizeDrug(d.Name)] = true
+	}
+	// Misspellings add a few extra names, but the bulk respects the
+	// configured vocabulary.
+	if len(drugs) > cfg.DrugVocab+cfg.DrugVocab/2 {
+		t.Errorf("drug vocabulary exploded: %d distinct for config %d", len(drugs), cfg.DrugVocab)
+	}
+	reacs := map[string]bool{}
+	for _, r := range q.Reacs {
+		reacs[r.Term] = true
+	}
+	if len(reacs) > cfg.ReactionVocab {
+		t.Errorf("reaction vocabulary %d exceeds config %d", len(reacs), cfg.ReactionVocab)
+	}
+}
+
+func TestPlantedSignalPresent(t *testing.T) {
+	cfg := tinyConfig(11)
+	cfg.Reports = 3000
+	cfg.ExposureRate = 0.08
+	q, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := q.Reports()
+
+	// Pick the aspirin+warfarin interaction from the ground truth.
+	var inter *Interaction
+	for i := range gt.Interactions {
+		if knowledge.DrugKey(gt.Interactions[i].Drugs) == "ASPIRIN+WARFARIN" {
+			inter = &gt.Interactions[i]
+			break
+		}
+	}
+	if inter == nil {
+		t.Skip("aspirin+warfarin not in planted set")
+	}
+	both, bothWithReac, soloA, soloAWithReac := 0, 0, 0, 0
+	for _, r := range reports {
+		has := map[string]bool{}
+		for _, d := range r.Drugs {
+			has[cleaning.NormalizeDrug(d)] = true
+		}
+		reac := false
+		for _, rc := range r.Reactions {
+			if rc == inter.Reactions[0] {
+				reac = true
+			}
+		}
+		if has["ASPIRIN"] && has["WARFARIN"] {
+			both++
+			if reac {
+				bothWithReac++
+			}
+		} else if has["ASPIRIN"] {
+			soloA++
+			if reac {
+				soloAWithReac++
+			}
+		}
+	}
+	if both < 5 {
+		t.Fatalf("only %d co-exposure reports; exposure machinery broken", both)
+	}
+	confBoth := float64(bothWithReac) / float64(both)
+	confSolo := 0.0
+	if soloA > 0 {
+		confSolo = float64(soloAWithReac) / float64(soloA)
+	}
+	if confBoth < 0.5 {
+		t.Errorf("combination confidence %.2f too low; trigger machinery broken", confBoth)
+	}
+	if confSolo > confBoth/2 {
+		t.Errorf("solo confidence %.2f not well below combination %.2f", confSolo, confBoth)
+	}
+}
+
+func TestSuspectRoles(t *testing.T) {
+	cfg := tinyConfig(13)
+	cfg.Reports = 2500
+	cfg.ExposureRate = 0.1
+	cfg.MisspellRate = 0
+	q, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := q.Reports()
+	// Every report must have exactly one PS drug.
+	withInteractionSuspects := 0
+	for _, r := range reports {
+		ps := 0
+		for _, role := range r.DrugRoles {
+			if role == "PS" {
+				ps++
+			}
+		}
+		if ps != 1 {
+			t.Fatalf("report %s has %d PS drugs", r.PrimaryID, ps)
+		}
+		// Interaction exposures mark all interaction drugs suspect:
+		// check via the aspirin+warfarin pair.
+		has := map[string]bool{}
+		for i, d := range r.Drugs {
+			has[d+"/"+r.DrugRoles[i]] = true
+		}
+		if (has["ASPIRIN/PS"] || has["ASPIRIN/SS"]) && (has["WARFARIN/PS"] || has["WARFARIN/SS"]) {
+			withInteractionSuspects++
+		}
+	}
+	if withInteractionSuspects == 0 {
+		t.Error("no report marks both interaction drugs as suspects")
+	}
+	// SuspectDrugs narrows to the suspect subset.
+	for _, r := range reports[:200] {
+		sus := r.SuspectDrugs()
+		if len(sus) == 0 || len(sus) > len(r.Drugs) {
+			t.Fatalf("SuspectDrugs = %v of %v", sus, r.Drugs)
+		}
+	}
+}
+
+func TestMisspellingsInjected(t *testing.T) {
+	cfg := tinyConfig(5)
+	cfg.MisspellRate = 0.2
+	q, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count names that are within edit distance 1-2 of a much more
+	// frequent name — the corrector's job downstream.
+	counts := map[string]int{}
+	for _, d := range q.Drugs {
+		counts[d.Name]++
+	}
+	rare := 0
+	for _, n := range counts {
+		if n == 1 {
+			rare++
+		}
+	}
+	if rare == 0 {
+		t.Error("no rare spellings injected at 20% misspell rate")
+	}
+}
+
+func TestDuplicatesInjected(t *testing.T) {
+	cfg := tinyConfig(6)
+	cfg.DuplicateRate = 0.3
+	q, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCase := map[string]int{}
+	for _, d := range q.Demos {
+		byCase[d.CaseID]++
+	}
+	dups := 0
+	for _, n := range byCase {
+		if n > 1 {
+			dups++
+		}
+	}
+	if dups < cfg.Reports/10 {
+		t.Errorf("only %d duplicated cases at 30%% duplicate rate", dups)
+	}
+}
+
+func TestExpeditedShare(t *testing.T) {
+	cfg := tinyConfig(9)
+	q, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := 0
+	for _, d := range q.Demos {
+		if d.ReportCode == "EXP" {
+			exp++
+		}
+	}
+	share := float64(exp) / float64(len(q.Demos))
+	if share < cfg.ExpeditedRate-0.1 || share > cfg.ExpeditedRate+0.1 {
+		t.Errorf("EXP share = %.2f, want ~%.2f", share, cfg.ExpeditedRate)
+	}
+}
+
+func TestGenerateRoundTripsThroughFAERSFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyConfig(10)
+	cfg.Reports = 200
+	q, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faers.SaveQuarter(dir, q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := faers.LoadQuarter(dir, cfg.Label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Demos) != len(q.Demos) || len(got.Drugs) != len(q.Drugs) ||
+		len(got.Reacs) != len(q.Reacs) || len(got.Outcs) != len(q.Outcs) {
+		t.Error("file round trip lost rows")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, _, err := Generate(Config{}); err == nil {
+		t.Error("zero config should be rejected")
+	}
+}
+
+func TestGroundTruthKeys(t *testing.T) {
+	gt := GroundTruth{Interactions: []Interaction{
+		{Drugs: []string{"B", "A"}},
+		{Drugs: []string{"C", "D"}},
+	}}
+	keys := gt.Keys()
+	if !reflect.DeepEqual(keys, []string{"A+B", "C+D"}) {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestMisspellProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		name := "METHOTREXATE"
+		out := misspell(rng, name)
+		if d := cleaning.EditDistance(name, out); d > 2 {
+			t.Fatalf("misspell distance %d for %q -> %q", d, name, out)
+		}
+	}
+	if misspell(rng, "AB") != "AB" {
+		t.Error("short names must not be misspelled")
+	}
+}
+
+func TestVocabGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	names := makeDrugNames(rng, 500, map[string]bool{"ASPIRIN": true})
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "ASPIRIN" {
+			t.Fatal("taken name regenerated")
+		}
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+		if strings.TrimSpace(n) == "" {
+			t.Fatal("empty name")
+		}
+	}
+	terms := makeReactionTerms(rng, 300, nil)
+	seenT := map[string]bool{}
+	for _, tm := range terms {
+		if seenT[tm] {
+			t.Fatalf("duplicate term %q", tm)
+		}
+		seenT[tm] = true
+	}
+}
+
+func TestZipfWeightsDecreasing(t *testing.T) {
+	w := zipfWeights(100, 1.1)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatal("zipf weights must strictly decrease")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package synth generates synthetic FAERS quarters with planted
+// drug-drug-interaction signals and ground truth. It replaces the
+// real FAERS 2014 extracts the paper mined (offline substitution; see
+// DESIGN.md): the generated data uses the same file layout, the same
+// heavy-tailed drug/reaction popularity, correlated co-prescription
+// through therapeutic classes, per-drug ADR profiles, and injected
+// misspellings/duplicate reports for the cleaning stage to earn its
+// keep. Planted interactions come from the curated knowledge base
+// plus optional synthetic ones, giving the quantitative ground truth
+// the paper's case-study validation lacked.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// drugSyllables compose pronounceable pseudo drug names.
+var drugPrefixes = []string{
+	"AB", "ACE", "ALDO", "AMO", "BEN", "CAR", "CELO", "CIPRO", "DEX",
+	"DOXA", "ENO", "FENO", "GLI", "HYDRO", "IBU", "KETO", "LAMO", "LEVO",
+	"METO", "NAPRO", "OLAN", "PARO", "QUETI", "RANI", "SERTRA", "TELMI",
+	"URSO", "VALA", "WARFA", "XANO", "ZOLPI", "FLUVO", "PANTO", "ROSU",
+}
+
+var drugMiddles = []string{
+	"", "BI", "CO", "DI", "FE", "LI", "MA", "NI", "PRA", "RO", "SA", "TRI", "VE", "XO",
+}
+
+var drugSuffixes = []string{
+	"ZOLE", "PRIL", "SARTAN", "STATIN", "MYCIN", "CILLIN", "OLOL", "PINE",
+	"ZEPAM", "TIDINE", "FLOXACIN", "DRONATE", "MAB", "NIB", "GLIPTIN",
+	"PROFEN", "CAINE", "DOPA", "TEROL", "VIR",
+}
+
+// reactionHeads and tails compose plausible MedDRA-like preferred terms.
+var reactionHeads = []string{
+	"Nausea", "Dizziness", "Headache", "Fatigue", "Rash", "Pruritus",
+	"Vomiting", "Diarrhoea", "Constipation", "Insomnia", "Anxiety",
+	"Dyspnoea", "Oedema peripheral", "Pain", "Arthralgia", "Myalgia",
+	"Pyrexia", "Anaemia", "Hypertension", "Hypotension", "Tachycardia",
+	"Bradycardia", "Syncope", "Tremor", "Somnolence", "Dry mouth",
+	"Abdominal pain", "Back pain", "Chest pain", "Cough", "Asthenia",
+	"Malaise", "Weight decreased", "Weight increased", "Alopecia",
+	"Hyperhidrosis", "Palpitations", "Vision blurred", "Tinnitus",
+	"Depression", "Confusional state", "Fall", "Drug ineffective",
+	"Drug interaction", "Osteoporosis", "Osteoarthritis", "Neuropathy peripheral",
+	"Osteonecrosis of jaw", "Acute renal failure", "Haemorrhage", "Asthma",
+	"Hyperkalaemia", "Rhabdomyolysis", "Serotonin syndrome", "Hypoglycaemia",
+	"Blood glucose increased", "Lactic acidosis", "Pancytopenia",
+	"Bone marrow failure", "Lithium toxicity", "Cardiac arrest",
+	"Toxicity to various agents",
+}
+
+var reactionQualifiers = []string{
+	"aggravated", "postoperative", "chronic", "acute", "recurrent",
+	"neonatal", "exertional", "nocturnal",
+}
+
+// makeDrugNames returns n distinct pseudo drug names, deterministic
+// under rng, excluding any name in taken.
+func makeDrugNames(rng *rand.Rand, n int, taken map[string]bool) []string {
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for len(out) < n {
+		name := drugPrefixes[rng.Intn(len(drugPrefixes))] +
+			drugMiddles[rng.Intn(len(drugMiddles))] +
+			drugSuffixes[rng.Intn(len(drugSuffixes))]
+		if seen[name] || taken[name] {
+			// Disambiguate with a numeric salt, mimicking the messy
+			// verbatim names in real FAERS ("DRUG /00032601/").
+			name = fmt.Sprintf("%s %d", name, rng.Intn(90)+10)
+			if seen[name] || taken[name] {
+				continue
+			}
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	return out
+}
+
+// makeReactionTerms returns n distinct reaction terms, deterministic
+// under rng, excluding any term in taken.
+func makeReactionTerms(rng *rand.Rand, n int, taken map[string]bool) []string {
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for _, h := range reactionHeads {
+		if len(out) >= n {
+			break
+		}
+		if !taken[h] && !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	for len(out) < n {
+		term := reactionHeads[rng.Intn(len(reactionHeads))] + " " +
+			reactionQualifiers[rng.Intn(len(reactionQualifiers))]
+		if seen[term] || taken[term] {
+			term = fmt.Sprintf("%s type %d", term, rng.Intn(9)+1)
+			if seen[term] || taken[term] {
+				continue
+			}
+		}
+		seen[term] = true
+		out = append(out, term)
+	}
+	return out
+}
+
+// zipfWeights returns weights w_i ∝ 1/(i+1)^s for i in [0,n).
+func zipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+	}
+	return w
+}

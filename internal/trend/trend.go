@@ -1,0 +1,195 @@
+// Package trend tracks drug-drug-interaction signals across quarters
+// — the post-marketing surveillance view the paper motivates ("these
+// drug-drug interactions should be detected early-on with minimum
+// patient exposure"): for each combination, its support, confidence,
+// exclusiveness score and rank per quarter, plus emergence detection
+// (the first quarter a signal clears the reporting threshold) and
+// trajectory classification.
+package trend
+
+import (
+	"fmt"
+	"sort"
+
+	"maras/internal/core"
+	"maras/internal/faers"
+)
+
+// Point is one quarter's measurement of a combination.
+type Point struct {
+	Quarter    string
+	Rank       int // 0 = not signaled this quarter
+	Score      float64
+	Support    int
+	Confidence float64
+}
+
+// Trajectory is a combination's history across quarters.
+type Trajectory struct {
+	Key       string   // canonical drug-combination key
+	Drugs     []string // sorted names
+	Reactions []string // reactions of the strongest quarter's signal
+	Points    []Point  // one per analyzed quarter, in input order
+}
+
+// Quarters returns how many quarters the combination was signaled in.
+func (t *Trajectory) Quarters() int {
+	n := 0
+	for _, p := range t.Points {
+		if p.Rank > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// EmergedAt returns the first quarter label where the combination was
+// signaled, or "" if never.
+func (t *Trajectory) EmergedAt() string {
+	for _, p := range t.Points {
+		if p.Rank > 0 {
+			return p.Quarter
+		}
+	}
+	return ""
+}
+
+// PeakSupport returns the maximum per-quarter support.
+func (t *Trajectory) PeakSupport() int {
+	max := 0
+	for _, p := range t.Points {
+		if p.Support > max {
+			max = p.Support
+		}
+	}
+	return max
+}
+
+// Class summarizes the shape of a trajectory.
+type Class string
+
+const (
+	// Persistent signals appear in every analyzed quarter.
+	Persistent Class = "persistent"
+	// Emerging signals first appear after the first quarter and are
+	// still present in the last.
+	Emerging Class = "emerging"
+	// Transient signals appear and vanish.
+	Transient Class = "transient"
+	// Absent combinations never signal (kept only when explicitly
+	// tracked).
+	Absent Class = "absent"
+)
+
+// Classify labels the trajectory.
+func (t *Trajectory) Classify() Class {
+	if len(t.Points) == 0 {
+		return Absent
+	}
+	first := t.Points[0].Rank > 0
+	last := t.Points[len(t.Points)-1].Rank > 0
+	n := t.Quarters()
+	switch {
+	case n == 0:
+		return Absent
+	case n == len(t.Points):
+		return Persistent
+	case !first && last:
+		return Emerging
+	default:
+		return Transient
+	}
+}
+
+// Analysis is the cross-quarter result.
+type Analysis struct {
+	Quarters     []string
+	Trajectories []Trajectory // sorted by peak support desc, then key
+}
+
+// ByClass partitions trajectories by class.
+func (a *Analysis) ByClass() map[Class][]Trajectory {
+	out := make(map[Class][]Trajectory)
+	for _, t := range a.Trajectories {
+		c := t.Classify()
+		out[c] = append(out[c], t)
+	}
+	return out
+}
+
+// Find returns the trajectory for a combination key, or nil.
+func (a *Analysis) Find(key string) *Trajectory {
+	for i := range a.Trajectories {
+		if a.Trajectories[i].Key == key {
+			return &a.Trajectories[i]
+		}
+	}
+	return nil
+}
+
+// Run mines every quarter independently with opts and assembles the
+// cross-quarter trajectories of every combination that signals in at
+// least one quarter. opts.TopK bounds the per-quarter signal list
+// (0 = all).
+func Run(quarters []*faers.Quarter, opts core.Options) (*Analysis, error) {
+	if len(quarters) == 0 {
+		return nil, fmt.Errorf("trend: no quarters")
+	}
+	a := &Analysis{}
+	traj := map[string]*Trajectory{}
+	for qi, q := range quarters {
+		a.Quarters = append(a.Quarters, q.Label)
+		res, err := core.RunQuarter(q, opts)
+		if err != nil {
+			return nil, fmt.Errorf("trend: quarter %s: %w", q.Label, err)
+		}
+		for _, s := range res.Signals {
+			key := s.Key()
+			t := traj[key]
+			if t == nil {
+				t = &Trajectory{
+					Key:    key,
+					Drugs:  s.Drugs,
+					Points: make([]Point, len(quarters)),
+				}
+				for j := range t.Points {
+					t.Points[j] = Point{Quarter: quarters[j].Label}
+				}
+				traj[key] = t
+			}
+			p := &t.Points[qi]
+			// A combination can surface under several reaction sets in
+			// one quarter; keep the strongest-scoring one.
+			if p.Rank == 0 || s.Score > p.Score {
+				p.Rank = s.Rank
+				p.Score = s.Score
+				p.Support = s.Support
+				p.Confidence = s.Confidence
+				if len(t.Reactions) == 0 || s.Score > bestScore(t) {
+					t.Reactions = s.Reactions
+				}
+			}
+		}
+	}
+	for _, t := range traj {
+		a.Trajectories = append(a.Trajectories, *t)
+	}
+	sort.Slice(a.Trajectories, func(i, j int) bool {
+		pi, pj := a.Trajectories[i].PeakSupport(), a.Trajectories[j].PeakSupport()
+		if pi != pj {
+			return pi > pj
+		}
+		return a.Trajectories[i].Key < a.Trajectories[j].Key
+	})
+	return a, nil
+}
+
+func bestScore(t *Trajectory) float64 {
+	best := 0.0
+	for _, p := range t.Points {
+		if p.Score > best {
+			best = p.Score
+		}
+	}
+	return best
+}

@@ -1,0 +1,177 @@
+package trend
+
+import (
+	"fmt"
+	"testing"
+
+	"maras/internal/core"
+	"maras/internal/faers"
+)
+
+// makeQuarter builds a quarter where pair X+Y -> Bad appears n times,
+// plus fixed background.
+func makeQuarter(label string, n int) *faers.Quarter {
+	q := &faers.Quarter{Label: label}
+	id := 0
+	add := func(drugs []string, reacs []string) {
+		id++
+		pid := fmt.Sprintf("%s-%d", label, id)
+		q.Demos = append(q.Demos, faers.Demo{
+			PrimaryID: pid, CaseID: pid, ReportCode: "EXP",
+		})
+		for i, d := range drugs {
+			q.Drugs = append(q.Drugs, faers.Drug{PrimaryID: pid, Seq: i + 1, RoleCode: "PS", Name: d})
+		}
+		for _, r := range reacs {
+			q.Reacs = append(q.Reacs, faers.Reac{PrimaryID: pid, Term: r})
+		}
+	}
+	for i := 0; i < n; i++ {
+		add([]string{"DRUGX", "DRUGY"}, []string{"Bad"})
+	}
+	for i := 0; i < 20; i++ {
+		add([]string{"DRUGX"}, []string{"Meh"})
+		add([]string{"DRUGY"}, []string{"Meh"})
+	}
+	// A persistent second pair.
+	for i := 0; i < 6; i++ {
+		add([]string{"DRUGP", "DRUGQ"}, []string{"Worse"})
+	}
+	for i := 0; i < 10; i++ {
+		add([]string{"DRUGP"}, []string{"Meh"})
+		add([]string{"DRUGQ"}, []string{"Meh"})
+	}
+	return q
+}
+
+func trendOpts() core.Options {
+	opts := core.NewOptions()
+	opts.MinSupport = 4
+	opts.TopK = 0
+	return opts
+}
+
+func TestRunEmergingSignal(t *testing.T) {
+	// X+Y below threshold in Q1/Q2, above in Q3/Q4 -> emerging.
+	quarters := []*faers.Quarter{
+		makeQuarter("2014Q1", 0),
+		makeQuarter("2014Q2", 2),
+		makeQuarter("2014Q3", 8),
+		makeQuarter("2014Q4", 10),
+	}
+	a, err := Run(quarters, trendOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xy := a.Find("DRUGX+DRUGY")
+	if xy == nil {
+		t.Fatal("X+Y trajectory missing")
+	}
+	if got := xy.Classify(); got != Emerging {
+		t.Errorf("X+Y class = %q, want emerging (points %+v)", got, xy.Points)
+	}
+	if got := xy.EmergedAt(); got != "2014Q3" {
+		t.Errorf("EmergedAt = %q, want 2014Q3", got)
+	}
+	if xy.Quarters() != 2 {
+		t.Errorf("Quarters = %d, want 2", xy.Quarters())
+	}
+	if xy.PeakSupport() != 10 {
+		t.Errorf("PeakSupport = %d, want 10", xy.PeakSupport())
+	}
+}
+
+func TestRunPersistentSignal(t *testing.T) {
+	quarters := []*faers.Quarter{
+		makeQuarter("2014Q1", 8),
+		makeQuarter("2014Q2", 8),
+	}
+	a, err := Run(quarters, trendOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq := a.Find("DRUGP+DRUGQ")
+	if pq == nil {
+		t.Fatal("P+Q missing")
+	}
+	if pq.Classify() != Persistent {
+		t.Errorf("P+Q class = %q, want persistent", pq.Classify())
+	}
+}
+
+func TestRunTransientSignal(t *testing.T) {
+	quarters := []*faers.Quarter{
+		makeQuarter("2014Q1", 8),
+		makeQuarter("2014Q2", 0),
+	}
+	a, err := Run(quarters, trendOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xy := a.Find("DRUGX+DRUGY")
+	if xy == nil {
+		t.Fatal("X+Y missing")
+	}
+	if xy.Classify() != Transient {
+		t.Errorf("X+Y class = %q, want transient", xy.Classify())
+	}
+}
+
+func TestByClassPartition(t *testing.T) {
+	quarters := []*faers.Quarter{
+		makeQuarter("2014Q1", 8),
+		makeQuarter("2014Q2", 0),
+	}
+	a, err := Run(quarters, trendOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := a.ByClass()
+	total := 0
+	for _, list := range byClass {
+		total += len(list)
+	}
+	if total != len(a.Trajectories) {
+		t.Errorf("partition loses trajectories: %d vs %d", total, len(a.Trajectories))
+	}
+}
+
+func TestTrajectoriesSorted(t *testing.T) {
+	quarters := []*faers.Quarter{makeQuarter("2014Q1", 8)}
+	a, err := Run(quarters, trendOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(a.Trajectories); i++ {
+		if a.Trajectories[i].PeakSupport() > a.Trajectories[i-1].PeakSupport() {
+			t.Fatal("not sorted by peak support")
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if _, err := Run(nil, trendOpts()); err == nil {
+		t.Error("no quarters accepted")
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	a := &Analysis{}
+	if a.Find("NO+PE") != nil {
+		t.Error("Find on empty analysis should be nil")
+	}
+}
+
+func TestClassifyEdgeCases(t *testing.T) {
+	empty := Trajectory{}
+	if empty.Classify() != Absent {
+		t.Error("empty trajectory should be absent")
+	}
+	never := Trajectory{Points: []Point{{}, {}}}
+	if never.Classify() != Absent {
+		t.Error("never-signaled should be absent")
+	}
+	if never.EmergedAt() != "" {
+		t.Error("EmergedAt of absent should be empty")
+	}
+}

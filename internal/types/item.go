@@ -1,0 +1,45 @@
+// Package types defines the core value types shared by every MARAS
+// subsystem: integer-encoded items, item domains (drug vs adverse
+// reaction), the string↔ID dictionary, and sorted-itemset operations.
+//
+// All mining code operates on compact int32 item IDs. The Dictionary
+// is the single translation point back to drug names and reaction
+// (ADR) terms. Itemsets are represented as strictly increasing []Item
+// slices, which makes subset tests, unions, intersections, and hashing
+// cheap and allocation-predictable.
+package types
+
+import "fmt"
+
+// Item is a dictionary-encoded item identifier. An Item refers either
+// to a drug or to an adverse reaction term, as recorded by the
+// Dictionary that issued it.
+type Item int32
+
+// NoItem is the zero sentinel; valid items issued by a Dictionary are
+// always >= 0.
+const NoItem Item = -1
+
+// Domain classifies an item as a drug or an adverse drug reaction.
+// MARAS rules always have drug-only antecedents and reaction-only
+// consequents (Section 3.1 of the paper).
+type Domain uint8
+
+const (
+	// DomainDrug marks medication items (rule antecedents).
+	DomainDrug Domain = iota
+	// DomainReaction marks adverse-reaction items (rule consequents).
+	DomainReaction
+)
+
+// String returns a human-readable domain name.
+func (d Domain) String() string {
+	switch d {
+	case DomainDrug:
+		return "drug"
+	case DomainReaction:
+		return "reaction"
+	default:
+		return fmt.Sprintf("domain(%d)", uint8(d))
+	}
+}

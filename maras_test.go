@@ -1,0 +1,208 @@
+package maras
+
+import (
+	"fmt"
+	"testing"
+)
+
+func corpus() []Report {
+	var out []Report
+	id := 0
+	add := func(exp bool, drugs, reacs []string) {
+		id++
+		out = append(out, Report{
+			ID: fmt.Sprintf("r%d", id), Case: fmt.Sprintf("c%d", id),
+			Expedited: exp, Drugs: drugs, Reactions: reacs,
+		})
+	}
+	for i := 0; i < 10; i++ {
+		add(true, []string{"aspirin", "warfarin"}, []string{"haemorrhage"})
+	}
+	for i := 0; i < 25; i++ {
+		add(true, []string{"aspirin"}, []string{"nausea"})
+		add(true, []string{"warfarin"}, []string{"dizziness"})
+	}
+	for i := 0; i < 20; i++ {
+		add(false, []string{fmt.Sprintf("bg%d", i%5)}, []string{"headache"})
+	}
+	return out
+}
+
+func TestAnalyzeFindsInteraction(t *testing.T) {
+	a, err := Analyze(corpus(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Fatal("no signals")
+	}
+	top := a.Signals[0]
+	if top.Drugs[0] != "ASPIRIN" || top.Drugs[1] != "WARFARIN" {
+		t.Errorf("top signal = %v", top.Drugs)
+	}
+	if top.Reactions[0] != "Haemorrhage" {
+		t.Errorf("top reactions = %v", top.Reactions)
+	}
+	if top.Support != 10 {
+		t.Errorf("support = %d", top.Support)
+	}
+	if len(top.ReportIDs) != 10 {
+		t.Errorf("report links = %d", len(top.ReportIDs))
+	}
+	if len(top.Context) != 2 {
+		t.Errorf("context rules = %d, want 2", len(top.Context))
+	}
+	if !top.IsKnown() || top.Known.Severity != "severe" {
+		t.Errorf("aspirin+warfarin should be a known severe interaction: %+v", top.Known)
+	}
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	a, err := Analyze(corpus(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reports == 0 || a.Drugs == 0 || a.Reactions == 0 {
+		t.Errorf("stats empty: %+v", a)
+	}
+}
+
+func TestAnalyzeExpeditedOnly(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ExpeditedOnly = true
+	a, err := Analyze(corpus(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Analyze(corpus(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reports >= all.Reports {
+		t.Errorf("expedited filter kept %d of %d", a.Reports, all.Reports)
+	}
+}
+
+func TestAnalyzeMethods(t *testing.T) {
+	for _, m := range []RankingMethod{
+		RankExclusiveness, RankExclusivenessLift, RankConfidence, RankLift, RankImprovement,
+	} {
+		opts := DefaultOptions()
+		opts.Method = m
+		if _, err := Analyze(corpus(), opts); err != nil {
+			t.Errorf("method %q failed: %v", m, err)
+		}
+	}
+	opts := DefaultOptions()
+	opts.Method = "bogus"
+	if _, err := Analyze(corpus(), opts); err == nil {
+		t.Error("bogus method accepted")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil, DefaultOptions()); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestAnalyzeGeneratedIDs(t *testing.T) {
+	reports := []Report{
+		{Drugs: []string{"A", "B"}, Reactions: []string{"r"}},
+		{Drugs: []string{"A", "B"}, Reactions: []string{"r"}},
+		{Drugs: []string{"A", "B"}, Reactions: []string{"r"}},
+		{Drugs: []string{"A", "B"}, Reactions: []string{"r"}},
+		{Drugs: []string{"A"}, Reactions: []string{"x"}},
+		{Drugs: []string{"B"}, Reactions: []string{"y"}},
+	}
+	opts := DefaultOptions()
+	opts.MinSupport = 2
+	opts.DropDuplicates = false
+	a, err := Analyze(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Fatal("no signals")
+	}
+	if a.Signals[0].ReportIDs[0] == "" {
+		t.Error("missing generated report IDs")
+	}
+}
+
+func TestKnownInteractions(t *testing.T) {
+	all := KnownInteractions()
+	if len(all) < 10 {
+		t.Fatalf("only %d curated interactions", len(all))
+	}
+	for _, k := range all {
+		if len(k.Drugs) < 2 || k.Source == "" {
+			t.Errorf("bad entry %+v", k)
+		}
+	}
+}
+
+func TestAnalyzeOrganClasses(t *testing.T) {
+	var reports []Report
+	for i := 0; i < 6; i++ {
+		reports = append(reports, Report{
+			ID: fmt.Sprintf("s%d", i), Case: fmt.Sprintf("cs%d", i),
+			Drugs: []string{"X", "Y"}, Reactions: []string{"acute renal failure"},
+		})
+	}
+	for i := 0; i < 10; i++ {
+		reports = append(reports, Report{
+			ID: fmt.Sprintf("x%d", i), Case: fmt.Sprintf("cx%d", i),
+			Drugs: []string{"X"}, Reactions: []string{"nausea"},
+		})
+		reports = append(reports, Report{
+			ID: fmt.Sprintf("y%d", i), Case: fmt.Sprintf("cy%d", i),
+			Drugs: []string{"Y"}, Reactions: []string{"headache"},
+		})
+	}
+	opts := DefaultOptions()
+	opts.MinSupport = 3
+	a, err := Analyze(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Fatal("no signals")
+	}
+	top := a.Signals[0]
+	if len(top.OrganClasses) != 1 || top.OrganClasses[0] != "Renal and urinary disorders" {
+		t.Errorf("OrganClasses = %v", top.OrganClasses)
+	}
+}
+
+func TestAnalyzeContextRulesComplete(t *testing.T) {
+	a, err := Analyze(corpus(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a.Signals {
+		// 2^n − 2 context rules for n drugs.
+		want := (1 << uint(len(s.Drugs))) - 2
+		if len(s.Context) != want {
+			t.Errorf("signal %v has %d context rules, want %d", s.Drugs, len(s.Context), want)
+		}
+		for _, c := range s.Context {
+			if len(c.Drugs) == 0 || len(c.Drugs) >= len(s.Drugs) {
+				t.Errorf("context antecedent %v not a proper subset of %v", c.Drugs, s.Drugs)
+			}
+		}
+	}
+}
+
+func TestTopKApplied(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TopK = 1
+	opts.MinSupport = 2
+	a, err := Analyze(corpus(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) > 1 {
+		t.Errorf("TopK=1 returned %d", len(a.Signals))
+	}
+}
