@@ -1,0 +1,37 @@
+# Developer / CI entry points. Everything is stdlib-only Go; no tool
+# downloads happen here.
+
+GO ?= go
+
+.PHONY: check build fmt vet test race bench clean
+
+## check: the CI gate — formatting, vet, and the race-enabled suite.
+check: fmt vet race
+
+build:
+	$(GO) build ./...
+
+## fmt: fail if any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the paper-artifact benchmarks (one iteration each; see
+## EXPERIMENTS.md for targeted -bench invocations).
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_trace.json

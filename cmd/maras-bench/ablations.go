@@ -35,7 +35,7 @@ func runAblateTheta(cfg benchConfig) error {
 		opts.MinSupport = cfg.minsup
 		opts.Theta = theta
 		opts.TopK = 0
-		a, err := core.RunQuarter(q, opts)
+		a, err := tracedRun(fmt.Sprintf("ablate-theta/theta=%g", theta), q, opts)
 		if err != nil {
 			return err
 		}
@@ -68,7 +68,7 @@ func runAblateDecay(cfg benchConfig) error {
 		opts.MinSupport = cfg.minsup
 		opts.Decay = d.fn
 		opts.TopK = 0
-		a, err := core.RunQuarter(q, opts)
+		a, err := tracedRun("ablate-decay/"+d.name, q, opts)
 		if err != nil {
 			return err
 		}
@@ -153,7 +153,7 @@ func runAblateSuspect(cfg benchConfig) error {
 		opts.MinSupport = cfg.minsup
 		opts.SuspectOnly = suspectOnly
 		opts.TopK = 0
-		a, err := core.RunQuarter(q, opts)
+		a, err := tracedRun(fmt.Sprintf("ablate-suspect/suspect=%v", suspectOnly), q, opts)
 		if err != nil {
 			return err
 		}
@@ -281,7 +281,7 @@ func runFigs4(cfg benchConfig) error {
 	opts := core.NewOptions()
 	opts.MinSupport = cfg.minsup
 	opts.TopK = 20
-	a, err := core.RunQuarter(q, opts)
+	a, err := tracedRun("figs4", q, opts)
 	if err != nil {
 		return err
 	}

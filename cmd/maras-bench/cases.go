@@ -25,7 +25,7 @@ func runCases(cfg benchConfig) error {
 	opts := core.NewOptions()
 	opts.MinSupport = cfg.minsup
 	opts.TopK = 0
-	a, err := core.RunQuarter(q, opts)
+	a, err := tracedRun("cases", q, opts)
 	if err != nil {
 		return err
 	}

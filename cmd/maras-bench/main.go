@@ -23,13 +23,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
 
+	"maras/internal/core"
 	"maras/internal/faers"
+	"maras/internal/obs"
 	"maras/internal/synth"
 )
 
@@ -39,6 +42,51 @@ type benchConfig struct {
 	minsup     int
 	paperScale bool
 	svgOut     string
+	traceOut   string
+}
+
+// traceRun is one traced pipeline execution: which experiment ran
+// it, on which quarter, and its per-stage records (wall time,
+// allocation volume, stage counters). The collected runs land in the
+// -trace-out JSON artifact so BENCH_*.json trajectories can
+// attribute a regression to a specific pipeline stage.
+type traceRun struct {
+	Experiment string            `json:"experiment"`
+	Quarter    string            `json:"quarter"`
+	Stages     []obs.StageRecord `json:"stages"`
+}
+
+// benchTraces accumulates every traced run of the invocation; the
+// bench is single-threaded, so plain appends suffice.
+var benchTraces []traceRun
+
+// tracedRun executes the pipeline on a quarter with a tracer
+// attached and records the stage trace under the experiment label.
+func tracedRun(experiment string, q *faers.Quarter, opts core.Options) (*core.Analysis, error) {
+	tr := obs.NewTracer(nil)
+	opts.Tracer = tr
+	a, err := core.RunQuarter(q, opts)
+	if err == nil {
+		benchTraces = append(benchTraces, traceRun{
+			Experiment: experiment,
+			Quarter:    q.Label,
+			Stages:     tr.Records(),
+		})
+	}
+	return a, err
+}
+
+// writeTraces writes the per-stage trace artifact.
+func writeTraces(path string) error {
+	runs := benchTraces
+	if runs == nil {
+		runs = []traceRun{}
+	}
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func main() {
@@ -52,12 +100,13 @@ func main() {
 		minsup     = flag.Int("minsup", 8, "absolute minimum support for mining")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's Table 5.1 scale")
 		svgOut     = flag.String("svg-out", "figures", "output directory for figs4 SVGs")
+		traceOut   = flag.String("trace-out", "BENCH_trace.json", "per-stage pipeline trace JSON artifact (empty = skip)")
 	)
 	flag.Parse()
 
 	cfg := benchConfig{
 		seed: *seed, reports: *reports, minsup: *minsup,
-		paperScale: *paperScale, svgOut: *svgOut,
+		paperScale: *paperScale, svgOut: *svgOut, traceOut: *traceOut,
 	}
 
 	runners := map[string]func(benchConfig) error{
@@ -97,6 +146,12 @@ func main() {
 		if err := run(cfg); err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
+	}
+	if cfg.traceOut != "" {
+		if err := writeTraces(cfg.traceOut); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		fmt.Printf("\nwrote per-stage trace for %d pipeline runs to %s\n", len(benchTraces), cfg.traceOut)
 	}
 	_ = os.Stdout.Sync()
 }

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"maras/internal/core"
 )
 
 func TestGenQuarterCaches(t *testing.T) {
@@ -54,5 +59,66 @@ func TestDrugKeyHelper(t *testing.T) {
 	}
 	if db.Len() == 0 {
 		t.Fatal("empty db")
+	}
+}
+
+func TestTracedRunCollectsAndWrites(t *testing.T) {
+	saved := benchTraces
+	benchTraces = nil
+	defer func() { benchTraces = saved }()
+
+	cfg := benchConfig{seed: 11, reports: 400, minsup: 3}
+	q, _, err := genQuarter(cfg, "2014Q1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = cfg.minsup
+	if _, err := tracedRun("test-exp", q, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(benchTraces) != 1 {
+		t.Fatalf("collected %d trace runs, want 1", len(benchTraces))
+	}
+	run := benchTraces[0]
+	if run.Experiment != "test-exp" || run.Quarter != "2014Q1" {
+		t.Errorf("trace run labels = %+v", run)
+	}
+	if want := core.StageOrder(); len(run.Stages) != len(want) {
+		t.Errorf("trace has %d stages, want %d", len(run.Stages), len(want))
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_trace.json")
+	if err := writeTraces(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []traceRun
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].Stages[0].Name != core.StageOrder()[0] {
+		t.Errorf("artifact round trip wrong: %+v", decoded)
+	}
+}
+
+func TestWriteTracesEmptyStillValidJSON(t *testing.T) {
+	saved := benchTraces
+	benchTraces = nil
+	defer func() { benchTraces = saved }()
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := writeTraces(path); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	var decoded []traceRun
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("empty artifact invalid: %v (%s)", err, data)
+	}
+	if decoded == nil || len(decoded) != 0 {
+		t.Errorf("want empty array, got %v", decoded)
 	}
 }

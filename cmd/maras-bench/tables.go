@@ -70,7 +70,7 @@ func runFig51(cfg benchConfig) error {
 		opts.MinSupport = cfg.minsup
 		opts.CountRules = true
 		opts.TopK = 0
-		a, err := core.RunQuarter(q, opts)
+		a, err := tracedRun("fig5.1", q, opts)
 		if err != nil {
 			return err
 		}
@@ -105,7 +105,7 @@ func runTable52(cfg benchConfig) error {
 		opts.MinSupport = cfg.minsup
 		opts.Method = m
 		opts.TopK = 5
-		a, err := core.RunQuarter(q, opts)
+		a, err := tracedRun("table5.2/"+m.String(), q, opts)
 		if err != nil {
 			return err
 		}

@@ -3,72 +3,199 @@
 // signals, per-signal zoom views with the MCAC bar-chart alternative,
 // drug/reaction search, and drill-down to the raw supporting reports.
 //
+// The server is fully instrumented (see README "Observability"):
+// every route carries request logging, latency histograms, status
+// counters, and panic recovery; /metrics serves Prometheus text (or
+// the expvar JSON dump with ?format=json), /healthz reports
+// liveness, /debug/vars is the standard expvar endpoint, and
+// /debug/pprof/* exposes the runtime profiler. Shutdown on
+// SIGINT/SIGTERM drains in-flight requests.
+//
 // Usage:
 //
 //	maras-server -data data -quarter 2014Q1 [-addr :8080] [-minsup 8]
+//	             [-log-format text|json] [-log-level debug|info|warn|error]
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"maras/internal/core"
 	"maras/internal/faers"
 	"maras/internal/glyph"
 	"maras/internal/network"
+	"maras/internal/obs"
 	"maras/internal/strata"
 )
+
+// svgCacheControl marks the per-rank SVG renders as immutable: a
+// rank's glyph never changes within one server process, so browsers
+// paging through the panoramagram should not re-fetch.
+const svgCacheControl = "public, max-age=86400, immutable"
+
+// shutdownGrace bounds how long graceful shutdown waits for in-flight
+// requests to drain.
+const shutdownGrace = 15 * time.Second
 
 type server struct {
 	analysis *core.Analysis
 	quarter  string
+	logger   *slog.Logger
+	started  time.Time
+}
+
+// log returns the configured logger, or a discard logger so handler
+// code never nil-checks (tests construct bare servers).
+func (s *server) log() *slog.Logger {
+	if s.logger != nil {
+		return s.logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// routes assembles the full instrumented mux: every UI/API handler
+// wrapped in the observability middleware, plus the operational
+// endpoints.
+func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics) http.Handler {
+	mux := http.NewServeMux()
+	mw.HandleFunc(mux, "/", s.handleIndex)
+	mw.HandleFunc(mux, "/signal/", s.handleSignal)
+	mw.HandleFunc(mux, "/glyph/", s.handleGlyph)
+	mw.HandleFunc(mux, "/barchart/", s.handleBarChart)
+	mw.HandleFunc(mux, "/report/", s.handleReport)
+	mw.HandleFunc(mux, "/api/signals", s.handleAPISignals)
+	mw.HandleFunc(mux, "/network.dot", s.handleNetworkDOT)
+	mw.HandleFunc(mux, "/network.json", s.handleNetworkJSON)
+	mux.Handle("/metrics", obs.MetricsHandler(reg))
+	mux.Handle("/healthz", obs.HealthzHandler(s.healthDetail))
+	mux.Handle("/debug/vars", obs.ExpvarHandler())
+	obs.RegisterPprof(mux)
+	return mux
+}
+
+func (s *server) healthDetail() map[string]any {
+	return map[string]any{
+		"quarter":        s.quarter,
+		"signals":        len(s.analysis.Signals),
+		"reports":        s.analysis.Stats.Reports,
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+	}
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("maras-server: ")
-
 	var (
-		data    = flag.String("data", "data", "directory with FAERS quarter files")
-		quarter = flag.String("quarter", "2014Q1", "quarter label")
-		addr    = flag.String("addr", ":8080", "listen address")
-		minsup  = flag.Int("minsup", 8, "absolute minimum support")
-		topK    = flag.Int("top", 60, "signals to keep")
+		data      = flag.String("data", "data", "directory with FAERS quarter files")
+		quarter   = flag.String("quarter", "2014Q1", "quarter label")
+		addr      = flag.String("addr", ":8080", "listen address")
+		minsup    = flag.Int("minsup", 8, "absolute minimum support")
+		topK      = flag.Int("top", 60, "signals to keep")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maras-server:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
+
 	q, err := faers.LoadQuarter(*data, *quarter)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("load quarter", "err", err)
+		os.Exit(1)
 	}
 	opts := core.NewOptions()
 	opts.MinSupport = *minsup
 	opts.TopK = *topK
-	log.Printf("mining %s ...", *quarter)
+	tracer := obs.NewTracer(logger)
+	opts.Tracer = tracer
+	logger.Info("mining", "quarter", *quarter, "minsup", *minsup)
 	a, err := core.RunQuarter(q, opts)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("pipeline", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("ready: %d signals over %d reports", len(a.Signals), a.Stats.Reports)
+	for _, st := range tracer.Records() {
+		logger.Info("pipeline stage", "stage", st.Name,
+			"duration", st.Duration().Round(time.Millisecond),
+			"alloc_mb", st.AllocBytes>>20)
+	}
+	logger.Info("ready", "signals", len(a.Signals), "reports", a.Stats.Reports,
+		"mining_wall", tracer.TotalDuration().Round(time.Millisecond))
 
-	s := &server{analysis: a, quarter: *quarter}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/signal/", s.handleSignal)
-	mux.HandleFunc("/glyph/", s.handleGlyph)
-	mux.HandleFunc("/barchart/", s.handleBarChart)
-	mux.HandleFunc("/report/", s.handleReport)
-	mux.HandleFunc("/api/signals", s.handleAPISignals)
-	mux.HandleFunc("/network.dot", s.handleNetworkDOT)
-	mux.HandleFunc("/network.json", s.handleNetworkJSON)
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	s := &server{analysis: a, quarter: *quarter, logger: logger, started: time.Now()}
+	reg := obs.NewRegistry()
+	reg.PublishExpvar("maras_metrics")
+	mw := obs.NewHTTPMetrics(reg, logger)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(reg, mw),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Generous write timeout: /debug/pprof/profile streams for
+		// 30s (configurable via ?seconds=) and must not be cut off.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+		ErrorLog:     slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("listening", "addr", *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		logger.Info("signal received, draining in-flight requests", "grace", shutdownGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("shutdown", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("drained cleanly")
+	}
+}
+
+// renderHTML executes a template into a buffer first so a mid-render
+// failure can still produce a clean 500 instead of a half-written
+// page (once bytes hit the wire the status is unfixable).
+func (s *server) renderHTML(w http.ResponseWriter, name string, tmpl *template.Template, data any) {
+	var buf bytes.Buffer
+	if err := tmpl.Execute(&buf, data); err != nil {
+		s.log().Error("template render", "template", name, "err", err)
+		http.Error(w, "internal render error", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if _, err := buf.WriteTo(w); err != nil {
+		s.log().Warn("response write", "template", name, "err", err)
+	}
 }
 
 var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
@@ -143,9 +270,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			Known:    sig.Known != nil,
 		})
 	}
-	if err := indexTmpl.Execute(w, d); err != nil {
-		log.Printf("index: %v", err)
-	}
+	s.renderHTML(w, "index", indexTmpl, d)
 }
 
 var signalTmpl = template.Must(template.New("signal").Parse(`<!DOCTYPE html>
@@ -268,9 +393,7 @@ func (s *server) handleSignal(w http.ResponseWriter, r *http.Request) {
 			Support:    cr.Support,
 		})
 	}
-	if err := signalTmpl.Execute(w, d); err != nil {
-		log.Printf("signal: %v", err)
-	}
+	s.renderHTML(w, "signal", signalTmpl, d)
 }
 
 func (s *server) handleGlyph(w http.ResponseWriter, r *http.Request) {
@@ -280,6 +403,7 @@ func (s *server) handleGlyph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
+	w.Header().Set("Cache-Control", svgCacheControl)
 	if r.URL.Query().Get("zoom") != "" {
 		fmt.Fprint(w, glyph.Zoom(sig.Cluster, s.analysis.Dict()))
 		return
@@ -326,9 +450,7 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		ReacList:    strings.Join(rep.Reactions, ", "),
 		OutcomeList: strings.Join(rep.Outcomes, ", "),
 	}
-	if err := reportTmpl.Execute(w, data); err != nil {
-		log.Printf("report: %v", err)
-	}
+	s.renderHTML(w, "report", reportTmpl, data)
 }
 
 // handleAPISignals serves the ranked signals as JSON for programmatic
@@ -354,9 +476,17 @@ func (s *server) handleAPISignals(w http.ResponseWriter, r *http.Request) {
 			Known: sig.Known != nil, SeriousShare: sig.SeriousShare, ReportIDs: sig.ReportIDs,
 		}
 	}
+	// Encode before writing: a marshal failure must yield a real 500,
+	// not a truncated 200 body.
+	body, err := json.Marshal(out)
+	if err != nil {
+		s.log().Error("api signals encode", "err", err)
+		http.Error(w, "internal encode error", http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		log.Printf("api: %v", err)
+	if _, err := w.Write(body); err != nil {
+		s.log().Warn("api signals write", "err", err)
 	}
 }
 
@@ -370,11 +500,14 @@ func (s *server) handleNetworkDOT(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleNetworkJSON(w http.ResponseWriter, r *http.Request) {
 	data, err := network.Build(s.analysis.Signals).JSON()
 	if err != nil {
+		s.log().Error("network json", "err", err)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
+	if _, err := w.Write(data); err != nil {
+		s.log().Warn("network json write", "err", err)
+	}
 }
 
 func (s *server) handleBarChart(w http.ResponseWriter, r *http.Request) {
@@ -384,5 +517,6 @@ func (s *server) handleBarChart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
+	w.Header().Set("Cache-Control", svgCacheControl)
 	fmt.Fprint(w, glyph.BarChart(sig.Cluster, glyph.Options{Size: 420, Dict: s.analysis.Dict()}))
 }

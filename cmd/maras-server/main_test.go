@@ -7,9 +7,11 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"maras/internal/core"
 	"maras/internal/faers"
+	"maras/internal/obs"
 )
 
 func testServer(t *testing.T) *server {
@@ -208,5 +210,124 @@ func TestBarChartSVG(t *testing.T) {
 	}
 	if !strings.Contains(rec.Body.String(), "<rect") {
 		t.Error("no bars rendered")
+	}
+}
+
+// testHandler builds the full instrumented mux the way main does.
+func testHandler(t *testing.T) (http.Handler, *server) {
+	t.Helper()
+	s := testServer(t)
+	reg := obs.NewRegistry()
+	mw := obs.NewHTTPMetrics(reg, nil)
+	return s.routes(reg, mw), s
+}
+
+func getMux(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec
+}
+
+func TestMetricsEndpointBothFormats(t *testing.T) {
+	h, _ := testHandler(t)
+	// Generate some traffic so per-route series exist and move.
+	for i := 0; i < 2; i++ {
+		getMux(t, h, "/")
+		getMux(t, h, "/signal/1")
+	}
+	getMux(t, h, "/signal/9999") // a 404
+
+	prom := getMux(t, h, "/metrics")
+	if prom.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", prom.Code)
+	}
+	body := prom.Body.String()
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		`http_requests_total{route="/",code="2xx"} 2`,
+		`http_requests_total{route="/signal/",code="2xx"} 2`,
+		`http_requests_total{route="/signal/",code="4xx"} 1`,
+		"# TYPE http_request_duration_seconds histogram",
+		`http_request_duration_seconds_count{route="/signal/"} 3`,
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	jsonRec := getMux(t, h, "/metrics?format=json")
+	var dump map[string]json.RawMessage
+	if err := json.Unmarshal(jsonRec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("/metrics?format=json invalid: %v", err)
+	}
+	if _, ok := dump["memstats"]; !ok {
+		t.Error("expvar dump missing memstats")
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	h, s := testHandler(t)
+	rec := getMux(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", rec.Code)
+	}
+	var body struct {
+		Status  string `json:"status"`
+		Quarter string `json:"quarter"`
+		Signals int    `json:"signals"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" || body.Quarter != s.quarter || body.Signals != len(s.analysis.Signals) {
+		t.Errorf("healthz = %+v", body)
+	}
+}
+
+func TestDebugEndpointsWired(t *testing.T) {
+	h, _ := testHandler(t)
+	if rec := getMux(t, h, "/debug/vars"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "memstats") {
+		t.Errorf("/debug/vars: status %d", rec.Code)
+	}
+	if rec := getMux(t, h, "/debug/pprof/"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("/debug/pprof/: status %d", rec.Code)
+	}
+}
+
+func TestSVGResponsesCacheable(t *testing.T) {
+	h, _ := testHandler(t)
+	for _, url := range []string{"/glyph/1", "/barchart/1"} {
+		rec := getMux(t, h, url)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s status = %d", url, rec.Code)
+		}
+		if cc := rec.Header().Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+			t.Errorf("%s Cache-Control = %q, want immutable", url, cc)
+		}
+	}
+	// HTML pages must not carry the immutable header.
+	if cc := getMux(t, h, "/").Header().Get("Cache-Control"); strings.Contains(cc, "immutable") {
+		t.Errorf("index page marked immutable: %q", cc)
+	}
+}
+
+func TestIndexContentTypeSet(t *testing.T) {
+	h, _ := testHandler(t)
+	rec := getMux(t, h, "/")
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("index content type = %q", ct)
+	}
+}
+
+func TestHealthDetailUptimeNonNegative(t *testing.T) {
+	s := testServer(t)
+	s.started = time.Now().Add(-2 * time.Second)
+	d := s.healthDetail()
+	if up, ok := d["uptime_seconds"].(int64); !ok || up < 2 {
+		t.Errorf("uptime_seconds = %v", d["uptime_seconds"])
 	}
 }

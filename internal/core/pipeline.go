@@ -17,11 +17,34 @@ import (
 	"maras/internal/knowledge"
 	"maras/internal/mcac"
 	"maras/internal/meddra"
+	"maras/internal/obs"
 	"maras/internal/rank"
 	"maras/internal/strata"
 	"maras/internal/txdb"
 	"maras/internal/types"
 )
+
+// Pipeline stage names, in execution order, as they appear in a
+// trace. Every stage also records domain counters (see the obs
+// package and DESIGN.md "Observability").
+const (
+	StageClean   = "clean"          // expedited/suspect filters + cleaning
+	StageEncode  = "encode"         // dictionary interning + transaction DB
+	StageMine    = "mine"           // FP-Growth frequent itemsets
+	StageClosure = "closure_filter" // closed-itemset filter (Lemma 3.4.2)
+	StageRules   = "rule_gen"       // drug→ADR target rule generation
+	StageCluster = "mcac_build"     // multi-level contextual clusters
+	StageRank    = "rank"           // exclusiveness (or baseline) ranking
+	StageLink    = "validate_link"  // knowledge validation + report linking
+)
+
+// StageOrder lists the trace stage names in pipeline order.
+func StageOrder() []string {
+	return []string{
+		StageClean, StageEncode, StageMine, StageClosure,
+		StageRules, StageCluster, StageRank, StageLink,
+	}
+}
 
 // Options configures a pipeline run. NewOptions supplies the paper's
 // defaults.
@@ -66,6 +89,11 @@ type Options struct {
 
 	// Knowledge is the validation base; nil = builtin.
 	Knowledge *knowledge.Base
+
+	// Tracer, when non-nil, records a per-stage trace of the run
+	// (wall time, allocation volume, domain counters). A nil tracer
+	// costs nothing on the hot path.
+	Tracer *obs.Tracer
 }
 
 // NewOptions returns the paper-shaped defaults.
@@ -172,6 +200,7 @@ func (a *Analysis) Dict() *types.Dictionary { return a.dict }
 // transaction database — so experiment harnesses can drive the mining
 // layers directly.
 func EncodeReports(reports []faers.Report, opts Options) (*txdb.DB, cleaning.Stats, error) {
+	st := opts.Tracer.StartStage(StageClean)
 	if opts.ExpeditedOnly {
 		reports = faers.FilterExpedited(reports)
 	}
@@ -186,9 +215,15 @@ func EncodeReports(reports []faers.Report, opts Options) (*txdb.DB, cleaning.Sta
 		reports = narrowed
 	}
 	cleaned, cstats := cleaning.Clean(reports, opts.Cleaning)
+	st.Count("reports_in", int64(cstats.ReportsIn))
+	st.Count("reports_out", int64(cstats.ReportsOut))
+	st.Count("duplicates_removed", int64(cstats.DuplicateReports))
+	st.Count("spellings_fixed", int64(cstats.DrugSpellingsFixed+cstats.ReacSpellingsFixed))
+	st.End()
 	if len(cleaned) == 0 {
 		return nil, cstats, fmt.Errorf("core: no usable reports after cleaning (in=%d)", cstats.ReportsIn)
 	}
+	st = opts.Tracer.StartStage(StageEncode)
 	dict := types.NewDictionary()
 	db := txdb.New(dict)
 	for _, r := range cleaned {
@@ -202,6 +237,9 @@ func EncodeReports(reports []faers.Report, opts Options) (*txdb.DB, cleaning.Sta
 		db.Add(r.PrimaryID, items)
 	}
 	db.Freeze()
+	st.Count("transactions", int64(db.Len()))
+	st.Count("dictionary_items", int64(dict.Len()))
+	st.End()
 	return db, cstats, nil
 }
 
@@ -233,9 +271,17 @@ func Run(reports []faers.Report, opts Options) (*Analysis, error) {
 
 	// Mine: closed itemsets for the rule base; the full frequent set
 	// only to size the unfiltered rule space (Fig 5.1 counts).
+	st := opts.Tracer.StartStage(StageMine)
 	mopts := fpgrowth.Options{MinSupport: opts.MinSupport, MaxLen: opts.MaxItems}
 	frequent := fpgrowth.Mine(db, mopts)
+	st.Count("frequent_itemsets", int64(len(frequent)))
+	st.End()
+
+	st = opts.Tracer.StartStage(StageClosure)
 	closed := fpgrowth.FilterClosed(frequent)
+	st.Count("closed_itemsets", int64(len(closed)))
+	st.Count("itemsets_dropped", int64(len(frequent)-len(closed)))
+	st.End()
 
 	var counts Counts
 	if opts.CountRules {
@@ -243,18 +289,30 @@ func Run(reports []faers.Report, opts Options) (*Analysis, error) {
 		counts.FilteredRules = assoc.CountDrugADRRules(dict, frequent)
 	}
 
+	st = opts.Tracer.StartStage(StageRules)
 	targets := assoc.FromItemsets(db, closed, assoc.GenOptions{
 		MinDrugs: opts.MinDrugs,
 		MaxDrugs: opts.MaxDrugs,
 	})
+	st.Count("rules_kept", int64(len(targets)))
+	st.End()
+
+	st = opts.Tracer.StartStage(StageCluster)
 	clusters := mcac.BuildAll(db, targets)
 	counts.MCACs = len(clusters)
+	st.Count("clusters_built", int64(len(clusters)))
+	st.End()
 
+	st = opts.Tracer.StartStage(StageRank)
 	ranked := rank.Rank(clusters, opts.Method, rank.Options{Theta: opts.Theta, Decay: opts.Decay})
+	st.Count("clusters_ranked", int64(len(ranked)))
 	if opts.TopK > 0 && len(ranked) > opts.TopK {
 		ranked = ranked[:opts.TopK]
 	}
+	st.Count("signals_kept", int64(len(ranked)))
+	st.End()
 
+	st = opts.Tracer.StartStage(StageLink)
 	signals := make([]Signal, len(ranked))
 	var tidBuf []txdb.TID
 	for i, r := range ranked {
@@ -291,6 +349,16 @@ func Run(reports []faers.Report, opts Options) (*Analysis, error) {
 			ReportIDs:    ids,
 		}
 	}
+	known := 0
+	for i := range signals {
+		if signals[i].Known != nil {
+			known++
+		}
+	}
+	st.Count("signals", int64(len(signals)))
+	st.Count("known", int64(known))
+	st.Count("novel", int64(len(signals)-known))
+	st.End()
 
 	return &Analysis{
 		Stats:      db.Stats(),

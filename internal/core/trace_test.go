@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"maras/internal/obs"
+	"maras/internal/synth"
+)
+
+// TestRunQuarterTraceStages runs the full pipeline on a small
+// synthetic quarter with a tracer attached and checks the trace: the
+// stage names appear in pipeline order and the stage counters agree
+// with the analysis outputs.
+func TestRunQuarterTraceStages(t *testing.T) {
+	sc := synth.DefaultConfig("2014Q1", 7)
+	sc.Reports = 600
+	q, _, err := synth.Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(nil)
+	opts := NewOptions()
+	opts.MinSupport = 3
+	opts.Tracer = tr
+	a, err := RunQuarter(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs := tr.Records()
+	want := StageOrder()
+	if len(recs) != len(want) {
+		names := make([]string, len(recs))
+		for i, r := range recs {
+			names[i] = r.Name
+		}
+		t.Fatalf("got %d stages %v, want %d %v", len(recs), names, len(want), want)
+	}
+	byName := map[string]obs.StageRecord{}
+	for i, r := range recs {
+		if r.Name != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, r.Name, want[i])
+		}
+		byName[r.Name] = r
+	}
+
+	// Counters must agree with the analysis.
+	clean := byName[StageClean]
+	if got := clean.Counters["reports_out"]; got != int64(a.Cleaning.ReportsOut) {
+		t.Errorf("clean.reports_out = %d, want %d", got, a.Cleaning.ReportsOut)
+	}
+	if got := clean.Counters["duplicates_removed"]; got != int64(a.Cleaning.DuplicateReports) {
+		t.Errorf("clean.duplicates_removed = %d, want %d", got, a.Cleaning.DuplicateReports)
+	}
+	encode := byName[StageEncode]
+	if got := encode.Counters["transactions"]; got != int64(a.Stats.Reports) {
+		t.Errorf("encode.transactions = %d, want Stats.Reports = %d", got, a.Stats.Reports)
+	}
+	mine := byName[StageMine]
+	closure := byName[StageClosure]
+	if mine.Counters["frequent_itemsets"] < closure.Counters["closed_itemsets"] {
+		t.Errorf("frequent (%d) < closed (%d)",
+			mine.Counters["frequent_itemsets"], closure.Counters["closed_itemsets"])
+	}
+	if got, want := closure.Counters["itemsets_dropped"],
+		mine.Counters["frequent_itemsets"]-closure.Counters["closed_itemsets"]; got != want {
+		t.Errorf("closure.itemsets_dropped = %d, want %d", got, want)
+	}
+	cluster := byName[StageCluster]
+	if got := cluster.Counters["clusters_built"]; got != int64(a.Counts.MCACs) {
+		t.Errorf("mcac_build.clusters_built = %d, want Counts.MCACs = %d", got, a.Counts.MCACs)
+	}
+	link := byName[StageLink]
+	if got := link.Counters["signals"]; got != int64(len(a.Signals)) {
+		t.Errorf("validate_link.signals = %d, want %d", got, len(a.Signals))
+	}
+	if link.Counters["known"]+link.Counters["novel"] != link.Counters["signals"] {
+		t.Errorf("known (%d) + novel (%d) != signals (%d)",
+			link.Counters["known"], link.Counters["novel"], link.Counters["signals"])
+	}
+	rankSt := byName[StageRank]
+	if got := rankSt.Counters["signals_kept"]; got != int64(len(a.Signals)) {
+		t.Errorf("rank.signals_kept = %d, want %d", got, len(a.Signals))
+	}
+}
+
+// TestRunNilTracerUnchanged checks that running without a tracer
+// produces the same analysis (the tracer is observe-only).
+func TestRunNilTracerUnchanged(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+	plain, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Tracer = obs.NewTracer(nil)
+	traced, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Signals) != len(traced.Signals) {
+		t.Fatalf("signal count changed under tracing: %d vs %d",
+			len(plain.Signals), len(traced.Signals))
+	}
+	for i := range plain.Signals {
+		if plain.Signals[i].Key() != traced.Signals[i].Key() ||
+			plain.Signals[i].Score != traced.Signals[i].Score {
+			t.Errorf("signal %d differs under tracing", i)
+		}
+	}
+}
+
+// BenchmarkNilTracerPipelineHooks guards the hot path: the stage
+// hooks as threaded through the pipeline must be free when no tracer
+// is configured.
+func BenchmarkNilTracerPipelineHooks(b *testing.B) {
+	var opts Options // Tracer nil, as in every untraced run
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := opts.Tracer.StartStage(StageMine)
+		st.Count("frequent_itemsets", int64(i))
+		st.End()
+	}
+}
+
+func TestNilTracerHooksZeroAlloc(t *testing.T) {
+	var opts Options
+	allocs := testing.AllocsPerRun(200, func() {
+		st := opts.Tracer.StartStage(StageMine)
+		st.Count("frequent_itemsets", 1)
+		st.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil tracer pipeline hooks allocate %.1f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"time"
+)
+
+// HTTPMetrics instruments a mux: per-route request/latency/status
+// series, an in-flight gauge, panic recovery, and structured request
+// logs.
+type HTTPMetrics struct {
+	reg      *Registry
+	logger   *slog.Logger
+	inflight *Gauge
+	panics   *Counter
+}
+
+// NewHTTPMetrics builds the middleware over a registry. logger may
+// be nil to disable request logging.
+func NewHTTPMetrics(reg *Registry, logger *slog.Logger) *HTTPMetrics {
+	return &HTTPMetrics{
+		reg:      reg,
+		logger:   logger,
+		inflight: reg.Gauge("http_inflight_requests", "Requests currently being served."),
+		panics:   reg.Counter("http_panics_total", "Handler panics recovered."),
+	}
+}
+
+// statusRecorder captures the status code and bytes written by the
+// wrapped handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// codeClass buckets a status code into "1xx".."5xx".
+func codeClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	case code >= 200:
+		return "2xx"
+	default:
+		return "1xx"
+	}
+}
+
+var codeClasses = []string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// Wrap instruments a handler under a route label (the mux pattern).
+// The counters and histogram series are created eagerly so /metrics
+// shows every route from the first scrape.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	byClass := make(map[string]*Counter, len(codeClasses))
+	for _, cc := range codeClasses {
+		byClass[cc] = m.reg.Counter("http_requests_total",
+			"HTTP requests served, by route and status class.",
+			Label{"route", route}, Label{"code", cc})
+	}
+	latency := m.reg.Histogram("http_request_duration_seconds",
+		"Request latency in seconds, by route.", DefaultLatencyBuckets,
+		Label{"route", route})
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				m.panics.Inc()
+				if rec.status == 0 {
+					http.Error(rec.ResponseWriter, "internal server error", http.StatusInternalServerError)
+					rec.status = http.StatusInternalServerError
+				}
+				if m.logger != nil {
+					m.logger.Error("handler panic",
+						slog.String("route", route),
+						slog.String("path", r.URL.Path),
+						slog.Any("panic", p),
+						slog.String("stack", string(debug.Stack())),
+					)
+				}
+			}
+			dur := time.Since(start)
+			m.inflight.Add(-1)
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			byClass[codeClass(status)].Inc()
+			latency.Observe(dur.Seconds())
+			if m.logger != nil {
+				m.logger.Info("request",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("route", route),
+					slog.Int("status", status),
+					slog.Duration("duration", dur),
+					slog.Int64("bytes", rec.bytes),
+					slog.String("remote", r.RemoteAddr),
+				)
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// HandleFunc registers an instrumented handler on the mux under
+// pattern, using the pattern itself as the route label.
+func (m *HTTPMetrics) HandleFunc(mux *http.ServeMux, pattern string, h http.HandlerFunc) {
+	mux.Handle(pattern, m.Wrap(pattern, h))
+}
+
+// MetricsHandler serves the registry. The default rendering is
+// Prometheus exposition text (with runtime series appended);
+// ?format=json returns the full expvar dump, so one endpoint covers
+// both scrape styles.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			ExpvarHandler().ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+		WriteRuntimePrometheus(w)
+	})
+}
+
+// ExpvarHandler returns the standard /debug/vars JSON handler
+// (expvar.Handler is only registered on the default mux by import;
+// this exposes it for custom muxes).
+func ExpvarHandler() http.Handler { return expvar.Handler() }
+
+// HealthzHandler reports liveness plus caller-supplied detail
+// (quarter served, signal count, uptime).
+func HealthzHandler(detail func() map[string]any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{"status": "ok"}
+		if detail != nil {
+			for k, v := range detail() {
+				body[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(body); err != nil {
+			http.Error(w, fmt.Sprintf("healthz encode: %v", err), http.StatusInternalServerError)
+		}
+	})
+}
+
+// RegisterPprof wires the net/http/pprof handlers onto a custom mux
+// under the standard /debug/pprof/ prefix.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

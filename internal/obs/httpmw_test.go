@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestMW(t *testing.T) (*HTTPMetrics, *Registry, *bytes.Buffer) {
+	t.Helper()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	reg := NewRegistry()
+	return NewHTTPMetrics(reg, logger), reg, &logBuf
+}
+
+func TestMiddlewareCountsAndLatency(t *testing.T) {
+	mw, reg, logBuf := newTestMW(t)
+	h := mw.Wrap("/ok", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("hello"))
+	}))
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/ok", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+	if v := reg.Counter("http_requests_total", "", Label{"route", "/ok"}, Label{"code", "2xx"}).Value(); v != 3 {
+		t.Errorf("2xx counter = %d, want 3", v)
+	}
+	hist := reg.Histogram("http_request_duration_seconds", "", DefaultLatencyBuckets, Label{"route", "/ok"})
+	if hist.Count() != 3 {
+		t.Errorf("latency observations = %d, want 3", hist.Count())
+	}
+	if !strings.Contains(logBuf.String(), "path=/ok") || !strings.Contains(logBuf.String(), "status=200") {
+		t.Errorf("request log missing fields: %q", logBuf.String())
+	}
+}
+
+func TestMiddlewareStatusClasses(t *testing.T) {
+	mw, reg, _ := newTestMW(t)
+	h := mw.Wrap("/nf", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nf", nil))
+	if v := reg.Counter("http_requests_total", "", Label{"route", "/nf"}, Label{"code", "4xx"}).Value(); v != 1 {
+		t.Errorf("4xx counter = %d, want 1", v)
+	}
+	if v := reg.Counter("http_requests_total", "", Label{"route", "/nf"}, Label{"code", "2xx"}).Value(); v != 0 {
+		t.Errorf("2xx counter = %d, want 0", v)
+	}
+}
+
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	mw, reg, logBuf := newTestMW(t)
+	h := mw.Wrap("/boom", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("panic escaped the middleware: %v", p)
+			}
+		}()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	}()
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if v := reg.Counter("http_panics_total", "").Value(); v != 1 {
+		t.Errorf("panics counter = %d, want 1", v)
+	}
+	if v := reg.Counter("http_requests_total", "", Label{"route", "/boom"}, Label{"code", "5xx"}).Value(); v != 1 {
+		t.Errorf("5xx counter = %d, want 1", v)
+	}
+	if !strings.Contains(logBuf.String(), "kaboom") || !strings.Contains(logBuf.String(), "stack=") {
+		t.Errorf("panic log missing detail: %q", logBuf.String())
+	}
+	// The handler (and therefore the server) must keep serving.
+	ok := mw.Wrap("/after", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	rec2 := httptest.NewRecorder()
+	ok.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/after", nil))
+	if rec2.Code != http.StatusNoContent {
+		t.Errorf("post-panic request status = %d", rec2.Code)
+	}
+}
+
+func TestMiddlewareInflightGauge(t *testing.T) {
+	mw, reg, _ := newTestMW(t)
+	var seen int64 = -1
+	h := mw.Wrap("/slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = reg.Gauge("http_inflight_requests", "").Value()
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/slow", nil))
+	if seen != 1 {
+		t.Errorf("in-flight during request = %d, want 1", seen)
+	}
+	if after := reg.Gauge("http_inflight_requests", "").Value(); after != 0 {
+		t.Errorf("in-flight after request = %d, want 0", after)
+	}
+}
+
+func TestMetricsHandlerFormats(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total", "Demo.").Add(5)
+	h := MetricsHandler(reg)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus content type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "demo_total 5") || !strings.Contains(body, "go_goroutines") {
+		t.Errorf("prometheus body incomplete:\n%s", body)
+	}
+	parsePrometheus(t, body)
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
+	var dump map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("expvar JSON invalid: %v", err)
+	}
+	if _, ok := dump["memstats"]; !ok {
+		t.Error("expvar dump missing memstats")
+	}
+}
+
+func TestHealthzHandler(t *testing.T) {
+	h := HealthzHandler(func() map[string]any {
+		return map[string]any{"signals": 12, "quarter": "2014Q1"}
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" || body["quarter"] != "2014Q1" {
+		t.Errorf("healthz body = %v", body)
+	}
+}
+
+func TestRegisterPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterPprof(mux)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index: status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", rec.Code)
+	}
+}

@@ -1,0 +1,400 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (e.g. route="/signal/").
+type Label struct{ Key, Value string }
+
+// L is a convenience constructor: L("route", "/", "code", "2xx").
+// Keys and values alternate; an odd trailing key is dropped.
+func L(kv ...string) []Label {
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		out = append(out, Label{kv[i], kv[i+1]})
+	}
+	return out
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored to keep monotonicity).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (in-flight requests).
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set forces the gauge to n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution (Prometheus classic
+// histogram semantics: cumulative buckets plus sum and count).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	count  atomic.Int64
+}
+
+// DefaultLatencyBuckets are the fixed request-latency bucket bounds
+// in seconds (0.5ms .. 10s).
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Cumulative at render time; store per-bucket here.
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.counts) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts aligned with bounds,
+// then the +Inf count.
+func (h *Histogram) snapshot() ([]int64, int64) {
+	cum := make([]int64, len(h.bounds))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, run + h.inf.Load()
+}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is a named metric with HELP/TYPE metadata and its labeled
+// series.
+type family struct {
+	name, help, typ string
+	mu              sync.Mutex
+	series          map[string]*series // key = canonical label string
+	order           []string
+}
+
+// Registry holds metric families and renders them as Prometheus
+// exposition text or an expvar-friendly JSON snapshot.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	return f
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func (f *family) get(labels []Label) *series {
+	key := labelKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		cp := make([]Label, len(labels))
+		copy(cp, labels)
+		s = &series{labels: cp}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns (creating on first use) the counter series of the
+// named family with the given labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.family(name, help, typeCounter).get(labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns (creating on first use) the gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.family(name, help, typeGauge).get(labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns (creating on first use) the histogram series
+// with the given fixed bucket upper bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefaultLatencyBuckets
+	}
+	s := r.family(name, help, typeHistogram).get(labels)
+	if s.h == nil {
+		s.h = newHistogram(buckets)
+	}
+	return s.h
+}
+
+// escapeLabelValue escapes a Prometheus label value per the
+// exposition format: backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// renderLabels formats {k="v",...}; extra appends additional pairs
+// (used for the le bucket bound).
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (HELP/TYPE comments, escaped labels, cumulative
+// histogram buckets with sum and count).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string{}, r.order...)
+	r.mu.Unlock()
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		r.mu.Unlock()
+		if f == nil {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		f.mu.Lock()
+		keys := append([]string{}, f.order...)
+		sers := make([]*series, len(keys))
+		for i, k := range keys {
+			sers[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		for _, s := range sers {
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.c.Value())
+			case typeGauge:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.g.Value())
+			case typeHistogram:
+				cum, total := s.h.snapshot()
+				for i, bound := range s.h.bounds {
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						renderLabels(s.labels, Label{"le", formatFloat(bound)}), cum[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					renderLabels(s.labels, Label{"le", "+Inf"}), total)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(s.labels), formatFloat(s.h.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(s.labels), total)
+			}
+		}
+	}
+}
+
+// runtimeSamples are the runtime/metrics series exported alongside
+// the registry on every scrape.
+var runtimeSamples = []struct {
+	metric, name, help string
+}{
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "Bytes of allocated heap objects."},
+	{"/gc/heap/allocs:bytes", "go_heap_allocs_bytes_total", "Cumulative bytes allocated on the heap."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "Completed GC cycles."},
+	{"/sched/goroutines:goroutines", "go_goroutines", "Current number of goroutines."},
+}
+
+// WriteRuntimePrometheus renders a small fixed set of Go runtime
+// health series (heap bytes, GC cycles, goroutines).
+func WriteRuntimePrometheus(w io.Writer) {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i := range runtimeSamples {
+		samples[i].Name = runtimeSamples[i].metric
+	}
+	metrics.Read(samples)
+	for i, rs := range runtimeSamples {
+		v := samples[i].Value
+		if v.Kind() != metrics.KindUint64 {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			rs.name, rs.help, rs.name, rs.name, v.Uint64())
+	}
+	// NumGoroutine is also available without runtime/metrics; keep the
+	// sample above authoritative and add CPU count for capacity math.
+	fmt.Fprintf(w, "# HELP go_cpus Number of usable CPUs.\n# TYPE go_cpus gauge\ngo_cpus %d\n",
+		runtime.NumCPU())
+}
+
+// Snapshot returns a JSON-ready view of the registry: family name →
+// series label string → value (histograms expose count/sum/buckets).
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	r.mu.Lock()
+	names := append([]string{}, r.order...)
+	r.mu.Unlock()
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		r.mu.Unlock()
+		if f == nil {
+			continue
+		}
+		fam := map[string]any{}
+		f.mu.Lock()
+		for _, key := range f.order {
+			s := f.series[key]
+			lbl := strings.TrimSuffix(renderLabels(s.labels), "}")
+			lbl = strings.TrimPrefix(lbl, "{")
+			switch f.typ {
+			case typeCounter:
+				fam[lbl] = s.c.Value()
+			case typeGauge:
+				fam[lbl] = s.g.Value()
+			case typeHistogram:
+				cum, total := s.h.snapshot()
+				buckets := map[string]int64{}
+				for i, bound := range s.h.bounds {
+					buckets[formatFloat(bound)] = cum[i]
+				}
+				buckets["+Inf"] = total
+				fam[lbl] = map[string]any{
+					"count":   total,
+					"sum":     s.h.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+		f.mu.Unlock()
+		out[name] = fam
+	}
+	return out
+}
+
+// PublishExpvar publishes the registry snapshot as a named expvar
+// variable so it appears in /debug/vars. Publishing the same name
+// twice panics in expvar, so this is guarded for reuse in tests.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,183 @@
+// Package obs is the observability substrate of the MARAS system:
+// a per-stage pipeline tracer, a dependency-free metrics registry
+// with a hand-written Prometheus text renderer and expvar bridge,
+// HTTP server middleware (request logging, latency histograms,
+// status counters, panic recovery), and pprof wiring. Everything is
+// standard library only (log/slog, expvar, net/http/pprof,
+// runtime/metrics), matching the repo's zero-dependency rule.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// heapAllocsMetric is the cumulative heap allocation counter sampled
+// around each stage to attribute allocation volume per stage.
+const heapAllocsMetric = "/gc/heap/allocs:bytes"
+
+// StageRecord is one completed pipeline stage: what it was called,
+// how long it ran, how much it allocated, and its domain counters
+// (reports cleaned, itemsets mined, rules kept, ...).
+type StageRecord struct {
+	Name       string           `json:"name"`
+	Seq        int              `json:"seq"`
+	DurationNS int64            `json:"duration_ns"`
+	AllocBytes uint64           `json:"alloc_bytes"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+// Duration returns the stage wall time as a time.Duration.
+func (r StageRecord) Duration() time.Duration { return time.Duration(r.DurationNS) }
+
+// Tracer collects per-stage records of one pipeline run. A nil
+// *Tracer is fully usable and free: every method no-ops without
+// allocating, so the pipeline threads it unconditionally.
+//
+// Stages are expected to be sequential (the pipeline is a straight
+// line), but the tracer is safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	stages []StageRecord
+	logger *slog.Logger
+	sample [1]metrics.Sample
+}
+
+// NewTracer returns a tracer. logger may be nil; when set, every
+// completed stage is logged at Debug level.
+func NewTracer(logger *slog.Logger) *Tracer {
+	t := &Tracer{logger: logger}
+	t.sample[0].Name = heapAllocsMetric
+	return t
+}
+
+// Stage is an in-flight pipeline stage started by StartStage. A nil
+// *Stage no-ops on every method.
+type Stage struct {
+	t        *Tracer
+	name     string
+	start    time.Time
+	startAlc uint64
+	counters map[string]int64
+}
+
+// readAllocs samples cumulative heap allocation bytes.
+func (t *Tracer) readAllocs() uint64 {
+	t.mu.Lock()
+	metrics.Read(t.sample[:])
+	v := t.sample[0].Value
+	t.mu.Unlock()
+	if v.Kind() == metrics.KindUint64 {
+		return v.Uint64()
+	}
+	return 0
+}
+
+// StartStage begins a named stage. Call End on the returned stage
+// when the work completes. On a nil tracer it returns nil, which is
+// safe to use.
+func (t *Tracer) StartStage(name string) *Stage {
+	if t == nil {
+		return nil
+	}
+	return &Stage{
+		t:        t,
+		name:     name,
+		startAlc: t.readAllocs(),
+		start:    time.Now(),
+	}
+}
+
+// Count adds n to a named stage counter (reports_in, rules_kept, ...).
+func (s *Stage) Count(name string, n int64) {
+	if s == nil {
+		return
+	}
+	if s.counters == nil {
+		s.counters = make(map[string]int64, 4)
+	}
+	s.counters[name] += n
+}
+
+// End finalizes the stage and appends its record to the tracer.
+func (s *Stage) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	endAlc := s.t.readAllocs()
+	var alloc uint64
+	if endAlc > s.startAlc {
+		alloc = endAlc - s.startAlc
+	}
+	s.t.mu.Lock()
+	rec := StageRecord{
+		Name:       s.name,
+		Seq:        len(s.t.stages) + 1,
+		DurationNS: int64(dur),
+		AllocBytes: alloc,
+		Counters:   s.counters,
+	}
+	s.t.stages = append(s.t.stages, rec)
+	logger := s.t.logger
+	s.t.mu.Unlock()
+	if logger != nil {
+		attrs := []any{
+			slog.String("stage", s.name),
+			slog.Duration("duration", dur),
+			slog.Uint64("alloc_bytes", alloc),
+		}
+		for k, v := range s.counters {
+			attrs = append(attrs, slog.Int64(k, v))
+		}
+		logger.Debug("pipeline stage", attrs...)
+	}
+}
+
+// Records returns a copy of the completed stage records in order.
+// Nil tracers return nil.
+func (t *Tracer) Records() []StageRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageRecord, len(t.stages))
+	copy(out, t.stages)
+	return out
+}
+
+// Reset discards all recorded stages so the tracer can observe
+// another run.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = t.stages[:0]
+	t.mu.Unlock()
+}
+
+// TotalDuration sums the wall time of all recorded stages.
+func (t *Tracer) TotalDuration() time.Duration {
+	var tot time.Duration
+	for _, r := range t.Records() {
+		tot += r.Duration()
+	}
+	return tot
+}
+
+// WriteJSON writes the stage records as an indented JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	recs := t.Records()
+	if recs == nil {
+		recs = []StageRecord{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+func TestTracerRecordsStagesInOrder(t *testing.T) {
+	tr := NewTracer(nil)
+	for _, name := range []string{"clean", "encode", "mine"} {
+		st := tr.StartStage(name)
+		st.Count("items", 3)
+		st.Count("items", 4)
+		st.End()
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	wantNames := []string{"clean", "encode", "mine"}
+	for i, r := range recs {
+		if r.Name != wantNames[i] {
+			t.Errorf("record %d name = %q, want %q", i, r.Name, wantNames[i])
+		}
+		if r.Seq != i+1 {
+			t.Errorf("record %d seq = %d, want %d", i, r.Seq, i+1)
+		}
+		if r.Counters["items"] != 7 {
+			t.Errorf("record %d items = %d, want 7 (Count must accumulate)", i, r.Counters["items"])
+		}
+		if r.DurationNS < 0 {
+			t.Errorf("record %d negative duration", i)
+		}
+	}
+}
+
+func TestTracerAllocAttribution(t *testing.T) {
+	tr := NewTracer(nil)
+	st := tr.StartStage("alloc-heavy")
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 4096))
+	}
+	_ = sink
+	st.End()
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].AllocBytes < 64*4096/2 {
+		t.Errorf("alloc_bytes = %d, want a substantial fraction of the %d bytes allocated",
+			recs[0].AllocBytes, 64*4096)
+	}
+}
+
+func TestNilTracerSafeAndRecordsNil(t *testing.T) {
+	var tr *Tracer
+	st := tr.StartStage("x")
+	st.Count("c", 1)
+	st.End()
+	if recs := tr.Records(); recs != nil {
+		t.Errorf("nil tracer records = %v, want nil", recs)
+	}
+	tr.Reset() // must not panic
+}
+
+// The pipeline threads the tracer unconditionally, so the disabled
+// path must be allocation-free.
+func TestNilTracerZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		st := tr.StartStage("stage")
+		st.Count("counter", 42)
+		st.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil tracer allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilTracerStage(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := tr.StartStage("stage")
+		st.Count("counter", 1)
+		st.End()
+	}
+}
+
+func BenchmarkLiveTracerStage(b *testing.B) {
+	tr := NewTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := tr.StartStage("stage")
+		st.Count("counter", 1)
+		st.End()
+	}
+	if n := len(tr.Records()); n != b.N {
+		b.Fatalf("recorded %d stages, want %d", n, b.N)
+	}
+}
+
+func TestTracerWriteJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(nil)
+	st := tr.StartStage("mine")
+	st.Count("frequent_itemsets", 123)
+	st.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []StageRecord
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(recs) != 1 || recs[0].Name != "mine" || recs[0].Counters["frequent_itemsets"] != 123 {
+		t.Errorf("round trip mismatch: %+v", recs)
+	}
+}
+
+func TestTracerLogsStagesAtDebug(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tr := NewTracer(logger)
+	st := tr.StartStage("rank")
+	st.Count("clusters_ranked", 9)
+	st.End()
+	out := buf.String()
+	for _, want := range []string{"pipeline stage", "stage=rank", "clusters_ranked=9"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("stage log missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestTracerResetAndTotalDuration(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.StartStage("a").End()
+	tr.StartStage("b").End()
+	if tot := tr.TotalDuration(); tot < 0 {
+		t.Errorf("total duration negative: %v", tot)
+	}
+	tr.Reset()
+	if n := len(tr.Records()); n != 0 {
+		t.Errorf("after reset: %d records", n)
+	}
+	tr.StartStage("c").End()
+	recs := tr.Records()
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Errorf("post-reset records wrong: %+v", recs)
+	}
+}

@@ -38,10 +38,12 @@ package maras
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"maras/internal/core"
 	"maras/internal/faers"
 	"maras/internal/knowledge"
+	"maras/internal/obs"
 	"maras/internal/rank"
 )
 
@@ -105,6 +107,11 @@ type Options struct {
 	SpellCorrect bool
 	// DropDuplicates enables duplicate-report removal (default true).
 	DropDuplicates bool
+	// CollectTrace records a per-stage execution trace of the run
+	// (wall time, allocation volume, and domain counters per pipeline
+	// stage) into Analysis.Trace. Off by default; the disabled path
+	// costs nothing.
+	CollectTrace bool
 }
 
 // DefaultOptions returns the paper-shaped defaults.
@@ -170,6 +177,21 @@ type KnownInteraction struct {
 	Source    string
 }
 
+// StageTrace is one pipeline stage of an analysis run, recorded when
+// Options.CollectTrace is set: the stage name (see StageNames for
+// the order), its wall time and allocation volume, and its domain
+// counters (reports_in, frequent_itemsets, rules_kept, ...).
+type StageTrace struct {
+	Stage      string
+	Duration   time.Duration
+	AllocBytes uint64
+	Counters   map[string]int64
+}
+
+// StageNames returns the pipeline stage names in execution order, as
+// they appear in Analysis.Trace.
+func StageNames() []string { return core.StageOrder() }
+
 // Analysis is a completed run.
 type Analysis struct {
 	// Signals are the ranked interaction candidates, best first.
@@ -182,6 +204,9 @@ type Analysis struct {
 	// DuplicatesRemoved and SpellingsFixed report cleaning activity.
 	DuplicatesRemoved int
 	SpellingsFixed    int
+	// Trace holds the per-stage execution trace when
+	// Options.CollectTrace was set, nil otherwise.
+	Trace []StageTrace
 }
 
 // Analyze runs the MARAS pipeline over reports.
@@ -192,6 +217,11 @@ func Analyze(reports []Report, opts Options) (*Analysis, error) {
 	copts, err := toCoreOptions(opts)
 	if err != nil {
 		return nil, err
+	}
+	var tracer *obs.Tracer
+	if opts.CollectTrace {
+		tracer = obs.NewTracer(nil)
+		copts.Tracer = tracer
 	}
 	raw := make([]faers.Report, len(reports))
 	for i, r := range reports {
@@ -215,7 +245,18 @@ func Analyze(reports []Report, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fromCore(a), nil
+	out := fromCore(a)
+	if tracer != nil {
+		for _, r := range tracer.Records() {
+			out.Trace = append(out.Trace, StageTrace{
+				Stage:      r.Name,
+				Duration:   r.Duration(),
+				AllocBytes: r.AllocBytes,
+				Counters:   r.Counters,
+			})
+		}
+	}
+	return out, nil
 }
 
 func toCoreOptions(o Options) (core.Options, error) {

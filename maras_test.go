@@ -206,3 +206,40 @@ func TestTopKApplied(t *testing.T) {
 		t.Errorf("TopK=1 returned %d", len(a.Signals))
 	}
 }
+
+func TestAnalyzeCollectTrace(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MinSupport = 2
+	opts.CollectTrace = true
+	a, err := Analyze(corpus(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := StageNames()
+	if len(a.Trace) != len(names) {
+		t.Fatalf("trace has %d stages, want %d (%v)", len(a.Trace), len(names), names)
+	}
+	for i, st := range a.Trace {
+		if st.Stage != names[i] {
+			t.Errorf("trace stage %d = %q, want %q", i, st.Stage, names[i])
+		}
+		if st.Duration < 0 {
+			t.Errorf("stage %s has negative duration", st.Stage)
+		}
+	}
+	// The encode stage must agree with the dataset statistics.
+	for _, st := range a.Trace {
+		if st.Stage == "encode" && st.Counters["transactions"] != int64(a.Reports) {
+			t.Errorf("encode.transactions = %d, want %d", st.Counters["transactions"], a.Reports)
+		}
+	}
+	// Off by default.
+	opts.CollectTrace = false
+	a2, err := Analyze(corpus(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Trace != nil {
+		t.Errorf("trace collected without CollectTrace: %d stages", len(a2.Trace))
+	}
+}
