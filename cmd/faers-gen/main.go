@@ -8,6 +8,13 @@
 //
 //	faers-gen -out data -quarters 2014Q1,2014Q2 -reports 15000 -seed 1
 //	faers-gen -out data -paper-scale   # ~126k reports per quarter
+//	faers-gen -out data -quarters 4 -ramp   # a year with ramping exposure
+//
+// -quarters takes either explicit comma-separated labels or a plain
+// count N, which expands to N consecutive quarters from -start
+// (rolling Q4 into the next year). With -ramp, interaction exposure
+// ramps up quarter over quarter — the surveillance fixture where a
+// signal emerges and grows instead of sitting flat.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"maras/internal/faers"
@@ -29,22 +37,33 @@ func main() {
 
 	var (
 		out        = flag.String("out", "data", "output directory")
-		quarters   = flag.String("quarters", "2014Q1,2014Q2,2014Q3,2014Q4", "comma-separated quarter labels")
+		quarters   = flag.String("quarters", "2014Q1,2014Q2,2014Q3,2014Q4", "comma-separated quarter labels, or a count N expanded from -start")
+		start      = flag.String("start", "2014Q1", "first quarter label when -quarters is a count")
+		ramp       = flag.Bool("ramp", false, "ramp interaction exposure up across the quarters (surveillance fixture)")
 		reports    = flag.Int("reports", 0, "reports per quarter (0 = config default)")
 		seed       = flag.Int64("seed", 1, "base random seed (quarter i uses seed+i)")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's Table 5.1 scale (~126k reports/quarter)")
 	)
 	flag.Parse()
 
-	labels := strings.Split(*quarters, ",")
+	labels, err := expandQuarters(*quarters, *start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rates []float64
+	if *ramp {
+		rates = synth.RampRates(len(labels))
+	}
 	for i, label := range labels {
-		label = strings.TrimSpace(label)
 		cfg := synth.DefaultConfig(label, *seed+int64(i))
 		if *paperScale {
 			cfg = synth.PaperScaleConfig(label, *seed+int64(i))
 		}
 		if *reports > 0 {
 			cfg.Reports = *reports
+		}
+		if rates != nil {
+			cfg.ExposureRate = rates[i]
 		}
 		q, gt, err := synth.Generate(cfg)
 		if err != nil {
@@ -59,6 +78,28 @@ func main() {
 		fmt.Printf("%s: %d reports, %d drug rows, %d reaction rows -> %s\n",
 			label, len(q.Demos), len(q.Drugs), len(q.Reacs), *out)
 	}
+}
+
+// expandQuarters resolves the -quarters flag: a bare count N becomes
+// N consecutive labels from start; anything else is taken as explicit
+// comma-separated labels.
+func expandQuarters(spec, start string) ([]string, error) {
+	if n, err := strconv.Atoi(strings.TrimSpace(spec)); err == nil {
+		if n <= 0 {
+			return nil, fmt.Errorf("-quarters count must be positive, got %d", n)
+		}
+		return synth.QuarterSequence(start, n)
+	}
+	var labels []string
+	for _, l := range strings.Split(spec, ",") {
+		if l = strings.TrimSpace(l); l != "" {
+			labels = append(labels, l)
+		}
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("-quarters %q names no quarters", spec)
+	}
+	return labels, nil
 }
 
 // writeGroundTruth records the planted interactions, one per line:

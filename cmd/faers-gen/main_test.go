@@ -9,6 +9,38 @@ import (
 	"maras/internal/synth"
 )
 
+func TestExpandQuarters(t *testing.T) {
+	got, err := expandQuarters("4", "2014Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"2014Q1", "2014Q2", "2014Q3", "2014Q4"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("count expansion = %v, want %v", got, want)
+	}
+	// A count rolls across year boundaries from -start.
+	got, err = expandQuarters("3", "2014Q4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != "2014Q4,2015Q1,2015Q2" {
+		t.Errorf("rolling expansion = %v", got)
+	}
+	// Explicit labels pass through, trimmed.
+	got, err = expandQuarters(" 2014Q1 , 2016Q3 ", "2014Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != "2014Q1,2016Q3" {
+		t.Errorf("explicit labels = %v", got)
+	}
+	for _, bad := range []string{"0", "-2", ",", ""} {
+		if _, err := expandQuarters(bad, "2014Q1"); err == nil {
+			t.Errorf("expandQuarters(%q) accepted", bad)
+		}
+	}
+}
+
 func TestWriteGroundTruth(t *testing.T) {
 	dir := t.TempDir()
 	gt := &synth.GroundTruth{Interactions: []synth.Interaction{

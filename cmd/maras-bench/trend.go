@@ -19,7 +19,7 @@ import (
 // "detect early with minimum patient exposure" workflow the paper's
 // introduction motivates.
 func runTrend(cfg benchConfig) error {
-	rates := []float64{0.004, 0.012, 0.03, 0.045}
+	rates := synth.RampRates(len(quarterLabels))
 	var quarters []*faers.Quarter
 	var gt *synth.GroundTruth
 	for i, label := range quarterLabels {

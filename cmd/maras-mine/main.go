@@ -6,7 +6,11 @@
 //
 //	maras-mine -data data -quarter 2014Q1 [-top 20] [-method exclusiveness]
 //	           [-minsup 8] [-theta 0.5] [-format text|json|csv]
-//	           [-drug ASPIRIN] [-novel]
+//	           [-drug ASPIRIN] [-novel] [-snapshot-out snapshots/]
+//
+// With -snapshot-out DIR the full analysis (before -drug/-novel/-top
+// output filtering) is additionally persisted as DIR/QUARTER.maras —
+// a binary snapshot maras-server -store can serve without re-mining.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"maras/internal/core"
@@ -24,6 +29,7 @@ import (
 	"maras/internal/network"
 	"maras/internal/rank"
 	"maras/internal/report"
+	"maras/internal/store"
 )
 
 func main() {
@@ -41,6 +47,7 @@ func main() {
 		drug    = flag.String("drug", "", "only signals mentioning this drug or reaction")
 		novel   = flag.Bool("novel", false, "only signals absent from the knowledge base")
 		suspect = flag.Bool("suspect-only", false, "mine only suspect drugs (role PS/SS/I)")
+		snapOut = flag.String("snapshot-out", "", "also write the analysis as a snapshot into this store directory")
 	)
 	flag.Parse()
 
@@ -64,13 +71,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *snapOut != "" {
+		path, err := writeSnapshot(*snapOut, *quarter, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("snapshot written: %s", path)
+	}
+
 	signals := a.Signals
 	if *drug != "" {
-		signals = a.FilterSignals(strings.ToUpper(*drug))
-		if len(signals) == 0 {
-			// Reaction terms are sentence-case; retry verbatim.
-			signals = a.FilterSignals(*drug)
-		}
+		// FilterSignals matches case-insensitively; one query suffices.
+		signals = a.FilterSignals(*drug)
 	}
 	if *novel {
 		filtered := signals[:0:0]
@@ -97,6 +109,19 @@ func main() {
 	default:
 		log.Fatalf("unknown format %q", *format)
 	}
+}
+
+// writeSnapshot persists the analysis into the store directory
+// (created if absent) as dir/quarter.maras and returns the path.
+func writeSnapshot(dir, quarter string, a *core.Analysis) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, quarter+store.Ext)
+	if err := store.WriteFile(path, quarter, a); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 func parseMethod(s string) (rank.Method, error) {

@@ -5,12 +5,14 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"maras/internal/core"
 	"maras/internal/faers"
 	"maras/internal/rank"
+	"maras/internal/store"
 )
 
 func testAnalysis(t *testing.T) *core.Analysis {
@@ -38,6 +40,29 @@ func testAnalysis(t *testing.T) *core.Analysis {
 		t.Fatal(err)
 	}
 	return a
+}
+
+// TestWriteSnapshot exercises the -snapshot-out path: the persisted
+// file must open through the store package and carry the same ranked
+// signals the miner printed.
+func TestWriteSnapshot(t *testing.T) {
+	a := testAnalysis(t)
+	dir := filepath.Join(t.TempDir(), "snapshots") // exercises MkdirAll
+	path, err := writeSnapshot(dir, "2014Q1", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "2014Q1"+store.Ext {
+		t.Errorf("snapshot path = %q", path)
+	}
+	snap, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Label != "2014Q1" || len(snap.Analysis.Signals) != len(a.Signals) {
+		t.Errorf("snapshot = label %q, %d signals; want 2014Q1, %d",
+			snap.Label, len(snap.Analysis.Signals), len(a.Signals))
+	}
 }
 
 func TestParseMethod(t *testing.T) {

@@ -15,6 +15,13 @@
 //
 //	maras-server -data data -quarter 2014Q1 [-addr :8080] [-minsup 8]
 //	             [-log-format text|json] [-log-level debug|info|warn|error]
+//	maras-server -store snapshots/ [-addr :8080] ...
+//
+// With -store the server mines nothing: it serves pre-mined quarter
+// snapshots (written by maras-mine -snapshot-out) from the given
+// directory — the latest quarter at /, every quarter under
+// /q/{label}/..., the inventory at /api/quarters, and cross-quarter
+// signal trajectories at /api/timeline/{drugkey}. See store.go.
 package main
 
 import (
@@ -88,6 +95,22 @@ func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics) http.Handler {
 	return mux
 }
 
+// quarterMux assembles just the per-quarter application routes —
+// the unit store mode mounts once per quarter, under its own outer
+// instrumentation, without duplicating the operational endpoints.
+func (s *server) quarterMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/signal/", s.handleSignal)
+	mux.HandleFunc("/glyph/", s.handleGlyph)
+	mux.HandleFunc("/barchart/", s.handleBarChart)
+	mux.HandleFunc("/report/", s.handleReport)
+	mux.HandleFunc("/api/signals", s.handleAPISignals)
+	mux.HandleFunc("/network.dot", s.handleNetworkDOT)
+	mux.HandleFunc("/network.json", s.handleNetworkJSON)
+	return mux
+}
+
 func (s *server) healthDetail() map[string]any {
 	return map[string]any{
 		"quarter":        s.quarter,
@@ -101,6 +124,7 @@ func main() {
 	var (
 		data      = flag.String("data", "data", "directory with FAERS quarter files")
 		quarter   = flag.String("quarter", "2014Q1", "quarter label")
+		storeDir  = flag.String("store", "", "serve pre-mined quarter snapshots from this directory instead of mining")
 		addr      = flag.String("addr", ":8080", "listen address")
 		minsup    = flag.Int("minsup", 8, "absolute minimum support")
 		topK      = flag.Int("top", 60, "signals to keep")
@@ -116,38 +140,52 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, *logFormat, level)
 
-	q, err := faers.LoadQuarter(*data, *quarter)
-	if err != nil {
-		logger.Error("load quarter", "err", err)
-		os.Exit(1)
-	}
-	opts := core.NewOptions()
-	opts.MinSupport = *minsup
-	opts.TopK = *topK
-	tracer := obs.NewTracer(logger)
-	opts.Tracer = tracer
-	logger.Info("mining", "quarter", *quarter, "minsup", *minsup)
-	a, err := core.RunQuarter(q, opts)
-	if err != nil {
-		logger.Error("pipeline", "err", err)
-		os.Exit(1)
-	}
-	for _, st := range tracer.Records() {
-		logger.Info("pipeline stage", "stage", st.Name,
-			"duration", st.Duration().Round(time.Millisecond),
-			"alloc_mb", st.AllocBytes>>20)
-	}
-	logger.Info("ready", "signals", len(a.Signals), "reports", a.Stats.Reports,
-		"mining_wall", tracer.TotalDuration().Round(time.Millisecond))
-
-	s := &server{analysis: a, quarter: *quarter, logger: logger, started: time.Now()}
 	reg := obs.NewRegistry()
 	reg.PublishExpvar("maras_metrics")
 	mw := obs.NewHTTPMetrics(reg, logger)
+	tracer := obs.NewTracer(logger)
+
+	var handler http.Handler
+	if *storeDir != "" {
+		ss, err := newStoreServer(*storeDir, logger, tracer, obs.NewStoreMetrics(reg))
+		if err != nil {
+			logger.Error("open store", "err", err)
+			os.Exit(1)
+		}
+		quarters := ss.reg.Quarters()
+		logger.Info("serving from store", "dir", *storeDir,
+			"quarters", len(quarters), "default", ss.reg.Latest())
+		handler = ss.routes(reg, mw)
+	} else {
+		q, err := faers.LoadQuarter(*data, *quarter)
+		if err != nil {
+			logger.Error("load quarter", "err", err)
+			os.Exit(1)
+		}
+		opts := core.NewOptions()
+		opts.MinSupport = *minsup
+		opts.TopK = *topK
+		opts.Tracer = tracer
+		logger.Info("mining", "quarter", *quarter, "minsup", *minsup)
+		a, err := core.RunQuarter(q, opts)
+		if err != nil {
+			logger.Error("pipeline", "err", err)
+			os.Exit(1)
+		}
+		for _, st := range tracer.Records() {
+			logger.Info("pipeline stage", "stage", st.Name,
+				"duration", st.Duration().Round(time.Millisecond),
+				"alloc_mb", st.AllocBytes>>20)
+		}
+		logger.Info("ready", "signals", len(a.Signals), "reports", a.Stats.Reports,
+			"mining_wall", tracer.TotalDuration().Round(time.Millisecond))
+		s := &server{analysis: a, quarter: *quarter, logger: logger, started: time.Now()}
+		handler = s.routes(reg, mw)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.routes(reg, mw),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// Generous write timeout: /debug/pprof/profile streams for
@@ -249,10 +287,8 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	query := strings.TrimSpace(r.URL.Query().Get("q"))
 	signals := s.analysis.Signals
 	if query != "" {
-		signals = s.analysis.FilterSignals(strings.ToUpper(query))
-		if len(signals) == 0 {
-			signals = s.analysis.FilterSignals(query)
-		}
+		// FilterSignals matches case-insensitively; one query suffices.
+		signals = s.analysis.FilterSignals(query)
 	}
 	d := indexData{
 		Quarter:     s.quarter,

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"maras/internal/assoc"
 	"maras/internal/cleaning"
@@ -379,12 +380,14 @@ func RunQuarter(q *faers.Quarter, opts Options) (*Analysis, error) {
 }
 
 // FilterSignals returns the signals mentioning the given drug or
-// reaction name (case-sensitive match against the cleaned names), the
-// search behaviour of the interactive interface (Section 4.1).
+// reaction name — the search behaviour of the interactive interface
+// (Section 4.1). Matching is case-insensitive: cleaned drug names are
+// upper-case and reaction terms sentence-case, and a user searching
+// "aspirin" means both.
 func (a *Analysis) FilterSignals(name string) []Signal {
 	var out []Signal
 	for _, s := range a.Signals {
-		if containsString(s.Drugs, name) || containsString(s.Reactions, name) {
+		if containsFold(s.Drugs, name) || containsFold(s.Reactions, name) {
 			out = append(out, s)
 		}
 	}
@@ -434,9 +437,9 @@ func (a *Analysis) SeriousSignals(minShare float64) []Signal {
 	return out
 }
 
-func containsString(s []string, v string) bool {
+func containsFold(s []string, v string) bool {
 	for _, x := range s {
-		if x == v {
+		if strings.EqualFold(x, v) {
 			return true
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"maras/internal/eval"
@@ -209,6 +210,36 @@ func TestFilterSignalsAndNovel(t *testing.T) {
 	// All the hand-made signals are novel (not in the builtin KB).
 	if len(a.NovelSignals()) != len(a.Signals) {
 		t.Error("hand-made signals should all be novel")
+	}
+}
+
+// FilterSignals must match case-insensitively: drug names are stored
+// upper-cased but reaction terms sentence-cased, and users type
+// either in any case.
+func TestFilterSignalsCaseInsensitive(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+	a, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(a.FilterSignals("DRUGX"))
+	if want == 0 {
+		t.Fatal("fixture has no DRUGX signals")
+	}
+	for _, q := range []string{"drugx", "DrugX", "DRUGX"} {
+		if got := len(a.FilterSignals(q)); got != want {
+			t.Errorf("FilterSignals(%q) = %d signals, want %d", q, got, want)
+		}
+	}
+	// Reaction terms too: find any reaction from the top signal and
+	// query it in the wrong case.
+	reac := a.Signals[0].Reactions[0]
+	if got := a.FilterSignals(strings.ToUpper(reac)); len(got) == 0 {
+		t.Errorf("FilterSignals(%q) found nothing", strings.ToUpper(reac))
+	}
+	if got := a.FilterSignals(strings.ToLower(reac)); len(got) == 0 {
+		t.Errorf("FilterSignals(%q) found nothing", strings.ToLower(reac))
 	}
 }
 

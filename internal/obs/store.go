@@ -1,0 +1,41 @@
+package obs
+
+// StoreMetrics instruments the snapshot store (package store): how
+// long snapshot loads take, how many quarters are held open, and how
+// the open-quarter LRU is behaving. All fields are nil-safe through
+// the usual registry types; construct with NewStoreMetrics so the
+// series exist (at zero) from the first scrape.
+type StoreMetrics struct {
+	// LoadSeconds observes the wall time of each snapshot load from
+	// disk (decode + rehydrate).
+	LoadSeconds *Histogram
+	// OpenQuarters tracks the number of quarters currently resident.
+	OpenQuarters *Gauge
+	// Hits counts registry loads served from an already-open quarter.
+	Hits *Counter
+	// Misses counts registry loads that had to read a snapshot file.
+	Misses *Counter
+	// Evictions counts quarters dropped by the open-quarter LRU.
+	Evictions *Counter
+	// BytesRead accumulates snapshot bytes read from disk.
+	BytesRead *Counter
+}
+
+// NewStoreMetrics registers the store metric families on r and
+// returns the bound instruments.
+func NewStoreMetrics(r *Registry) *StoreMetrics {
+	return &StoreMetrics{
+		LoadSeconds: r.Histogram("maras_store_snapshot_load_seconds",
+			"Wall time to load one quarter snapshot from disk.", DefaultLatencyBuckets),
+		OpenQuarters: r.Gauge("maras_store_open_quarters",
+			"Quarters currently open (resident) in the snapshot registry."),
+		Hits: r.Counter("maras_store_cache_hits_total",
+			"Registry loads served from an already-open quarter."),
+		Misses: r.Counter("maras_store_cache_misses_total",
+			"Registry loads that read a snapshot file from disk."),
+		Evictions: r.Counter("maras_store_evictions_total",
+			"Quarters evicted by the open-quarter LRU."),
+		BytesRead: r.Counter("maras_store_snapshot_bytes_read_total",
+			"Snapshot bytes read from disk."),
+	}
+}

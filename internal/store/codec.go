@@ -1,0 +1,630 @@
+// Package store persists completed MARAS analyses as versioned binary
+// snapshots and serves them back from disk — the mine-once/serve-many
+// layer quarterly surveillance needs. A snapshot captures everything a
+// serving process reads from an Analysis: dataset and cleaning stats,
+// the ranked signals with their full MCAC cluster structure, the
+// dictionary the clusters' item IDs are encoded against, and the raw
+// reports the signals link back to. The Registry (registry.go) manages
+// a directory of per-quarter snapshots with atomic writes, an LRU of
+// open quarters, and cross-quarter timeline queries.
+//
+// # File format (version 1)
+//
+//	header   magic "MRSN" | version uint16 | flags uint16
+//	body     sections, each: id uint16 | reserved uint16 |
+//	         length uint32 | payload[length]
+//	trailer  CRC-32 (IEEE) of every preceding byte, uint32
+//
+// All fixed-width integers are little-endian; variable-size values
+// inside payloads use varint (counts, signed ints) and length-prefixed
+// UTF-8 (strings). Unknown section IDs are skipped on read, so later
+// versions can add sections without breaking old readers. Readers
+// verify the CRC before parsing a single section, and every decode is
+// bounds-checked: corrupt input yields a typed error, never a panic.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"maras/internal/assoc"
+	"maras/internal/cleaning"
+	"maras/internal/core"
+	"maras/internal/faers"
+	"maras/internal/knowledge"
+	"maras/internal/mcac"
+	"maras/internal/meddra"
+	"maras/internal/txdb"
+	"maras/internal/types"
+)
+
+// Version is the snapshot format version this package writes.
+const Version = 1
+
+// magic identifies a MARAS snapshot file.
+var magic = [4]byte{'M', 'R', 'S', 'N'}
+
+// Ext is the conventional snapshot file extension the Registry scans
+// for ("2014Q1" + Ext).
+const Ext = ".maras"
+
+// Typed decode errors. Callers distinguish "not a snapshot at all"
+// (ErrBadMagic), "a snapshot from a format we don't speak"
+// (ErrVersion), and "a snapshot damaged in storage or transit"
+// (ErrCorrupt) — all via errors.Is.
+var (
+	ErrBadMagic = errors.New("store: not a MARAS snapshot (bad magic)")
+	ErrVersion  = errors.New("store: unsupported snapshot version")
+	ErrCorrupt  = errors.New("store: corrupt snapshot")
+)
+
+// Section IDs.
+const (
+	secMeta    uint16 = 1 // quarter label, save time
+	secStats   uint16 = 2 // txdb + cleaning stats, rule-space counts
+	secDict    uint16 = 3 // dictionary entries in ID order
+	secSignals uint16 = 4 // ranked signals with full MCAC clusters
+	secReports uint16 = 5 // raw reports (drill-down + demographics)
+)
+
+// Snapshot is one persisted quarter: the label it was mined from,
+// when it was saved, and the rehydrated analysis.
+type Snapshot struct {
+	Label    string
+	SavedAt  time.Time
+	Analysis *core.Analysis
+}
+
+// Write encodes label's completed analysis to w in the snapshot
+// format.
+func Write(w io.Writer, label string, a *core.Analysis) error {
+	return write(w, label, a, time.Now())
+}
+
+func write(w io.Writer, label string, a *core.Analysis, savedAt time.Time) error {
+	var e enc
+	e.buf = append(e.buf, magic[:]...)
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, Version)
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, 0) // flags
+
+	e.section(secMeta, func(e *enc) {
+		e.str(label)
+		e.i64(savedAt.Unix())
+	})
+	e.section(secStats, func(e *enc) {
+		e.i64(int64(a.Stats.Reports))
+		e.i64(int64(a.Stats.Drugs))
+		e.i64(int64(a.Stats.Reactions))
+		e.f64(a.Stats.AvgDrugs)
+		e.f64(a.Stats.AvgReacs)
+		cs := a.Cleaning
+		for _, v := range []int{cs.ReportsIn, cs.ReportsOut, cs.DuplicateReports, cs.EmptyReports,
+			cs.DrugSpellingsFixed, cs.ReacSpellingsFixed, cs.WithinReportDupDrugs, cs.WithinReportDupReacs} {
+			e.i64(int64(v))
+		}
+		e.i64(int64(a.Counts.TotalRules))
+		e.i64(int64(a.Counts.FilteredRules))
+		e.i64(int64(a.Counts.MCACs))
+	})
+	e.section(secDict, func(e *enc) {
+		dict := a.Dict()
+		n := dict.Len()
+		e.uv(uint64(n))
+		for i := 0; i < n; i++ {
+			it := types.Item(i)
+			e.u8(uint8(dict.Domain(it)))
+			e.str(dict.Name(it))
+		}
+	})
+	e.section(secSignals, func(e *enc) {
+		e.uv(uint64(len(a.Signals)))
+		for i := range a.Signals {
+			e.signal(&a.Signals[i])
+		}
+	})
+	e.section(secReports, func(e *enc) {
+		reports := a.RawReports()
+		e.uv(uint64(len(reports)))
+		for i := range reports {
+			e.report(&reports[i])
+		}
+	})
+
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(e.buf))
+	_, err := w.Write(e.buf)
+	return err
+}
+
+// WriteFile writes the snapshot to path atomically: the bytes land in
+// a temporary file in the same directory which is fsynced and renamed
+// over path, so readers only ever see a complete snapshot.
+func WriteFile(path, label string, a *core.Analysis) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if err := Write(tmp, label, a); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// CreateTemp opens 0600; snapshots are ordinary shareable artifacts.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a snapshot from r, verifying magic, version, and the
+// CRC-32 trailer before parsing any section.
+func Read(r io.Reader) (*Snapshot, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	return Decode(data)
+}
+
+// Open reads the snapshot file at path.
+func Open(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Decode parses a complete in-memory snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic) || [4]byte(data[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if len(data) < 12 { // header + trailer
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return nil, fmt.Errorf("%w: file is v%d, reader speaks v%d", ErrVersion, v, Version)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+
+	s := &Snapshot{}
+	var (
+		dict       *types.Dictionary
+		stats      txdb.Stats
+		cstats     cleaning.Stats
+		counts     core.Counts
+		signals    []core.Signal
+		rawReports []faers.Report
+	)
+
+	d := &dec{b: body, off: 8}
+	for d.err == nil && d.off < len(d.b) {
+		id, payload := d.nextSection()
+		if d.err != nil {
+			break
+		}
+		sd := &dec{b: payload}
+		switch id {
+		case secMeta:
+			s.Label = sd.str()
+			s.SavedAt = time.Unix(sd.i64(), 0)
+		case secStats:
+			stats.Reports = int(sd.i64())
+			stats.Drugs = int(sd.i64())
+			stats.Reactions = int(sd.i64())
+			stats.AvgDrugs = sd.f64()
+			stats.AvgReacs = sd.f64()
+			for _, p := range []*int{&cstats.ReportsIn, &cstats.ReportsOut, &cstats.DuplicateReports,
+				&cstats.EmptyReports, &cstats.DrugSpellingsFixed, &cstats.ReacSpellingsFixed,
+				&cstats.WithinReportDupDrugs, &cstats.WithinReportDupReacs} {
+				*p = int(sd.i64())
+			}
+			counts.TotalRules = int(sd.i64())
+			counts.FilteredRules = int(sd.i64())
+			counts.MCACs = int(sd.i64())
+		case secDict:
+			dict = sd.dict()
+		case secSignals:
+			signals = sd.signals()
+		case secReports:
+			rawReports = sd.reports()
+		default:
+			// Unknown section: skip (forward compatibility).
+		}
+		if sd.err != nil {
+			return nil, fmt.Errorf("%w: section %d: %v", ErrCorrupt, id, sd.err)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
+	}
+	if dict == nil {
+		return nil, fmt.Errorf("%w: missing dictionary section", ErrCorrupt)
+	}
+	s.Analysis = core.Rehydrate(stats, cstats, counts, signals, dict, rawReports)
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// encoder
+
+type enc struct{ buf []byte }
+
+func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) uv(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) i64(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+func (e *enc) str(s string) {
+	e.uv(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) strs(ss []string) {
+	e.uv(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+func (e *enc) items(set types.Itemset) {
+	e.uv(uint64(len(set)))
+	for _, it := range set {
+		e.u32(uint32(it))
+	}
+}
+
+// section appends a length-prefixed section: the payload is built
+// first so its exact byte length can prefix it.
+func (e *enc) section(id uint16, body func(*enc)) {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, id)
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, 0) // reserved
+	lenAt := len(e.buf)
+	e.u32(0) // patched below
+	start := len(e.buf)
+	body(e)
+	binary.LittleEndian.PutUint32(e.buf[lenAt:], uint32(len(e.buf)-start))
+}
+
+func (e *enc) rule(r *assoc.Rule) {
+	e.items(r.Antecedent)
+	e.items(r.Consequent)
+	e.i64(int64(r.Support))
+	e.i64(int64(r.AntSupport))
+	e.i64(int64(r.ConSupport))
+	e.f64(r.Confidence)
+	e.f64(r.Lift)
+}
+
+func (e *enc) signal(s *core.Signal) {
+	e.i64(int64(s.Rank))
+	e.f64(s.Score)
+	e.strs(s.Drugs)
+	e.strs(s.Reactions)
+	e.i64(int64(s.Support))
+	e.f64(s.Confidence)
+	e.f64(s.Lift)
+	e.u8(uint8(s.SupportType))
+	e.f64(s.SeriousShare)
+	socs := make([]string, len(s.SOCs))
+	for i, c := range s.SOCs {
+		socs[i] = string(c)
+	}
+	e.strs(socs)
+	e.strs(s.ReportIDs)
+	if s.Known != nil {
+		e.u8(1)
+		e.strs(s.Known.Drugs)
+		e.strs(s.Known.Reactions)
+		e.u8(uint8(s.Known.Severity))
+		e.str(s.Known.Mechanism)
+		e.str(s.Known.Source)
+	} else {
+		e.u8(0)
+	}
+	// Cluster: target rule + contextual levels.
+	e.rule(&s.Cluster.Target)
+	e.uv(uint64(len(s.Cluster.Levels)))
+	for li := range s.Cluster.Levels {
+		l := &s.Cluster.Levels[li]
+		e.i64(int64(l.Cardinality))
+		e.uv(uint64(len(l.Rules)))
+		for ri := range l.Rules {
+			e.rule(&l.Rules[ri])
+		}
+	}
+}
+
+func (e *enc) report(r *faers.Report) {
+	e.str(r.PrimaryID)
+	e.str(r.CaseID)
+	e.str(r.ReportCode)
+	e.str(r.Sex)
+	e.str(r.Age)
+	e.str(r.AgeCode)
+	e.str(r.Country)
+	e.str(r.EventDate)
+	e.strs(r.Drugs)
+	e.strs(r.DrugRoles)
+	e.strs(r.Reactions)
+	e.strs(r.Outcomes)
+}
+
+// ---------------------------------------------------------------------------
+// decoder
+
+// dec is a bounds-checked cursor over a byte slice. The first decode
+// that runs past the end (or reads an impossible count) latches err;
+// every later read no-ops, so call sites stay linear and the caller
+// checks err once.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("truncated at offset %d (need %d bytes, have %d)", d.off, n, len(d.b)-d.off)
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) f64() float64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uv()
+	if !d.need(int(n)) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// count reads an element count and sanity-bounds it against the bytes
+// remaining (each element costs at least minBytes), so a corrupted
+// count can never drive a giant allocation.
+func (d *dec) count(minBytes int) int {
+	n := d.uv()
+	if d.err != nil {
+		return 0
+	}
+	if int64(n)*int64(minBytes) > int64(len(d.b)-d.off) {
+		d.fail("impossible count %d at offset %d", n, d.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) strs() []string {
+	n := d.count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
+func (d *dec) itemset() types.Itemset {
+	n := d.count(4)
+	if n == 0 {
+		return nil
+	}
+	out := make(types.Itemset, n)
+	for i := range out {
+		out[i] = types.Item(d.u32())
+	}
+	return out
+}
+
+// nextSection reads one section header from the body cursor and
+// returns its payload slice.
+func (d *dec) nextSection() (uint16, []byte) {
+	id := d.u16()
+	d.u16() // reserved
+	n := d.u32()
+	if !d.need(int(n)) {
+		return 0, nil
+	}
+	payload := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return id, payload
+}
+
+func (d *dec) dict() *types.Dictionary {
+	n := d.count(2)
+	dict := types.NewDictionary()
+	for i := 0; i < n && d.err == nil; i++ {
+		dom := types.Domain(d.u8())
+		name := d.str()
+		if dom != types.DomainDrug && dom != types.DomainReaction {
+			d.fail("item %d: unknown domain %d", i, dom)
+			return dict
+		}
+		dict.Intern(name, dom)
+	}
+	return dict
+}
+
+func (d *dec) rule() assoc.Rule {
+	var r assoc.Rule
+	r.Antecedent = d.itemset()
+	r.Consequent = d.itemset()
+	r.Support = int(d.i64())
+	r.AntSupport = int(d.i64())
+	r.ConSupport = int(d.i64())
+	r.Confidence = d.f64()
+	r.Lift = d.f64()
+	return r
+}
+
+func (d *dec) signals() []core.Signal {
+	n := d.count(8)
+	out := make([]core.Signal, n)
+	for i := range out {
+		if d.err != nil {
+			return out
+		}
+		s := &out[i]
+		s.Rank = int(d.i64())
+		s.Score = d.f64()
+		s.Drugs = d.strs()
+		s.Reactions = d.strs()
+		s.Support = int(d.i64())
+		s.Confidence = d.f64()
+		s.Lift = d.f64()
+		s.SupportType = assoc.SupportType(d.u8())
+		s.SeriousShare = d.f64()
+		for _, soc := range d.strs() {
+			s.SOCs = append(s.SOCs, meddra.SOC(soc))
+		}
+		s.ReportIDs = d.strs()
+		if d.u8() == 1 {
+			s.Known = &knowledge.Interaction{
+				Drugs:     d.strs(),
+				Reactions: d.strs(),
+				Severity:  knowledge.Severity(d.u8()),
+				Mechanism: d.str(),
+				Source:    d.str(),
+			}
+		}
+		c := &mcac.Cluster{Target: d.rule()}
+		nLevels := d.count(2)
+		for li := 0; li < nLevels && d.err == nil; li++ {
+			l := mcac.Level{Cardinality: int(d.i64())}
+			nRules := d.count(8)
+			for ri := 0; ri < nRules && d.err == nil; ri++ {
+				l.Rules = append(l.Rules, d.rule())
+			}
+			c.Levels = append(c.Levels, l)
+		}
+		s.Cluster = c
+	}
+	return out
+}
+
+func (d *dec) reports() []faers.Report {
+	n := d.count(12)
+	out := make([]faers.Report, n)
+	for i := range out {
+		if d.err != nil {
+			return out
+		}
+		r := &out[i]
+		r.PrimaryID = d.str()
+		r.CaseID = d.str()
+		r.ReportCode = d.str()
+		r.Sex = d.str()
+		r.Age = d.str()
+		r.AgeCode = d.str()
+		r.Country = d.str()
+		r.EventDate = d.str()
+		r.Drugs = d.strs()
+		r.DrugRoles = d.strs()
+		r.Reactions = d.strs()
+		r.Outcomes = d.strs()
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"maras/internal/core"
+	"maras/internal/synth"
+)
+
+// synthAnalysis mines a small synthetic quarter — a full Analysis
+// with clusters, knowledge hits, SOCs, demographics-capable reports.
+func synthAnalysis(t testing.TB) *core.Analysis {
+	t.Helper()
+	cfg := synth.DefaultConfig("2014Q1", 7)
+	cfg.Reports = 3_000
+	cfg.ExposureRate = 0.05
+	q, _, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = 5
+	opts.TopK = 40
+	opts.CountRules = true
+	a, err := core.RunQuarter(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Fatal("fixture mined no signals")
+	}
+	return a
+}
+
+func encode(t *testing.T, label string, a *core.Analysis) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, label, a); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripFullAnalysis(t *testing.T) {
+	a := synthAnalysis(t)
+	data := encode(t, "2014Q1", a)
+
+	snap, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Label != "2014Q1" {
+		t.Errorf("label = %q", snap.Label)
+	}
+	rt := snap.Analysis
+
+	// Ranked signals — scores, measures, cluster structure, report
+	// links, knowledge hits — must round-trip value-identical.
+	if !reflect.DeepEqual(a.Signals, rt.Signals) {
+		for i := range a.Signals {
+			if i < len(rt.Signals) && !reflect.DeepEqual(a.Signals[i], rt.Signals[i]) {
+				t.Fatalf("signal %d differs:\n orig: %+v\n  got: %+v", i, a.Signals[i], rt.Signals[i])
+			}
+		}
+		t.Fatalf("signals differ: %d vs %d", len(a.Signals), len(rt.Signals))
+	}
+	if a.Stats != rt.Stats {
+		t.Errorf("stats: %+v vs %+v", a.Stats, rt.Stats)
+	}
+	if a.Cleaning != rt.Cleaning {
+		t.Errorf("cleaning: %+v vs %+v", a.Cleaning, rt.Cleaning)
+	}
+	if a.Counts != rt.Counts {
+		t.Errorf("counts: %+v vs %+v", a.Counts, rt.Counts)
+	}
+	if !reflect.DeepEqual(a.RawReports(), rt.RawReports()) {
+		t.Error("raw reports differ after round trip")
+	}
+
+	// The dictionary must reproduce IDs exactly: cluster itemsets
+	// reference it.
+	if a.Dict().Len() != rt.Dict().Len() {
+		t.Fatalf("dict len %d vs %d", a.Dict().Len(), rt.Dict().Len())
+	}
+	s0 := rt.Signals[0]
+	names := rt.Dict().SortedNames(s0.Cluster.Target.Antecedent)
+	if !reflect.DeepEqual(names, s0.Drugs) {
+		t.Errorf("rehydrated dict decodes cluster to %v, signal says %v", names, s0.Drugs)
+	}
+
+	// Serving paths on the rehydrated analysis.
+	if got := rt.FilterSignals(strings.ToLower(s0.Drugs[0])); len(got) == 0 {
+		t.Error("FilterSignals found nothing on rehydrated analysis")
+	}
+	if _, ok := rt.Report(s0.ReportIDs[0]); !ok {
+		t.Error("report drill-down lost after round trip")
+	}
+	prof := rt.Demographics(&s0)
+	if len(prof.SexSignal) == 0 && len(prof.AgeSignal) == 0 {
+		t.Error("demographics empty on rehydrated analysis")
+	}
+}
+
+func TestRoundTripDeterministic(t *testing.T) {
+	a := synthAnalysis(t)
+	var b1, b2 bytes.Buffer
+	if err := write(&b1, "2014Q1", a, time.Unix(42, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := write(&b2, "2014Q1", a, time.Unix(42, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("same analysis encoded twice produced different bytes")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	a := synthAnalysis(t)
+	data := encode(t, "2014Q1", a)
+	for _, n := range []int{5, 11, 40, len(data) / 2, len(data) - 1} {
+		if n >= len(data) {
+			continue
+		}
+		_, err := Decode(data[:n])
+		if err == nil {
+			t.Fatalf("truncation at %d decoded successfully", n)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation at %d: got %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestDecodeBadCRC(t *testing.T) {
+	a := synthAnalysis(t)
+	data := encode(t, "2014Q1", a)
+	data[len(data)/2] ^= 0xFF
+	_, err := Decode(data)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	a := synthAnalysis(t)
+	data := encode(t, "2014Q1", a)
+	data[0] = 'X'
+	if _, err := Decode(data); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("got %v, want ErrBadMagic", err)
+	}
+	if _, err := Decode([]byte("no")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("tiny input: got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeWrongVersion(t *testing.T) {
+	a := synthAnalysis(t)
+	data := encode(t, "2014Q1", a)
+	// Bump the version field and re-seal the CRC so only the version
+	// check can fail.
+	binary.LittleEndian.PutUint16(data[4:6], Version+1)
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(data[:len(data)-4]))
+	if _, err := Decode(data); !errors.Is(err, ErrVersion) {
+		t.Errorf("got %v, want ErrVersion", err)
+	}
+}
+
+// TestDecodeGarbageNeverPanics seals adversarial bodies with a valid
+// header and CRC so the section parser itself is exercised.
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	bodies := [][]byte{
+		{},
+		{1, 0, 0, 0, 255, 255, 255, 255},     // section claiming 4GB payload
+		{3, 0, 0, 0, 2, 0, 0, 0, 0xFF, 0xFF}, // dict with absurd count varint
+		{4, 0, 0, 0, 1, 0, 0, 0, 0xFF},       // signals, bad count
+		bytes.Repeat([]byte{0xAB}, 64),       // noise
+		{9, 9, 0, 0, 4, 0, 0, 0, 1, 2, 3, 4}, // unknown section id: must be skipped
+		{2, 0, 0, 0, 1, 0, 0, 0, 0x80},       // stats section, dangling varint
+	}
+	for i, body := range bodies {
+		var buf []byte
+		buf = append(buf, magic[:]...)
+		buf = binary.LittleEndian.AppendUint16(buf, Version)
+		buf = binary.LittleEndian.AppendUint16(buf, 0)
+		buf = append(buf, body...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("body %d: decode panicked: %v", i, r)
+				}
+			}()
+			snap, err := Decode(buf)
+			// Garbage must error; the lone legal outcome is the
+			// unknown-section body, which decodes to an empty snapshot
+			// and then fails the missing-dictionary check.
+			if err == nil && snap != nil {
+				t.Errorf("body %d: garbage decoded without error", i)
+			}
+		}()
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	a := synthAnalysis(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "2014Q1"+Ext)
+	if err := WriteFile(path, "2014Q1", a); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Analysis.Signals) != len(a.Signals) {
+		t.Errorf("signals: %d vs %d", len(snap.Analysis.Signals), len(a.Signals))
+	}
+	// No temp litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory litter after atomic write: %v", names)
+	}
+	// Overwrite in place: readers never see a partial file, and the
+	// new content wins.
+	if err := WriteFile(path, "2014Q1", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The mine-once/serve-many ratio: how much cheaper is decoding a
+// snapshot than re-running the pipeline that produced it. EXPERIMENTS
+// quotes these two.
+func BenchmarkMineQuarter(b *testing.B) {
+	cfg := synth.DefaultConfig("2014Q1", 7)
+	cfg.Reports = 3_000
+	cfg.ExposureRate = 0.05
+	q, _, err := synth.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = 5
+	opts.TopK = 40
+	opts.CountRules = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunQuarter(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	a := synthAnalysis(b)
+	var buf bytes.Buffer
+	if err := Write(&buf, "2014Q1", a); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope"+Ext)); err == nil {
+		t.Error("opening a missing snapshot succeeded")
+	}
+}
+
+// TestSnapshotSmallerThanNaiveJSON is a soft size sanity check: the
+// binary codec should not be wildly larger than the data it holds.
+func TestSnapshotEncodesReportsOnce(t *testing.T) {
+	a := synthAnalysis(t)
+	data := encode(t, "2014Q1", a)
+	perReport := float64(len(data)) / float64(len(a.RawReports()))
+	if perReport > 4096 {
+		t.Errorf("snapshot is %.0f bytes/report — codec bloat?", perReport)
+	}
+}

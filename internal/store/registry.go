@@ -1,0 +1,335 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"maras/internal/core"
+	"maras/internal/obs"
+	"maras/internal/trend"
+)
+
+// RegistryOptions configures a snapshot registry.
+type RegistryOptions struct {
+	// MaxOpen bounds how many quarters are held rehydrated in memory
+	// at once (LRU eviction beyond it). 0 means DefaultMaxOpen.
+	MaxOpen int
+	// Metrics, when non-nil, receives load latency, open-quarter
+	// gauge, and cache hit/miss/eviction counts.
+	Metrics *obs.StoreMetrics
+	// Tracer, when non-nil, records a "snapshot_load" stage per disk
+	// load — the counterpart of the mining stages, so a serving
+	// process can prove a warm quarter involved zero mining.
+	Tracer *obs.Tracer
+	// OnEvict, when non-nil, is called (outside the registry lock)
+	// with the label of each quarter the LRU drops, so callers holding
+	// derived state (route handlers, render caches) can drop theirs.
+	OnEvict func(label string)
+}
+
+// DefaultMaxOpen is the open-quarter LRU capacity when
+// RegistryOptions.MaxOpen is zero.
+const DefaultMaxOpen = 4
+
+// StageSnapshotLoad is the tracer stage name recorded per disk load.
+const StageSnapshotLoad = "snapshot_load"
+
+// Registry manages a directory of per-quarter snapshot files
+// (2014Q1.maras, 2014Q2.maras, ...): discovery, lazy loading with an
+// LRU of open quarters, atomic writes, and cross-quarter timeline
+// queries. It is safe for concurrent use.
+type Registry struct {
+	dir     string
+	maxOpen int
+	metrics *obs.StoreMetrics
+	tracer  *obs.Tracer
+	onEvict func(string)
+
+	mu       sync.Mutex
+	quarters []string          // sorted labels discovered on disk
+	open     map[string]*entry // label -> resident entry
+	lruOrder []string          // least-recent first
+}
+
+// entry is one resident (or loading) quarter. The sync.Once decouples
+// the disk read from the registry lock: concurrent loads of the same
+// quarter share one read, while loads of different quarters proceed
+// in parallel.
+type entry struct {
+	once sync.Once
+	a    *core.Analysis
+	err  error
+}
+
+// OpenRegistry scans dir for quarter snapshots and returns a registry
+// over them. The directory may be empty (quarters can be saved into
+// it later); a missing directory is an error.
+func OpenRegistry(dir string, opts RegistryOptions) (*Registry, error) {
+	r := &Registry{
+		dir:     dir,
+		maxOpen: opts.MaxOpen,
+		metrics: opts.Metrics,
+		tracer:  opts.Tracer,
+		onEvict: opts.OnEvict,
+		open:    map[string]*entry{},
+	}
+	if r.maxOpen <= 0 {
+		r.maxOpen = DefaultMaxOpen
+	}
+	if err := r.Refresh(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Refresh rescans the directory for snapshot files — cheap, so a
+// serving process can pick up quarters dropped in by a miner without
+// restarting.
+func (r *Registry) Refresh() error {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var labels []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, Ext) {
+			continue
+		}
+		labels = append(labels, strings.TrimSuffix(name, Ext))
+	}
+	sort.Strings(labels)
+	r.mu.Lock()
+	r.quarters = labels
+	r.mu.Unlock()
+	return nil
+}
+
+// Dir returns the directory the registry serves from.
+func (r *Registry) Dir() string { return r.dir }
+
+// Quarters returns the sorted labels of every snapshot on disk.
+func (r *Registry) Quarters() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string{}, r.quarters...)
+}
+
+// Latest returns the most recent quarter label (labels sort
+// chronologically: "2014Q1" < "2014Q2" < "2015Q1"), or "" when the
+// store is empty.
+func (r *Registry) Latest() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.quarters) == 0 {
+		return ""
+	}
+	return r.quarters[len(r.quarters)-1]
+}
+
+// Has reports whether label has a snapshot on disk.
+func (r *Registry) Has(label string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, q := range r.quarters {
+		if q == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Path returns the snapshot file path for label.
+func (r *Registry) Path(label string) string {
+	return filepath.Join(r.dir, label+Ext)
+}
+
+// Load returns the rehydrated analysis for label, reading it from
+// disk on first touch and serving every later request from the
+// open-quarter LRU. Serving a warm quarter does zero disk I/O and
+// zero mining.
+func (r *Registry) Load(label string) (*core.Analysis, error) {
+	if !r.Has(label) {
+		return nil, fmt.Errorf("store: quarter %q not in %s", label, r.dir)
+	}
+	r.mu.Lock()
+	e, resident := r.open[label]
+	if !resident {
+		e = &entry{}
+		r.open[label] = e
+	}
+	r.touchLocked(label)
+	evicted := r.evictLocked()
+	r.mu.Unlock()
+
+	m := r.metrics
+	if m != nil {
+		if resident {
+			m.Hits.Inc()
+		} else {
+			m.Misses.Inc()
+		}
+	}
+	for _, l := range evicted {
+		if m != nil {
+			m.Evictions.Inc()
+		}
+		if r.onEvict != nil {
+			r.onEvict(l)
+		}
+	}
+
+	e.once.Do(func() {
+		st := r.tracer.StartStage(StageSnapshotLoad)
+		start := time.Now()
+		path := r.Path(label)
+		snap, err := Open(path)
+		if err != nil {
+			e.err = err
+			st.End()
+			return
+		}
+		e.a = snap.Analysis
+		if m != nil {
+			m.LoadSeconds.Observe(time.Since(start).Seconds())
+			if fi, statErr := os.Stat(path); statErr == nil {
+				m.BytesRead.Add(fi.Size())
+			}
+		}
+		st.Count("signals", int64(len(snap.Analysis.Signals)))
+		st.Count("reports", int64(snap.Analysis.Stats.Reports))
+		st.End()
+	})
+	if e.err != nil {
+		// Drop the failed entry so a repaired file can be retried.
+		r.dropLocked(label, e)
+		return nil, e.err
+	}
+	return e.a, nil
+}
+
+// Save writes label's analysis into the store atomically
+// (write-then-rename) and makes it immediately loadable. Any resident
+// copy of the same label is invalidated so the next Load sees the new
+// bytes.
+func (r *Registry) Save(label string, a *core.Analysis) error {
+	if err := WriteFile(r.Path(label), label, a); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if e := r.open[label]; e != nil {
+		delete(r.open, label)
+		r.removeLRULocked(label)
+	}
+	found := false
+	for _, q := range r.quarters {
+		if q == label {
+			found = true
+			break
+		}
+	}
+	if !found {
+		r.quarters = append(r.quarters, label)
+		sort.Strings(r.quarters)
+	}
+	n := int64(len(r.open))
+	r.mu.Unlock()
+	if r.metrics != nil {
+		r.metrics.OpenQuarters.Set(n)
+	}
+	return nil
+}
+
+// Timeline replays the trajectory of one drug combination across
+// every quarter in the store — the surveillance question ("when did
+// this signal emerge, and how has it moved?") answered entirely from
+// disk. The key is the canonical drug-combination key ("A+B", as
+// knowledge.DrugKey builds). It returns the quarter labels, the
+// trajectory (nil when the combination never signals), and any load
+// error.
+func (r *Registry) Timeline(key string) ([]string, *trend.Trajectory, error) {
+	ta, err := r.TrendAnalysis()
+	if err != nil {
+		return nil, nil, err
+	}
+	return ta.Quarters, ta.Find(key), nil
+}
+
+// TrendAnalysis assembles the full cross-quarter trend analysis from
+// the stored snapshots, loading each quarter through the LRU.
+func (r *Registry) TrendAnalysis() (*trend.Analysis, error) {
+	labels := r.Quarters()
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("store: no quarters in %s", r.dir)
+	}
+	results := make([]*core.Analysis, len(labels))
+	for i, l := range labels {
+		a, err := r.Load(l)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = a
+	}
+	return trend.Assemble(labels, results), nil
+}
+
+// OpenCount returns how many quarters are currently resident.
+func (r *Registry) OpenCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
+// touchLocked moves label to the most-recent end of the LRU order.
+func (r *Registry) touchLocked(label string) {
+	r.removeLRULocked(label)
+	r.lruOrder = append(r.lruOrder, label)
+}
+
+func (r *Registry) removeLRULocked(label string) {
+	for i, l := range r.lruOrder {
+		if l == label {
+			r.lruOrder = append(r.lruOrder[:i], r.lruOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked drops least-recent quarters until the LRU fits, and
+// returns the evicted labels. The gauge is updated here so it is
+// consistent under the lock.
+func (r *Registry) evictLocked() []string {
+	var evicted []string
+	for len(r.open) > r.maxOpen && len(r.lruOrder) > 0 {
+		victim := r.lruOrder[0]
+		r.lruOrder = r.lruOrder[1:]
+		if _, ok := r.open[victim]; ok {
+			delete(r.open, victim)
+			evicted = append(evicted, victim)
+		}
+	}
+	if r.metrics != nil {
+		r.metrics.OpenQuarters.Set(int64(len(r.open)))
+	}
+	return evicted
+}
+
+// dropLocked removes a failed entry (only if it is still the resident
+// one) so later loads retry the file.
+func (r *Registry) dropLocked(label string, failed *entry) {
+	r.mu.Lock()
+	if r.open[label] == failed {
+		delete(r.open, label)
+		r.removeLRULocked(label)
+	}
+	n := int64(len(r.open))
+	r.mu.Unlock()
+	if r.metrics != nil {
+		r.metrics.OpenQuarters.Set(n)
+	}
+}

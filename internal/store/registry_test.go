@@ -1,0 +1,315 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"maras/internal/core"
+	"maras/internal/faers"
+	"maras/internal/obs"
+	"maras/internal/trend"
+)
+
+// quarterAnalysis builds a tiny deterministic quarter: the
+// aspirin+warfarin signal with per-quarter support so trajectories
+// are visible across quarters.
+func quarterAnalysis(t *testing.T, pairReports int) *core.Analysis {
+	t.Helper()
+	var reports []faers.Report
+	id := 0
+	add := func(drugs, reacs []string) {
+		id++
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("%d", 1000+id), CaseID: fmt.Sprintf("c%d", id),
+			ReportCode: "EXP", Drugs: drugs, Reactions: reacs,
+		})
+	}
+	for i := 0; i < pairReports; i++ {
+		add([]string{"ASPIRIN", "WARFARIN"}, []string{"Haemorrhage"})
+	}
+	for i := 0; i < 20; i++ {
+		add([]string{"ASPIRIN"}, []string{"Nausea"})
+		add([]string{"WARFARIN"}, []string{"Dizziness"})
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = 3
+	a, err := core.Run(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Fatal("no signals in registry fixture")
+	}
+	return a
+}
+
+// tempStore saves n quarters (2014Q1..) into a temp dir and returns
+// the dir.
+func tempStore(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("2014Q%d", i+1)
+		a := quarterAnalysis(t, 8+4*i)
+		if err := WriteFile(filepath.Join(dir, label+Ext), label, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRegistryDiscoveryAndLoad(t *testing.T) {
+	dir := tempStore(t, 3)
+	reg, err := OpenRegistry(dir, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"2014Q1", "2014Q2", "2014Q3"}
+	if got := reg.Quarters(); !equalStrings(got, want) {
+		t.Fatalf("quarters = %v, want %v", got, want)
+	}
+	if reg.Latest() != "2014Q3" {
+		t.Errorf("latest = %q", reg.Latest())
+	}
+	a, err := reg.Load("2014Q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Error("loaded quarter has no signals")
+	}
+	// Warm load: same pointer, no re-read.
+	b, err := reg.Load("2014Q2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("warm load rebuilt the analysis")
+	}
+	if _, err := reg.Load("2019Q1"); err == nil {
+		t.Error("loading an absent quarter succeeded")
+	}
+}
+
+func TestRegistryLRUAndMetrics(t *testing.T) {
+	dir := tempStore(t, 3)
+	mreg := obs.NewRegistry()
+	m := obs.NewStoreMetrics(mreg)
+	var evicted []string
+	var mu sync.Mutex
+	reg, err := OpenRegistry(dir, RegistryOptions{
+		MaxOpen: 2,
+		Metrics: m,
+		OnEvict: func(label string) {
+			mu.Lock()
+			evicted = append(evicted, label)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustLoad := func(label string) {
+		t.Helper()
+		if _, err := reg.Load(label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustLoad("2014Q1")
+	mustLoad("2014Q2")
+	mustLoad("2014Q1") // touch Q1 so Q2 is the LRU victim
+	mustLoad("2014Q3") // evicts Q2
+	mu.Lock()
+	gotEvicted := append([]string{}, evicted...)
+	mu.Unlock()
+	if !equalStrings(gotEvicted, []string{"2014Q2"}) {
+		t.Errorf("evicted = %v, want [2014Q2]", gotEvicted)
+	}
+	if n := reg.OpenCount(); n != 2 {
+		t.Errorf("open quarters = %d, want 2", n)
+	}
+	if v := m.OpenQuarters.Value(); v != 2 {
+		t.Errorf("open gauge = %d, want 2", v)
+	}
+	if v := m.Hits.Value(); v != 1 {
+		t.Errorf("hits = %d, want 1", v)
+	}
+	if v := m.Misses.Value(); v != 3 {
+		t.Errorf("misses = %d, want 3", v)
+	}
+	if v := m.Evictions.Value(); v != 1 {
+		t.Errorf("evictions = %d, want 1", v)
+	}
+	if m.LoadSeconds.Count() != 3 {
+		t.Errorf("load histogram count = %d, want 3", m.LoadSeconds.Count())
+	}
+	if m.BytesRead.Value() <= 0 {
+		t.Error("bytes-read counter did not move")
+	}
+	// The store series render on a scrape.
+	var sb strings.Builder
+	mreg.WritePrometheus(&sb)
+	for _, want := range []string{
+		"maras_store_snapshot_load_seconds",
+		"maras_store_open_quarters",
+		"maras_store_cache_hits_total",
+		"maras_store_cache_misses_total",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestRegistrySaveThenServe(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Quarters(); len(got) != 0 {
+		t.Fatalf("fresh store not empty: %v", got)
+	}
+	a := quarterAnalysis(t, 10)
+	if err := reg.Save("2015Q1", a); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Has("2015Q1") {
+		t.Fatal("saved quarter not registered")
+	}
+	got, err := reg.Load("2015Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Signals) != len(a.Signals) {
+		t.Errorf("signals %d vs %d", len(got.Signals), len(a.Signals))
+	}
+	// A second registry over the same dir sees it too (discovery).
+	reg2, err := OpenRegistry(dir, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg2.Has("2015Q1") {
+		t.Error("second registry does not discover the saved quarter")
+	}
+}
+
+func TestRegistryTimeline(t *testing.T) {
+	dir := tempStore(t, 4)
+	reg, err := OpenRegistry(dir, RegistryOptions{MaxOpen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, traj, err := reg.Timeline("ASPIRIN+WARFARIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 4 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if traj == nil {
+		t.Fatal("no trajectory for the planted combination")
+	}
+	if traj.Quarters() != 4 {
+		t.Errorf("signaled in %d quarters, want 4", traj.Quarters())
+	}
+	if c := traj.Classify(); c != trend.Persistent {
+		t.Errorf("class = %v, want persistent", c)
+	}
+	// Support ramps with the fixture (8, 12, 16, 20).
+	for i := 1; i < len(traj.Points); i++ {
+		if traj.Points[i].Support <= traj.Points[i-1].Support {
+			t.Errorf("support not ramping: %+v", traj.Points)
+			break
+		}
+	}
+	if _, missing, err := reg.Timeline("NOPE+NADA"); err != nil || missing != nil {
+		t.Errorf("absent key: traj=%v err=%v", missing, err)
+	}
+}
+
+func TestRegistryTracerRecordsLoadNotMine(t *testing.T) {
+	dir := tempStore(t, 1)
+	tracer := obs.NewTracer(nil)
+	reg, err := OpenRegistry(dir, RegistryOptions{Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("2014Q1"); err != nil {
+		t.Fatal(err)
+	}
+	recs := tracer.Records()
+	if len(recs) != 1 || recs[0].Name != StageSnapshotLoad {
+		t.Fatalf("trace = %+v, want one %s stage", recs, StageSnapshotLoad)
+	}
+	for _, r := range recs {
+		if r.Name == core.StageMine {
+			t.Fatal("serving a warm quarter ran the miner")
+		}
+	}
+}
+
+func TestRegistryCorruptFileTypedError(t *testing.T) {
+	dir := tempStore(t, 1)
+	// Damage the snapshot on disk.
+	path := filepath.Join(dir, "2014Q1"+Ext)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x55
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(dir, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("2014Q1"); err == nil {
+		t.Fatal("corrupt snapshot loaded without error")
+	}
+	// Repair the file: the failed entry must not be cached.
+	data[len(data)/3] ^= 0x55
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("2014Q1"); err != nil {
+		t.Errorf("repaired snapshot still failing: %v", err)
+	}
+}
+
+func TestRegistryConcurrentLoads(t *testing.T) {
+	dir := tempStore(t, 3)
+	reg, err := OpenRegistry(dir, RegistryOptions{MaxOpen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := reg.Quarters()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := reg.Load(labels[i%len(labels)]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

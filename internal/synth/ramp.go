@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// rampBase is the exposure-rate ramp the surveillance experiments
+// use: a newly co-marketed drug pair gaining use quarter over quarter,
+// from below the reporting threshold to well above it.
+var rampBase = []float64{0.004, 0.012, 0.03, 0.045}
+
+// rampCap bounds the extrapolated exposure rate: real co-prescription
+// saturates, and the generator's per-report interaction draw must stay
+// a small fraction of the population.
+const rampCap = 0.25
+
+// RampRates returns n exposure rates that ramp interaction exposure
+// up across consecutive quarters. The first four quarters use the
+// canonical surveillance ramp; longer horizons extend it linearly by
+// the final increment, capped at rampCap.
+func RampRates(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	last := len(rampBase) - 1
+	step := rampBase[last] - rampBase[last-1]
+	for i := range out {
+		if i < len(rampBase) {
+			out[i] = rampBase[i]
+			continue
+		}
+		r := rampBase[last] + float64(i-last)*step
+		if r > rampCap {
+			r = rampCap
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// QuarterSequence returns n consecutive quarter labels starting at
+// start (e.g. "2014Q1"), rolling Q4 into the next year's Q1.
+func QuarterSequence(start string, n int) ([]string, error) {
+	year, q, err := parseQuarterLabel(start)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%04dQ%d", year, q))
+		q++
+		if q > 4 {
+			q = 1
+			year++
+		}
+	}
+	return out, nil
+}
+
+func parseQuarterLabel(label string) (year, quarter int, err error) {
+	y, qs, ok := strings.Cut(label, "Q")
+	if !ok {
+		return 0, 0, fmt.Errorf("synth: quarter label %q is not YYYYQn", label)
+	}
+	year, err = strconv.Atoi(y)
+	if err != nil {
+		return 0, 0, fmt.Errorf("synth: quarter label %q is not YYYYQn", label)
+	}
+	quarter, err = strconv.Atoi(qs)
+	if err != nil || quarter < 1 || quarter > 4 {
+		return 0, 0, fmt.Errorf("synth: quarter label %q is not YYYYQn", label)
+	}
+	return year, quarter, nil
+}

@@ -1,0 +1,51 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRampRatesBaseAndExtension(t *testing.T) {
+	if got := RampRates(0); got != nil {
+		t.Errorf("RampRates(0) = %v, want nil", got)
+	}
+	if got := RampRates(4); !reflect.DeepEqual(got, []float64{0.004, 0.012, 0.03, 0.045}) {
+		t.Errorf("RampRates(4) = %v", got)
+	}
+	// A shorter horizon is a prefix of the base ramp.
+	if got := RampRates(2); !reflect.DeepEqual(got, []float64{0.004, 0.012}) {
+		t.Errorf("RampRates(2) = %v", got)
+	}
+	long := RampRates(30)
+	if len(long) != 30 {
+		t.Fatalf("len = %d", len(long))
+	}
+	for i := 1; i < len(long); i++ {
+		if long[i] < long[i-1] {
+			t.Fatalf("ramp decreases at %d: %v", i, long)
+		}
+	}
+	// Extrapolation continues past the base but saturates at the cap.
+	if long[4] <= long[3] {
+		t.Errorf("no growth past the base ramp: %v", long[:6])
+	}
+	if last := long[len(long)-1]; last != rampCap {
+		t.Errorf("long ramp tops out at %v, want cap %v", last, rampCap)
+	}
+}
+
+func TestQuarterSequence(t *testing.T) {
+	got, err := QuarterSequence("2014Q3", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"2014Q3", "2014Q4", "2015Q1", "2015Q2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sequence = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"2014", "2014Q5", "2014Q0", "Q1", "20x4Q1"} {
+		if _, err := QuarterSequence(bad, 2); err == nil {
+			t.Errorf("QuarterSequence(%q) accepted", bad)
+		}
+	}
+}

@@ -135,13 +135,31 @@ func Run(quarters []*faers.Quarter, opts core.Options) (*Analysis, error) {
 	if len(quarters) == 0 {
 		return nil, fmt.Errorf("trend: no quarters")
 	}
-	a := &Analysis{}
-	traj := map[string]*Trajectory{}
-	for qi, q := range quarters {
-		a.Quarters = append(a.Quarters, q.Label)
+	labels := make([]string, len(quarters))
+	results := make([]*core.Analysis, len(quarters))
+	for i, q := range quarters {
+		labels[i] = q.Label
 		res, err := core.RunQuarter(q, opts)
 		if err != nil {
 			return nil, fmt.Errorf("trend: quarter %s: %w", q.Label, err)
+		}
+		results[i] = res
+	}
+	return Assemble(labels, results), nil
+}
+
+// Assemble builds the cross-quarter trajectory analysis from
+// already-computed per-quarter results — the path the snapshot store
+// takes, where every quarter was mined once, persisted, and is now
+// being replayed from disk. labels[i] names results[i]; a nil result
+// is treated as a quarter with no signals (it still occupies a point
+// in every trajectory, so gaps stay visible).
+func Assemble(labels []string, results []*core.Analysis) *Analysis {
+	a := &Analysis{Quarters: append([]string{}, labels...)}
+	traj := map[string]*Trajectory{}
+	for qi, res := range results {
+		if res == nil {
+			continue
 		}
 		for _, s := range res.Signals {
 			key := s.Key()
@@ -150,10 +168,10 @@ func Run(quarters []*faers.Quarter, opts core.Options) (*Analysis, error) {
 				t = &Trajectory{
 					Key:    key,
 					Drugs:  s.Drugs,
-					Points: make([]Point, len(quarters)),
+					Points: make([]Point, len(labels)),
 				}
 				for j := range t.Points {
-					t.Points[j] = Point{Quarter: quarters[j].Label}
+					t.Points[j] = Point{Quarter: labels[j]}
 				}
 				traj[key] = t
 			}
@@ -181,7 +199,7 @@ func Run(quarters []*faers.Quarter, opts core.Options) (*Analysis, error) {
 		}
 		return a.Trajectories[i].Key < a.Trajectories[j].Key
 	})
-	return a, nil
+	return a
 }
 
 func bestScore(t *Trajectory) float64 {
