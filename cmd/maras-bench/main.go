@@ -76,13 +76,25 @@ func tracedRun(experiment string, q *faers.Quarter, opts core.Options) (*core.An
 	return a, err
 }
 
+// traceArtifact is the -trace-out JSON payload: the traced runs plus
+// a runtime snapshot (GC pauses, heap, goroutines, sched latency) of
+// the bench process, so a slow BENCH_*.json trajectory can be told
+// apart from a GC-thrashed host.
+type traceArtifact struct {
+	Runtime obs.RuntimeStats `json:"runtime"`
+	Runs    []traceRun       `json:"runs"`
+}
+
 // writeTraces writes the per-stage trace artifact.
 func writeTraces(path string) error {
 	runs := benchTraces
 	if runs == nil {
 		runs = []traceRun{}
 	}
-	data, err := json.MarshalIndent(runs, "", "  ")
+	data, err := json.MarshalIndent(traceArtifact{
+		Runtime: obs.ReadRuntimeStats(),
+		Runs:    runs,
+	}, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -96,12 +96,16 @@ func TestTracedRunCollectsAndWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var decoded []traceRun
+	var decoded traceArtifact
 	if err := json.Unmarshal(data, &decoded); err != nil {
 		t.Fatalf("artifact not valid JSON: %v", err)
 	}
-	if len(decoded) != 1 || decoded[0].Stages[0].Name != core.StageOrder()[0] {
+	if len(decoded.Runs) != 1 || decoded.Runs[0].Stages[0].Name != core.StageOrder()[0] {
 		t.Errorf("artifact round trip wrong: %+v", decoded)
+	}
+	// The runtime snapshot must carry live process context.
+	if decoded.Runtime.Goroutines <= 0 || decoded.Runtime.HeapBytes == 0 {
+		t.Errorf("artifact runtime context empty: %+v", decoded.Runtime)
 	}
 }
 
@@ -114,11 +118,11 @@ func TestWriteTracesEmptyStillValidJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(path)
-	var decoded []traceRun
+	var decoded traceArtifact
 	if err := json.Unmarshal(data, &decoded); err != nil {
 		t.Fatalf("empty artifact invalid: %v (%s)", err, data)
 	}
-	if decoded == nil || len(decoded) != 0 {
-		t.Errorf("want empty array, got %v", decoded)
+	if decoded.Runs == nil || len(decoded.Runs) != 0 {
+		t.Errorf("want empty runs array, got %v", decoded.Runs)
 	}
 }

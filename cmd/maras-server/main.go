@@ -77,8 +77,9 @@ func (s *server) log() *slog.Logger {
 
 // routes assembles the full instrumented mux: every UI/API handler
 // wrapped in the observability middleware, plus the operational
-// endpoints.
-func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics) http.Handler {
+// endpoints. journal may be nil (tracing disabled, /debug/traces
+// 404s); ready gates /readyz.
+func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness) http.Handler {
 	mux := http.NewServeMux()
 	mw.HandleFunc(mux, "/", s.handleIndex)
 	mw.HandleFunc(mux, "/signal/", s.handleSignal)
@@ -90,6 +91,8 @@ func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics) http.Handler {
 	mw.HandleFunc(mux, "/network.json", s.handleNetworkJSON)
 	mux.Handle("/metrics", obs.MetricsHandler(reg))
 	mux.Handle("/healthz", obs.HealthzHandler(s.healthDetail))
+	mux.Handle("/readyz", obs.ReadyzHandler(ready, s.healthDetail))
+	mux.Handle("/debug/traces", obs.TracesHandler(journal))
 	mux.Handle("/debug/vars", obs.ExpvarHandler())
 	obs.RegisterPprof(mux)
 	return mux
@@ -130,6 +133,13 @@ func main() {
 		topK      = flag.Int("top", 60, "signals to keep")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+
+		traceCap  = flag.Int("trace-journal", obs.DefaultJournalCapacity, "completed request traces kept in the in-memory journal (0 disables span tracing)")
+		traceSlow = flag.Duration("trace-slow", obs.DefaultSlowThreshold, "requests at or above this duration are flagged slow in the trace journal")
+
+		runtimeSample = flag.Duration("runtime-sample", obs.DefaultSampleInterval, "runtime health sampling interval (0 disables the sampler)")
+		wdGoroutines  = flag.Int64("watchdog-max-goroutines", 10000, "watchdog: warn and count when goroutines exceed this (0 disables)")
+		wdGCPause     = flag.Duration("watchdog-max-gc-pause", 250*time.Millisecond, "watchdog: warn and count when a GC pause exceeds this (0 disables)")
 	)
 	flag.Parse()
 
@@ -145,6 +155,25 @@ func main() {
 	mw := obs.NewHTTPMetrics(reg, logger)
 	tracer := obs.NewTracer(logger)
 
+	var journal *obs.Journal
+	if *traceCap > 0 {
+		journal = obs.NewJournal(*traceCap, *traceSlow)
+		mw.EnableTracing(journal)
+	}
+	ready := &obs.Readiness{}
+
+	var sampler *obs.RuntimeSampler
+	if *runtimeSample > 0 {
+		sampler = obs.NewRuntimeSampler(reg, obs.RuntimeSamplerOptions{
+			Interval:      *runtimeSample,
+			MaxGoroutines: *wdGoroutines,
+			MaxGCPause:    *wdGCPause,
+			Logger:        logger,
+		})
+		sampler.Start()
+		defer sampler.Stop()
+	}
+
 	var handler http.Handler
 	if *storeDir != "" {
 		ss, err := newStoreServer(*storeDir, logger, tracer, obs.NewStoreMetrics(reg))
@@ -155,7 +184,8 @@ func main() {
 		quarters := ss.reg.Quarters()
 		logger.Info("serving from store", "dir", *storeDir,
 			"quarters", len(quarters), "default", ss.reg.Latest())
-		handler = ss.routes(reg, mw)
+		handler = ss.routes(reg, mw, journal, ready)
+		ready.SetReady() // registry opened and scanned: store mode can serve
 	} else {
 		q, err := faers.LoadQuarter(*data, *quarter)
 		if err != nil {
@@ -167,7 +197,20 @@ func main() {
 		opts.TopK = *topK
 		opts.Tracer = tracer
 		logger.Info("mining", "quarter", *quarter, "minsup", *minsup)
-		a, err := core.RunQuarter(q, opts)
+		// Trace the startup mine into the journal (trace "startup") so
+		// /debug/traces explains where boot time went, stage by stage.
+		mineCtx := context.Background()
+		var mineTrace *obs.Trace
+		var mineRoot *obs.Span
+		if journal != nil {
+			mineTrace = obs.NewTrace("startup")
+			mineCtx, mineRoot = mineTrace.StartRoot(mineCtx, "startup mine "+*quarter)
+		}
+		a, err := core.RunQuarterContext(mineCtx, q, opts)
+		if mineRoot != nil {
+			mineRoot.End()
+			journal.Add(mineTrace.Snapshot())
+		}
 		if err != nil {
 			logger.Error("pipeline", "err", err)
 			os.Exit(1)
@@ -180,7 +223,8 @@ func main() {
 		logger.Info("ready", "signals", len(a.Signals), "reports", a.Stats.Reports,
 			"mining_wall", tracer.TotalDuration().Round(time.Millisecond))
 		s := &server{analysis: a, quarter: *quarter, logger: logger, started: time.Now()}
-		handler = s.routes(reg, mw)
+		handler = s.routes(reg, mw, journal, ready)
+		ready.SetReady() // initial mine complete: traffic can flow
 	}
 
 	srv := &http.Server{
@@ -222,14 +266,18 @@ func main() {
 
 // renderHTML executes a template into a buffer first so a mid-render
 // failure can still produce a clean 500 instead of a half-written
-// page (once bytes hit the wire the status is unfixable).
-func (s *server) renderHTML(w http.ResponseWriter, name string, tmpl *template.Template, data any) {
+// page (once bytes hit the wire the status is unfixable). The render
+// runs under a "render:<name>" child span of the request trace.
+func (s *server) renderHTML(w http.ResponseWriter, r *http.Request, name string, tmpl *template.Template, data any) {
+	_, span := obs.StartSpan(r.Context(), "render:"+name)
+	defer span.End()
 	var buf bytes.Buffer
 	if err := tmpl.Execute(&buf, data); err != nil {
 		s.log().Error("template render", "template", name, "err", err)
 		http.Error(w, "internal render error", http.StatusInternalServerError)
 		return
 	}
+	span.SetInt("bytes", int64(buf.Len()))
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	if _, err := buf.WriteTo(w); err != nil {
 		s.log().Warn("response write", "template", name, "err", err)
@@ -306,7 +354,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			Known:    sig.Known != nil,
 		})
 	}
-	s.renderHTML(w, "index", indexTmpl, d)
+	s.renderHTML(w, r, "index", indexTmpl, d)
 }
 
 var signalTmpl = template.Must(template.New("signal").Parse(`<!DOCTYPE html>
@@ -429,7 +477,7 @@ func (s *server) handleSignal(w http.ResponseWriter, r *http.Request) {
 			Support:    cr.Support,
 		})
 	}
-	s.renderHTML(w, "signal", signalTmpl, d)
+	s.renderHTML(w, r, "signal", signalTmpl, d)
 }
 
 func (s *server) handleGlyph(w http.ResponseWriter, r *http.Request) {
@@ -438,9 +486,13 @@ func (s *server) handleGlyph(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	_, span := obs.StartSpan(r.Context(), "render:glyph")
+	defer span.End()
+	span.SetInt("rank", int64(sig.Rank))
 	w.Header().Set("Content-Type", "image/svg+xml")
 	w.Header().Set("Cache-Control", svgCacheControl)
 	if r.URL.Query().Get("zoom") != "" {
+		span.SetAttr("zoom", "true")
 		fmt.Fprint(w, glyph.Zoom(sig.Cluster, s.analysis.Dict()))
 		return
 	}
@@ -486,7 +538,7 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		ReacList:    strings.Join(rep.Reactions, ", "),
 		OutcomeList: strings.Join(rep.Outcomes, ", "),
 	}
-	s.renderHTML(w, "report", reportTmpl, data)
+	s.renderHTML(w, r, "report", reportTmpl, data)
 }
 
 // handleAPISignals serves the ranked signals as JSON for programmatic
@@ -504,6 +556,9 @@ func (s *server) handleAPISignals(w http.ResponseWriter, r *http.Request) {
 		SeriousShare float64  `json:"serious_share"`
 		ReportIDs    []string `json:"report_ids"`
 	}
+	_, span := obs.StartSpan(r.Context(), "render:api_signals")
+	defer span.End()
+	span.SetInt("signals", int64(len(s.analysis.Signals)))
 	out := make([]apiSignal, len(s.analysis.Signals))
 	for i, sig := range s.analysis.Signals {
 		out[i] = apiSignal{
@@ -552,6 +607,9 @@ func (s *server) handleBarChart(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	_, span := obs.StartSpan(r.Context(), "render:barchart")
+	defer span.End()
+	span.SetInt("rank", int64(sig.Rank))
 	w.Header().Set("Content-Type", "image/svg+xml")
 	w.Header().Set("Cache-Control", svgCacheControl)
 	fmt.Fprint(w, glyph.BarChart(sig.Cluster, glyph.Options{Size: 420, Dict: s.analysis.Dict()}))

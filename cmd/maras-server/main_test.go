@@ -213,13 +213,29 @@ func TestBarChartSVG(t *testing.T) {
 	}
 }
 
-// testHandler builds the full instrumented mux the way main does.
+// testHandler builds the full instrumented mux the way main does
+// (tracing off, readiness already signaled).
 func testHandler(t *testing.T) (http.Handler, *server) {
 	t.Helper()
 	s := testServer(t)
 	reg := obs.NewRegistry()
 	mw := obs.NewHTTPMetrics(reg, nil)
-	return s.routes(reg, mw), s
+	ready := &obs.Readiness{}
+	ready.SetReady()
+	return s.routes(reg, mw, nil, ready), s
+}
+
+// testHandlerTraced is testHandler with span tracing into a journal.
+func testHandlerTraced(t *testing.T) (http.Handler, *obs.Journal) {
+	t.Helper()
+	s := testServer(t)
+	reg := obs.NewRegistry()
+	mw := obs.NewHTTPMetrics(reg, nil)
+	journal := obs.NewJournal(16, time.Hour)
+	mw.EnableTracing(journal)
+	ready := &obs.Readiness{}
+	ready.SetReady()
+	return s.routes(reg, mw, journal, ready), journal
 }
 
 func getMux(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
@@ -329,5 +345,114 @@ func TestHealthDetailUptimeNonNegative(t *testing.T) {
 	d := s.healthDetail()
 	if up, ok := d["uptime_seconds"].(int64); !ok || up < 2 {
 		t.Errorf("uptime_seconds = %v", d["uptime_seconds"])
+	}
+}
+
+// TestReadyzEndpoint: liveness and readiness must diverge — /healthz
+// answers ok from boot, /readyz gates on the readiness latch.
+func TestReadyzEndpoint(t *testing.T) {
+	s := testServer(t)
+	reg := obs.NewRegistry()
+	mw := obs.NewHTTPMetrics(reg, nil)
+	ready := &obs.Readiness{}
+	h := s.routes(reg, mw, nil, ready)
+
+	if rec := getMux(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("/healthz before ready = %d, want 200 (liveness is unconditional)", rec.Code)
+	}
+	rec := getMux(t, h, "/readyz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before ready = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "unavailable") {
+		t.Errorf("pre-ready body = %q", rec.Body.String())
+	}
+
+	ready.SetReady()
+	rec = getMux(t, h, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/readyz after ready = %d, want 200", rec.Code)
+	}
+	var body struct {
+		Status  string `json:"status"`
+		Quarter string `json:"quarter"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ready" || body.Quarter != s.quarter {
+		t.Errorf("readyz detail = %+v", body)
+	}
+}
+
+// TestRequestIDThroughMux: the full mux honors an inbound request ID
+// and mints one otherwise.
+func TestRequestIDThroughMux(t *testing.T) {
+	h, _ := testHandler(t)
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	req.Header.Set(obs.RequestIDHeader, "mux-level-7")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(obs.RequestIDHeader); got != "mux-level-7" {
+		t.Errorf("inbound ID not echoed: %q", got)
+	}
+	rec = getMux(t, h, "/")
+	if got := rec.Header().Get(obs.RequestIDHeader); !obs.ValidRequestID(got) || len(got) != 16 {
+		t.Errorf("generated ID malformed: %q", got)
+	}
+}
+
+// TestTracedRequestLandsInJournal: a UI request through the traced mux
+// produces a journal trace with the HTTP root span and the handler's
+// render child span, inspectable at /debug/traces.
+func TestTracedRequestLandsInJournal(t *testing.T) {
+	h, journal := testHandlerTraced(t)
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	req.Header.Set(obs.RequestIDHeader, "ui-trace-1")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	recent := journal.Recent(0)
+	if len(recent) != 1 {
+		t.Fatalf("journal traces = %d, want 1", len(recent))
+	}
+	tr := recent[0]
+	if tr.ID != "ui-trace-1" || tr.Name != "GET /" {
+		t.Errorf("trace identity = %q %q", tr.ID, tr.Name)
+	}
+	var rootID = -2
+	for _, sp := range tr.Spans {
+		if sp.Parent == -1 {
+			rootID = sp.ID
+		}
+	}
+	foundRender := false
+	for _, sp := range tr.Spans {
+		if sp.Name == "render:index" && sp.Parent == rootID {
+			foundRender = true
+		}
+	}
+	if !foundRender {
+		t.Errorf("render:index child missing: %+v", tr.Spans)
+	}
+
+	// And the journal endpoint shows it.
+	rec := getMux(t, h, "/debug/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"ui-trace-1", "GET /", "render:index"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/traces missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestTracesEndpointDisabled404s: with -trace-journal 0 the route is
+// mounted but answers 404.
+func TestTracesEndpoint404WhenDisabled(t *testing.T) {
+	h, _ := testHandler(t) // journal nil
+	if rec := getMux(t, h, "/debug/traces"); rec.Code != http.StatusNotFound {
+		t.Errorf("/debug/traces with tracing off = %d, want 404", rec.Code)
 	}
 }

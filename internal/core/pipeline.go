@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -377,6 +378,35 @@ func Run(reports []faers.Report, opts Options) (*Analysis, error) {
 // and Run.
 func RunQuarter(q *faers.Quarter, opts Options) (*Analysis, error) {
 	return Run(q.Reports(), opts)
+}
+
+// RunContext is Run with request-scoped span bridging: when ctx
+// carries an active trace span (see obs.StartSpan), the run's stage
+// trace is attached to it as child spans named "stage:<name>", so a
+// mining-backed request (or a traced startup mine) is explainable in
+// the same journal as store-backed serving. A tracer is supplied
+// automatically when the caller did not set one; a context without an
+// active span behaves exactly like Run.
+func RunContext(ctx context.Context, reports []faers.Report, opts Options) (*Analysis, error) {
+	span := obs.ActiveSpan(ctx)
+	if span != nil && opts.Tracer == nil {
+		opts.Tracer = obs.NewTracer(nil)
+	}
+	// The caller may reuse a tracer across runs; bridge only the
+	// stages this run adds.
+	base := opts.Tracer.Len()
+	a, err := Run(reports, opts)
+	if err == nil && span != nil {
+		if recs := opts.Tracer.Records(); base < len(recs) {
+			obs.AttachStageRecords(ctx, recs[base:])
+		}
+	}
+	return a, err
+}
+
+// RunQuarterContext is RunQuarter with span bridging (see RunContext).
+func RunQuarterContext(ctx context.Context, q *faers.Quarter, opts Options) (*Analysis, error) {
+	return RunContext(ctx, q.Reports(), opts)
 }
 
 // FilterSignals returns the signals mentioning the given drug or

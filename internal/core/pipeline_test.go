@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"maras/internal/eval"
 	"maras/internal/faers"
 	"maras/internal/knowledge"
+	"maras/internal/obs"
 	"maras/internal/rank"
 	"maras/internal/synth"
 )
@@ -326,5 +328,98 @@ func TestRunOnSyntheticQuarter(t *testing.T) {
 	resConf := eval.Score(signalKeys(ac.Signals), gt.Keys())
 	if res.MRR < resConf.MRR {
 		t.Errorf("exclusiveness MRR %.3f below confidence MRR %.3f", res.MRR, resConf.MRR)
+	}
+}
+
+// TestRunContextBridgesStageSpans: running under an active span turns
+// every pipeline stage into a "stage:<name>" child span, even when the
+// caller supplied no tracer of its own.
+func TestRunContextBridgesStageSpans(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+
+	tr := obs.NewTrace("mine")
+	ctx, root := tr.StartRoot(context.Background(), "startup mine")
+	a, err := RunContext(ctx, handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) == 0 {
+		t.Fatal("no signals")
+	}
+	root.End()
+
+	rec := tr.Snapshot()
+	got := map[string]obs.SpanRecord{}
+	for _, s := range rec.Spans {
+		got[s.Name] = s
+	}
+	rootID := got["startup mine"].ID
+	for _, stage := range StageOrder() {
+		s, ok := got["stage:"+stage]
+		if !ok {
+			t.Errorf("stage span stage:%s missing", stage)
+			continue
+		}
+		if s.Parent != rootID {
+			t.Errorf("stage:%s parented to %d, want root %d", stage, s.Parent, rootID)
+		}
+	}
+	if s := got["stage:"+StageClean]; s.Attrs["alloc_bytes"] == "" {
+		t.Errorf("stage span lost tracer attributes: %v", s.Attrs)
+	}
+}
+
+// TestRunContextReusedTracerNoDoubleBridge: a caller-owned tracer that
+// already holds records from a previous run must contribute only the
+// new run's stages.
+func TestRunContextReusedTracerNoDoubleBridge(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+	opts.Tracer = obs.NewTracer(nil)
+
+	// First run without a span: fills the tracer.
+	if _, err := RunContext(context.Background(), handReports(), opts); err != nil {
+		t.Fatal(err)
+	}
+	base := opts.Tracer.Len()
+	if base == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+
+	tr := obs.NewTrace("second")
+	ctx, root := tr.StartRoot(context.Background(), "second run")
+	if _, err := RunContext(ctx, handReports(), opts); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	rec := tr.Snapshot()
+	stageSpans := 0
+	for _, s := range rec.Spans {
+		if strings.HasPrefix(s.Name, "stage:") {
+			stageSpans++
+		}
+	}
+	if want := len(StageOrder()); stageSpans != want {
+		t.Errorf("bridged %d stage spans, want %d (one run only)", stageSpans, want)
+	}
+}
+
+// TestRunContextWithoutSpanIsPlainRun: no active span means no side
+// effects — same results, no tracer forced onto the options.
+func TestRunContextWithoutSpanIsPlainRun(t *testing.T) {
+	opts := NewOptions()
+	opts.MinSupport = 3
+	a, err := RunContext(context.Background(), handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(handReports(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Signals) != len(b.Signals) {
+		t.Errorf("context run diverged: %d vs %d signals", len(a.Signals), len(b.Signals))
 	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -8,17 +9,23 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
 // HTTPMetrics instruments a mux: per-route request/latency/status
-// series, an in-flight gauge, panic recovery, and structured request
-// logs.
+// series, an in-flight gauge, panic recovery, structured request
+// logs with request IDs, and (when a journal is attached) a root
+// span per request feeding the trace journal.
 type HTTPMetrics struct {
 	reg      *Registry
 	logger   *slog.Logger
 	inflight *Gauge
 	panics   *Counter
+
+	journal    *Journal
+	traces     *Counter
+	slowTraces *Counter
 }
 
 // NewHTTPMetrics builds the middleware over a registry. logger may
@@ -30,6 +37,17 @@ func NewHTTPMetrics(reg *Registry, logger *slog.Logger) *HTTPMetrics {
 		inflight: reg.Gauge("http_inflight_requests", "Requests currently being served."),
 		panics:   reg.Counter("http_panics_total", "Handler panics recovered."),
 	}
+}
+
+// EnableTracing attaches a trace journal: every wrapped request opens
+// a root span carried through the request context, and the completed
+// trace lands in j. Without it the span path stays disabled (and
+// allocation-free) — request IDs are handled either way.
+func (m *HTTPMetrics) EnableTracing(j *Journal) {
+	m.journal = j
+	m.traces = m.reg.Counter("http_traces_total", "Request traces recorded in the journal.")
+	m.slowTraces = m.reg.Counter("http_slow_traces_total",
+		"Request traces at or above the slow-trace threshold.")
 }
 
 // statusRecorder captures the status code and bytes written by the
@@ -54,6 +72,18 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	n, err := sr.ResponseWriter.Write(p)
 	sr.bytes += int64(n)
 	return n, err
+}
+
+// Flush passes http.Flusher through the wrapper so streaming and
+// chunked handlers (pprof profiles, long renders) keep flushing under
+// the middleware. A non-flushing underlying writer makes it a no-op.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		f.Flush()
+	}
 }
 
 // codeClass buckets a status code into "1xx".."5xx".
@@ -92,6 +122,28 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 		m.inflight.Add(1)
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
+
+		// Request identity: honor a well-formed inbound X-Request-ID,
+		// generate otherwise, and echo it on the response so clients
+		// and logs correlate.
+		reqID := r.Header.Get(RequestIDHeader)
+		if !ValidRequestID(reqID) {
+			reqID = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, reqID)
+
+		// Root span: only when a journal is attached; the disabled
+		// path allocates nothing on the span side.
+		var tr *Trace
+		var root *Span
+		if m.journal != nil {
+			tr = NewTrace(reqID)
+			var ctx context.Context
+			ctx, root = tr.StartRoot(r.Context(), r.Method+" "+route)
+			root.SetAttr("path", r.URL.Path)
+			r = r.WithContext(ctx)
+		}
+
 		defer func() {
 			if p := recover(); p != nil {
 				m.panics.Inc()
@@ -103,6 +155,7 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 					m.logger.Error("handler panic",
 						slog.String("route", route),
 						slog.String("path", r.URL.Path),
+						slog.String("request_id", reqID),
 						slog.Any("panic", p),
 						slog.String("stack", string(debug.Stack())),
 					)
@@ -116,11 +169,29 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 			}
 			byClass[codeClass(status)].Inc()
 			latency.Observe(dur.Seconds())
+			if root != nil {
+				root.SetInt("status", int64(status))
+				root.SetInt("bytes", rec.bytes)
+				root.End()
+				slow := m.journal.Add(tr.Snapshot())
+				m.traces.Inc()
+				if slow {
+					m.slowTraces.Inc()
+					if m.logger != nil {
+						m.logger.Warn("slow request trace",
+							slog.String("request_id", reqID),
+							slog.String("route", route),
+							slog.Duration("duration", dur),
+						)
+					}
+				}
+			}
 			if m.logger != nil {
 				m.logger.Info("request",
 					slog.String("method", r.Method),
 					slog.String("path", r.URL.Path),
 					slog.String("route", route),
+					slog.String("request_id", reqID),
 					slog.Int("status", status),
 					slog.Duration("duration", dur),
 					slog.Int64("bytes", rec.bytes),
@@ -172,6 +243,42 @@ func HealthzHandler(detail func() map[string]any) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(body); err != nil {
 			http.Error(w, fmt.Sprintf("healthz encode: %v", err), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Readiness is the latch behind /readyz, separating liveness ("the
+// process is up", /healthz) from readiness ("the store registry or
+// initial mine is done; send traffic"). It starts not-ready; the
+// serving process flips it once its backing data is loadable. A nil
+// *Readiness reports not ready.
+type Readiness struct{ ready atomic.Bool }
+
+// SetReady marks the process ready to serve.
+func (rd *Readiness) SetReady() { rd.ready.Store(true) }
+
+// Ready reports whether SetReady has been called.
+func (rd *Readiness) Ready() bool { return rd != nil && rd.ready.Load() }
+
+// ReadyzHandler answers 503 until rd is ready, then 200 with the
+// caller-supplied detail — the load-balancer gate, where /healthz is
+// the restart gate.
+func ReadyzHandler(rd *Readiness, detail func() map[string]any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !rd.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"status": "unavailable"})
+			return
+		}
+		body := map[string]any{"status": "ready"}
+		if detail != nil {
+			for k, v := range detail() {
+				body[k] = v
+			}
+		}
+		if err := json.NewEncoder(w).Encode(body); err != nil {
+			http.Error(w, fmt.Sprintf("readyz encode: %v", err), http.StatusInternalServerError)
 		}
 	})
 }

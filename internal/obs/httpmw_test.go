@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func newTestMW(t *testing.T) (*HTTPMetrics, *Registry, *bytes.Buffer) {
@@ -166,5 +167,196 @@ func TestRegisterPprof(t *testing.T) {
 	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
 	if rec.Code != http.StatusOK {
 		t.Errorf("pprof cmdline: status %d", rec.Code)
+	}
+}
+
+func TestStatusRecorderFlushPassthrough(t *testing.T) {
+	mw, _, _ := newTestMW(t)
+	h := mw.Wrap("/stream", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("wrapped writer lost http.Flusher")
+		}
+		w.Write([]byte("chunk"))
+		f.Flush()
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+// nonFlusher hides httptest.ResponseRecorder's Flush so the wrapper's
+// no-op path is exercised.
+type nonFlusher struct{ http.ResponseWriter }
+
+func TestStatusRecorderFlushNonFlusherNoOp(t *testing.T) {
+	mw, _, _ := newTestMW(t)
+	h := mw.Wrap("/stream", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.(http.Flusher).Flush() // must not panic
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(&nonFlusher{rec}, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if rec.Flushed {
+		t.Error("flush leaked through a non-flushing writer")
+	}
+}
+
+func TestRequestIDInboundEchoed(t *testing.T) {
+	mw, _, logBuf := newTestMW(t)
+	h := mw.Wrap("/id", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/id", nil)
+	req.Header.Set(RequestIDHeader, "client-supplied-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "client-supplied-42" {
+		t.Errorf("response %s = %q, want the inbound ID echoed", RequestIDHeader, got)
+	}
+	if !strings.Contains(logBuf.String(), "request_id=client-supplied-42") {
+		t.Errorf("request log missing inbound request ID: %q", logBuf.String())
+	}
+}
+
+func TestRequestIDGeneratedWhenAbsentOrHostile(t *testing.T) {
+	mw, _, logBuf := newTestMW(t)
+	h := mw.Wrap("/id", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	for _, inbound := range []string{"", "has space", "inject\"quote"} {
+		logBuf.Reset()
+		req := httptest.NewRequest(http.MethodGet, "/id", nil)
+		if inbound != "" {
+			req.Header.Set(RequestIDHeader, inbound)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		got := rec.Header().Get(RequestIDHeader)
+		if got == inbound || !ValidRequestID(got) || len(got) != 16 {
+			t.Errorf("inbound %q: response ID %q, want fresh 16-hex", inbound, got)
+		}
+		if !strings.Contains(logBuf.String(), "request_id="+got) {
+			t.Errorf("log does not carry the generated ID %q: %q", got, logBuf.String())
+		}
+	}
+}
+
+func TestMiddlewareTracingJournalsRequests(t *testing.T) {
+	mw, reg, _ := newTestMW(t)
+	journal := NewJournal(8, time.Hour)
+	mw.EnableTracing(journal)
+	h := mw.Wrap("/traced/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, span := StartSpan(r.Context(), "child_work")
+		span.SetAttr("cache", "lru_hit")
+		span.End()
+		w.Write([]byte("done"))
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/traced/x", nil)
+	req.Header.Set(RequestIDHeader, "trace-me-1")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	recent := journal.Recent(0)
+	if len(recent) != 1 {
+		t.Fatalf("journal holds %d traces, want 1", len(recent))
+	}
+	tr := recent[0]
+	if tr.ID != "trace-me-1" || tr.Name != "GET /traced/" {
+		t.Errorf("trace identity = %q %q", tr.ID, tr.Name)
+	}
+	var root, child *SpanRecord
+	for i := range tr.Spans {
+		switch tr.Spans[i].Parent {
+		case -1:
+			root = &tr.Spans[i]
+		default:
+			child = &tr.Spans[i]
+		}
+	}
+	if root == nil || child == nil {
+		t.Fatalf("trace spans = %+v, want root + child", tr.Spans)
+	}
+	if root.Attrs["status"] != "200" || root.Attrs["path"] != "/traced/x" || root.Attrs["bytes"] != "4" {
+		t.Errorf("root attrs = %v", root.Attrs)
+	}
+	if child.Name != "child_work" || child.Parent != root.ID || child.Attrs["cache"] != "lru_hit" {
+		t.Errorf("child span = %+v", child)
+	}
+	if v := reg.Counter("http_traces_total", "").Value(); v != 1 {
+		t.Errorf("http_traces_total = %d, want 1", v)
+	}
+	if v := reg.Counter("http_slow_traces_total", "").Value(); v != 0 {
+		t.Errorf("http_slow_traces_total = %d, want 0", v)
+	}
+}
+
+func TestMiddlewareSlowTraceCountedAndLogged(t *testing.T) {
+	mw, reg, logBuf := newTestMW(t)
+	journal := NewJournal(8, time.Nanosecond) // everything is slow
+	mw.EnableTracing(journal)
+	h := mw.Wrap("/slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Millisecond)
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/slow", nil))
+	if v := reg.Counter("http_slow_traces_total", "").Value(); v != 1 {
+		t.Errorf("http_slow_traces_total = %d, want 1", v)
+	}
+	if !strings.Contains(logBuf.String(), "slow request trace") {
+		t.Errorf("slow trace not logged: %q", logBuf.String())
+	}
+	if recent := journal.Recent(0); len(recent) != 1 || !recent[0].Slow {
+		t.Errorf("journal entry not flagged slow: %+v", recent)
+	}
+}
+
+func TestMiddlewareWithoutTracingKeepsContextClean(t *testing.T) {
+	mw, _, _ := newTestMW(t)
+	h := mw.Wrap("/plain", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ActiveSpan(r.Context()) != nil {
+			t.Error("span active without EnableTracing")
+		}
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/plain", nil))
+}
+
+func TestReadyzHandler(t *testing.T) {
+	ready := &Readiness{}
+	h := ReadyzHandler(ready, func() map[string]any { return map[string]any{"quarter": "2014Q1"} })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-ready status = %d, want 503", rec.Code)
+	}
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "unavailable" {
+		t.Errorf("pre-ready body = %v", body)
+	}
+
+	ready.SetReady()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-ready status = %d, want 200", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ready" || body["quarter"] != "2014Q1" {
+		t.Errorf("post-ready body = %v", body)
+	}
+}
+
+func TestReadyzNilReadinessStays503(t *testing.T) {
+	h := ReadyzHandler(nil, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("nil readiness status = %d, want 503", rec.Code)
 	}
 }

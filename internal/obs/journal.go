@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Journal defaults: how many completed traces the ring buffer holds,
+// what counts as slow, and how many slowest traces are pinned.
+const (
+	DefaultJournalCapacity = 256
+	DefaultSlowThreshold   = 250 * time.Millisecond
+	slowestKept            = 16
+)
+
+// Journal is a fixed-size, lock-protected ring buffer of completed
+// request traces plus a pinned set of the slowest traces seen. It is
+// the no-collector answer to "what did that slow request do": recent
+// and slowest traces are always inspectable at /debug/traces. A nil
+// *Journal is safe and records nothing (tracing disabled).
+type Journal struct {
+	mu        sync.Mutex
+	capacity  int
+	threshold time.Duration
+	ring      []TraceRecord // oldest..newest, up to capacity
+	next      int           // ring write cursor once full
+	full      bool
+	total     uint64
+	slowTotal uint64
+	slowest   []TraceRecord // sorted by duration, descending, ≤ slowestKept
+}
+
+// NewJournal builds a journal holding up to capacity recent traces
+// (0 or negative = DefaultJournalCapacity), flagging traces at or
+// above slowThreshold (0 = DefaultSlowThreshold).
+func NewJournal(capacity int, slowThreshold time.Duration) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	if slowThreshold <= 0 {
+		slowThreshold = DefaultSlowThreshold
+	}
+	return &Journal{
+		capacity:  capacity,
+		threshold: slowThreshold,
+		ring:      make([]TraceRecord, 0, capacity),
+	}
+}
+
+// SlowThreshold returns the configured slow-trace threshold.
+func (j *Journal) SlowThreshold() time.Duration {
+	if j == nil {
+		return 0
+	}
+	return j.threshold
+}
+
+// Add records a completed trace, flagging it slow when its duration
+// reaches the threshold, and reports that flag back so callers can
+// count or log slow requests. Nil journals drop the trace.
+func (j *Journal) Add(rec TraceRecord) (slow bool) {
+	if j == nil {
+		return false
+	}
+	rec.Slow = rec.Duration() >= j.threshold
+	j.mu.Lock()
+	if len(j.ring) < j.capacity {
+		j.ring = append(j.ring, rec)
+	} else {
+		j.ring[j.next] = rec
+		j.next = (j.next + 1) % j.capacity
+		j.full = true
+	}
+	j.total++
+	if rec.Slow {
+		j.slowTotal++
+	}
+	// Pin into the slowest set (sorted descending by duration).
+	i := sort.Search(len(j.slowest), func(i int) bool {
+		return j.slowest[i].DurationNS < rec.DurationNS
+	})
+	if i < slowestKept {
+		j.slowest = append(j.slowest, TraceRecord{})
+		copy(j.slowest[i+1:], j.slowest[i:])
+		j.slowest[i] = rec
+		if len(j.slowest) > slowestKept {
+			j.slowest = j.slowest[:slowestKept]
+		}
+	}
+	j.mu.Unlock()
+	return rec.Slow
+}
+
+// Recent returns up to n completed traces, newest first. n <= 0
+// returns everything held.
+func (j *Journal) Recent(n int) []TraceRecord {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]TraceRecord, 0, len(j.ring))
+	// Oldest..newest order is ring[next:] + ring[:next] when full.
+	if j.full {
+		out = append(out, j.ring[j.next:]...)
+		out = append(out, j.ring[:j.next]...)
+	} else {
+		out = append(out, j.ring...)
+	}
+	// Reverse to newest first.
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Slowest returns up to n of the slowest traces seen since startup,
+// slowest first. n <= 0 returns the full pinned set.
+func (j *Journal) Slowest(n int) []TraceRecord {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]TraceRecord, len(j.slowest))
+	copy(out, j.slowest)
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// JournalStats summarizes journal activity.
+type JournalStats struct {
+	Total         uint64        `json:"total"`
+	Slow          uint64        `json:"slow"`
+	Capacity      int           `json:"capacity"`
+	SlowThreshold time.Duration `json:"slow_threshold_ns"`
+}
+
+// Stats returns totals since startup.
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Total:         j.total,
+		Slow:          j.slowTotal,
+		Capacity:      j.capacity,
+		SlowThreshold: j.threshold,
+	}
+}
+
+// TracesHandler serves the journal at /debug/traces: human-readable
+// span trees by default, the full structured dump with ?format=json.
+// ?n=K bounds how many recent/slowest traces are shown (default 20).
+// A nil journal answers 404 so the route can be mounted
+// unconditionally.
+func TracesHandler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if j == nil {
+			http.Error(w, "trace journal disabled (-trace-journal 0)", http.StatusNotFound)
+			return
+		}
+		n := 20
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		stats := j.Stats()
+		recent := j.Recent(n)
+		slowest := j.Slowest(n)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Stats   JournalStats  `json:"stats"`
+				Slowest []TraceRecord `json:"slowest"`
+				Recent  []TraceRecord `json:"recent"`
+			}{stats, slowest, recent})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "trace journal: %d traces (%d slow >= %s), ring capacity %d\n",
+			stats.Total, stats.Slow, stats.SlowThreshold, stats.Capacity)
+		fmt.Fprintf(w, "\n== slowest (%d) ==\n", len(slowest))
+		for _, tr := range slowest {
+			writeTraceText(w, tr)
+		}
+		fmt.Fprintf(w, "\n== recent (%d, newest first) ==\n", len(recent))
+		for _, tr := range recent {
+			writeTraceText(w, tr)
+		}
+	})
+}
+
+// writeTraceText renders one trace as an indented span tree.
+func writeTraceText(w io.Writer, tr TraceRecord) {
+	flag := ""
+	if tr.Slow {
+		flag = " SLOW"
+	}
+	fmt.Fprintf(w, "\ntrace %s %s %s%s\n", tr.ID, tr.Name, tr.Duration().Round(time.Microsecond), flag)
+	children := map[int][]SpanRecord{}
+	for _, s := range tr.Spans {
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].StartNS < kids[j].StartNS })
+	}
+	var walk func(parent, depth int)
+	walk = func(parent, depth int) {
+		for _, s := range children[parent] {
+			fmt.Fprintf(w, "%s%s %s%s\n", strings.Repeat("  ", depth),
+				s.Name, s.Duration().Round(time.Microsecond), renderSpanAttrs(s.Attrs))
+			walk(s.ID, depth+1)
+		}
+	}
+	walk(-1, 1)
+}
+
+// renderSpanAttrs formats span attributes as " {k=v k=v}" with sorted
+// keys for stable output.
+func renderSpanAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(" {")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(attrs[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

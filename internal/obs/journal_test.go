@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mkTrace builds a minimal completed trace record for journal tests.
+func mkTrace(id string, dur time.Duration) TraceRecord {
+	return TraceRecord{
+		ID:         id,
+		Name:       "GET /",
+		Start:      time.Now(),
+		DurationNS: int64(dur),
+		Spans: []SpanRecord{
+			{ID: 0, Parent: -1, Name: "GET /", DurationNS: int64(dur)},
+		},
+	}
+}
+
+func TestJournalRingEvictsOldest(t *testing.T) {
+	j := NewJournal(3, time.Hour)
+	for i := 1; i <= 5; i++ {
+		j.Add(mkTrace(fmt.Sprintf("t%d", i), time.Duration(i)*time.Millisecond))
+	}
+	recent := j.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("recent = %d traces, want capacity 3", len(recent))
+	}
+	// Newest first: t5, t4, t3; t1 and t2 evicted.
+	for i, want := range []string{"t5", "t4", "t3"} {
+		if recent[i].ID != want {
+			t.Errorf("recent[%d] = %q, want %q", i, recent[i].ID, want)
+		}
+	}
+	if st := j.Stats(); st.Total != 5 || st.Capacity != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := j.Recent(2); len(got) != 2 || got[0].ID != "t5" {
+		t.Errorf("Recent(2) = %v", got)
+	}
+}
+
+func TestJournalSlowestOrderAndFlag(t *testing.T) {
+	j := NewJournal(8, 10*time.Millisecond)
+	if slow := j.Add(mkTrace("fast", time.Millisecond)); slow {
+		t.Error("1ms flagged slow against a 10ms threshold")
+	}
+	if slow := j.Add(mkTrace("slow1", 20*time.Millisecond)); !slow {
+		t.Error("20ms not flagged slow")
+	}
+	j.Add(mkTrace("slow2", 50*time.Millisecond))
+	// Exactly at threshold counts as slow.
+	if slow := j.Add(mkTrace("edge", 10*time.Millisecond)); !slow {
+		t.Error("threshold-equal trace not flagged slow")
+	}
+
+	slowest := j.Slowest(0)
+	if len(slowest) != 4 {
+		t.Fatalf("slowest holds %d, want 4", len(slowest))
+	}
+	for i, want := range []string{"slow2", "slow1", "edge", "fast"} {
+		if slowest[i].ID != want {
+			t.Errorf("slowest[%d] = %q, want %q", i, slowest[i].ID, want)
+		}
+	}
+	if !slowest[0].Slow || slowest[3].Slow {
+		t.Errorf("slow flags wrong: %v %v", slowest[0].Slow, slowest[3].Slow)
+	}
+	if st := j.Stats(); st.Slow != 3 {
+		t.Errorf("slow total = %d, want 3", st.Slow)
+	}
+}
+
+func TestJournalSlowestBounded(t *testing.T) {
+	j := NewJournal(4, time.Hour) // tiny ring must not limit the pinned set
+	for i := 0; i < slowestKept+10; i++ {
+		j.Add(mkTrace(fmt.Sprintf("t%d", i), time.Duration(i+1)*time.Millisecond))
+	}
+	slowest := j.Slowest(0)
+	if len(slowest) != slowestKept {
+		t.Fatalf("pinned %d, want %d", len(slowest), slowestKept)
+	}
+	// Descending by duration, and the very slowest survived ring churn.
+	for i := 1; i < len(slowest); i++ {
+		if slowest[i].DurationNS > slowest[i-1].DurationNS {
+			t.Fatalf("slowest not sorted at %d", i)
+		}
+	}
+	if want := fmt.Sprintf("t%d", slowestKept+9); slowest[0].ID != want {
+		t.Errorf("slowest[0] = %q, want %q", slowest[0].ID, want)
+	}
+}
+
+func TestNilJournalSafe(t *testing.T) {
+	var j *Journal
+	if slow := j.Add(mkTrace("x", time.Hour)); slow {
+		t.Error("nil journal flagged slow")
+	}
+	if j.Recent(5) != nil || j.Slowest(5) != nil {
+		t.Error("nil journal returned traces")
+	}
+	if st := j.Stats(); st.Total != 0 {
+		t.Errorf("nil journal stats = %+v", st)
+	}
+	if j.SlowThreshold() != 0 {
+		t.Error("nil journal threshold nonzero")
+	}
+}
+
+func TestJournalDefaults(t *testing.T) {
+	j := NewJournal(0, 0)
+	st := j.Stats()
+	if st.Capacity != DefaultJournalCapacity || st.SlowThreshold != DefaultSlowThreshold {
+		t.Errorf("defaults not applied: %+v", st)
+	}
+}
+
+func TestTracesHandlerText(t *testing.T) {
+	j := NewJournal(8, 10*time.Millisecond)
+	rec := mkTrace("abc123", 20*time.Millisecond)
+	rec.Spans = append(rec.Spans, SpanRecord{
+		ID: 1, Parent: 0, Name: "store_load", DurationNS: int64(15 * time.Millisecond),
+		Attrs: map[string]string{"cache": "lru_miss", "quarter": "2014Q1"},
+	})
+	j.Add(rec)
+
+	w := httptest.NewRecorder()
+	TracesHandler(j).ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"trace journal: 1 traces (1 slow",
+		"trace abc123 GET / 20ms SLOW",
+		"store_load 15ms {cache=lru_miss quarter=2014Q1}",
+		"== slowest",
+		"== recent",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text output missing %q:\n%s", want, body)
+		}
+	}
+	// The child line is indented one level deeper than the root line.
+	if !strings.Contains(body, "\n    store_load") {
+		t.Errorf("child span not indented:\n%s", body)
+	}
+}
+
+func TestTracesHandlerJSON(t *testing.T) {
+	j := NewJournal(8, time.Hour)
+	j.Add(mkTrace("j1", time.Millisecond))
+	j.Add(mkTrace("j2", 2*time.Millisecond))
+
+	w := httptest.NewRecorder()
+	TracesHandler(j).ServeHTTP(w,
+		httptest.NewRequest(http.MethodGet, "/debug/traces?format=json&n=1", nil))
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var out struct {
+		Stats   JournalStats  `json:"stats"`
+		Slowest []TraceRecord `json:"slowest"`
+		Recent  []TraceRecord `json:"recent"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("invalid json: %v", err)
+	}
+	if out.Stats.Total != 2 {
+		t.Errorf("stats.total = %d", out.Stats.Total)
+	}
+	if len(out.Recent) != 1 || out.Recent[0].ID != "j2" {
+		t.Errorf("?n=1 recent = %+v", out.Recent)
+	}
+	if len(out.Slowest) != 1 || out.Slowest[0].ID != "j2" {
+		t.Errorf("?n=1 slowest = %+v", out.Slowest)
+	}
+}
+
+func TestTracesHandlerNilJournal404(t *testing.T) {
+	w := httptest.NewRecorder()
+	TracesHandler(nil).ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "disabled") {
+		t.Errorf("404 body should explain: %q", w.Body.String())
+	}
+}

@@ -164,15 +164,29 @@ func (r *Registry) family(name, help, typ string) *family {
 	return f
 }
 
+// labelKey builds the canonical series key. Separator characters
+// inside values are escaped so hostile values (a value containing
+// `,` or `=`) cannot collide two distinct label sets onto one series.
 func labelKey(labels []Label) string {
 	if len(labels) == 0 {
 		return ""
 	}
 	var b strings.Builder
+	esc := func(s string) {
+		for i := 0; i < len(s); i++ {
+			switch c := s[i]; c {
+			case '\\', '=', ',':
+				b.WriteByte('\\')
+				b.WriteByte(c)
+			default:
+				b.WriteByte(c)
+			}
+		}
+	}
 	for _, l := range labels {
-		b.WriteString(l.Key)
+		esc(l.Key)
 		b.WriteByte('=')
-		b.WriteString(l.Value)
+		esc(l.Value)
 		b.WriteByte(',')
 	}
 	return b.String()
@@ -244,6 +258,23 @@ func escapeLabelValue(v string) string {
 	return b.String()
 }
 
+// escapeHelp escapes HELP comment text per the exposition format:
+// only backslash and newline (quotes stay literal in comments).
+func escapeHelp(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // renderLabels formats {k="v",...}; extra appends additional pairs
 // (used for the le bucket bound).
 func renderLabels(labels []Label, extra ...Label) string {
@@ -280,7 +311,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			continue
 		}
 		if f.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
 		f.mu.Lock()

@@ -206,3 +206,82 @@ func TestPublishExpvarIdempotent(t *testing.T) {
 	r.PublishExpvar("obs_test_metrics")
 	r.PublishExpvar("obs_test_metrics") // second call must not panic
 }
+
+// TestPrometheusHostileLabelValues drives the full hostile-value
+// matrix through the renderer: backslashes, quotes, and newlines in
+// label values must escape per the exposition format, and values that
+// only differ in separator characters must stay distinct series.
+func TestPrometheusHostileLabelValues(t *testing.T) {
+	r := NewRegistry()
+	hostile := []string{
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		`trailing\`,
+		"\\\"\n", // all three at once
+	}
+	for _, v := range hostile {
+		r.Counter("hostile_total", "Hostile.", Label{"v", v}).Inc()
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		`hostile_total{v="back\\slash"} 1`,
+		`hostile_total{v="quo\"te"} 1`,
+		`hostile_total{v="new\nline"} 1`,
+		`hostile_total{v="trailing\\"} 1`,
+		`hostile_total{v="\\\"\n"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("escaped series %q missing in:\n%s", want, text)
+		}
+	}
+	// Raw control characters must never reach the wire inside a value.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "hostile_total") && strings.Contains(line, "\t") {
+			t.Errorf("unescaped control char in %q", line)
+		}
+	}
+	parsePrometheus(t, text)
+}
+
+// TestLabelValueSeparatorCollision pins the series-identity fix:
+// values crafted so their naive "k=v,k=v" concatenations coincide
+// must still be separate counters.
+func TestLabelValueSeparatorCollision(t *testing.T) {
+	r := NewRegistry()
+	// Naively joined, both become a=1,b=2 (the first smuggles the
+	// separator inside the value).
+	c1 := r.Counter("collide_total", "C.", Label{"a", "1,b=2"})
+	c2 := r.Counter("collide_total", "C.", Label{"a", "1"}, Label{"b", "2"})
+	c1.Add(7)
+	if got := c2.Value(); got != 0 {
+		t.Fatalf("separator collision: distinct label sets share a counter (%d)", got)
+	}
+	c2.Add(5)
+	if c1.Value() != 7 || c2.Value() != 5 {
+		t.Errorf("counters entangled: %d %d", c1.Value(), c2.Value())
+	}
+}
+
+// TestPrometheusHelpEscaping: HELP text carrying backslashes or
+// newlines must escape, or the exposition format breaks on the next
+// line.
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("helpful_total", "Line one\nline two with \\ backslash.").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	want := `# HELP helpful_total Line one\nline two with \\ backslash.`
+	if !strings.Contains(text, want) {
+		t.Errorf("escaped HELP missing:\n%s", text)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "line two") {
+			t.Errorf("raw newline split the HELP comment: %q", line)
+		}
+	}
+	parsePrometheus(t, text)
+}

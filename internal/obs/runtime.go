@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"log/slog"
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime health sampling: a goroutine reads runtime/metrics on an
+// interval into registry gauges/histograms, and a watchdog logs and
+// counts when GC pause or goroutine count crosses configured limits.
+// Where /metrics scrapes are pull-driven and only as fresh as the
+// scraper, the sampler gives the process its own heartbeat — BENCH
+// artifacts and slow-trace investigations get runtime context even
+// with no collector attached.
+
+// Runtime metric names, with fallbacks for toolchain renames (the GC
+// pause histogram moved under /sched/pauses in go1.22; the old name
+// remains as a deprecated alias).
+var (
+	gcPauseMetrics   = []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"}
+	schedLatMetric   = "/sched/latencies:seconds"
+	goroutinesMetric = "/sched/goroutines:goroutines"
+	heapMetric       = "/memory/classes/heap/objects:bytes"
+	gcCyclesMetric   = "/gc/cycles/total:gc-cycles"
+)
+
+// RuntimePauseBuckets are histogram bounds (seconds) suited to GC
+// pauses and scheduler latencies — much finer than request latencies.
+var RuntimePauseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 0.01, 0.025, 0.05, 0.1, 0.5,
+}
+
+// RuntimeStats is one sample of process health. Pause and latency
+// maxima are measured since the previous sample (since process start
+// for the first sample or a one-shot read).
+type RuntimeStats struct {
+	Goroutines      int64         `json:"goroutines"`
+	HeapBytes       int64         `json:"heap_bytes"`
+	GCCycles        int64         `json:"gc_cycles"`
+	MaxGCPause      time.Duration `json:"max_gc_pause_ns"`
+	MaxSchedLatency time.Duration `json:"max_sched_latency_ns"`
+}
+
+// RuntimeSamplerOptions configures the sampler and its watchdog.
+type RuntimeSamplerOptions struct {
+	// Interval between samples; 0 means DefaultSampleInterval.
+	Interval time.Duration
+	// MaxGoroutines trips the watchdog when the goroutine count
+	// exceeds it; 0 disables the check.
+	MaxGoroutines int64
+	// MaxGCPause trips the watchdog when a GC pause since the last
+	// sample exceeds it; 0 disables the check.
+	MaxGCPause time.Duration
+	// Logger receives watchdog warnings; nil disables logging (trips
+	// are still counted).
+	Logger *slog.Logger
+}
+
+// DefaultSampleInterval is the sampling cadence when
+// RuntimeSamplerOptions.Interval is zero.
+const DefaultSampleInterval = 10 * time.Second
+
+// RuntimeSampler periodically samples runtime health into a metrics
+// registry. Construct with NewRuntimeSampler, then Start/Stop.
+type RuntimeSampler struct {
+	opts   RuntimeSamplerOptions
+	logger *slog.Logger
+
+	goroutines *Gauge
+	heapBytes  *Gauge
+	gcCycles   *Gauge
+	gcPause    *Histogram
+	schedLat   *Histogram
+	trips      map[string]*Counter
+
+	mu        sync.Mutex // guards sample state (loop vs SampleOnce in tests)
+	samples   []metrics.Sample
+	pauseIdx  int // index of the GC pause histogram sample, -1 if absent
+	schedIdx  int
+	prevPause *metrics.Float64Histogram
+	prevSched *metrics.Float64Histogram
+	over      map[string]bool // watchdog state for edge-triggered logging
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// watchdog check names (the "check" label on the trip counter).
+const (
+	WatchdogGoroutines = "goroutines"
+	WatchdogGCPause    = "gc_pause"
+)
+
+// NewRuntimeSampler registers the runtime series on reg and returns a
+// sampler ready to Start. reg must be non-nil.
+func NewRuntimeSampler(reg *Registry, opts RuntimeSamplerOptions) *RuntimeSampler {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultSampleInterval
+	}
+	s := &RuntimeSampler{
+		opts:   opts,
+		logger: opts.Logger,
+		goroutines: reg.Gauge("maras_runtime_goroutines",
+			"Goroutine count at the last runtime sample."),
+		heapBytes: reg.Gauge("maras_runtime_heap_bytes",
+			"Live heap object bytes at the last runtime sample."),
+		gcCycles: reg.Gauge("maras_runtime_gc_cycles",
+			"Completed GC cycles at the last runtime sample."),
+		gcPause: reg.Histogram("maras_runtime_gc_pause_max_seconds",
+			"Max GC pause observed between consecutive runtime samples.", RuntimePauseBuckets),
+		schedLat: reg.Histogram("maras_runtime_sched_latency_max_seconds",
+			"Max scheduler latency observed between consecutive runtime samples.", RuntimePauseBuckets),
+		trips: map[string]*Counter{
+			WatchdogGoroutines: reg.Counter("maras_watchdog_trips_total",
+				"Runtime watchdog limit violations, by check.", Label{"check", WatchdogGoroutines}),
+			WatchdogGCPause: reg.Counter("maras_watchdog_trips_total",
+				"Runtime watchdog limit violations, by check.", Label{"check", WatchdogGCPause}),
+		},
+		over: map[string]bool{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	// Resolve which metric names this toolchain supports.
+	s.pauseIdx, s.schedIdx = -1, -1
+	available := map[string]bool{}
+	for _, d := range metrics.All() {
+		available[d.Name] = true
+	}
+	add := func(name string) int {
+		s.samples = append(s.samples, metrics.Sample{Name: name})
+		return len(s.samples) - 1
+	}
+	add(goroutinesMetric)
+	add(heapMetric)
+	add(gcCyclesMetric)
+	for _, name := range gcPauseMetrics {
+		if available[name] {
+			s.pauseIdx = add(name)
+			break
+		}
+	}
+	if available[schedLatMetric] {
+		s.schedIdx = add(schedLatMetric)
+	}
+	return s
+}
+
+// Start launches the sampling goroutine. Calling Start twice is safe.
+func (s *RuntimeSampler) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			ticker := time.NewTicker(s.opts.Interval)
+			defer ticker.Stop()
+			s.SampleOnce() // establish the pause baselines immediately
+			for {
+				select {
+				case <-ticker.C:
+					s.SampleOnce()
+				case <-s.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. Safe to
+// call multiple times, and before Start.
+func (s *RuntimeSampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // never started: nothing to wait for
+	<-s.done
+}
+
+// SampleOnce reads the runtime, updates the registry series, runs the
+// watchdog, and returns the sample. It is what the loop calls every
+// tick, exposed for tests and one-shot consumers (maras-bench).
+func (s *RuntimeSampler) SampleOnce() RuntimeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	var st RuntimeStats
+	if v := s.samples[0].Value; v.Kind() == metrics.KindUint64 {
+		st.Goroutines = int64(v.Uint64())
+	}
+	if v := s.samples[1].Value; v.Kind() == metrics.KindUint64 {
+		st.HeapBytes = int64(v.Uint64())
+	}
+	if v := s.samples[2].Value; v.Kind() == metrics.KindUint64 {
+		st.GCCycles = int64(v.Uint64())
+	}
+	if s.pauseIdx >= 0 {
+		if v := s.samples[s.pauseIdx].Value; v.Kind() == metrics.KindFloat64Histogram {
+			cur := v.Float64Histogram()
+			st.MaxGCPause = histMaxDelta(s.prevPause, cur)
+			s.prevPause = cloneHist(cur)
+		}
+	}
+	if s.schedIdx >= 0 {
+		if v := s.samples[s.schedIdx].Value; v.Kind() == metrics.KindFloat64Histogram {
+			cur := v.Float64Histogram()
+			st.MaxSchedLatency = histMaxDelta(s.prevSched, cur)
+			s.prevSched = cloneHist(cur)
+		}
+	}
+
+	s.goroutines.Set(st.Goroutines)
+	s.heapBytes.Set(st.HeapBytes)
+	s.gcCycles.Set(st.GCCycles)
+	s.gcPause.Observe(st.MaxGCPause.Seconds())
+	s.schedLat.Observe(st.MaxSchedLatency.Seconds())
+
+	if s.opts.MaxGoroutines > 0 {
+		s.check(WatchdogGoroutines, st.Goroutines > s.opts.MaxGoroutines,
+			slog.Int64("goroutines", st.Goroutines),
+			slog.Int64("limit", s.opts.MaxGoroutines))
+	}
+	if s.opts.MaxGCPause > 0 {
+		s.check(WatchdogGCPause, st.MaxGCPause > s.opts.MaxGCPause,
+			slog.Duration("max_gc_pause", st.MaxGCPause),
+			slog.Duration("limit", s.opts.MaxGCPause))
+	}
+	return st
+}
+
+// check counts every violating sample and logs on the transition into
+// violation (edge-triggered, so a sustained breach is one warning,
+// not one per tick) plus the recovery at Info.
+func (s *RuntimeSampler) check(name string, violated bool, attrs ...any) {
+	was := s.over[name]
+	s.over[name] = violated
+	if violated {
+		s.trips[name].Inc()
+		if !was && s.logger != nil {
+			s.logger.Warn("runtime watchdog limit exceeded",
+				append([]any{slog.String("check", name)}, attrs...)...)
+		}
+	} else if was && s.logger != nil {
+		s.logger.Info("runtime watchdog recovered", slog.String("check", name))
+	}
+}
+
+// histMaxDelta returns the upper bound of the highest histogram
+// bucket whose count grew since prev (prev nil = since process
+// start). A +Inf upper bound falls back to the bucket's lower bound.
+func histMaxDelta(prev, cur *metrics.Float64Histogram) time.Duration {
+	if cur == nil {
+		return 0
+	}
+	var maxSec float64
+	for i := len(cur.Counts) - 1; i >= 0; i-- {
+		var before uint64
+		if prev != nil && len(prev.Counts) == len(cur.Counts) {
+			before = prev.Counts[i]
+		}
+		if cur.Counts[i] > before {
+			upper := cur.Buckets[i+1]
+			if math.IsInf(upper, 1) || math.IsNaN(upper) {
+				upper = cur.Buckets[i]
+			}
+			maxSec = upper
+			break
+		}
+	}
+	return time.Duration(maxSec * float64(time.Second))
+}
+
+// cloneHist copies a runtime histogram so the next Read can reuse the
+// sample buffers without aliasing our baseline.
+func cloneHist(h *metrics.Float64Histogram) *metrics.Float64Histogram {
+	if h == nil {
+		return nil
+	}
+	cp := &metrics.Float64Histogram{
+		Counts:  make([]uint64, len(h.Counts)),
+		Buckets: make([]float64, len(h.Buckets)),
+	}
+	copy(cp.Counts, h.Counts)
+	copy(cp.Buckets, h.Buckets)
+	return cp
+}
+
+// ReadRuntimeStats is a one-shot convenience: a fresh sampler over a
+// throwaway registry, sampled once. Pause/latency maxima cover the
+// whole process lifetime so far.
+func ReadRuntimeStats() RuntimeStats {
+	return NewRuntimeSampler(NewRegistry(), RuntimeSamplerOptions{}).SampleOnce()
+}

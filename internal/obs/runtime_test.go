@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerSampleOnce(t *testing.T) {
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg, RuntimeSamplerOptions{})
+	runtime.GC() // make sure at least one cycle and pause exist
+	st := s.SampleOnce()
+	if st.Goroutines < 1 {
+		t.Errorf("goroutines = %d", st.Goroutines)
+	}
+	if st.HeapBytes <= 0 {
+		t.Errorf("heap bytes = %d", st.HeapBytes)
+	}
+	if st.GCCycles < 1 {
+		t.Errorf("gc cycles = %d after explicit GC", st.GCCycles)
+	}
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	body := buf.String()
+	for _, want := range []string{
+		"maras_runtime_goroutines",
+		"maras_runtime_heap_bytes",
+		"maras_runtime_gc_cycles",
+		"maras_runtime_gc_pause_max_seconds_count 1",
+		"maras_runtime_sched_latency_max_seconds_count 1",
+		`maras_watchdog_trips_total{check="gc_pause"} 0`,
+		`maras_watchdog_trips_total{check="goroutines"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+}
+
+func TestRuntimeSamplerPauseDeltaResets(t *testing.T) {
+	s := NewRuntimeSampler(NewRegistry(), RuntimeSamplerOptions{})
+	runtime.GC()
+	first := s.SampleOnce()
+	if first.MaxGCPause <= 0 {
+		t.Fatalf("first sample saw no GC pause after runtime.GC: %v", first.MaxGCPause)
+	}
+	// No GC between samples: the delta max must drop to zero.
+	second := s.SampleOnce()
+	if second.MaxGCPause != 0 {
+		t.Errorf("idle interval pause = %v, want 0", second.MaxGCPause)
+	}
+}
+
+func TestWatchdogTripsAndEdgeLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	reg := NewRegistry()
+	s := NewRuntimeSampler(reg, RuntimeSamplerOptions{
+		MaxGoroutines: 1, // any real process exceeds this
+		Logger:        logger,
+	})
+	s.SampleOnce()
+	s.SampleOnce() // sustained breach: counted again, not logged again
+
+	var promBuf bytes.Buffer
+	reg.WritePrometheus(&promBuf)
+	if !strings.Contains(promBuf.String(), `maras_watchdog_trips_total{check="goroutines"} 2`) {
+		t.Errorf("trip counter should count every violating sample:\n%s", promBuf.String())
+	}
+	logs := buf.String()
+	if got := strings.Count(logs, "runtime watchdog limit exceeded"); got != 1 {
+		t.Errorf("edge-triggered warn logged %d times, want 1:\n%s", got, logs)
+	}
+	if !strings.Contains(logs, "check=goroutines") {
+		t.Errorf("warn missing check name:\n%s", logs)
+	}
+
+	// Recovery: lift the limit and confirm the Info transition log.
+	s.opts.MaxGoroutines = 1 << 30
+	s.SampleOnce()
+	if !strings.Contains(buf.String(), "runtime watchdog recovered") {
+		t.Errorf("recovery not logged:\n%s", buf.String())
+	}
+}
+
+func TestRuntimeSamplerStartStop(t *testing.T) {
+	s := NewRuntimeSampler(NewRegistry(), RuntimeSamplerOptions{Interval: time.Millisecond})
+	s.Start()
+	s.Start() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	s.Stop()
+	s.Stop() // idempotent
+}
+
+func TestRuntimeSamplerStopBeforeStart(t *testing.T) {
+	s := NewRuntimeSampler(NewRegistry(), RuntimeSamplerOptions{})
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop before Start deadlocked")
+	}
+}
+
+func TestReadRuntimeStatsOneShot(t *testing.T) {
+	st := ReadRuntimeStats()
+	if st.Goroutines < 1 || st.HeapBytes <= 0 {
+		t.Errorf("one-shot stats empty: %+v", st)
+	}
+}
+
+func TestHistMaxDelta(t *testing.T) {
+	mk := func(counts ...uint64) *metrics.Float64Histogram {
+		return &metrics.Float64Histogram{
+			Counts:  counts,
+			Buckets: []float64{0, 0.001, 0.01, math.Inf(1)},
+		}
+	}
+	if histMaxDelta(nil, nil) != 0 {
+		t.Error("nil histograms should yield 0")
+	}
+	// No prev: the highest populated bucket counts.
+	if got := histMaxDelta(nil, mk(5, 2, 0)); got != 10*time.Millisecond {
+		t.Errorf("since-start delta = %v, want 10ms", got)
+	}
+	// Growth only in the low bucket: the high bucket's old counts are
+	// not re-reported.
+	if got := histMaxDelta(mk(5, 2, 0), mk(9, 2, 0)); got != time.Millisecond {
+		t.Errorf("low-bucket growth delta = %v, want 1ms", got)
+	}
+	// No growth at all.
+	if got := histMaxDelta(mk(5, 2, 0), mk(5, 2, 0)); got != 0 {
+		t.Errorf("idle delta = %v, want 0", got)
+	}
+	// Growth in the +Inf bucket falls back to its finite lower bound.
+	if got := histMaxDelta(mk(5, 2, 0), mk(5, 2, 1)); got != 10*time.Millisecond {
+		t.Errorf("+Inf bucket delta = %v, want lower bound 10ms", got)
+	}
+}

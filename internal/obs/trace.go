@@ -1,10 +1,13 @@
 // Package obs is the observability substrate of the MARAS system:
-// a per-stage pipeline tracer, a dependency-free metrics registry
-// with a hand-written Prometheus text renderer and expvar bridge,
-// HTTP server middleware (request logging, latency histograms,
-// status counters, panic recovery), and pprof wiring. Everything is
-// standard library only (log/slog, expvar, net/http/pprof,
-// runtime/metrics), matching the repo's zero-dependency rule.
+// a per-stage pipeline tracer, request-scoped span tracing with a
+// ring-buffer trace journal (/debug/traces), a dependency-free
+// metrics registry with a hand-written Prometheus text renderer and
+// expvar bridge, HTTP server middleware (request logging with
+// request IDs, latency histograms, status counters, panic recovery,
+// root spans), liveness/readiness probes, a runtime health sampler
+// with a watchdog, and pprof wiring. Everything is standard library
+// only (log/slog, expvar, net/http/pprof, runtime/metrics), matching
+// the repo's zero-dependency rule.
 package obs
 
 import (
@@ -136,6 +139,16 @@ func (s *Stage) End() {
 		}
 		logger.Debug("pipeline stage", attrs...)
 	}
+}
+
+// Len returns how many stages have completed. Nil tracers report 0.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stages)
 }
 
 // Records returns a copy of the completed stage records in order.

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,16 @@ import (
 	"maras/internal/core"
 	"maras/internal/obs"
 	"maras/internal/trend"
+)
+
+// Span names recorded on the request trace (see obs.StartSpan): a
+// registry load, the disk decode inside a cold load, a directory
+// rescan, and the cross-quarter trend assembly.
+const (
+	SpanLoad     = "store_load"
+	SpanDecode   = "snapshot_decode"
+	SpanRescan   = "store_rescan"
+	SpanAssemble = "trend_assemble"
 )
 
 // RegistryOptions configures a snapshot registry.
@@ -90,9 +101,17 @@ func OpenRegistry(dir string, opts RegistryOptions) (*Registry, error) {
 // Refresh rescans the directory for snapshot files — cheap, so a
 // serving process can pick up quarters dropped in by a miner without
 // restarting.
-func (r *Registry) Refresh() error {
+func (r *Registry) Refresh() error { return r.RefreshContext(context.Background()) }
+
+// RefreshContext is Refresh with a request context: when the context
+// carries an active trace span, the rescan records a child span so a
+// request that paid for a directory walk shows it.
+func (r *Registry) RefreshContext(ctx context.Context) error {
+	_, span := obs.StartSpan(ctx, SpanRescan)
+	defer span.End()
 	entries, err := os.ReadDir(r.dir)
 	if err != nil {
+		span.SetAttr("error", err.Error())
 		return fmt.Errorf("store: %w", err)
 	}
 	var labels []string
@@ -104,6 +123,7 @@ func (r *Registry) Refresh() error {
 		labels = append(labels, strings.TrimSuffix(name, Ext))
 	}
 	sort.Strings(labels)
+	span.SetInt("quarters", int64(len(labels)))
 	r.mu.Lock()
 	r.quarters = labels
 	r.mu.Unlock()
@@ -154,9 +174,23 @@ func (r *Registry) Path(label string) string {
 // open-quarter LRU. Serving a warm quarter does zero disk I/O and
 // zero mining.
 func (r *Registry) Load(label string) (*core.Analysis, error) {
+	return r.LoadContext(context.Background(), label)
+}
+
+// LoadContext is Load with a request context. When the context
+// carries an active trace span, the load records a "store_load" child
+// span (attr cache=lru_hit|lru_miss) and — for the caller that
+// actually performs the disk read — a nested "snapshot_decode" span,
+// so a request's trace distinguishes a warm LRU hit from a cold
+// decode.
+func (r *Registry) LoadContext(ctx context.Context, label string) (*core.Analysis, error) {
 	if !r.Has(label) {
 		return nil, fmt.Errorf("store: quarter %q not in %s", label, r.dir)
 	}
+	ctx, span := obs.StartSpan(ctx, SpanLoad)
+	defer span.End()
+	span.SetAttr("quarter", label)
+
 	r.mu.Lock()
 	e, resident := r.open[label]
 	if !resident {
@@ -168,10 +202,14 @@ func (r *Registry) Load(label string) (*core.Analysis, error) {
 	r.mu.Unlock()
 
 	m := r.metrics
-	if m != nil {
-		if resident {
+	if resident {
+		span.SetAttr("cache", "lru_hit")
+		if m != nil {
 			m.Hits.Inc()
-		} else {
+		}
+	} else {
+		span.SetAttr("cache", "lru_miss")
+		if m != nil {
 			m.Misses.Inc()
 		}
 	}
@@ -186,21 +224,28 @@ func (r *Registry) Load(label string) (*core.Analysis, error) {
 
 	e.once.Do(func() {
 		st := r.tracer.StartStage(StageSnapshotLoad)
+		_, dspan := obs.StartSpan(ctx, SpanDecode)
+		defer dspan.End()
 		start := time.Now()
 		path := r.Path(label)
 		snap, err := Open(path)
 		if err != nil {
 			e.err = err
+			dspan.SetAttr("error", err.Error())
 			st.End()
 			return
 		}
 		e.a = snap.Analysis
 		if m != nil {
 			m.LoadSeconds.Observe(time.Since(start).Seconds())
-			if fi, statErr := os.Stat(path); statErr == nil {
+		}
+		if fi, statErr := os.Stat(path); statErr == nil {
+			if m != nil {
 				m.BytesRead.Add(fi.Size())
 			}
+			dspan.SetInt("bytes", fi.Size())
 		}
+		dspan.SetInt("signals", int64(len(snap.Analysis.Signals)))
 		st.Count("signals", int64(len(snap.Analysis.Signals)))
 		st.Count("reports", int64(snap.Analysis.Stats.Reports))
 		st.End()
@@ -253,7 +298,14 @@ func (r *Registry) Save(label string, a *core.Analysis) error {
 // trajectory (nil when the combination never signals), and any load
 // error.
 func (r *Registry) Timeline(key string) ([]string, *trend.Trajectory, error) {
-	ta, err := r.TrendAnalysis()
+	return r.TimelineContext(context.Background(), key)
+}
+
+// TimelineContext is Timeline with a request context so the per-
+// quarter loads behind a timeline query appear as spans on the
+// request trace.
+func (r *Registry) TimelineContext(ctx context.Context, key string) ([]string, *trend.Trajectory, error) {
+	ta, err := r.TrendAnalysisContext(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -263,13 +315,24 @@ func (r *Registry) Timeline(key string) ([]string, *trend.Trajectory, error) {
 // TrendAnalysis assembles the full cross-quarter trend analysis from
 // the stored snapshots, loading each quarter through the LRU.
 func (r *Registry) TrendAnalysis() (*trend.Analysis, error) {
+	return r.TrendAnalysisContext(context.Background())
+}
+
+// TrendAnalysisContext is TrendAnalysis with a request context: the
+// assembly records a "trend_assemble" span whose children are the
+// per-quarter store_load spans (hit or decode), so a slow timeline
+// request shows exactly which quarter paid for disk.
+func (r *Registry) TrendAnalysisContext(ctx context.Context) (*trend.Analysis, error) {
 	labels := r.Quarters()
 	if len(labels) == 0 {
 		return nil, fmt.Errorf("store: no quarters in %s", r.dir)
 	}
+	ctx, span := obs.StartSpan(ctx, SpanAssemble)
+	defer span.End()
+	span.SetInt("quarters", int64(len(labels)))
 	results := make([]*core.Analysis, len(labels))
 	for i, l := range labels {
-		a, err := r.Load(l)
+		a, err := r.LoadContext(ctx, l)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -312,4 +313,160 @@ func equalStrings(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// spanNames extracts the names of a trace's spans, insertion order.
+func spanNames(rec obs.TraceRecord) []string {
+	out := make([]string, len(rec.Spans))
+	for i, s := range rec.Spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TestLoadContextSpans is the acceptance check for store-side span
+// propagation: a cold load produces store_load{cache=lru_miss} with a
+// snapshot_decode child; the warm load produces store_load{cache=lru_hit}
+// and no decode.
+func TestLoadContextSpans(t *testing.T) {
+	dir := tempStore(t, 1)
+	reg, err := OpenRegistry(dir, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runLoad := func(id string) obs.TraceRecord {
+		tr := obs.NewTrace(id)
+		ctx, root := tr.StartRoot(context.Background(), "test "+id)
+		if _, err := reg.LoadContext(ctx, "2014Q1"); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		return tr.Snapshot()
+	}
+
+	cold := runLoad("cold")
+	byName := map[string]obs.SpanRecord{}
+	for _, s := range cold.Spans {
+		byName[s.Name] = s
+	}
+	load, ok := byName[SpanLoad]
+	if !ok {
+		t.Fatalf("cold trace missing %s span: %v", SpanLoad, spanNames(cold))
+	}
+	if load.Attrs["cache"] != "lru_miss" || load.Attrs["quarter"] != "2014Q1" {
+		t.Errorf("cold load attrs = %v", load.Attrs)
+	}
+	dec, ok := byName[SpanDecode]
+	if !ok {
+		t.Fatalf("cold trace missing %s span: %v", SpanDecode, spanNames(cold))
+	}
+	if dec.Parent != load.ID {
+		t.Errorf("decode parent = %d, want load %d", dec.Parent, load.ID)
+	}
+	if dec.Attrs["bytes"] == "" || dec.Attrs["signals"] == "" {
+		t.Errorf("decode attrs = %v", dec.Attrs)
+	}
+
+	warm := runLoad("warm")
+	names := spanNames(warm)
+	var warmLoad *obs.SpanRecord
+	for i, s := range warm.Spans {
+		if s.Name == SpanDecode {
+			t.Errorf("warm load decoded again: %v", names)
+		}
+		if s.Name == SpanLoad {
+			warmLoad = &warm.Spans[i]
+		}
+	}
+	if warmLoad == nil {
+		t.Fatalf("warm trace missing %s span: %v", SpanLoad, names)
+	}
+	if warmLoad.Attrs["cache"] != "lru_hit" {
+		t.Errorf("warm load attrs = %v", warmLoad.Attrs)
+	}
+}
+
+// TestTimelineContextSpans: cross-quarter assembly opens a
+// trend_assemble span with one store_load child per quarter.
+func TestTimelineContextSpans(t *testing.T) {
+	dir := tempStore(t, 3)
+	reg, err := OpenRegistry(dir, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("tl")
+	ctx, root := tr.StartRoot(context.Background(), "GET /api/timeline/")
+	if _, _, err := reg.TimelineContext(ctx, "ASPIRIN+WARFARIN"); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	rec := tr.Snapshot()
+	var assembleID = -2
+	loads := 0
+	for _, s := range rec.Spans {
+		if s.Name == SpanAssemble {
+			assembleID = s.ID
+			if s.Attrs["quarters"] != "3" {
+				t.Errorf("assemble quarters attr = %v", s.Attrs)
+			}
+		}
+	}
+	if assembleID == -2 {
+		t.Fatalf("no %s span: %v", SpanAssemble, spanNames(rec))
+	}
+	for _, s := range rec.Spans {
+		if s.Name == SpanLoad {
+			loads++
+			if s.Parent != assembleID {
+				t.Errorf("load span parented to %d, want assemble %d", s.Parent, assembleID)
+			}
+		}
+	}
+	if loads != 3 {
+		t.Errorf("store_load spans = %d, want 3", loads)
+	}
+}
+
+// TestRefreshContextSpan: the rescan is visible as store_rescan.
+func TestRefreshContextSpan(t *testing.T) {
+	dir := tempStore(t, 2)
+	reg, err := OpenRegistry(dir, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace("rescan")
+	ctx, root := tr.StartRoot(context.Background(), "GET /api/quarters")
+	if err := reg.RefreshContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	rec := tr.Snapshot()
+	found := false
+	for _, s := range rec.Spans {
+		if s.Name == SpanRescan {
+			found = true
+			if s.Attrs["quarters"] != "2" {
+				t.Errorf("rescan attrs = %v", s.Attrs)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %s span: %v", SpanRescan, spanNames(rec))
+	}
+}
+
+// TestLoadContextWithoutSpanStillWorks: span-free contexts take the
+// same path (the production default when tracing is off).
+func TestLoadContextWithoutSpanStillWorks(t *testing.T) {
+	dir := tempStore(t, 1)
+	reg, err := OpenRegistry(dir, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reg.LoadContext(context.Background(), "2014Q1")
+	if err != nil || len(a.Signals) == 0 {
+		t.Fatalf("plain context load: %v", err)
+	}
 }
