@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet test race bench clean
+.PHONY: check build fmt vet test race bench fuzz clean
 
 ## check: the CI gate — formatting, vet, and the race-enabled suite.
 check: fmt vet race
@@ -32,6 +32,13 @@ race:
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
+## fuzz: mutate the snapshot decoder for FUZZTIME (default 30s). The
+## corpus seeds cover valid v1/v2 snapshots, truncations, and CRC-
+## breaking bit flips; any input outside the three typed errors fails.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_trace.json
+	rm -f BENCH_trace.json BENCH_drift.json

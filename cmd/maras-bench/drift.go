@@ -1,0 +1,138 @@
+package main
+
+// The drift experiment measures what the audit layer costs and what
+// it sees: mine a ramped quarter sequence (exposure to the planted
+// interactions grows through the year), assemble the cross-quarter
+// trend, then diff every adjacent quarter pair with audit.Drift and
+// time it. The per-pair reports and timings land in BENCH_drift.json
+// so the detection-cost trajectory is tracked like every other bench
+// number.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/core"
+	"maras/internal/synth"
+	"maras/internal/trend"
+)
+
+// driftPair is one adjacent-quarter diff in the artifact.
+type driftPair struct {
+	From       string  `json:"from"`
+	To         string  `json:"to"`
+	New        int     `json:"new"`
+	Dropped    int     `json:"dropped"`
+	Persisting int     `json:"persisting"`
+	ChurnRate  float64 `json:"churn_rate"`
+	RankShift  float64 `json:"rank_shift"`
+	Findings   int     `json:"findings"`
+	Verdict    string  `json:"verdict"`
+	// DriftMicros is the wall time of audit.Drift + EvaluateDrift for
+	// this pair — the marginal cost of drift detection, excluding
+	// mining and trend assembly (reported separately).
+	DriftMicros int64 `json:"drift_micros"`
+}
+
+// driftArtifact is the BENCH_drift.json payload.
+type driftArtifact struct {
+	Quarters       []string               `json:"quarters"`
+	TopK           int                    `json:"top_k"`
+	AssembleMicros int64                  `json:"assemble_micros"`
+	Pairs          []driftPair            `json:"pairs"`
+	Quality        []*audit.QualityReport `json:"quality"`
+}
+
+// runDrift mines the ramped quarter sequence, diffs adjacent quarters
+// through the audit layer, prints the churn table, and writes
+// BENCH_drift.json (path from -drift-out).
+func runDrift(cfg benchConfig) error {
+	rates := synth.RampRates(len(quarterLabels))
+	labels := make([]string, 0, len(quarterLabels))
+	results := make([]*core.Analysis, 0, len(quarterLabels))
+	quality := make([]*audit.QualityReport, 0, len(quarterLabels))
+	th := audit.DefaultThresholds()
+
+	for i, label := range quarterLabels {
+		sc := synth.DefaultConfig(label, cfg.seed+int64(i))
+		if cfg.reports > 0 {
+			sc.Reports = cfg.reports
+		}
+		sc.ExposureRate = rates[i]
+		q, _, err := synth.Generate(sc)
+		if err != nil {
+			return err
+		}
+		opts := core.NewOptions()
+		opts.MinSupport = cfg.minsup
+		opts.TopK = 0
+		a, err := tracedRun("drift", q, opts)
+		if err != nil {
+			return err
+		}
+		labels = append(labels, label)
+		results = append(results, a)
+		qr := audit.ComputeQuality(label, a)
+		audit.EvaluateQuality(qr, quality, th)
+		quality = append(quality, qr)
+	}
+
+	assembleStart := time.Now()
+	ta := trend.Assemble(labels, results)
+	assembleMicros := time.Since(assembleStart).Microseconds()
+
+	art := driftArtifact{
+		Quarters:       labels,
+		TopK:           th.TopK,
+		AssembleMicros: assembleMicros,
+	}
+	fmt.Printf("Signal drift under ramping exposure (top-%d, assemble %dµs):\n\n", th.TopK, assembleMicros)
+	fmt.Printf("%-8s %-8s %5s %8s %11s %7s %11s %8s %10s\n",
+		"From", "To", "New", "Dropped", "Persisting", "Churn", "RankShift", "Verdict", "Cost")
+	for i := 1; i < len(labels); i++ {
+		start := time.Now()
+		d, err := audit.Drift(ta, labels[i-1], labels[i], th.TopK)
+		if err != nil {
+			return err
+		}
+		audit.EvaluateDrift(d, th)
+		micros := time.Since(start).Microseconds()
+		art.Pairs = append(art.Pairs, driftPair{
+			From: d.From, To: d.To,
+			New: d.New, Dropped: d.Dropped, Persisting: d.Persisting,
+			ChurnRate: d.ChurnRate, RankShift: d.RankShift,
+			Findings: len(d.Findings), Verdict: string(d.Verdict),
+			DriftMicros: micros,
+		})
+		fmt.Printf("%-8s %-8s %5d %8d %11d %6.0f%% %10.0f%% %8s %8dµs\n",
+			d.From, d.To, d.New, d.Dropped, d.Persisting,
+			100*d.ChurnRate, 100*d.RankShift, d.Verdict, micros)
+	}
+	art.Quality = quality
+
+	fmt.Println("\nIngest quality per quarter:")
+	for _, qr := range quality {
+		fmt.Printf("  %s: %s (reports %d, signals %d, findings %d)\n",
+			qr.Label, qr.Verdict, qr.Reports, qr.Signals, len(qr.Findings))
+	}
+	fmt.Println("\nShape check: the synthetic background is noise-dominated at the head of the ranking, so")
+	fmt.Println("top-K churn stays high and every pair warns — exactly the alarm an unstable ranking should")
+	fmt.Println("raise — while persisting signals appear mid-year as the planted interactions ramp into the")
+	fmt.Println("top-K. Detection costs microseconds per pair once the trend is assembled, so drift can be")
+	fmt.Println("re-evaluated on every store rescan.")
+
+	if cfg.driftOut != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.driftOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote drift artifact (%d pairs) to %s\n", len(art.Pairs), cfg.driftOut)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDriftWritesArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_drift.json")
+	cfg := benchConfig{seed: 3, reports: 400, minsup: 3, driftOut: out}
+	if err := runDrift(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art driftArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Quarters) != len(quarterLabels) {
+		t.Errorf("quarters = %v", art.Quarters)
+	}
+	if len(art.Pairs) != len(quarterLabels)-1 {
+		t.Errorf("pairs = %d, want %d", len(art.Pairs), len(quarterLabels)-1)
+	}
+	if len(art.Quality) != len(quarterLabels) {
+		t.Errorf("quality reports = %d, want %d", len(art.Quality), len(quarterLabels))
+	}
+	for _, p := range art.Pairs {
+		if p.Verdict == "" {
+			t.Errorf("pair %s->%s has no verdict", p.From, p.To)
+		}
+		if p.New+p.Dropped+p.Persisting == 0 {
+			t.Errorf("pair %s->%s compared empty sets", p.From, p.To)
+		}
+	}
+	for _, q := range art.Quality {
+		if q.Verdict == "" || q.Reports == 0 {
+			t.Errorf("quality %s incomplete: verdict %q, reports %d", q.Label, q.Verdict, q.Reports)
+		}
+	}
+}
+
+func TestRunDriftSkipsArtifactWhenDisabled(t *testing.T) {
+	cfg := benchConfig{seed: 3, reports: 400, minsup: 3, driftOut: ""}
+	if err := runDrift(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

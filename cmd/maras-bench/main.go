@@ -14,6 +14,8 @@
 //	ablate-decay  decay-function ablation (A2)
 //	ablate-closed closed vs non-closed rule base (A3)
 //	baselines     exclusiveness vs improvement/lift/PRR/ROR (A4)
+//	trend         cross-quarter trajectories under ramping exposure
+//	drift         audit-layer drift detection: churn/rank-shift per pair + cost (BENCH_drift.json)
 //	all           everything above
 //
 // Usage:
@@ -43,6 +45,7 @@ type benchConfig struct {
 	paperScale bool
 	svgOut     string
 	traceOut   string
+	driftOut   string
 }
 
 // traceRun is one traced pipeline execution: which experiment ran
@@ -113,12 +116,14 @@ func main() {
 		paperScale = flag.Bool("paper-scale", false, "use the paper's Table 5.1 scale")
 		svgOut     = flag.String("svg-out", "figures", "output directory for figs4 SVGs")
 		traceOut   = flag.String("trace-out", "BENCH_trace.json", "per-stage pipeline trace JSON artifact (empty = skip)")
+		driftOut   = flag.String("drift-out", "BENCH_drift.json", "drift-experiment JSON artifact (empty = skip)")
 	)
 	flag.Parse()
 
 	cfg := benchConfig{
 		seed: *seed, reports: *reports, minsup: *minsup,
 		paperScale: *paperScale, svgOut: *svgOut, traceOut: *traceOut,
+		driftOut: *driftOut,
 	}
 
 	runners := map[string]func(benchConfig) error{
@@ -134,11 +139,12 @@ func main() {
 		"ablate-suspect": runAblateSuspect,
 		"baselines":      runBaselines,
 		"trend":          runTrend,
+		"drift":          runDrift,
 	}
 	order := []string{
 		"table5.1", "fig5.1", "table5.2", "cases", "fig5.2", "figs4",
 		"ablate-theta", "ablate-decay", "ablate-closed", "ablate-suspect",
-		"baselines", "trend",
+		"baselines", "trend", "drift",
 	}
 
 	var ids []string

@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"maras/internal/audit"
 	"maras/internal/core"
 	"maras/internal/faers"
 	"maras/internal/network"
@@ -69,6 +70,16 @@ func main() {
 	a, err := core.RunQuarter(q, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Ingest-quality audit: one log line (plus one per finding) so a
+	// batch pipeline notices a bad quarter without scraping the server.
+	qr := audit.ComputeQuality(*quarter, a)
+	audit.EvaluateQuality(qr, nil, audit.DefaultThresholds())
+	log.Printf("ingest quality: %s (reports %d/%d, drop %.1f%%, signals %d)",
+		qr.Verdict, qr.Reports, qr.ReportsIn, 100*qr.DropRate, qr.Signals)
+	for _, f := range qr.Findings {
+		log.Printf("  quality %s [%s]: %s", f.Severity, f.Rule, f.Message)
 	}
 
 	if *snapOut != "" {

@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"maras/internal/audit"
 	"maras/internal/core"
 	"maras/internal/faers"
 	"maras/internal/glyph"
@@ -63,6 +64,7 @@ type server struct {
 	analysis *core.Analysis
 	quarter  string
 	logger   *slog.Logger
+	alog     *audit.Log // event timeline behind /debug/audit; may be nil
 	started  time.Time
 }
 
@@ -93,6 +95,7 @@ func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Jou
 	mux.Handle("/healthz", obs.HealthzHandler(s.healthDetail))
 	mux.Handle("/readyz", obs.ReadyzHandler(ready, s.healthDetail))
 	mux.Handle("/debug/traces", obs.TracesHandler(journal))
+	mux.Handle("/debug/audit", audit.Handler(s.alog))
 	mux.Handle("/debug/vars", obs.ExpvarHandler())
 	obs.RegisterPprof(mux)
 	return mux
@@ -140,6 +143,10 @@ func main() {
 		runtimeSample = flag.Duration("runtime-sample", obs.DefaultSampleInterval, "runtime health sampling interval (0 disables the sampler)")
 		wdGoroutines  = flag.Int64("watchdog-max-goroutines", 10000, "watchdog: warn and count when goroutines exceed this (0 disables)")
 		wdGCPause     = flag.Duration("watchdog-max-gc-pause", 250*time.Millisecond, "watchdog: warn and count when a GC pause exceeds this (0 disables)")
+
+		auditTopK      = flag.Int("audit-topk", 25, "audit: rank cutoff for drift comparison (negative = all signals)")
+		auditChurnWarn = flag.Float64("audit-churn-warn", 0.5, "audit: warn when the top-K churn rate between quarters reaches this")
+		auditDropWarn  = flag.Float64("audit-drop-warn", 0.6, "audit: warn when a quarter's cleaning drop rate reaches this")
 	)
 	flag.Parse()
 
@@ -162,6 +169,19 @@ func main() {
 	}
 	ready := &obs.Readiness{}
 
+	// The audit pillar: one event log for the process, fed by quality
+	// and drift evaluations and by runtime watchdog excursions.
+	alog := audit.NewLog(audit.LogOptions{Logger: logger, Metrics: reg})
+	auditor := &audit.Auditor{
+		Log: alog,
+		Thresholds: audit.Thresholds{
+			TopK:      *auditTopK,
+			ChurnWarn: *auditChurnWarn,
+			DropWarn:  *auditDropWarn,
+		},
+		Metrics: reg,
+	}
+
 	var sampler *obs.RuntimeSampler
 	if *runtimeSample > 0 {
 		sampler = obs.NewRuntimeSampler(reg, obs.RuntimeSamplerOptions{
@@ -169,6 +189,7 @@ func main() {
 			MaxGoroutines: *wdGoroutines,
 			MaxGCPause:    *wdGCPause,
 			Logger:        logger,
+			OnViolation:   auditor.RecordWatchdog,
 		})
 		sampler.Start()
 		defer sampler.Stop()
@@ -176,7 +197,7 @@ func main() {
 
 	var handler http.Handler
 	if *storeDir != "" {
-		ss, err := newStoreServer(*storeDir, logger, tracer, obs.NewStoreMetrics(reg))
+		ss, err := newStoreServer(*storeDir, logger, tracer, obs.NewStoreMetrics(reg), auditor)
 		if err != nil {
 			logger.Error("open store", "err", err)
 			os.Exit(1)
@@ -186,6 +207,9 @@ func main() {
 			"quarters", len(quarters), "default", ss.reg.Latest())
 		handler = ss.routes(reg, mw, journal, ready)
 		ready.SetReady() // registry opened and scanned: store mode can serve
+		// Populate the audit timeline in the background: quality per
+		// quarter, drift per adjacent pair. Serving never waits on it.
+		go ss.auditSweep(context.Background())
 	} else {
 		q, err := faers.LoadQuarter(*data, *quarter)
 		if err != nil {
@@ -222,7 +246,15 @@ func main() {
 		}
 		logger.Info("ready", "signals", len(a.Signals), "reports", a.Stats.Reports,
 			"mining_wall", tracer.TotalDuration().Round(time.Millisecond))
-		s := &server{analysis: a, quarter: *quarter, logger: logger, started: time.Now()}
+		// Audit the freshly mined quarter (no trailing context in
+		// single-quarter mode) so ingest anomalies hit the event log
+		// and the operator log line before traffic arrives.
+		qr := audit.ComputeQuality(*quarter, a)
+		audit.EvaluateQuality(qr, nil, auditor.ActiveThresholds())
+		auditor.RecordQuality(qr)
+		logger.Info("ingest quality", "quarter", *quarter, "verdict", qr.Verdict,
+			"drop_rate", fmt.Sprintf("%.3f", qr.DropRate), "findings", len(qr.Findings))
+		s := &server{analysis: a, quarter: *quarter, logger: logger, alog: alog, started: time.Now()}
 		handler = s.routes(reg, mw, journal, ready)
 		ready.SetReady() // initial mine complete: traffic can flow
 	}

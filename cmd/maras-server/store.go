@@ -1,0 +1,276 @@
+package main
+
+// Store mode: maras-server -store DIR serves a directory of per-
+// quarter snapshots written by maras-mine -snapshot-out (or the
+// registry itself). Mining happened once, offline; the server only
+// ever decodes snapshots, so startup is milliseconds instead of a
+// full FP-Growth run and one process serves every quarter:
+//
+//	/                       the latest quarter's full UI + API
+//	/q/{label}/...          any quarter's UI + API (e.g. /q/2014Q2/api/signals)
+//	/quarters               human quarters index: quality verdicts + drift vs prev
+//	/api/quarters           what is on disk, and which quarter is default
+//	/api/timeline/{drugkey} a combination's cross-quarter trajectory
+//	/api/quality/{label}    a quarter's ingest-quality report (see internal/audit)
+//	/api/drift/{from}/{to}  signal churn between two stored quarters
+//	/debug/audit            the audit event timeline (?format=json)
+//
+// Warm quarters are held in the registry's LRU; /metrics exposes the
+// store series (load latency, open-quarter gauge, hit/miss/eviction
+// counters) next to the HTTP series.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/knowledge"
+	"maras/internal/obs"
+	"maras/internal/store"
+	"maras/internal/trend"
+)
+
+type storeServer struct {
+	reg     *store.Registry
+	logger  *slog.Logger
+	auditor *audit.Auditor
+	started time.Time
+
+	mu       sync.Mutex
+	handlers map[string]http.Handler // per-quarter muxes, dropped on LRU evict
+}
+
+// newStoreServer opens the snapshot registry in dir and binds it to
+// the serving layer. tracer, metrics, and auditor may be nil (a nil
+// auditor disables the event log; reports still compute at default
+// thresholds).
+func newStoreServer(dir string, logger *slog.Logger, tracer *obs.Tracer, m *obs.StoreMetrics, auditor *audit.Auditor) (*storeServer, error) {
+	ss := &storeServer{
+		logger:   logger,
+		auditor:  auditor,
+		started:  time.Now(),
+		handlers: map[string]http.Handler{},
+	}
+	reg, err := store.OpenRegistry(dir, store.RegistryOptions{
+		Metrics: m,
+		Tracer:  tracer,
+		Auditor: auditor,
+		OnEvict: ss.dropHandler,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ss.reg = reg
+	return ss, nil
+}
+
+func (ss *storeServer) log() *slog.Logger {
+	if ss.logger != nil {
+		return ss.logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// routes assembles the store-mode mux: quarter-scoped and default-
+// quarter application routes under observability middleware, plus the
+// operational endpoints. journal may be nil (tracing disabled,
+// /debug/traces 404s); ready gates /readyz.
+func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness) http.Handler {
+	mux := http.NewServeMux()
+	mw.HandleFunc(mux, "/api/quarters", ss.handleQuarters)
+	mw.HandleFunc(mux, "/api/timeline/", ss.handleTimeline)
+	mw.HandleFunc(mux, "/api/quality/", ss.handleQuality)
+	mw.HandleFunc(mux, "/api/drift/", ss.handleDrift)
+	mw.HandleFunc(mux, "/quarters", ss.handleQuartersPage)
+	mw.HandleFunc(mux, "/q/", ss.handleQuarterScoped)
+	mw.HandleFunc(mux, "/", ss.handleDefaultQuarter)
+	mux.Handle("/metrics", obs.MetricsHandler(reg))
+	mux.Handle("/healthz", obs.HealthzHandler(ss.healthDetail))
+	mux.Handle("/readyz", obs.ReadyzHandler(ready, ss.healthDetail))
+	mux.Handle("/debug/traces", obs.TracesHandler(journal))
+	mux.Handle("/debug/audit", audit.Handler(ss.auditLog()))
+	mux.Handle("/debug/vars", obs.ExpvarHandler())
+	obs.RegisterPprof(mux)
+	return mux
+}
+
+// auditLog returns the auditor's event log, nil when auditing is
+// disabled (audit.Handler answers 404 for a nil log, so /debug/audit
+// mounts unconditionally).
+func (ss *storeServer) auditLog() *audit.Log {
+	if ss.auditor == nil {
+		return nil
+	}
+	return ss.auditor.Log
+}
+
+func (ss *storeServer) healthDetail() map[string]any {
+	return map[string]any{
+		"mode":           "store",
+		"store_dir":      ss.reg.Dir(),
+		"quarters":       len(ss.reg.Quarters()),
+		"open_quarters":  ss.reg.OpenCount(),
+		"default":        ss.reg.Latest(),
+		"uptime_seconds": int64(time.Since(ss.started).Seconds()),
+	}
+}
+
+// dropHandler is the registry's eviction callback: when a quarter's
+// analysis leaves the LRU, the route handler holding it must go too,
+// or the memory bound is fiction.
+func (ss *storeServer) dropHandler(label string) {
+	ss.mu.Lock()
+	delete(ss.handlers, label)
+	ss.mu.Unlock()
+	ss.log().Debug("quarter evicted", "quarter", label)
+}
+
+// quarterHandler returns the per-quarter application mux, loading the
+// snapshot through the registry LRU on first touch. The lookup runs
+// under a "quarter_mux" child span so a trace distinguishes the
+// handler cache from a registry load: handler_cache=hit means the
+// registry was never consulted this request.
+func (ss *storeServer) quarterHandler(ctx context.Context, label string) (http.Handler, error) {
+	ctx, span := obs.StartSpan(ctx, "quarter_mux")
+	defer span.End()
+	span.SetAttr("quarter", label)
+	ss.mu.Lock()
+	h := ss.handlers[label]
+	ss.mu.Unlock()
+	if h != nil {
+		span.SetAttr("handler_cache", "hit")
+		return h, nil
+	}
+	span.SetAttr("handler_cache", "miss")
+	a, err := ss.reg.LoadContext(ctx, label)
+	if err != nil {
+		return nil, err
+	}
+	qs := &server{analysis: a, quarter: label, logger: ss.logger, started: ss.started}
+	h = qs.quarterMux()
+	ss.mu.Lock()
+	ss.handlers[label] = h
+	ss.mu.Unlock()
+	return h, nil
+}
+
+// handleDefaultQuarter serves the whole single-quarter application
+// (index, signal pages, glyphs, /api/signals, network exports) for
+// the latest quarter in the store.
+func (ss *storeServer) handleDefaultQuarter(w http.ResponseWriter, r *http.Request) {
+	label := ss.reg.Latest()
+	if label == "" {
+		http.Error(w, "store is empty: no quarter snapshots on disk", http.StatusServiceUnavailable)
+		return
+	}
+	h, err := ss.quarterHandler(r.Context(), label)
+	if err != nil {
+		ss.log().Error("load default quarter", "quarter", label, "err", err)
+		http.Error(w, "quarter snapshot unavailable", http.StatusInternalServerError)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// handleQuarterScoped serves /q/{label}/<rest> by dispatching <rest>
+// into the named quarter's application mux.
+func (ss *storeServer) handleQuarterScoped(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/q/")
+	label, sub, _ := strings.Cut(rest, "/")
+	if label == "" {
+		http.NotFound(w, r)
+		return
+	}
+	if !ss.reg.Has(label) {
+		http.Error(w, fmt.Sprintf("quarter %q not in store", label), http.StatusNotFound)
+		return
+	}
+	h, err := ss.quarterHandler(r.Context(), label)
+	if err != nil {
+		ss.log().Error("load quarter", "quarter", label, "err", err)
+		http.Error(w, "quarter snapshot unavailable", http.StatusInternalServerError)
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/" + sub
+	h.ServeHTTP(w, r2)
+}
+
+// handleQuarters lists what the store can serve.
+func (ss *storeServer) handleQuarters(w http.ResponseWriter, r *http.Request) {
+	// Rescan first: a miner may have dropped a new quarter in.
+	if err := ss.reg.RefreshContext(r.Context()); err != nil {
+		ss.log().Warn("store rescan", "err", err)
+	}
+	body, err := json.Marshal(struct {
+		Default  string   `json:"default"`
+		Quarters []string `json:"quarters"`
+	}{Default: ss.reg.Latest(), Quarters: ss.reg.Quarters()})
+	if err != nil {
+		http.Error(w, "internal encode error", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// timelinePoint mirrors trend.Point for the JSON API.
+type timelinePoint struct {
+	Quarter    string  `json:"quarter"`
+	Rank       int     `json:"rank"` // 0 = not signaled that quarter
+	Score      float64 `json:"score"`
+	Support    int     `json:"support"`
+	Confidence float64 `json:"confidence"`
+}
+
+// handleTimeline serves /api/timeline/{drugkey} where drugkey is the
+// canonical combination key ("ASPIRIN+WARFARIN", any case or order) —
+// the surveillance question answered across every stored quarter.
+func (ss *storeServer) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/api/timeline/"), "/")
+	if raw == "" {
+		http.Error(w, "usage: /api/timeline/DRUG+DRUG", http.StatusBadRequest)
+		return
+	}
+	key := knowledge.DrugKey(strings.Split(raw, "+"))
+	labels, traj, err := ss.reg.TimelineContext(r.Context(), key)
+	if err != nil {
+		ss.log().Error("timeline", "key", key, "err", err)
+		http.Error(w, "timeline unavailable", http.StatusInternalServerError)
+		return
+	}
+	if traj == nil {
+		http.Error(w, fmt.Sprintf("combination %q never signaled in %d stored quarters", key, len(labels)),
+			http.StatusNotFound)
+		return
+	}
+	points := make([]timelinePoint, len(traj.Points))
+	for i, p := range traj.Points {
+		points[i] = timelinePoint{Quarter: p.Quarter, Rank: p.Rank, Score: p.Score,
+			Support: p.Support, Confidence: p.Confidence}
+	}
+	body, err := json.Marshal(struct {
+		Key       string          `json:"key"`
+		Drugs     []string        `json:"drugs"`
+		Reactions []string        `json:"reactions"`
+		Class     trend.Class     `json:"class"`
+		EmergedAt string          `json:"emerged_at,omitempty"`
+		Points    []timelinePoint `json:"points"`
+	}{
+		Key: traj.Key, Drugs: traj.Drugs, Reactions: traj.Reactions,
+		Class: traj.Classify(), EmergedAt: traj.EmergedAt(), Points: points,
+	})
+	if err != nil {
+		http.Error(w, "internal encode error", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}

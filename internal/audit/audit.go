@@ -1,0 +1,195 @@
+// Package audit watches the *outputs* of the MARAS pipeline the way
+// package obs watches its runtime. Surveillance lives or dies on the
+// quality of each ingested FAERS quarter and the stability of the
+// signal rankings across quarters, so the package provides three
+// pillars:
+//
+//   - Ingest quality: a QualityReport per quarter (drop/dedup/empty
+//     rates from the cleaning stats, drug/ADR cardinality, dictionary
+//     size, support and score distributions as fixed-bucket
+//     histograms) with rule-based verdicts — ok/warn/fail — evaluated
+//     against configurable Thresholds and the trailing quarters.
+//   - Cross-quarter drift: a DriftReport diffing two quarters' ranked
+//     top-K signal sets — new/dropped/persisting signals, per-signal
+//     support and exclusiveness-score deltas, churn rate, and a
+//     Spearman-style rank-displacement gauge.
+//   - An alerting event Log: a fixed-size ring of structured events
+//     (quality findings, drift breaches, runtime watchdog excursions)
+//     with per-rule Prometheus counters, slog mirroring, and the
+//     /debug/audit operator timeline.
+//
+// The package is stdlib-only and computes from completed
+// core.Analysis / trend.Analysis values; it never touches the miners.
+package audit
+
+// Severity grades a finding or event. The order is
+// ok < info < warn < fail.
+type Severity string
+
+const (
+	SevOK   Severity = "ok"
+	SevInfo Severity = "info"
+	SevWarn Severity = "warn"
+	SevFail Severity = "fail"
+)
+
+// sevRank orders severities for max-verdict folding.
+func sevRank(s Severity) int {
+	switch s {
+	case SevFail:
+		return 3
+	case SevWarn:
+		return 2
+	case SevInfo:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MaxSeverity returns the more severe of a and b.
+func MaxSeverity(a, b Severity) Severity {
+	if sevRank(b) > sevRank(a) {
+		return b
+	}
+	return a
+}
+
+// Audit rule names — the "rule" label on maras_audit_events_total and
+// the Rule field of findings and events.
+const (
+	// RuleDropRate fires when a quarter's cleaning drop rate is high
+	// in absolute terms (warn at Thresholds.DropWarn, fail at
+	// DropFail): the ingest threw most of the quarter away.
+	RuleDropRate = "drop_rate"
+	// RuleDropSpike fires when the drop rate jumps against the
+	// trailing-quarter mean — the classic malformed-extract signature.
+	RuleDropSpike = "drop_spike"
+	// RuleEmptyRate fires when too many reports arrive without drugs
+	// or reactions (empty transactions after cleaning).
+	RuleEmptyRate = "empty_rate"
+	// RuleNoSignals fires when a quarter with usable reports yields
+	// zero ranked signals.
+	RuleNoSignals = "no_signals"
+	// RuleCardinality fires when drug or reaction cardinality
+	// collapses against the trailing mean (a truncated DRUG/REAC file
+	// parses fine but carries a fraction of the vocabulary).
+	RuleCardinality = "cardinality_collapse"
+	// RuleDictShrink fires when the dictionary is much smaller than
+	// the previous quarter's.
+	RuleDictShrink = "dict_shrink"
+	// RuleVolume fires when report volume swings far outside the
+	// trailing mean in either direction.
+	RuleVolume = "report_volume"
+	// RuleChurn fires when the fraction of top-K signals that changed
+	// between adjacent quarters exceeds Thresholds.ChurnWarn.
+	RuleChurn = "signal_churn"
+	// RuleRankShift fires when the normalized rank displacement of
+	// persisting top-K signals exceeds Thresholds.RankShiftWarn.
+	RuleRankShift = "rank_shift"
+	// RuleSignalLost fires when a leading (top-10) signal of the
+	// earlier quarter is absent from the later one — the "known
+	// interaction silently vanished" alarm.
+	RuleSignalLost = "signal_lost"
+)
+
+// Finding is one rule evaluation that did not come back clean.
+type Finding struct {
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+	// Value and Limit expose the measured quantity and the threshold
+	// it was held against, so dashboards need not parse Message.
+	Value float64 `json:"value"`
+	Limit float64 `json:"limit"`
+}
+
+// Thresholds configures every audit rule. The zero value of any field
+// means "use the default"; obtain a fully-populated set with
+// DefaultThresholds, or adjust individual fields and normalize via
+// withDefaults at evaluation time.
+type Thresholds struct {
+	// TopK bounds the per-quarter ranked set compared by drift
+	// detection (0 is replaced by the default; use a negative value
+	// for "all signals").
+	TopK int
+	// Trailing is how many preceding quarters feed the relative
+	// quality rules.
+	Trailing int
+
+	// DropWarn / DropFail grade the absolute cleaning drop rate.
+	DropWarn float64
+	DropFail float64
+	// DropSpike is the warn margin over the trailing mean drop rate.
+	DropSpike float64
+	// EmptyWarn grades the empty-transaction rate.
+	EmptyWarn float64
+	// CollapseRatio: cardinality below this fraction of the trailing
+	// mean warns.
+	CollapseRatio float64
+	// VolumeSwing: report volume below mean*VolumeSwing or above
+	// mean/VolumeSwing warns.
+	VolumeSwing float64
+
+	// ChurnWarn grades the drift churn rate, RankShiftWarn the
+	// normalized rank displacement.
+	ChurnWarn     float64
+	RankShiftWarn float64
+}
+
+// DefaultThresholds returns the shipped alert thresholds (see README
+// "Operating MARAS" for the rule reference).
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		TopK:          25,
+		Trailing:      3,
+		DropWarn:      0.60,
+		DropFail:      0.90,
+		DropSpike:     0.15,
+		EmptyWarn:     0.25,
+		CollapseRatio: 0.5,
+		VolumeSwing:   0.5,
+		ChurnWarn:     0.5,
+		RankShiftWarn: 0.35,
+	}
+}
+
+// withDefaults fills zero fields from DefaultThresholds so partially
+// configured thresholds behave.
+func (t Thresholds) withDefaults() Thresholds {
+	d := DefaultThresholds()
+	if t.TopK == 0 {
+		t.TopK = d.TopK
+	}
+	if t.TopK < 0 {
+		t.TopK = 0 // explicit "all signals"
+	}
+	if t.Trailing == 0 {
+		t.Trailing = d.Trailing
+	}
+	if t.DropWarn == 0 {
+		t.DropWarn = d.DropWarn
+	}
+	if t.DropFail == 0 {
+		t.DropFail = d.DropFail
+	}
+	if t.DropSpike == 0 {
+		t.DropSpike = d.DropSpike
+	}
+	if t.EmptyWarn == 0 {
+		t.EmptyWarn = d.EmptyWarn
+	}
+	if t.CollapseRatio == 0 {
+		t.CollapseRatio = d.CollapseRatio
+	}
+	if t.VolumeSwing == 0 {
+		t.VolumeSwing = d.VolumeSwing
+	}
+	if t.ChurnWarn == 0 {
+		t.ChurnWarn = d.ChurnWarn
+	}
+	if t.RankShiftWarn == 0 {
+		t.RankShiftWarn = d.RankShiftWarn
+	}
+	return t
+}

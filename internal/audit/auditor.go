@@ -1,0 +1,106 @@
+package audit
+
+import (
+	"fmt"
+	"strconv"
+
+	"maras/internal/obs"
+)
+
+// Auditor bundles the alerting policy: thresholds for the evaluators
+// plus where breaches go (event log, gauges). A nil *Auditor is safe
+// everywhere and means "audit alerting disabled" — evaluations still
+// run with default thresholds, they just are not recorded.
+type Auditor struct {
+	Log        *Log
+	Thresholds Thresholds
+	// Metrics carries the drift gauges; event counters ride on the
+	// Log's own registry.
+	Metrics *obs.Registry
+}
+
+// ActiveThresholds returns the auditor's thresholds with defaults
+// filled in; a nil auditor yields DefaultThresholds.
+func (ad *Auditor) ActiveThresholds() Thresholds {
+	if ad == nil {
+		return DefaultThresholds()
+	}
+	return ad.Thresholds.withDefaults()
+}
+
+// RecordQuality turns an evaluated quality report's findings into
+// events, one per distinct (quarter, rule, severity) — re-evaluations
+// of the same quarter do not repeat the event.
+func (ad *Auditor) RecordQuality(q *QualityReport) {
+	if ad == nil || q == nil {
+		return
+	}
+	for _, f := range q.Findings {
+		if f.Severity == SevOK {
+			continue
+		}
+		key := "quality/" + q.Label + "/" + f.Rule + "/" + string(f.Severity)
+		ad.Log.RecordOnce(key, Event{
+			Rule:     f.Rule,
+			Severity: f.Severity,
+			Scope:    q.Label,
+			Message:  f.Message,
+		})
+	}
+}
+
+// RecordDrift turns an evaluated drift report's findings into events
+// (deduplicated per quarter pair and rule) and exports the churn and
+// rank-shift gauges. Gauges are integer-valued in this registry, so
+// the rates are exported in permille (0..1000).
+func (ad *Auditor) RecordDrift(d *DriftReport) {
+	if ad == nil || d == nil {
+		return
+	}
+	scope := d.From + "->" + d.To
+	for _, f := range d.Findings {
+		if f.Severity == SevOK {
+			continue
+		}
+		key := "drift/" + scope + "/" + f.Rule + "/" + string(f.Severity)
+		ad.Log.RecordOnce(key, Event{
+			Rule:     f.Rule,
+			Severity: f.Severity,
+			Scope:    scope,
+			Message:  f.Message,
+		})
+	}
+	if ad.Metrics != nil {
+		ad.Metrics.Gauge("maras_audit_churn_permille",
+			"Top-K signal churn rate between audited quarters, in permille (0-1000).",
+			obs.L("from", d.From, "to", d.To)...).Set(int64(d.ChurnRate*1000 + 0.5))
+		ad.Metrics.Gauge("maras_audit_rank_shift_permille",
+			"Normalized rank displacement of persisting top-K signals, in permille (0-1000).",
+			obs.L("from", d.From, "to", d.To)...).Set(int64(d.RankShift*1000 + 0.5))
+	}
+}
+
+// RecordWatchdog routes a runtime watchdog edge event (obs sampler)
+// into the audit timeline: a warn event when a check enters violation,
+// an info event when it recovers. The obs package cannot import audit
+// (it sits below it), so callers wire this method into
+// obs.RuntimeSamplerOptions.OnViolation.
+func (ad *Auditor) RecordWatchdog(ev obs.WatchdogEvent) {
+	if ad == nil {
+		return
+	}
+	e := Event{
+		Rule:  "watchdog_" + ev.Check,
+		Scope: "runtime",
+	}
+	if ev.Entering {
+		e.Severity = SevWarn
+		e.Message = fmt.Sprintf("%s %s over limit %s", ev.Check,
+			strconv.FormatFloat(ev.Value, 'g', -1, 64),
+			strconv.FormatFloat(ev.Limit, 'g', -1, 64))
+	} else {
+		e.Severity = SevInfo
+		e.Message = ev.Check + " recovered"
+	}
+	ad.Log.Record(e)
+}

@@ -1,0 +1,217 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"maras/internal/trend"
+)
+
+// Delta status values.
+const (
+	StatusNew        = "new"        // in the later quarter's top-K only
+	StatusDropped    = "dropped"    // in the earlier quarter's top-K only
+	StatusPersisting = "persisting" // in both
+)
+
+// SignalDelta tracks one signal across the two compared quarters.
+type SignalDelta struct {
+	Key    string `json:"key"`
+	Status string `json:"status"`
+
+	FromRank    int     `json:"from_rank,omitempty"`
+	ToRank      int     `json:"to_rank,omitempty"`
+	FromSupport int     `json:"from_support,omitempty"`
+	ToSupport   int     `json:"to_support,omitempty"`
+	FromScore   float64 `json:"from_score,omitempty"`
+	ToScore     float64 `json:"to_score,omitempty"`
+
+	// Deltas are later-minus-earlier and only meaningful for
+	// persisting signals.
+	RankDelta    int     `json:"rank_delta,omitempty"`
+	SupportDelta int     `json:"support_delta,omitempty"`
+	ScoreDelta   float64 `json:"score_delta,omitempty"`
+}
+
+// DriftReport diffs the ranked top-K signal sets of two quarters.
+type DriftReport struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// TopK is the rank cutoff applied to each side (0 = unbounded).
+	TopK int `json:"top_k"`
+
+	FromSignals int `json:"from_signals"` // size of the earlier top-K set
+	ToSignals   int `json:"to_signals"`   // size of the later top-K set
+	New         int `json:"new"`
+	Dropped     int `json:"dropped"`
+	Persisting  int `json:"persisting"`
+
+	// ChurnRate = (New+Dropped) / |union|: 0 when the sets match,
+	// approaching 1 as they become disjoint.
+	ChurnRate float64 `json:"churn_rate"`
+	// RankShift is a Spearman-footrule-style displacement over the
+	// persisting signals, normalized to 0..1 by the worst case
+	// (every persisting signal moving the full top-K span).
+	RankShift float64 `json:"rank_shift"`
+
+	Deltas []SignalDelta `json:"deltas"`
+
+	Findings []Finding `json:"findings,omitempty"`
+	Verdict  Severity  `json:"verdict,omitempty"`
+}
+
+// Drift diffs quarters from and to (any two labels analyzed in ta,
+// conventionally adjacent) over each quarter's top-K ranked signals.
+// topK <= 0 compares the full ranked sets.
+func Drift(ta *trend.Analysis, from, to string, topK int) (*DriftReport, error) {
+	fi, ti := -1, -1
+	for i, q := range ta.Quarters {
+		switch q {
+		case from:
+			fi = i
+		case to:
+			ti = i
+		}
+	}
+	if fi < 0 {
+		return nil, fmt.Errorf("drift: quarter %q not in analysis", from)
+	}
+	if ti < 0 {
+		return nil, fmt.Errorf("drift: quarter %q not in analysis", to)
+	}
+	if from == to {
+		return nil, fmt.Errorf("drift: identical quarters %q", from)
+	}
+
+	d := &DriftReport{From: from, To: to, TopK: topK}
+	inTop := func(p trend.Point) bool {
+		return p.Signaled() && (topK <= 0 || p.Rank <= topK)
+	}
+	// span is the rank range a displaced signal can move across, used
+	// to normalize RankShift. With a cutoff it is simply topK; without
+	// one, the largest rank seen in either compared set.
+	span := topK
+	var displacement int
+	for _, t := range ta.Trajectories {
+		pf, pt := t.Points[fi], t.Points[ti]
+		inFrom, inTo := inTop(pf), inTop(pt)
+		if !inFrom && !inTo {
+			continue
+		}
+		sd := SignalDelta{Key: t.Key}
+		if inFrom {
+			d.FromSignals++
+			sd.FromRank, sd.FromSupport, sd.FromScore = pf.Rank, pf.Support, pf.Score
+			if topK <= 0 && pf.Rank > span {
+				span = pf.Rank
+			}
+		}
+		if inTo {
+			d.ToSignals++
+			sd.ToRank, sd.ToSupport, sd.ToScore = pt.Rank, pt.Support, pt.Score
+			if topK <= 0 && pt.Rank > span {
+				span = pt.Rank
+			}
+		}
+		switch {
+		case inFrom && inTo:
+			d.Persisting++
+			sd.Status = StatusPersisting
+			sd.RankDelta = pt.Rank - pf.Rank
+			sd.SupportDelta = pt.Support - pf.Support
+			sd.ScoreDelta = pt.Score - pf.Score
+			if sd.RankDelta < 0 {
+				displacement -= sd.RankDelta
+			} else {
+				displacement += sd.RankDelta
+			}
+		case inFrom:
+			d.Dropped++
+			sd.Status = StatusDropped
+		default:
+			d.New++
+			sd.Status = StatusNew
+		}
+		d.Deltas = append(d.Deltas, sd)
+	}
+
+	if union := d.New + d.Dropped + d.Persisting; union > 0 {
+		d.ChurnRate = float64(d.New+d.Dropped) / float64(union)
+	}
+	if d.Persisting > 0 && span > 1 {
+		d.RankShift = float64(displacement) / float64(d.Persisting*(span-1))
+	}
+
+	// Most alarming first: dropped, then new, then persisting by
+	// displacement magnitude; key-ordered within ties for determinism.
+	statusOrder := map[string]int{StatusDropped: 0, StatusNew: 1, StatusPersisting: 2}
+	sort.Slice(d.Deltas, func(i, j int) bool {
+		a, b := d.Deltas[i], d.Deltas[j]
+		if statusOrder[a.Status] != statusOrder[b.Status] {
+			return statusOrder[a.Status] < statusOrder[b.Status]
+		}
+		if a.Status == StatusPersisting {
+			ai, bi := abs(a.RankDelta), abs(b.RankDelta)
+			if ai != bi {
+				return ai > bi
+			}
+		}
+		return a.Key < b.Key
+	})
+	return d, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// EvaluateDrift applies the drift alert rules and fills d.Findings and
+// d.Verdict. Thresholds zero fields fall back to defaults.
+func EvaluateDrift(d *DriftReport, th Thresholds) {
+	th = th.withDefaults()
+	d.Findings = d.Findings[:0]
+
+	if d.ChurnRate >= th.ChurnWarn {
+		d.Findings = append(d.Findings, Finding{
+			Rule:     RuleChurn,
+			Severity: SevWarn,
+			Message: fmt.Sprintf("%.0f%% of top-%d signals churned between %s and %s (%d new, %d dropped, %d persisting)",
+				100*d.ChurnRate, d.TopK, d.From, d.To, d.New, d.Dropped, d.Persisting),
+			Value: d.ChurnRate,
+			Limit: th.ChurnWarn,
+		})
+	}
+	if d.RankShift >= th.RankShiftWarn {
+		d.Findings = append(d.Findings, Finding{
+			Rule:     RuleRankShift,
+			Severity: SevWarn,
+			Message: fmt.Sprintf("persisting signals shifted %.0f%% of the top-%d span between %s and %s",
+				100*d.RankShift, d.TopK, d.From, d.To),
+			Value: d.RankShift,
+			Limit: th.RankShiftWarn,
+		})
+	}
+	// Leading signals (top-10 of the earlier quarter) that vanished
+	// outright are called out individually.
+	const leading = 10
+	for _, sd := range d.Deltas {
+		if sd.Status == StatusDropped && sd.FromRank <= leading {
+			d.Findings = append(d.Findings, Finding{
+				Rule:     RuleSignalLost,
+				Severity: SevWarn,
+				Message: fmt.Sprintf("signal %q (rank %d in %s, support %d) absent from %s top-%d",
+					sd.Key, sd.FromRank, d.From, sd.FromSupport, d.To, d.TopK),
+				Value: float64(sd.FromRank),
+				Limit: leading,
+			})
+		}
+	}
+
+	d.Verdict = SevOK
+	for _, f := range d.Findings {
+		d.Verdict = MaxSeverity(d.Verdict, f.Severity)
+	}
+}

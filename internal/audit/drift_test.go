@@ -1,0 +1,174 @@
+package audit
+
+import (
+	"testing"
+
+	"maras/internal/trend"
+)
+
+// driftFixture builds a two-quarter trend analysis by hand:
+//
+//	key   Q1 rank  Q2 rank
+//	A     1        2        persisting, moved down one
+//	B     2        1        persisting, moved up one
+//	C     3        -        dropped
+//	D     -        3        new
+func driftFixture() *trend.Analysis {
+	pt := func(q string, rank, support int, score float64) trend.Point {
+		return trend.Point{Quarter: q, Rank: rank, Support: support, Confidence: 0.5, Score: score}
+	}
+	return &trend.Analysis{
+		Quarters: []string{"Q1", "Q2"},
+		Trajectories: []trend.Trajectory{
+			{Key: "A", Points: []trend.Point{pt("Q1", 1, 50, 0.9), pt("Q2", 2, 45, 0.8)}},
+			{Key: "B", Points: []trend.Point{pt("Q1", 2, 40, 0.8), pt("Q2", 1, 60, 0.95)}},
+			{Key: "C", Points: []trend.Point{pt("Q1", 3, 30, 0.7), pt("Q2", 0, 0, 0)}},
+			{Key: "D", Points: []trend.Point{pt("Q1", 0, 0, 0), pt("Q2", 3, 35, 0.75)}},
+		},
+	}
+}
+
+func TestDrift(t *testing.T) {
+	d, err := Drift(driftFixture(), "Q1", "Q2", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.From != "Q1" || d.To != "Q2" {
+		t.Fatalf("pair = %s->%s", d.From, d.To)
+	}
+	if d.FromSignals != 3 || d.ToSignals != 3 {
+		t.Fatalf("set sizes = %d/%d, want 3/3", d.FromSignals, d.ToSignals)
+	}
+	if d.New != 1 || d.Dropped != 1 || d.Persisting != 2 {
+		t.Fatalf("new/dropped/persisting = %d/%d/%d", d.New, d.Dropped, d.Persisting)
+	}
+	if want := 2.0 / 4.0; d.ChurnRate != want {
+		t.Errorf("ChurnRate = %v, want %v", d.ChurnRate, want)
+	}
+	// Both persisting signals moved one rank; span is topK=25, so
+	// displacement 2 over worst case 2*(25-1).
+	if want := 2.0 / 48.0; d.RankShift != want {
+		t.Errorf("RankShift = %v, want %v", d.RankShift, want)
+	}
+	if len(d.Deltas) != 4 {
+		t.Fatalf("deltas = %d, want 4", len(d.Deltas))
+	}
+	// Ordering: dropped, new, then persisting.
+	if d.Deltas[0].Key != "C" || d.Deltas[0].Status != StatusDropped {
+		t.Errorf("delta[0] = %+v, want dropped C", d.Deltas[0])
+	}
+	if d.Deltas[1].Key != "D" || d.Deltas[1].Status != StatusNew {
+		t.Errorf("delta[1] = %+v, want new D", d.Deltas[1])
+	}
+	for _, sd := range d.Deltas {
+		if sd.Key == "A" {
+			if sd.RankDelta != 1 || sd.SupportDelta != -5 {
+				t.Errorf("A delta = %+v", sd)
+			}
+		}
+	}
+}
+
+func TestDriftTopKCutoff(t *testing.T) {
+	// topK=2 excludes C (rank 3 in Q1) and D (rank 3 in Q2) entirely.
+	d, err := Drift(driftFixture(), "Q1", "Q2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.New != 0 || d.Dropped != 0 || d.Persisting != 2 {
+		t.Fatalf("new/dropped/persisting = %d/%d/%d, want 0/0/2", d.New, d.Dropped, d.Persisting)
+	}
+	if d.ChurnRate != 0 {
+		t.Errorf("ChurnRate = %v, want 0", d.ChurnRate)
+	}
+}
+
+func TestDriftUnknownQuarter(t *testing.T) {
+	if _, err := Drift(driftFixture(), "Q1", "Q9", 10); err == nil {
+		t.Fatal("want error for unknown quarter")
+	}
+	if _, err := Drift(driftFixture(), "Q9", "Q2", 10); err == nil {
+		t.Fatal("want error for unknown quarter")
+	}
+	if _, err := Drift(driftFixture(), "Q1", "Q1", 10); err == nil {
+		t.Fatal("want error for identical quarters")
+	}
+}
+
+func TestDriftZeroSupportNotSignaled(t *testing.T) {
+	// A ranked point with zero support (corrupt series) must not count
+	// as present.
+	ta := &trend.Analysis{
+		Quarters: []string{"Q1", "Q2"},
+		Trajectories: []trend.Trajectory{
+			{Key: "X", Points: []trend.Point{
+				{Quarter: "Q1", Rank: 1, Support: 0, Score: 0.9},
+				{Quarter: "Q2", Rank: 1, Support: 10, Score: 0.9},
+			}},
+		},
+	}
+	d, err := Drift(ta, "Q1", "Q2", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FromSignals != 0 || d.New != 1 {
+		t.Fatalf("zero-support point counted as signaled: %+v", d)
+	}
+}
+
+func TestEvaluateDrift(t *testing.T) {
+	t.Run("high churn warns", func(t *testing.T) {
+		d := &DriftReport{From: "Q1", To: "Q2", TopK: 10, New: 3, Dropped: 3, Persisting: 2, ChurnRate: 0.75}
+		EvaluateDrift(d, Thresholds{})
+		if !hasRule(d.Findings, RuleChurn) || d.Verdict != SevWarn {
+			t.Fatalf("findings %v verdict %s", findingRules(d.Findings), d.Verdict)
+		}
+	})
+	t.Run("rank shift warns", func(t *testing.T) {
+		d := &DriftReport{From: "Q1", To: "Q2", TopK: 10, Persisting: 5, RankShift: 0.5}
+		EvaluateDrift(d, Thresholds{})
+		if !hasRule(d.Findings, RuleRankShift) {
+			t.Fatalf("findings %v", findingRules(d.Findings))
+		}
+	})
+	t.Run("lost leading signal warns", func(t *testing.T) {
+		d := &DriftReport{From: "Q1", To: "Q2", TopK: 25, Dropped: 1, Persisting: 20,
+			Deltas: []SignalDelta{{Key: "ASPIRIN+WARFARIN", Status: StatusDropped, FromRank: 2, FromSupport: 80}}}
+		EvaluateDrift(d, Thresholds{})
+		if !hasRule(d.Findings, RuleSignalLost) {
+			t.Fatalf("findings %v", findingRules(d.Findings))
+		}
+	})
+	t.Run("low-rank drop does not warn", func(t *testing.T) {
+		d := &DriftReport{From: "Q1", To: "Q2", TopK: 25, Dropped: 1, Persisting: 20,
+			Deltas: []SignalDelta{{Key: "X+Y", Status: StatusDropped, FromRank: 20}}}
+		EvaluateDrift(d, Thresholds{})
+		if hasRule(d.Findings, RuleSignalLost) {
+			t.Fatalf("rank-20 drop should not fire signal_lost: %v", findingRules(d.Findings))
+		}
+	})
+	t.Run("stable is ok", func(t *testing.T) {
+		d := &DriftReport{From: "Q1", To: "Q2", TopK: 10, Persisting: 10, ChurnRate: 0.1, RankShift: 0.05}
+		EvaluateDrift(d, Thresholds{})
+		if len(d.Findings) != 0 || d.Verdict != SevOK {
+			t.Fatalf("want clean, got %v verdict %s", findingRules(d.Findings), d.Verdict)
+		}
+	})
+}
+
+// TestDriftFromAssembledTrend runs the real Assemble path end to end
+// so the Point.Signaled contract between the packages stays honest.
+func TestDriftFromAssembledTrend(t *testing.T) {
+	ta := driftFixture()
+	d, err := Drift(ta, "Q1", "Q2", 0) // unbounded: span = max rank seen
+	if err != nil {
+		t.Fatal(err)
+	}
+	// span = 3, displacement 2 over 2 persisting * (3-1).
+	if want := 2.0 / 4.0; d.RankShift != want {
+		t.Errorf("unbounded RankShift = %v, want %v", d.RankShift, want)
+	}
+	if d.TopK != 0 {
+		t.Errorf("TopK = %d, want 0", d.TopK)
+	}
+}

@@ -1,0 +1,237 @@
+package audit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// DefaultLogCapacity is how many events the ring buffer holds when
+// LogOptions.Capacity is unset.
+const DefaultLogCapacity = 256
+
+// Event is one entry on the operator timeline: a quality finding, a
+// drift breach, or a runtime watchdog excursion.
+type Event struct {
+	Time     time.Time `json:"time"`
+	Rule     string    `json:"rule"`
+	Severity Severity  `json:"severity"`
+	// Scope names what the event is about: a quarter label, a
+	// "from->to" quarter pair, or "runtime" for watchdog events.
+	Scope   string `json:"scope,omitempty"`
+	Message string `json:"message"`
+}
+
+// LogOptions configures NewLog. Every field is optional.
+type LogOptions struct {
+	// Capacity bounds the ring (<= 0 = DefaultLogCapacity).
+	Capacity int
+	// Logger mirrors every recorded event to slog (warn/fail at
+	// Warn/Error level, the rest at Info).
+	Logger *slog.Logger
+	// Metrics counts events on maras_audit_events_total{rule,severity}.
+	Metrics *obs.Registry
+	// Now stubs the clock in tests; defaults to time.Now.
+	Now func() time.Time
+}
+
+// Log is a fixed-size, lock-protected ring buffer of audit events —
+// the single operator timeline behind /debug/audit. A nil *Log is safe
+// and records nothing (auditing disabled).
+type Log struct {
+	mu       sync.Mutex
+	capacity int
+	now      func() time.Time
+	logger   *slog.Logger
+	metrics  *obs.Registry
+	ring     []Event // oldest..newest, up to capacity
+	next     int     // ring write cursor once full
+	full     bool
+	total    uint64
+	bySev    map[Severity]uint64
+	seen     map[string]bool // RecordOnce dedup keys
+}
+
+// NewLog builds an event log.
+func NewLog(opts LogOptions) *Log {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultLogCapacity
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Log{
+		capacity: opts.Capacity,
+		now:      opts.Now,
+		logger:   opts.Logger,
+		metrics:  opts.Metrics,
+		ring:     make([]Event, 0, opts.Capacity),
+		bySev:    make(map[Severity]uint64),
+		seen:     make(map[string]bool),
+	}
+}
+
+// Record appends an event, stamping Time when unset, bumping the
+// per-rule counter, and mirroring to slog. Nil logs drop the event.
+func (l *Log) Record(e Event) {
+	if l == nil {
+		return
+	}
+	if e.Severity == "" {
+		e.Severity = SevInfo
+	}
+	if e.Time.IsZero() {
+		e.Time = l.now()
+	}
+	l.mu.Lock()
+	if len(l.ring) < l.capacity {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+		l.next = (l.next + 1) % l.capacity
+		l.full = true
+	}
+	l.total++
+	l.bySev[e.Severity]++
+	l.mu.Unlock()
+
+	if l.metrics != nil {
+		l.metrics.Counter("maras_audit_events_total",
+			"Audit events recorded, by rule and severity.",
+			obs.L("rule", e.Rule, "severity", string(e.Severity))...).Inc()
+	}
+	if l.logger != nil {
+		lvl := slog.LevelInfo
+		switch e.Severity {
+		case SevWarn:
+			lvl = slog.LevelWarn
+		case SevFail:
+			lvl = slog.LevelError
+		}
+		l.logger.Log(context.Background(), lvl, "audit event",
+			"rule", e.Rule, "severity", string(e.Severity),
+			"scope", e.Scope, "msg", e.Message)
+	}
+}
+
+// RecordOnce records the event only the first time key is seen,
+// reporting whether it recorded. Evaluations re-run on every request,
+// so callers key on (scope, rule, severity) to emit one event per
+// distinct condition rather than one per evaluation.
+func (l *Log) RecordOnce(key string, e Event) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	if l.seen[key] {
+		l.mu.Unlock()
+		return false
+	}
+	l.seen[key] = true
+	l.mu.Unlock()
+	l.Record(e)
+	return true
+}
+
+// Forget clears a RecordOnce key so the next occurrence records again
+// (used when a condition resolves, e.g. a watchdog recovery).
+func (l *Log) Forget(key string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	delete(l.seen, key)
+	l.mu.Unlock()
+}
+
+// Recent returns up to n events, newest first. n <= 0 returns
+// everything held.
+func (l *Log) Recent(n int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+	} else {
+		out = append(out, l.ring...)
+	}
+	for a, b := 0, len(out)-1; a < b; a, b = a+1, b-1 {
+		out[a], out[b] = out[b], out[a]
+	}
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// LogStats summarizes event-log activity.
+type LogStats struct {
+	Total    uint64 `json:"total"`
+	Warn     uint64 `json:"warn"`
+	Fail     uint64 `json:"fail"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats returns totals since startup.
+func (l *Log) Stats() LogStats {
+	if l == nil {
+		return LogStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LogStats{
+		Total:    l.total,
+		Warn:     l.bySev[SevWarn],
+		Fail:     l.bySev[SevFail],
+		Capacity: l.capacity,
+	}
+}
+
+// Handler serves the event log at /debug/audit: a plain-text timeline
+// by default, the structured dump with ?format=json. ?n=K bounds how
+// many events are shown (default 50). A nil log answers 404 so the
+// route can be mounted unconditionally.
+func Handler(l *Log) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if l == nil {
+			http.Error(w, "audit log disabled", http.StatusNotFound)
+			return
+		}
+		n := 50
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		stats := l.Stats()
+		events := l.Recent(n)
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Stats  LogStats `json:"stats"`
+				Events []Event  `json:"events"`
+			}{stats, events})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "audit log: %d events (%d warn, %d fail), ring capacity %d\n\n",
+			stats.Total, stats.Warn, stats.Fail, stats.Capacity)
+		for _, e := range events {
+			fmt.Fprintf(w, "%s  %-4s  %-20s  %-16s  %s\n",
+				e.Time.Format(time.RFC3339), e.Severity, e.Rule, e.Scope, e.Message)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// fakeClock hands out strictly increasing timestamps.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time {
+	c.t = c.t.Add(time.Second)
+	return c.t
+}
+
+func newTestLog(reg *obs.Registry) (*Log, *bytes.Buffer) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	return NewLog(LogOptions{Capacity: 4, Logger: logger, Metrics: reg, Now: clock.Now}), &buf
+}
+
+func TestLogRecordAndRecent(t *testing.T) {
+	reg := obs.NewRegistry()
+	l, buf := newTestLog(reg)
+	l.Record(Event{Rule: RuleDropRate, Severity: SevWarn, Scope: "2014Q1", Message: "dropped a lot"})
+	l.Record(Event{Rule: RuleChurn, Severity: SevFail, Scope: "2014Q1->2014Q2", Message: "churned"})
+
+	ev := l.Recent(0)
+	if len(ev) != 2 {
+		t.Fatalf("Recent = %d events, want 2", len(ev))
+	}
+	if ev[0].Rule != RuleChurn || ev[1].Rule != RuleDropRate {
+		t.Fatalf("want newest first, got %s then %s", ev[0].Rule, ev[1].Rule)
+	}
+	if ev[0].Time.IsZero() || !ev[0].Time.After(ev[1].Time) {
+		t.Fatalf("timestamps not stamped/ordered: %v vs %v", ev[0].Time, ev[1].Time)
+	}
+	st := l.Stats()
+	if st.Total != 2 || st.Warn != 1 || st.Fail != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// slog mirroring at mapped levels.
+	logged := buf.String()
+	if !strings.Contains(logged, "level=WARN") || !strings.Contains(logged, "level=ERROR") {
+		t.Errorf("slog mirror missing levels:\n%s", logged)
+	}
+	// Counter per (rule, severity). Registry accessors are
+	// get-or-create, so reading back through them sees the same series.
+	got := reg.Counter("maras_audit_events_total", "",
+		obs.L("rule", RuleDropRate, "severity", "warn")...).Value()
+	if got != 1 {
+		t.Errorf("events counter = %d, want 1", got)
+	}
+}
+
+func TestLogRingWraps(t *testing.T) {
+	l, _ := newTestLog(nil)
+	for i := 0; i < 10; i++ {
+		l.Record(Event{Rule: "r", Severity: SevInfo, Message: string(rune('a' + i))})
+	}
+	ev := l.Recent(0)
+	if len(ev) != 4 {
+		t.Fatalf("ring held %d, want capacity 4", len(ev))
+	}
+	if ev[0].Message != "j" || ev[3].Message != "g" {
+		t.Fatalf("ring contents wrong: newest %q oldest %q", ev[0].Message, ev[3].Message)
+	}
+	if l.Stats().Total != 10 {
+		t.Fatalf("total = %d, want 10", l.Stats().Total)
+	}
+}
+
+func TestLogRecordOnce(t *testing.T) {
+	l, _ := newTestLog(nil)
+	e := Event{Rule: RuleDropRate, Severity: SevWarn, Scope: "Q1", Message: "x"}
+	if !l.RecordOnce("k", e) {
+		t.Fatal("first RecordOnce must record")
+	}
+	if l.RecordOnce("k", e) {
+		t.Fatal("second RecordOnce must dedup")
+	}
+	if got := l.Stats().Total; got != 1 {
+		t.Fatalf("total = %d, want 1", got)
+	}
+	l.Forget("k")
+	if !l.RecordOnce("k", e) {
+		t.Fatal("RecordOnce after Forget must record")
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Record(Event{Rule: "r"})
+	if l.RecordOnce("k", Event{}) {
+		t.Fatal("nil log recorded")
+	}
+	if l.Recent(5) != nil || l.Stats().Total != 0 {
+		t.Fatal("nil log returned data")
+	}
+	l.Forget("k")
+}
+
+func TestHandlerTextAndJSON(t *testing.T) {
+	l, _ := newTestLog(nil)
+	l.Record(Event{Rule: RuleChurn, Severity: SevWarn, Scope: "Q1->Q2", Message: "half the top-K churned"})
+
+	rr := httptest.NewRecorder()
+	Handler(l).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/audit", nil))
+	if rr.Code != 200 {
+		t.Fatalf("text status = %d", rr.Code)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{"audit log:", RuleChurn, "warn", "Q1->Q2"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text body missing %q:\n%s", want, body)
+		}
+	}
+
+	rr = httptest.NewRecorder()
+	Handler(l).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/audit?format=json", nil))
+	var got struct {
+		Stats  LogStats `json:"stats"`
+		Events []Event  `json:"events"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("json decode: %v", err)
+	}
+	if got.Stats.Total != 1 || len(got.Events) != 1 || got.Events[0].Rule != RuleChurn {
+		t.Fatalf("json = %+v", got)
+	}
+
+	rr = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/debug/audit", nil))
+	if rr.Code != 404 {
+		t.Fatalf("nil log status = %d, want 404", rr.Code)
+	}
+}
+
+func TestAuditorRecordQualityDedups(t *testing.T) {
+	l, _ := newTestLog(nil)
+	ad := &Auditor{Log: l}
+	q := &QualityReport{Label: "2014Q3", ReportsIn: 100, Reports: 30, DropRate: 0.7, Signals: 2}
+	EvaluateQuality(q, nil, ad.ActiveThresholds())
+	ad.RecordQuality(q)
+	ad.RecordQuality(q) // re-evaluation of the same quarter
+	if got := l.Stats().Total; got != 1 {
+		t.Fatalf("total = %d, want 1 deduped event", got)
+	}
+	ev := l.Recent(1)[0]
+	if ev.Rule != RuleDropRate || ev.Scope != "2014Q3" || ev.Severity != SevWarn {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestAuditorRecordDriftGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	l, _ := newTestLog(reg)
+	ad := &Auditor{Log: l, Metrics: reg}
+	d := &DriftReport{From: "Q1", To: "Q2", TopK: 10, New: 3, Dropped: 3, Persisting: 2, ChurnRate: 0.75, RankShift: 0.5}
+	EvaluateDrift(d, ad.ActiveThresholds())
+	ad.RecordDrift(d)
+	if got := reg.Gauge("maras_audit_churn_permille", "", obs.L("from", "Q1", "to", "Q2")...).Value(); got != 750 {
+		t.Errorf("churn gauge = %d, want 750", got)
+	}
+	if got := reg.Gauge("maras_audit_rank_shift_permille", "", obs.L("from", "Q1", "to", "Q2")...).Value(); got != 500 {
+		t.Errorf("rank shift gauge = %d, want 500", got)
+	}
+	if l.Stats().Warn < 2 {
+		t.Errorf("expected churn + rank shift warn events, stats %+v", l.Stats())
+	}
+}
+
+func TestNilAuditorIsSafe(t *testing.T) {
+	var ad *Auditor
+	ad.RecordQuality(&QualityReport{Label: "Q"})
+	ad.RecordDrift(&DriftReport{From: "a", To: "b"})
+	ad.RecordWatchdog(obs.WatchdogEvent{Check: "goroutines", Entering: true})
+	if th := ad.ActiveThresholds(); th.TopK != DefaultThresholds().TopK {
+		t.Fatalf("nil auditor thresholds = %+v", th)
+	}
+}
+
+func TestAuditorRecordWatchdog(t *testing.T) {
+	l, _ := newTestLog(nil)
+	ad := &Auditor{Log: l}
+	ad.RecordWatchdog(obs.WatchdogEvent{Check: obs.WatchdogGoroutines, Entering: true, Value: 1500, Limit: 1000})
+	ad.RecordWatchdog(obs.WatchdogEvent{Check: obs.WatchdogGoroutines, Entering: false, Value: 900, Limit: 1000})
+	ev := l.Recent(0)
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2", len(ev))
+	}
+	if ev[1].Severity != SevWarn || !strings.Contains(ev[1].Message, "1500") {
+		t.Fatalf("entering event = %+v", ev[1])
+	}
+	if ev[0].Severity != SevInfo || !strings.Contains(ev[0].Message, "recovered") {
+		t.Fatalf("recovery event = %+v", ev[0])
+	}
+}

@@ -1,0 +1,206 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"maras/internal/core"
+)
+
+// Hist is a fixed-bucket histogram small enough to persist inside a
+// snapshot. Counts has len(Bounds)+1 entries: Counts[i] holds
+// observations v <= Bounds[i], and the final entry is the overflow
+// bucket (v > Bounds[len-1]).
+type Hist struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// NewHist returns an empty histogram over the given ascending bounds.
+func NewHist(bounds ...float64) Hist {
+	return Hist{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe adds one observation. An exact hit on a bound lands in that
+// bound's bucket (v <= bound semantics, matching Prometheus `le`).
+func (h *Hist) Observe(v float64) {
+	h.Counts[sort.SearchFloat64s(h.Bounds, v)]++
+}
+
+// Total returns the number of observations across all buckets.
+func (h Hist) Total() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Default distribution bounds: signal support on a power-of-two grid
+// (FAERS supports span orders of magnitude), exclusiveness scores on a
+// uniform 0..1 grid.
+var (
+	SupportBounds = []float64{4, 8, 16, 32, 64, 128, 256}
+	ScoreBounds   = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+)
+
+// QualityReport captures the ingest health of one mined quarter. The
+// metric fields are deterministic functions of the core.Analysis and
+// are persisted with the snapshot; Findings and Verdict are derived at
+// evaluation time against configurable Thresholds (and trailing
+// quarters) and are therefore recomputed at serve time, never stored.
+type QualityReport struct {
+	Label string `json:"label"`
+
+	// Report flow through cleaning.
+	ReportsIn int `json:"reports_in"` // reports entering cleaning
+	Reports   int `json:"reports"`    // usable reports after cleaning
+	// DropRate = 1 - Reports/ReportsIn; DedupRate and EmptyRate break
+	// the dropped share down by cause.
+	DropRate  float64 `json:"drop_rate"`
+	DedupRate float64 `json:"dedup_rate"`
+	EmptyRate float64 `json:"empty_rate"`
+
+	// Vocabulary cardinality and dictionary size.
+	Drugs     int `json:"drugs"`
+	Reactions int `json:"reactions"`
+	DictItems int `json:"dict_items"`
+
+	// Transaction shape.
+	AvgDrugs float64 `json:"avg_drugs"`
+	AvgReacs float64 `json:"avg_reacs"`
+
+	// Ranked output volume and distributions over the ranked signals.
+	Signals     int  `json:"signals"`
+	SupportHist Hist `json:"support_hist"`
+	ScoreHist   Hist `json:"score_hist"`
+
+	// Derived at evaluation time; see EvaluateQuality.
+	Findings []Finding `json:"findings,omitempty"`
+	Verdict  Severity  `json:"verdict,omitempty"`
+}
+
+// ComputeQuality derives the metric half of a QualityReport from a
+// completed analysis. It never sets Findings or Verdict — pair with
+// EvaluateQuality for those.
+func ComputeQuality(label string, a *core.Analysis) *QualityReport {
+	q := &QualityReport{
+		Label:       label,
+		SupportHist: NewHist(SupportBounds...),
+		ScoreHist:   NewHist(ScoreBounds...),
+	}
+	if a == nil {
+		return q
+	}
+	cs := a.Cleaning
+	q.ReportsIn = cs.ReportsIn
+	q.Reports = a.Stats.Reports
+	if cs.ReportsIn > 0 {
+		in := float64(cs.ReportsIn)
+		q.DropRate = 1 - float64(cs.ReportsOut)/in
+		q.DedupRate = float64(cs.DuplicateReports) / in
+		q.EmptyRate = float64(cs.EmptyReports) / in
+	}
+	q.Drugs = a.Stats.Drugs
+	q.Reactions = a.Stats.Reactions
+	if d := a.Dict(); d != nil {
+		q.DictItems = d.Len()
+	}
+	q.AvgDrugs = a.Stats.AvgDrugs
+	q.AvgReacs = a.Stats.AvgReacs
+	q.Signals = len(a.Signals)
+	for _, s := range a.Signals {
+		q.SupportHist.Observe(float64(s.Support))
+		q.ScoreHist.Observe(s.Score)
+	}
+	return q
+}
+
+// EvaluateQuality applies the audit rules to cur, using trailing
+// quarters (oldest first, may be empty) for the relative rules, and
+// fills cur.Findings and cur.Verdict. Thresholds zero fields fall back
+// to defaults.
+func EvaluateQuality(cur *QualityReport, trailing []*QualityReport, th Thresholds) {
+	th = th.withDefaults()
+	cur.Findings = cur.Findings[:0]
+	add := func(rule string, sev Severity, value, limit float64, format string, args ...any) {
+		cur.Findings = append(cur.Findings, Finding{
+			Rule:     rule,
+			Severity: sev,
+			Message:  fmt.Sprintf(format, args...),
+			Value:    value,
+			Limit:    limit,
+		})
+	}
+
+	// Absolute rules.
+	switch {
+	case cur.DropRate >= th.DropFail:
+		add(RuleDropRate, SevFail, cur.DropRate, th.DropFail,
+			"cleaning dropped %.1f%% of %d reports (fail >= %.0f%%)",
+			100*cur.DropRate, cur.ReportsIn, 100*th.DropFail)
+	case cur.DropRate >= th.DropWarn:
+		add(RuleDropRate, SevWarn, cur.DropRate, th.DropWarn,
+			"cleaning dropped %.1f%% of %d reports (warn >= %.0f%%)",
+			100*cur.DropRate, cur.ReportsIn, 100*th.DropWarn)
+	}
+	if cur.EmptyRate >= th.EmptyWarn {
+		add(RuleEmptyRate, SevWarn, cur.EmptyRate, th.EmptyWarn,
+			"%.1f%% of reports were empty transactions (warn >= %.0f%%)",
+			100*cur.EmptyRate, 100*th.EmptyWarn)
+	}
+	if cur.Signals == 0 && cur.Reports > 0 {
+		add(RuleNoSignals, SevFail, 0, 1,
+			"%d usable reports produced zero ranked signals", cur.Reports)
+	}
+
+	// Relative rules against the trailing quarters.
+	if len(trailing) > 0 {
+		n := float64(len(trailing))
+		var meanDrop, meanDrugs, meanReacs, meanReports float64
+		for _, p := range trailing {
+			meanDrop += p.DropRate
+			meanDrugs += float64(p.Drugs)
+			meanReacs += float64(p.Reactions)
+			meanReports += float64(p.Reports)
+		}
+		meanDrop /= n
+		meanDrugs /= n
+		meanReacs /= n
+		meanReports /= n
+
+		if cur.DropRate > meanDrop+th.DropSpike {
+			add(RuleDropSpike, SevWarn, cur.DropRate, meanDrop+th.DropSpike,
+				"drop rate %.1f%% spiked over trailing mean %.1f%% (margin %.0f pts)",
+				100*cur.DropRate, 100*meanDrop, 100*th.DropSpike)
+		}
+		if meanDrugs > 0 && float64(cur.Drugs) < th.CollapseRatio*meanDrugs {
+			add(RuleCardinality, SevWarn, float64(cur.Drugs), th.CollapseRatio*meanDrugs,
+				"drug cardinality %d collapsed below %.0f%% of trailing mean %.0f",
+				cur.Drugs, 100*th.CollapseRatio, meanDrugs)
+		}
+		if meanReacs > 0 && float64(cur.Reactions) < th.CollapseRatio*meanReacs {
+			add(RuleCardinality, SevWarn, float64(cur.Reactions), th.CollapseRatio*meanReacs,
+				"reaction cardinality %d collapsed below %.0f%% of trailing mean %.0f",
+				cur.Reactions, 100*th.CollapseRatio, meanReacs)
+		}
+		prev := trailing[len(trailing)-1]
+		if prev.DictItems > 0 && float64(cur.DictItems) < th.CollapseRatio*float64(prev.DictItems) {
+			add(RuleDictShrink, SevWarn, float64(cur.DictItems), th.CollapseRatio*float64(prev.DictItems),
+				"dictionary shrank to %d items from %d last quarter", cur.DictItems, prev.DictItems)
+		}
+		if meanReports > 0 {
+			lo, hi := th.VolumeSwing*meanReports, meanReports/th.VolumeSwing
+			if v := float64(cur.Reports); v < lo || v > hi {
+				add(RuleVolume, SevWarn, v, meanReports,
+					"report volume %d outside [%.0f, %.0f] around trailing mean %.0f",
+					cur.Reports, lo, hi, meanReports)
+			}
+		}
+	}
+
+	cur.Verdict = SevOK
+	for _, f := range cur.Findings {
+		cur.Verdict = MaxSeverity(cur.Verdict, f.Severity)
+	}
+}

@@ -1,0 +1,217 @@
+package audit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"maras/internal/cleaning"
+	"maras/internal/core"
+	"maras/internal/txdb"
+	"maras/internal/types"
+)
+
+// analysisFixture builds a servable Analysis by hand via Rehydrate:
+// 100 reports in, 80 usable (12 duplicates, 8 empty), with three
+// ranked signals spanning the support/score buckets.
+func analysisFixture() *core.Analysis {
+	dict := types.NewDictionary()
+	dict.Intern("ASPIRIN", types.DomainDrug)
+	dict.Intern("WARFARIN", types.DomainDrug)
+	dict.Intern("HAEMORRHAGE", types.DomainReaction)
+	signals := []core.Signal{
+		{Rank: 1, Score: 0.95, Support: 40, Drugs: []string{"ASPIRIN", "WARFARIN"}, Reactions: []string{"HAEMORRHAGE"}},
+		{Rank: 2, Score: 0.50, Support: 9, Drugs: []string{"ASPIRIN", "IBUPROFEN"}, Reactions: []string{"DYSPEPSIA"}},
+		{Rank: 3, Score: 0.10, Support: 3, Drugs: []string{"WARFARIN", "AMIODARONE"}, Reactions: []string{"INR INCREASED"}},
+	}
+	return core.Rehydrate(
+		txdb.Stats{Reports: 80, Drugs: 120, Reactions: 90, AvgDrugs: 2.5, AvgReacs: 1.5},
+		cleaning.Stats{ReportsIn: 100, ReportsOut: 80, DuplicateReports: 12, EmptyReports: 8},
+		core.Counts{}, signals, dict, nil)
+}
+
+func TestComputeQuality(t *testing.T) {
+	q := ComputeQuality("2014Q1", analysisFixture())
+	if q.Label != "2014Q1" {
+		t.Fatalf("label = %q", q.Label)
+	}
+	if q.ReportsIn != 100 || q.Reports != 80 {
+		t.Fatalf("reports = %d/%d", q.Reports, q.ReportsIn)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if got, want := q.DropRate, 0.20; !approx(got, want) {
+		t.Errorf("DropRate = %v, want %v", got, want)
+	}
+	if got, want := q.DedupRate, 0.12; !approx(got, want) {
+		t.Errorf("DedupRate = %v, want %v", got, want)
+	}
+	if got, want := q.EmptyRate, 0.08; !approx(got, want) {
+		t.Errorf("EmptyRate = %v, want %v", got, want)
+	}
+	if q.DictItems != 3 {
+		t.Errorf("DictItems = %d, want 3", q.DictItems)
+	}
+	if q.Signals != 3 {
+		t.Errorf("Signals = %d, want 3", q.Signals)
+	}
+	if got := q.SupportHist.Total(); got != 3 {
+		t.Errorf("SupportHist.Total = %d, want 3", got)
+	}
+	if got := q.ScoreHist.Total(); got != 3 {
+		t.Errorf("ScoreHist.Total = %d, want 3", got)
+	}
+	// Support 3 lands in the <=4 bucket, 9 in <=16, 40 in <=64.
+	if q.SupportHist.Counts[0] != 1 || q.SupportHist.Counts[2] != 1 || q.SupportHist.Counts[4] != 1 {
+		t.Errorf("SupportHist.Counts = %v", q.SupportHist.Counts)
+	}
+	if q.Findings != nil || q.Verdict != "" {
+		t.Errorf("ComputeQuality must not evaluate: findings=%v verdict=%q", q.Findings, q.Verdict)
+	}
+}
+
+func TestComputeQualityNilAnalysis(t *testing.T) {
+	q := ComputeQuality("x", nil)
+	if q.Signals != 0 || q.SupportHist.Total() != 0 {
+		t.Fatalf("nil analysis produced observations: %+v", q)
+	}
+}
+
+func TestHistObserveBoundaries(t *testing.T) {
+	h := NewHist(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 5} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 1} // <=1: {0.5,1}; <=2: {1.5,2}; <=4: {4}; >4: {5}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+}
+
+func findingRules(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Rule
+	}
+	return out
+}
+
+func hasRule(fs []Finding, rule string) bool {
+	for _, f := range fs {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEvaluateQualityAbsoluteRules(t *testing.T) {
+	tests := []struct {
+		name     string
+		mutate   func(*QualityReport)
+		wantRule string
+		wantSev  Severity
+	}{
+		{"clean", func(q *QualityReport) {}, "", SevOK},
+		{"drop warn", func(q *QualityReport) { q.DropRate = 0.65 }, RuleDropRate, SevWarn},
+		{"drop fail", func(q *QualityReport) { q.DropRate = 0.95 }, RuleDropRate, SevFail},
+		{"empty warn", func(q *QualityReport) { q.EmptyRate = 0.30 }, RuleEmptyRate, SevWarn},
+		{"no signals", func(q *QualityReport) { q.Signals = 0 }, RuleNoSignals, SevFail},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			q := &QualityReport{Label: "2014Q1", ReportsIn: 100, Reports: 90, Signals: 5}
+			tc.mutate(q)
+			EvaluateQuality(q, nil, Thresholds{})
+			if tc.wantRule == "" {
+				if len(q.Findings) != 0 || q.Verdict != SevOK {
+					t.Fatalf("want clean, got %v verdict %s", findingRules(q.Findings), q.Verdict)
+				}
+				return
+			}
+			if !hasRule(q.Findings, tc.wantRule) {
+				t.Fatalf("findings %v missing rule %s", findingRules(q.Findings), tc.wantRule)
+			}
+			if q.Verdict != tc.wantSev {
+				t.Fatalf("verdict = %s, want %s", q.Verdict, tc.wantSev)
+			}
+		})
+	}
+}
+
+func TestEvaluateQualityTrailingRules(t *testing.T) {
+	trailing := []*QualityReport{
+		{Label: "Q1", DropRate: 0.05, Drugs: 100, Reactions: 80, DictItems: 200, Reports: 1000, Signals: 5},
+		{Label: "Q2", DropRate: 0.07, Drugs: 110, Reactions: 85, DictItems: 210, Reports: 1100, Signals: 5},
+	}
+	t.Run("drop spike", func(t *testing.T) {
+		cur := &QualityReport{Label: "Q3", DropRate: 0.30, Drugs: 105, Reactions: 82, DictItems: 205, Reports: 1050, Signals: 5}
+		EvaluateQuality(cur, trailing, Thresholds{})
+		if !hasRule(cur.Findings, RuleDropSpike) {
+			t.Fatalf("findings %v missing drop_spike", findingRules(cur.Findings))
+		}
+	})
+	t.Run("cardinality collapse", func(t *testing.T) {
+		cur := &QualityReport{Label: "Q3", DropRate: 0.06, Drugs: 20, Reactions: 82, DictItems: 205, Reports: 1050, Signals: 5}
+		EvaluateQuality(cur, trailing, Thresholds{})
+		if !hasRule(cur.Findings, RuleCardinality) {
+			t.Fatalf("findings %v missing cardinality_collapse", findingRules(cur.Findings))
+		}
+	})
+	t.Run("dict shrink", func(t *testing.T) {
+		cur := &QualityReport{Label: "Q3", DropRate: 0.06, Drugs: 105, Reactions: 82, DictItems: 50, Reports: 1050, Signals: 5}
+		EvaluateQuality(cur, trailing, Thresholds{})
+		if !hasRule(cur.Findings, RuleDictShrink) {
+			t.Fatalf("findings %v missing dict_shrink", findingRules(cur.Findings))
+		}
+	})
+	t.Run("volume swing", func(t *testing.T) {
+		cur := &QualityReport{Label: "Q3", DropRate: 0.06, Drugs: 105, Reactions: 82, DictItems: 205, Reports: 100, Signals: 5}
+		EvaluateQuality(cur, trailing, Thresholds{})
+		if !hasRule(cur.Findings, RuleVolume) {
+			t.Fatalf("findings %v missing report_volume", findingRules(cur.Findings))
+		}
+	})
+	t.Run("steady state is clean", func(t *testing.T) {
+		cur := &QualityReport{Label: "Q3", DropRate: 0.06, Drugs: 105, Reactions: 82, DictItems: 205, Reports: 1050, Signals: 5}
+		EvaluateQuality(cur, trailing, Thresholds{})
+		if len(cur.Findings) != 0 || cur.Verdict != SevOK {
+			t.Fatalf("want clean, got %v verdict %s", findingRules(cur.Findings), cur.Verdict)
+		}
+	})
+}
+
+func TestEvaluateQualityIsIdempotent(t *testing.T) {
+	q := &QualityReport{Label: "Q1", ReportsIn: 100, Reports: 20, DropRate: 0.8, Signals: 3}
+	EvaluateQuality(q, nil, Thresholds{})
+	n := len(q.Findings)
+	EvaluateQuality(q, nil, Thresholds{})
+	if len(q.Findings) != n {
+		t.Fatalf("findings accumulated across evaluations: %d then %d", n, len(q.Findings))
+	}
+}
+
+func TestEvaluateQualityCustomThresholds(t *testing.T) {
+	q := &QualityReport{Label: "Q1", ReportsIn: 100, Reports: 70, DropRate: 0.30, Signals: 3}
+	EvaluateQuality(q, nil, Thresholds{DropWarn: 0.25})
+	if !hasRule(q.Findings, RuleDropRate) {
+		t.Fatalf("custom DropWarn ignored: %v", findingRules(q.Findings))
+	}
+	msg := q.Findings[0].Message
+	if !strings.Contains(msg, "25%") {
+		t.Errorf("message %q does not mention the custom limit", msg)
+	}
+}
+
+func TestMaxSeverity(t *testing.T) {
+	if got := MaxSeverity(SevOK, SevWarn); got != SevWarn {
+		t.Errorf("MaxSeverity(ok, warn) = %s", got)
+	}
+	if got := MaxSeverity(SevFail, SevWarn); got != SevFail {
+		t.Errorf("MaxSeverity(fail, warn) = %s", got)
+	}
+	if got := MaxSeverity(SevInfo, SevOK); got != SevInfo {
+		t.Errorf("MaxSeverity(info, ok) = %s", got)
+	}
+}

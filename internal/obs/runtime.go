@@ -58,6 +58,25 @@ type RuntimeSamplerOptions struct {
 	// Logger receives watchdog warnings; nil disables logging (trips
 	// are still counted).
 	Logger *slog.Logger
+	// OnViolation, when non-nil, receives edge-triggered watchdog
+	// events: exactly one when a check crosses into violation and one
+	// when it recovers, regardless of how many samples the excursion
+	// spans. It is invoked synchronously from the sampling goroutine
+	// with the sampler lock held, so it must be fast and must not call
+	// back into the sampler. Used to route watchdog excursions into
+	// the audit event log without obs importing audit.
+	OnViolation func(WatchdogEvent)
+}
+
+// WatchdogEvent describes one edge of a watchdog excursion: Entering
+// reports the transition direction, Value the observed quantity
+// (goroutine count, or pause seconds for gc_pause), Limit the
+// configured ceiling.
+type WatchdogEvent struct {
+	Check    string  `json:"check"`
+	Entering bool    `json:"entering"`
+	Value    float64 `json:"value"`
+	Limit    float64 `json:"limit"`
 }
 
 // DefaultSampleInterval is the sampling cadence when
@@ -219,31 +238,44 @@ func (s *RuntimeSampler) SampleOnce() RuntimeStats {
 
 	if s.opts.MaxGoroutines > 0 {
 		s.check(WatchdogGoroutines, st.Goroutines > s.opts.MaxGoroutines,
+			float64(st.Goroutines), float64(s.opts.MaxGoroutines),
 			slog.Int64("goroutines", st.Goroutines),
 			slog.Int64("limit", s.opts.MaxGoroutines))
 	}
 	if s.opts.MaxGCPause > 0 {
 		s.check(WatchdogGCPause, st.MaxGCPause > s.opts.MaxGCPause,
+			st.MaxGCPause.Seconds(), s.opts.MaxGCPause.Seconds(),
 			slog.Duration("max_gc_pause", st.MaxGCPause),
 			slog.Duration("limit", s.opts.MaxGCPause))
 	}
 	return st
 }
 
-// check counts every violating sample and logs on the transition into
-// violation (edge-triggered, so a sustained breach is one warning,
-// not one per tick) plus the recovery at Info.
-func (s *RuntimeSampler) check(name string, violated bool, attrs ...any) {
+// check counts every violating sample, but logs and fires OnViolation
+// only on the transition into violation (edge-triggered, so a
+// sustained breach is one warning and one event, not one per tick)
+// plus the recovery.
+func (s *RuntimeSampler) check(name string, violated bool, value, limit float64, attrs ...any) {
 	was := s.over[name]
 	s.over[name] = violated
 	if violated {
 		s.trips[name].Inc()
-		if !was && s.logger != nil {
-			s.logger.Warn("runtime watchdog limit exceeded",
-				append([]any{slog.String("check", name)}, attrs...)...)
+		if !was {
+			if s.logger != nil {
+				s.logger.Warn("runtime watchdog limit exceeded",
+					append([]any{slog.String("check", name)}, attrs...)...)
+			}
+			if s.opts.OnViolation != nil {
+				s.opts.OnViolation(WatchdogEvent{Check: name, Entering: true, Value: value, Limit: limit})
+			}
 		}
-	} else if was && s.logger != nil {
-		s.logger.Info("runtime watchdog recovered", slog.String("check", name))
+	} else if was {
+		if s.logger != nil {
+			s.logger.Info("runtime watchdog recovered", slog.String("check", name))
+		}
+		if s.opts.OnViolation != nil {
+			s.opts.OnViolation(WatchdogEvent{Check: name, Entering: false, Value: value, Limit: limit})
+		}
 	}
 }
 

@@ -145,3 +145,39 @@ func TestHistMaxDelta(t *testing.T) {
 		t.Errorf("+Inf bucket delta = %v, want lower bound 10ms", got)
 	}
 }
+
+// TestWatchdogOnViolationEdgeEvents drives the sampler by hand (each
+// SampleOnce is one fake clock tick) and asserts the OnViolation hook
+// fires exactly once per excursion edge — not once per violating
+// sample — so downstream consumers (the audit event log) see one event
+// per incident.
+func TestWatchdogOnViolationEdgeEvents(t *testing.T) {
+	var events []WatchdogEvent
+	s := NewRuntimeSampler(NewRegistry(), RuntimeSamplerOptions{
+		MaxGoroutines: 1, // any real process exceeds this
+		OnViolation:   func(ev WatchdogEvent) { events = append(events, ev) },
+	})
+	s.SampleOnce() // tick 1: enters violation
+	s.SampleOnce() // tick 2: still violating — no new event
+	s.SampleOnce() // tick 3: still violating — no new event
+	if len(events) != 1 {
+		t.Fatalf("sustained breach produced %d events, want 1: %+v", len(events), events)
+	}
+	ev := events[0]
+	if ev.Check != WatchdogGoroutines || !ev.Entering {
+		t.Fatalf("entering event = %+v", ev)
+	}
+	if ev.Limit != 1 || ev.Value <= ev.Limit {
+		t.Fatalf("event value/limit = %v/%v", ev.Value, ev.Limit)
+	}
+
+	s.opts.MaxGoroutines = 1 << 30
+	s.SampleOnce() // tick 4: recovers
+	s.SampleOnce() // tick 5: still fine — no new event
+	if len(events) != 2 {
+		t.Fatalf("recovery produced %d events total, want 2: %+v", len(events), events)
+	}
+	if rec := events[1]; rec.Check != WatchdogGoroutines || rec.Entering {
+		t.Fatalf("recovery event = %+v", rec)
+	}
+}

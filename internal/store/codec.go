@@ -8,7 +8,7 @@
 // a directory of per-quarter snapshots with atomic writes, an LRU of
 // open quarters, and cross-quarter timeline queries.
 //
-// # File format (version 1)
+// # File format (version 2)
 //
 //	header   magic "MRSN" | version uint16 | flags uint16
 //	body     sections, each: id uint16 | reserved uint16 |
@@ -21,6 +21,12 @@
 // versions can add sections without breaking old readers. Readers
 // verify the CRC before parsing a single section, and every decode is
 // bounds-checked: corrupt input yields a typed error, never a panic.
+//
+// Version 2 adds the quality section (the metric half of an
+// audit.QualityReport, persisted so serving a quarter's ingest-quality
+// report costs no recomputation). Version 1 files remain readable:
+// they simply lack the section, and Decode recomputes the report from
+// the rehydrated analysis on load.
 package store
 
 import (
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"maras/internal/assoc"
+	"maras/internal/audit"
 	"maras/internal/cleaning"
 	"maras/internal/core"
 	"maras/internal/faers"
@@ -45,8 +52,12 @@ import (
 	"maras/internal/types"
 )
 
-// Version is the snapshot format version this package writes.
-const Version = 1
+// Version is the snapshot format version this package writes. Readers
+// accept every version back to minVersion.
+const (
+	Version    = 2
+	minVersion = 1
+)
 
 // magic identifies a MARAS snapshot file.
 var magic = [4]byte{'M', 'R', 'S', 'N'}
@@ -72,14 +83,25 @@ const (
 	secDict    uint16 = 3 // dictionary entries in ID order
 	secSignals uint16 = 4 // ranked signals with full MCAC clusters
 	secReports uint16 = 5 // raw reports (drill-down + demographics)
+	secQuality uint16 = 6 // ingest quality metrics (v2+)
 )
 
+// qualityFormat sub-versions the quality payload independently of the
+// file version, so the report can grow fields without a full format
+// bump; unknown sub-versions are ignored (quality recomputed on load).
+const qualityFormat = 1
+
 // Snapshot is one persisted quarter: the label it was mined from,
-// when it was saved, and the rehydrated analysis.
+// when it was saved, the rehydrated analysis, and the quarter's ingest
+// quality metrics. Quality is always non-nil after a successful
+// decode — persisted for v2+ files, recomputed from the analysis for
+// v1 files — and carries metrics only (no findings/verdict: those
+// depend on serve-time thresholds; see audit.EvaluateQuality).
 type Snapshot struct {
 	Label    string
 	SavedAt  time.Time
 	Analysis *core.Analysis
+	Quality  *audit.QualityReport
 }
 
 // Write encodes label's completed analysis to w in the snapshot
@@ -89,9 +111,16 @@ func Write(w io.Writer, label string, a *core.Analysis) error {
 }
 
 func write(w io.Writer, label string, a *core.Analysis, savedAt time.Time) error {
+	return writeVersion(w, label, a, savedAt, Version)
+}
+
+// writeVersion encodes at a specific format version. Only tests write
+// anything below Version — it exists so backward-compatibility tests
+// exercise genuine old-format bytes instead of hand-forged ones.
+func writeVersion(w io.Writer, label string, a *core.Analysis, savedAt time.Time, version uint16) error {
 	var e enc
 	e.buf = append(e.buf, magic[:]...)
-	e.buf = binary.LittleEndian.AppendUint16(e.buf, Version)
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, version)
 	e.buf = binary.LittleEndian.AppendUint16(e.buf, 0) // flags
 
 	e.section(secMeta, func(e *enc) {
@@ -136,6 +165,11 @@ func write(w io.Writer, label string, a *core.Analysis, savedAt time.Time) error
 			e.report(&reports[i])
 		}
 	})
+	if version >= 2 {
+		e.section(secQuality, func(e *enc) {
+			e.quality(audit.ComputeQuality(label, a))
+		})
+	}
 
 	e.buf = binary.LittleEndian.AppendUint32(e.buf, crc32.ChecksumIEEE(e.buf))
 	_, err := w.Write(e.buf)
@@ -204,8 +238,8 @@ func Decode(data []byte) (*Snapshot, error) {
 	if len(data) < 12 { // header + trailer
 		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
-		return nil, fmt.Errorf("%w: file is v%d, reader speaks v%d", ErrVersion, v, Version)
+	if v := binary.LittleEndian.Uint16(data[4:6]); v < minVersion || v > Version {
+		return nil, fmt.Errorf("%w: file is v%d, reader speaks v%d..v%d", ErrVersion, v, minVersion, Version)
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
@@ -220,6 +254,7 @@ func Decode(data []byte) (*Snapshot, error) {
 		counts     core.Counts
 		signals    []core.Signal
 		rawReports []faers.Report
+		quality    *audit.QualityReport
 	)
 
 	d := &dec{b: body, off: 8}
@@ -253,6 +288,8 @@ func Decode(data []byte) (*Snapshot, error) {
 			signals = sd.signals()
 		case secReports:
 			rawReports = sd.reports()
+		case secQuality:
+			quality = sd.quality()
 		default:
 			// Unknown section: skip (forward compatibility).
 		}
@@ -267,6 +304,13 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: missing dictionary section", ErrCorrupt)
 	}
 	s.Analysis = core.Rehydrate(stats, cstats, counts, signals, dict, rawReports)
+	if quality == nil {
+		// v1 file, or a quality payload from a future sub-format:
+		// recompute from the analysis we just rehydrated.
+		quality = audit.ComputeQuality(s.Label, s.Analysis)
+	}
+	quality.Label = s.Label
+	s.Quality = quality
 	return s, nil
 }
 
@@ -361,6 +405,40 @@ func (e *enc) signal(s *core.Signal) {
 			e.rule(&l.Rules[ri])
 		}
 	}
+}
+
+// hist encodes a fixed-bucket histogram: bounds then counts, each
+// length-prefixed (counts carries its own length so the two halves can
+// evolve independently).
+func (e *enc) hist(h audit.Hist) {
+	e.uv(uint64(len(h.Bounds)))
+	for _, b := range h.Bounds {
+		e.f64(b)
+	}
+	e.uv(uint64(len(h.Counts)))
+	for _, c := range h.Counts {
+		e.i64(c)
+	}
+}
+
+// quality encodes the metric half of a quality report (findings and
+// verdict are serve-time derivations and never persisted). The label
+// is omitted: the meta section owns it.
+func (e *enc) quality(q *audit.QualityReport) {
+	e.u8(qualityFormat)
+	e.i64(int64(q.ReportsIn))
+	e.i64(int64(q.Reports))
+	e.f64(q.DropRate)
+	e.f64(q.DedupRate)
+	e.f64(q.EmptyRate)
+	e.i64(int64(q.Drugs))
+	e.i64(int64(q.Reactions))
+	e.i64(int64(q.DictItems))
+	e.f64(q.AvgDrugs)
+	e.f64(q.AvgReacs)
+	e.i64(int64(q.Signals))
+	e.hist(q.SupportHist)
+	e.hist(q.ScoreHist)
 }
 
 func (e *enc) report(r *faers.Report) {
@@ -603,6 +681,47 @@ func (d *dec) signals() []core.Signal {
 		s.Cluster = c
 	}
 	return out
+}
+
+func (d *dec) hist() audit.Hist {
+	var h audit.Hist
+	if n := d.count(8); n > 0 {
+		h.Bounds = make([]float64, n)
+		for i := range h.Bounds {
+			h.Bounds[i] = d.f64()
+		}
+	}
+	if n := d.count(1); n > 0 {
+		h.Counts = make([]int64, n)
+		for i := range h.Counts {
+			h.Counts[i] = d.i64()
+		}
+	}
+	return h
+}
+
+// quality decodes the quality section. An unknown payload sub-format
+// returns nil (caller recomputes from the analysis) rather than an
+// error, so future writers can evolve the payload freely.
+func (d *dec) quality() *audit.QualityReport {
+	if d.u8() != qualityFormat {
+		return nil
+	}
+	q := &audit.QualityReport{}
+	q.ReportsIn = int(d.i64())
+	q.Reports = int(d.i64())
+	q.DropRate = d.f64()
+	q.DedupRate = d.f64()
+	q.EmptyRate = d.f64()
+	q.Drugs = int(d.i64())
+	q.Reactions = int(d.i64())
+	q.DictItems = int(d.i64())
+	q.AvgDrugs = d.f64()
+	q.AvgReacs = d.f64()
+	q.Signals = int(d.i64())
+	q.SupportHist = d.hist()
+	q.ScoreHist = d.hist()
+	return q
 }
 
 func (d *dec) reports() []faers.Report {

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"maras/internal/audit"
 	"maras/internal/core"
 	"maras/internal/synth"
 )
@@ -300,5 +301,100 @@ func TestSnapshotEncodesReportsOnce(t *testing.T) {
 	perReport := float64(len(data)) / float64(len(a.RawReports()))
 	if perReport > 4096 {
 		t.Errorf("snapshot is %.0f bytes/report — codec bloat?", perReport)
+	}
+}
+
+// TestQualityRoundTrip: a v2 snapshot persists the quality metrics and
+// decodes them identical to what ComputeQuality derives live.
+func TestQualityRoundTrip(t *testing.T) {
+	a := synthAnalysis(t)
+	data := encode(t, "2014Q1", a)
+
+	snap, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Quality == nil {
+		t.Fatal("v2 snapshot decoded without quality")
+	}
+	want := audit.ComputeQuality("2014Q1", a)
+	if !reflect.DeepEqual(snap.Quality, want) {
+		t.Errorf("quality round-trip mismatch:\n got %+v\nwant %+v", snap.Quality, want)
+	}
+	if snap.Quality.Signals != len(a.Signals) {
+		t.Errorf("quality signals = %d, want %d", snap.Quality.Signals, len(a.Signals))
+	}
+	if snap.Quality.SupportHist.Total() != int64(len(a.Signals)) {
+		t.Errorf("support hist total = %d, want %d", snap.Quality.SupportHist.Total(), len(a.Signals))
+	}
+	if snap.Quality.Verdict != "" || snap.Quality.Findings != nil {
+		t.Errorf("persisted quality must not carry verdict/findings: %+v", snap.Quality)
+	}
+}
+
+// TestDecodeV1RecomputesQuality: genuine version-1 bytes (no quality
+// section) still decode, with the quality report recomputed from the
+// rehydrated analysis — byte-for-byte the same metrics a v2 file
+// would have persisted.
+func TestDecodeV1RecomputesQuality(t *testing.T) {
+	a := synthAnalysis(t)
+	var buf bytes.Buffer
+	if err := writeVersion(&buf, "2014Q1", a, time.Unix(42, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Paranoia: the file really is v1 on the wire.
+	if v := binary.LittleEndian.Uint16(buf.Bytes()[4:6]); v != 1 {
+		t.Fatalf("fixture wrote v%d", v)
+	}
+
+	snap, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if snap.Quality == nil {
+		t.Fatal("v1 decode left Quality nil")
+	}
+	want := audit.ComputeQuality("2014Q1", snap.Analysis)
+	if !reflect.DeepEqual(snap.Quality, want) {
+		t.Errorf("recomputed quality mismatch:\n got %+v\nwant %+v", snap.Quality, want)
+	}
+	if len(snap.Analysis.Signals) == 0 || snap.Quality.Signals == 0 {
+		t.Error("v1 decode lost signals")
+	}
+}
+
+// TestDecodeUnknownQualityFormat: a quality payload with a future
+// sub-format byte is skipped (recompute fallback), not an error.
+func TestDecodeUnknownQualityFormat(t *testing.T) {
+	a := synthAnalysis(t)
+	data := encode(t, "2014Q1", a)
+
+	// Find the quality section header and bump its first payload byte
+	// (the sub-format) to an unknown value, then re-seal the CRC.
+	body := data[:len(data)-4]
+	off := 8
+	patched := false
+	for off < len(body) {
+		id := binary.LittleEndian.Uint16(body[off:])
+		n := int(binary.LittleEndian.Uint32(body[off+4:]))
+		if id == secQuality {
+			body[off+8] = 99
+			patched = true
+			break
+		}
+		off += 8 + n
+	}
+	if !patched {
+		t.Fatal("quality section not found")
+	}
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
+
+	snap, err := Decode(data)
+	if err != nil {
+		t.Fatalf("unknown quality sub-format must not fail decode: %v", err)
+	}
+	want := audit.ComputeQuality("2014Q1", snap.Analysis)
+	if !reflect.DeepEqual(snap.Quality, want) {
+		t.Error("fallback recompute mismatch")
 	}
 }

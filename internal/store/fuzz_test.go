@@ -1,0 +1,72 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"maras/internal/core"
+	"maras/internal/synth"
+)
+
+// FuzzDecode throws arbitrary bytes at the snapshot decoder. The
+// contract under fuzz: Decode never panics, never allocates absurdly
+// off a corrupt count, and every failure is one of the three typed
+// errors (ErrBadMagic / ErrVersion / ErrCorrupt) so callers can always
+// classify what they hit. Seeds cover the honest cases — a valid v2
+// snapshot, a genuine v1 snapshot, truncations, a bit flip (caught by
+// CRC), and degenerate prefixes.
+func FuzzDecode(f *testing.F) {
+	// A deliberately small quarter: mutation throughput matters more
+	// than fixture richness here, and every byte of the format —
+	// header, all six sections, CRC — is present regardless of size.
+	cfg := synth.DefaultConfig("2014Q1", 7)
+	cfg.Reports = 300
+	q, _, err := synth.Generate(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = 3
+	opts.TopK = 10
+	a, err := core.RunQuarter(q, opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var v2, v1 bytes.Buffer
+	if err := writeVersion(&v2, "2014Q1", a, time.Unix(42, 0), 2); err != nil {
+		f.Fatal(err)
+	}
+	if err := writeVersion(&v1, "2014Q1", a, time.Unix(42, 0), 1); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2]) // truncated mid-body
+	f.Add(v2.Bytes()[:10])                // truncated inside the header
+	flipped := bytes.Clone(v2.Bytes())
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("MRSN"))
+	f.Add([]byte("not a snapshot at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// A successful decode must hand back a servable snapshot.
+		if snap == nil || snap.Analysis == nil {
+			t.Fatal("nil snapshot/analysis without error")
+		}
+		if snap.Quality == nil {
+			t.Fatal("nil quality without error")
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"maras/internal/audit"
 	"maras/internal/core"
 	"maras/internal/obs"
 	"maras/internal/trend"
@@ -41,6 +42,11 @@ type RegistryOptions struct {
 	// with the label of each quarter the LRU drops, so callers holding
 	// derived state (route handlers, render caches) can drop theirs.
 	OnEvict func(label string)
+	// Auditor, when non-nil, supplies the thresholds for quality and
+	// drift evaluation (QualityContext/DriftContext) and receives
+	// their findings as audit events. A nil auditor evaluates with
+	// defaults and records nothing.
+	Auditor *audit.Auditor
 }
 
 // DefaultMaxOpen is the open-quarter LRU capacity when
@@ -60,11 +66,28 @@ type Registry struct {
 	metrics *obs.StoreMetrics
 	tracer  *obs.Tracer
 	onEvict func(string)
+	auditor *audit.Auditor
 
 	mu       sync.Mutex
 	quarters []string          // sorted labels discovered on disk
 	open     map[string]*entry // label -> resident entry
 	lruOrder []string          // least-recent first
+
+	// quality caches each quarter's metric-only quality report. The
+	// reports are tiny, so unlike the rehydrated analyses they survive
+	// LRU eviction — trailing-quarter evaluation never forces old
+	// quarters back into memory twice. Guarded by qmu (the reports are
+	// published from inside a load, outside r.mu).
+	qmu     sync.Mutex
+	quality map[string]*audit.QualityReport
+
+	// trendCached memoizes the cross-quarter trend assembly keyed by
+	// the quarter list it was built from; Save and Refresh invalidate
+	// it. Guarded by trendMu, held across the (expensive) assembly so
+	// concurrent drift/timeline requests share one computation.
+	trendMu     sync.Mutex
+	trendKey    string
+	trendCached *trend.Analysis
 }
 
 // entry is one resident (or loading) quarter. The sync.Once decouples
@@ -74,6 +97,7 @@ type Registry struct {
 type entry struct {
 	once sync.Once
 	a    *core.Analysis
+	q    *audit.QualityReport
 	err  error
 }
 
@@ -87,7 +111,9 @@ func OpenRegistry(dir string, opts RegistryOptions) (*Registry, error) {
 		metrics: opts.Metrics,
 		tracer:  opts.Tracer,
 		onEvict: opts.OnEvict,
+		auditor: opts.Auditor,
 		open:    map[string]*entry{},
+		quality: map[string]*audit.QualityReport{},
 	}
 	if r.maxOpen <= 0 {
 		r.maxOpen = DefaultMaxOpen
@@ -125,9 +151,38 @@ func (r *Registry) RefreshContext(ctx context.Context) error {
 	sort.Strings(labels)
 	span.SetInt("quarters", int64(len(labels)))
 	r.mu.Lock()
+	changed := !slicesEqual(r.quarters, labels)
 	r.quarters = labels
 	r.mu.Unlock()
+	if changed {
+		// The quarter set moved under us: the cached trend analysis is
+		// stale, and quality reports of removed quarters are orphans.
+		r.invalidateTrend()
+		onDisk := make(map[string]bool, len(labels))
+		for _, l := range labels {
+			onDisk[l] = true
+		}
+		r.qmu.Lock()
+		for l := range r.quality {
+			if !onDisk[l] {
+				delete(r.quality, l)
+			}
+		}
+		r.qmu.Unlock()
+	}
 	return nil
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Dir returns the directory the registry serves from.
@@ -236,6 +291,12 @@ func (r *Registry) LoadContext(ctx context.Context, label string) (*core.Analysi
 			return
 		}
 		e.a = snap.Analysis
+		e.q = snap.Quality
+		if snap.Quality != nil {
+			r.qmu.Lock()
+			r.quality[label] = snap.Quality
+			r.qmu.Unlock()
+		}
 		if m != nil {
 			m.LoadSeconds.Observe(time.Since(start).Seconds())
 		}
@@ -266,6 +327,13 @@ func (r *Registry) Save(label string, a *core.Analysis) error {
 	if err := WriteFile(r.Path(label), label, a); err != nil {
 		return err
 	}
+	// The store's contents changed: cached derivations of the old
+	// bytes — this quarter's quality report and the cross-quarter
+	// trend analysis — are stale.
+	r.qmu.Lock()
+	delete(r.quality, label)
+	r.qmu.Unlock()
+	r.invalidateTrend()
 	r.mu.Lock()
 	if e := r.open[label]; e != nil {
 		delete(r.open, label)
@@ -322,10 +390,22 @@ func (r *Registry) TrendAnalysis() (*trend.Analysis, error) {
 // assembly records a "trend_assemble" span whose children are the
 // per-quarter store_load spans (hit or decode), so a slow timeline
 // request shows exactly which quarter paid for disk.
+//
+// The assembled analysis is cached against the quarter list it was
+// built from (invalidated by Save and by a Refresh that changes the
+// set), so repeated timeline and drift queries over an unchanged store
+// assemble once. The lock is held across the assembly: concurrent
+// callers share the computation instead of duplicating it.
 func (r *Registry) TrendAnalysisContext(ctx context.Context) (*trend.Analysis, error) {
 	labels := r.Quarters()
 	if len(labels) == 0 {
 		return nil, fmt.Errorf("store: no quarters in %s", r.dir)
+	}
+	key := strings.Join(labels, "|")
+	r.trendMu.Lock()
+	defer r.trendMu.Unlock()
+	if r.trendCached != nil && r.trendKey == key {
+		return r.trendCached, nil
 	}
 	ctx, span := obs.StartSpan(ctx, SpanAssemble)
 	defer span.End()
@@ -338,7 +418,16 @@ func (r *Registry) TrendAnalysisContext(ctx context.Context) (*trend.Analysis, e
 		}
 		results[i] = a
 	}
-	return trend.Assemble(labels, results), nil
+	ta := trend.Assemble(labels, results)
+	r.trendKey, r.trendCached = key, ta
+	return ta, nil
+}
+
+// invalidateTrend drops the cached trend assembly.
+func (r *Registry) invalidateTrend() {
+	r.trendMu.Lock()
+	r.trendKey, r.trendCached = "", nil
+	r.trendMu.Unlock()
 }
 
 // OpenCount returns how many quarters are currently resident.

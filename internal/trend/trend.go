@@ -24,6 +24,16 @@ type Point struct {
 	Confidence float64
 }
 
+// Signaled reports whether the combination actually signaled this
+// quarter: it must hold a rank AND have non-zero support. Mined
+// signals always satisfy both (support >= the mining threshold), but
+// hand-built or corrupted series can carry a rank with zero support;
+// classification treats those as not signaled so an all-zero-support
+// series deterministically classifies Absent.
+func (p Point) Signaled() bool {
+	return p.Rank > 0 && p.Support > 0
+}
+
 // Trajectory is a combination's history across quarters.
 type Trajectory struct {
 	Key       string   // canonical drug-combination key
@@ -36,7 +46,7 @@ type Trajectory struct {
 func (t *Trajectory) Quarters() int {
 	n := 0
 	for _, p := range t.Points {
-		if p.Rank > 0 {
+		if p.Signaled() {
 			n++
 		}
 	}
@@ -47,7 +57,7 @@ func (t *Trajectory) Quarters() int {
 // signaled, or "" if never.
 func (t *Trajectory) EmergedAt() string {
 	for _, p := range t.Points {
-		if p.Rank > 0 {
+		if p.Signaled() {
 			return p.Quarter
 		}
 	}
@@ -81,17 +91,25 @@ const (
 	Absent Class = "absent"
 )
 
-// Classify labels the trajectory.
+// Classify labels the trajectory. Edge cases are pinned down
+// explicitly: an empty or all-zero-support series is Absent, and a
+// single-quarter trajectory that signals in its only quarter is
+// Persistent (it is present in every analyzed quarter — there is no
+// cross-quarter shape to distinguish).
 func (t *Trajectory) Classify() Class {
 	if len(t.Points) == 0 {
 		return Absent
 	}
-	first := t.Points[0].Rank > 0
-	last := t.Points[len(t.Points)-1].Rank > 0
 	n := t.Quarters()
-	switch {
-	case n == 0:
+	if n == 0 {
 		return Absent
+	}
+	if len(t.Points) == 1 {
+		return Persistent // signaled in its single analyzed quarter
+	}
+	first := t.Points[0].Signaled()
+	last := t.Points[len(t.Points)-1].Signaled()
+	switch {
 	case n == len(t.Points):
 		return Persistent
 	case !first && last:
@@ -157,6 +175,12 @@ func Run(quarters []*faers.Quarter, opts core.Options) (*Analysis, error) {
 func Assemble(labels []string, results []*core.Analysis) *Analysis {
 	a := &Analysis{Quarters: append([]string{}, labels...)}
 	traj := map[string]*Trajectory{}
+	// best tracks, per combination, the strongest score whose reaction
+	// set the trajectory currently carries. It must be kept separately
+	// from the points: by the time a point is updated its Score already
+	// equals the candidate's, so "is this the new overall maximum"
+	// cannot be answered from the points alone.
+	best := map[string]float64{}
 	for qi, res := range results {
 		if res == nil {
 			continue
@@ -177,15 +201,18 @@ func Assemble(labels []string, results []*core.Analysis) *Analysis {
 			}
 			p := &t.Points[qi]
 			// A combination can surface under several reaction sets in
-			// one quarter; keep the strongest-scoring one.
+			// one quarter; keep the strongest-scoring one per quarter.
 			if p.Rank == 0 || s.Score > p.Score {
 				p.Rank = s.Rank
 				p.Score = s.Score
 				p.Support = s.Support
 				p.Confidence = s.Confidence
-				if len(t.Reactions) == 0 || s.Score > bestScore(t) {
-					t.Reactions = s.Reactions
-				}
+			}
+			// The trajectory's Reactions follow the strongest-scoring
+			// signal across ALL quarters.
+			if len(t.Reactions) == 0 || s.Score > best[key] {
+				t.Reactions = s.Reactions
+				best[key] = s.Score
 			}
 		}
 	}
@@ -200,14 +227,4 @@ func Assemble(labels []string, results []*core.Analysis) *Analysis {
 		return a.Trajectories[i].Key < a.Trajectories[j].Key
 	})
 	return a
-}
-
-func bestScore(t *Trajectory) float64 {
-	best := 0.0
-	for _, p := range t.Points {
-		if p.Score > best {
-			best = p.Score
-		}
-	}
-	return best
 }

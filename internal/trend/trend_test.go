@@ -175,3 +175,85 @@ func TestClassifyEdgeCases(t *testing.T) {
 		t.Error("EmergedAt of absent should be empty")
 	}
 }
+
+// TestClassifyHardenedEdges pins down the degenerate shapes that used
+// to fall through Classify: single-quarter trajectories and
+// all-zero-support series must classify deterministically.
+func TestClassifyHardenedEdges(t *testing.T) {
+	tests := []struct {
+		name   string
+		points []Point
+		want   Class
+	}{
+		{"no points", nil, Absent},
+		{"single quarter signaled", []Point{{Quarter: "Q1", Rank: 1, Support: 10, Score: 0.5}}, Persistent},
+		{"single quarter not signaled", []Point{{Quarter: "Q1"}}, Absent},
+		{"single quarter rank without support", []Point{{Quarter: "Q1", Rank: 3}}, Absent},
+		{"all zero support despite ranks", []Point{
+			{Quarter: "Q1", Rank: 1}, {Quarter: "Q2", Rank: 2}, {Quarter: "Q3", Rank: 1},
+		}, Absent},
+		{"zero-support point breaks persistence", []Point{
+			{Quarter: "Q1", Rank: 1, Support: 5},
+			{Quarter: "Q2", Rank: 1}, // rank but no support: not signaled
+			{Quarter: "Q3", Rank: 1, Support: 7},
+		}, Transient},
+		{"emerging unaffected", []Point{
+			{Quarter: "Q1"},
+			{Quarter: "Q2", Rank: 2, Support: 5},
+			{Quarter: "Q3", Rank: 1, Support: 9},
+		}, Emerging},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := Trajectory{Key: "X+Y", Points: tc.points}
+			if got := tr.Classify(); got != tc.want {
+				t.Errorf("Classify() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSignaledAccessors checks Quarters/EmergedAt agree with the
+// Signaled contract on zero-support points.
+func TestSignaledAccessors(t *testing.T) {
+	tr := Trajectory{Points: []Point{
+		{Quarter: "Q1", Rank: 1}, // rank, no support
+		{Quarter: "Q2", Rank: 2, Support: 6},
+	}}
+	if got := tr.Quarters(); got != 1 {
+		t.Errorf("Quarters = %d, want 1", got)
+	}
+	if got := tr.EmergedAt(); got != "Q2" {
+		t.Errorf("EmergedAt = %q, want Q2", got)
+	}
+}
+
+// TestAssembleKeepsStrongestReactions: when a combination surfaces
+// under different reaction sets across quarters, the trajectory must
+// carry the reactions of the strongest-scoring signal overall — even
+// when the strongest quarter comes first.
+func TestAssembleKeepsStrongestReactions(t *testing.T) {
+	mk := func(rank int, score float64, support int, reacs ...string) core.Signal {
+		return core.Signal{
+			Rank: rank, Score: score, Support: support, Confidence: 0.5,
+			Drugs: []string{"DRUGX", "DRUGY"}, Reactions: reacs,
+		}
+	}
+	q1 := &core.Analysis{Signals: []core.Signal{mk(1, 0.9, 20, "STRONG REACTION")}}
+	q2 := &core.Analysis{Signals: []core.Signal{mk(1, 0.4, 25, "WEAK REACTION")}}
+
+	a := Assemble([]string{"Q1", "Q2"}, []*core.Analysis{q1, q2})
+	tr := a.Find("DRUGX+DRUGY")
+	if tr == nil {
+		t.Fatal("trajectory missing")
+	}
+	if len(tr.Reactions) != 1 || tr.Reactions[0] != "STRONG REACTION" {
+		t.Errorf("Reactions = %v, want the 0.9-score quarter's set", tr.Reactions)
+	}
+	// And the reverse order: strongest quarter last must win too.
+	a = Assemble([]string{"Q1", "Q2"}, []*core.Analysis{q2, q1})
+	tr = a.Find("DRUGX+DRUGY")
+	if len(tr.Reactions) != 1 || tr.Reactions[0] != "STRONG REACTION" {
+		t.Errorf("Reactions = %v, want the 0.9-score quarter's set (reversed order)", tr.Reactions)
+	}
+}
