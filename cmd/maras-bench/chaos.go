@@ -1,0 +1,296 @@
+package main
+
+// The chaos experiment measures how the serving stack degrades under
+// injected faults. It snapshots mined quarters into a throwaway store,
+// opens a registry with the full resilience layer on (retry, breakers,
+// quarantine, stale cache) behind a load-shedding bulkhead, arms a
+// failpoint mix, and hammers the quarter routes from concurrent
+// workers. Per mix it reports availability (fresh + stale answers over
+// admitted requests), shed rate, quarantine count, and how long the
+// store takes to serve every quarter fresh again once the faults
+// clear. The numbers land in BENCH_chaos.json so fault tolerance is
+// tracked like every other bench trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/core"
+	"maras/internal/resilience"
+	"maras/internal/store"
+)
+
+// chaosMix is one fault scenario: a failpoint spec plus the bulkhead
+// and offered load it runs under.
+type chaosMix struct {
+	name    string
+	spec    string // failpoint spec, "" = control
+	workers int
+	bulk    resilience.BulkheadConfig
+}
+
+// defaultChaosMixes covers the fault space the serving stack claims to
+// survive: slow I/O, flaky I/O, a corrupt snapshot, the acceptance mix
+// (corruption plus 20% load delays), and raw saturation of a tiny
+// bulkhead. The -failpoints flag replaces these with one custom mix.
+func defaultChaosMixes() []chaosMix {
+	std := resilience.BulkheadConfig{MaxConcurrent: 4, MaxWaiting: 8, MaxWait: 50 * time.Millisecond}
+	return []chaosMix{
+		{name: "baseline", spec: "", workers: 6, bulk: std},
+		{name: "load-delays", spec: resilience.FPLoad + "=delay(5ms,0.2)", workers: 6, bulk: std},
+		{name: "load-errors", spec: resilience.FPLoad + "=error(0.2)", workers: 6, bulk: std},
+		{name: "corrupt-one", spec: resilience.FPDecode + "=error*1", workers: 6, bulk: std},
+		{name: "corrupt+delays", spec: resilience.FPDecode + "=error*1;" + resilience.FPLoad + "=delay(5ms,0.2)", workers: 6, bulk: std},
+		{name: "saturate", spec: resilience.FPLoad + "=delay(10ms)", workers: 8,
+			bulk: resilience.BulkheadConfig{MaxConcurrent: 1, MaxWaiting: 1, MaxWait: 2 * time.Millisecond}},
+	}
+}
+
+// chaosMixResult is one mix's row in the artifact.
+type chaosMixResult struct {
+	Mix        string `json:"mix"`
+	Failpoints string `json:"failpoints"`
+	Workers    int    `json:"workers"`
+	Requests   int    `json:"requests"`
+	Fresh      int    `json:"fresh"`
+	Stale      int    `json:"stale"`
+	Shed       int    `json:"shed"`
+	Failed     int    `json:"failed"`
+	// Availability is (fresh+stale)/(requests-shed): of the requests
+	// admitted past the bulkhead, the fraction that got an answer.
+	// Shed requests are a fast honest 503, reported via ShedRate.
+	Availability   float64                    `json:"availability"`
+	ShedRate       float64                    `json:"shed_rate"`
+	Quarantined    int                        `json:"quarantined"`
+	RecoveryMillis int64                      `json:"recovery_millis"`
+	Sites          []resilience.FailpointStat `json:"sites"`
+}
+
+// chaosArtifact is the BENCH_chaos.json payload.
+type chaosArtifact struct {
+	Quarters          []string         `json:"quarters"`
+	RequestsPerWorker int              `json:"requests_per_worker"`
+	Mixes             []chaosMixResult `json:"mixes"`
+}
+
+const chaosRequestsPerWorker = 60
+
+// chaosHandler serves /q/{label} through LoadResilient the way
+// maras-server's quarter routes do: fresh, stale-marked, or 503 with
+// Retry-After — never a plain error.
+func chaosHandler(reg *store.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		label := strings.TrimPrefix(r.URL.Path, "/q/")
+		a, stale, err := reg.LoadResilient(r.Context(), label)
+		if err != nil {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "quarter unavailable: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if stale {
+			w.Header().Set("X-Maras-Stale", "1")
+		}
+		fmt.Fprintf(w, "%s: %d signals\n", label, len(a.Signals))
+	})
+}
+
+// runChaos mines the quarters once, then runs every fault mix against
+// a fresh store copy and writes BENCH_chaos.json (path from
+// -chaos-out). -failpoints SPEC replaces the built-in mixes with one
+// custom scenario.
+func runChaos(cfg benchConfig) error {
+	labels := quarterLabels[:3]
+	analyses := make([]*core.Analysis, len(labels))
+	for i, label := range labels {
+		q, _, err := genQuarter(cfg, label, int64(i))
+		if err != nil {
+			return err
+		}
+		opts := core.NewOptions()
+		opts.MinSupport = cfg.minsup
+		a, err := tracedRun("chaos", q, opts)
+		if err != nil {
+			return err
+		}
+		analyses[i] = a
+	}
+
+	mixes := defaultChaosMixes()
+	if cfg.failpoints != "" {
+		mixes = []chaosMix{{name: "custom", spec: cfg.failpoints, workers: 6,
+			bulk: resilience.BulkheadConfig{MaxConcurrent: 4, MaxWaiting: 8, MaxWait: 50 * time.Millisecond}}}
+	}
+
+	art := chaosArtifact{Quarters: labels, RequestsPerWorker: chaosRequestsPerWorker}
+	fmt.Printf("Serving under injected faults (%d quarters, %d requests/worker):\n\n",
+		len(labels), chaosRequestsPerWorker)
+	fmt.Printf("%-15s %8s %6s %6s %5s %7s %7s %6s %6s %9s\n",
+		"Mix", "Requests", "Fresh", "Stale", "Shed", "Failed", "Avail", "Quar", "Shed%", "Recovery")
+	for i, mix := range mixes {
+		resilience.Seed(cfg.seed + int64(i))
+		res, err := runChaosMix(mix, labels, analyses)
+		if err != nil {
+			return fmt.Errorf("mix %s: %w", mix.name, err)
+		}
+		art.Mixes = append(art.Mixes, res)
+		fmt.Printf("%-15s %8d %6d %6d %5d %7d %6.1f%% %6d %5.1f%% %7dms\n",
+			res.Mix, res.Requests, res.Fresh, res.Stale, res.Shed, res.Failed,
+			100*res.Availability, res.Quarantined, 100*res.ShedRate, res.RecoveryMillis)
+		if res.Availability < 0.99 {
+			fmt.Printf("  !! availability below 99%% under mix %s\n", res.Mix)
+		}
+	}
+
+	fmt.Println("\nShape check: every mix holds availability at (or within noise of) 100% — faults are")
+	fmt.Println("absorbed by retries, degraded to stale-marked answers, or shed as fast 503s; none leak")
+	fmt.Println("as failures. Corruption mixes quarantine exactly one snapshot, and recovery back to")
+	fmt.Println("all-fresh serving after the faults clear is bounded by the breaker cooldown.")
+
+	if cfg.chaosOut != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.chaosOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote chaos artifact (%d mixes) to %s\n", len(art.Mixes), cfg.chaosOut)
+	}
+	return nil
+}
+
+// runChaosMix runs one fault scenario against a fresh store copy.
+func runChaosMix(mix chaosMix, labels []string, analyses []*core.Analysis) (chaosMixResult, error) {
+	res := chaosMixResult{Mix: mix.name, Failpoints: mix.spec, Workers: mix.workers}
+	dir, err := os.MkdirTemp("", "maras-chaos-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	for i, label := range labels {
+		if err := store.WriteFile(filepath.Join(dir, label+store.Ext), label, analyses[i]); err != nil {
+			return res, err
+		}
+	}
+	// MaxOpen 1 forces constant LRU churn across the round-robin, so
+	// nearly every request exercises the disk path the faults target.
+	reg, err := store.OpenRegistry(dir, store.RegistryOptions{
+		MaxOpen: 1,
+		Auditor: &audit.Auditor{Log: audit.NewLog(audit.LogOptions{})},
+		Resilience: &store.ResilienceOptions{
+			Quarantine: true,
+			Retry: resilience.RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond,
+				MaxDelay: 5 * time.Millisecond, Budget: time.Second},
+			Breaker: resilience.BreakerConfig{FailureThreshold: 3, Cooldown: 100 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		return res, err
+	}
+	shed, err := resilience.NewBulkhead(nil, mix.bulk)
+	if err != nil {
+		return res, err
+	}
+	h := shed.Middleware(chaosHandler(reg))
+
+	// Warm every quarter before the faults start so last-good stale
+	// copies exist — the state a long-running server is always in.
+	for _, label := range labels {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/q/"+label, nil))
+		if rec.Code != http.StatusOK {
+			return res, fmt.Errorf("warm-up of %s: status %d", label, rec.Code)
+		}
+	}
+
+	if err := resilience.Enable(mix.spec); err != nil {
+		return res, err
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < mix.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var fresh, stale, shedN, failed int
+			for j := 0; j < chaosRequestsPerWorker; j++ {
+				label := labels[(w+j)%len(labels)]
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/q/"+label, nil))
+				switch {
+				case rec.Code == http.StatusOK && rec.Header().Get("X-Maras-Stale") == "1":
+					stale++
+				case rec.Code == http.StatusOK:
+					fresh++
+				case rec.Code == http.StatusServiceUnavailable &&
+					strings.HasPrefix(rec.Body.String(), "overloaded"):
+					shedN++
+				default:
+					failed++
+				}
+			}
+			mu.Lock()
+			res.Fresh += fresh
+			res.Stale += stale
+			res.Shed += shedN
+			res.Failed += failed
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.Requests = mix.workers * chaosRequestsPerWorker
+	if admitted := res.Requests - res.Shed; admitted > 0 {
+		res.Availability = float64(res.Fresh+res.Stale) / float64(admitted)
+	}
+	res.ShedRate = float64(res.Shed) / float64(res.Requests)
+	res.Sites = resilience.Stats() // capture before DisableAll clears them
+
+	// Faults clear; an operator restores any quarantined snapshot (the
+	// bytes were fine — the corruption was injected at decode) and the
+	// recovery clock runs until every quarter serves fresh again.
+	resilience.DisableAll()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return res, err
+	}
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, store.QuarantinedExt) {
+			res.Quarantined++
+			restored := strings.TrimSuffix(name, store.QuarantinedExt)
+			if err := os.Rename(filepath.Join(dir, name), filepath.Join(dir, restored)); err != nil {
+				return res, err
+			}
+		}
+	}
+	if err := reg.Refresh(); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	deadline := start.Add(5 * time.Second)
+	for {
+		allFresh := true
+		for _, label := range labels {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/q/"+label, nil))
+			if rec.Code != http.StatusOK || rec.Header().Get("X-Maras-Stale") == "1" {
+				allFresh = false
+			}
+		}
+		if allFresh {
+			res.RecoveryMillis = time.Since(start).Milliseconds()
+			return res, nil
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("store did not recover to all-fresh within %s", time.Since(start))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maras/internal/resilience"
+)
+
+// TestRunChaosCustomMixWritesArtifact runs the chaos experiment as the
+// CI smoke does — one custom mix combining a corrupt decode with 20%
+// load delays — and checks the acceptance invariant on the artifact:
+// availability at least 99%, nothing failed, the corrupt snapshot
+// quarantined, and the store recovered to all-fresh serving.
+func TestRunChaosCustomMixWritesArtifact(t *testing.T) {
+	t.Cleanup(resilience.DisableAll)
+	out := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	cfg := benchConfig{
+		seed: 3, reports: 400, minsup: 3, chaosOut: out,
+		failpoints: resilience.FPDecode + "=error*1;" + resilience.FPLoad + "=delay(2ms,0.2)",
+	}
+	if err := runChaos(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art chaosArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Mixes) != 1 || art.Mixes[0].Mix != "custom" {
+		t.Fatalf("mixes = %+v, want one custom mix", art.Mixes)
+	}
+	m := art.Mixes[0]
+	if m.Requests == 0 || m.Fresh+m.Stale+m.Shed+m.Failed != m.Requests {
+		t.Errorf("outcome counts do not add up: %+v", m)
+	}
+	if m.Availability < 0.99 {
+		t.Errorf("availability = %.3f, want >= 0.99", m.Availability)
+	}
+	if m.Failed != 0 {
+		t.Errorf("%d requests failed outright under the fault mix", m.Failed)
+	}
+	if m.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want exactly the one corrupt snapshot", m.Quarantined)
+	}
+	if m.RecoveryMillis < 0 {
+		t.Errorf("recovery latency missing: %+v", m)
+	}
+	if len(m.Sites) == 0 {
+		t.Error("no failpoint site stats recorded")
+	}
+}

@@ -16,6 +16,7 @@
 //	baselines     exclusiveness vs improvement/lift/PRR/ROR (A4)
 //	trend         cross-quarter trajectories under ramping exposure
 //	drift         audit-layer drift detection: churn/rank-shift per pair + cost (BENCH_drift.json)
+//	chaos         fault-injected serving: availability/shed/recovery per mix (BENCH_chaos.json)
 //	all           everything above
 //
 // Usage:
@@ -46,6 +47,8 @@ type benchConfig struct {
 	svgOut     string
 	traceOut   string
 	driftOut   string
+	chaosOut   string
+	failpoints string
 }
 
 // traceRun is one traced pipeline execution: which experiment ran
@@ -117,13 +120,15 @@ func main() {
 		svgOut     = flag.String("svg-out", "figures", "output directory for figs4 SVGs")
 		traceOut   = flag.String("trace-out", "BENCH_trace.json", "per-stage pipeline trace JSON artifact (empty = skip)")
 		driftOut   = flag.String("drift-out", "BENCH_drift.json", "drift-experiment JSON artifact (empty = skip)")
+		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "chaos-experiment JSON artifact (empty = skip)")
+		failpoints = flag.String("failpoints", "", "custom failpoint spec for -exp chaos (replaces the built-in fault mixes)")
 	)
 	flag.Parse()
 
 	cfg := benchConfig{
 		seed: *seed, reports: *reports, minsup: *minsup,
 		paperScale: *paperScale, svgOut: *svgOut, traceOut: *traceOut,
-		driftOut: *driftOut,
+		driftOut: *driftOut, chaosOut: *chaosOut, failpoints: *failpoints,
 	}
 
 	runners := map[string]func(benchConfig) error{
@@ -140,11 +145,12 @@ func main() {
 		"baselines":      runBaselines,
 		"trend":          runTrend,
 		"drift":          runDrift,
+		"chaos":          runChaos,
 	}
 	order := []string{
 		"table5.1", "fig5.1", "table5.2", "cases", "fig5.2", "figs4",
 		"ablate-theta", "ablate-decay", "ablate-closed", "ablate-suspect",
-		"baselines", "trend", "drift",
+		"baselines", "trend", "drift", "chaos",
 	}
 
 	var ids []string

@@ -48,6 +48,7 @@ import (
 	"maras/internal/glyph"
 	"maras/internal/network"
 	"maras/internal/obs"
+	"maras/internal/resilience"
 	"maras/internal/strata"
 )
 
@@ -80,17 +81,20 @@ func (s *server) log() *slog.Logger {
 // routes assembles the full instrumented mux: every UI/API handler
 // wrapped in the observability middleware, plus the operational
 // endpoints. journal may be nil (tracing disabled, /debug/traces
-// 404s); ready gates /readyz.
-func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness) http.Handler {
+// 404s); ready gates /readyz; shed may be nil (no load shedding).
+// The bulkhead covers only the application routes, so health probes
+// and metric scrapes stay answerable under saturation.
+func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead) http.Handler {
+	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
 	mux := http.NewServeMux()
-	mw.HandleFunc(mux, "/", s.handleIndex)
-	mw.HandleFunc(mux, "/signal/", s.handleSignal)
-	mw.HandleFunc(mux, "/glyph/", s.handleGlyph)
-	mw.HandleFunc(mux, "/barchart/", s.handleBarChart)
-	mw.HandleFunc(mux, "/report/", s.handleReport)
-	mw.HandleFunc(mux, "/api/signals", s.handleAPISignals)
-	mw.HandleFunc(mux, "/network.dot", s.handleNetworkDOT)
-	mw.HandleFunc(mux, "/network.json", s.handleNetworkJSON)
+	mw.Handle(mux, "/", app(s.handleIndex))
+	mw.Handle(mux, "/signal/", app(s.handleSignal))
+	mw.Handle(mux, "/glyph/", app(s.handleGlyph))
+	mw.Handle(mux, "/barchart/", app(s.handleBarChart))
+	mw.Handle(mux, "/report/", app(s.handleReport))
+	mw.Handle(mux, "/api/signals", app(s.handleAPISignals))
+	mw.Handle(mux, "/network.dot", app(s.handleNetworkDOT))
+	mw.Handle(mux, "/network.json", app(s.handleNetworkJSON))
 	mux.Handle("/metrics", obs.MetricsHandler(reg))
 	mux.Handle("/healthz", obs.HealthzHandler(s.healthDetail))
 	mux.Handle("/readyz", obs.ReadyzHandler(ready, s.healthDetail))
@@ -147,6 +151,11 @@ func main() {
 		auditTopK      = flag.Int("audit-topk", 25, "audit: rank cutoff for drift comparison (negative = all signals)")
 		auditChurnWarn = flag.Float64("audit-churn-warn", 0.5, "audit: warn when the top-K churn rate between quarters reaches this")
 		auditDropWarn  = flag.Float64("audit-drop-warn", 0.6, "audit: warn when a quarter's cleaning drop rate reaches this")
+
+		failpoints  = flag.String("failpoints", "", "arm fault-injection sites, e.g. 'store/decode=error*1;store/load=delay(50ms,0.2)' (also read from "+resilience.FailpointEnv+")")
+		maxInflight = flag.Int("max-inflight", 64, "bulkhead: application requests executing concurrently (0 disables load shedding)")
+		shedQueue   = flag.Int("shed-queue", 64, "bulkhead: requests allowed to queue for a slot before overflow sheds with 503")
+		shedWait    = flag.Duration("shed-wait", 250*time.Millisecond, "bulkhead: how long a queued request waits for a slot before being shed")
 	)
 	flag.Parse()
 
@@ -156,6 +165,22 @@ func main() {
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, *logFormat, level)
+
+	// Arm failpoints from the environment first, then the flag (the
+	// flag adds to or overrides the env spec site by site).
+	if spec, err := resilience.EnableFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "maras-server:", err)
+		os.Exit(2)
+	} else if spec != "" {
+		logger.Warn("failpoints armed from env", "spec", spec)
+	}
+	if *failpoints != "" {
+		if err := resilience.Enable(*failpoints); err != nil {
+			fmt.Fprintln(os.Stderr, "maras-server:", err)
+			os.Exit(2)
+		}
+		logger.Warn("failpoints armed", "spec", *failpoints)
+	}
 
 	reg := obs.NewRegistry()
 	reg.PublishExpvar("maras_metrics")
@@ -182,6 +207,27 @@ func main() {
 		Metrics: reg,
 	}
 
+	// The lifecycle context ends on SIGINT/SIGTERM. Created before any
+	// background work starts so the audit sweep (and anything else
+	// holding it) stops with the process instead of leaking through
+	// shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var shed *resilience.Bulkhead
+	if *maxInflight > 0 {
+		var err error
+		shed, err = resilience.NewBulkhead(reg, resilience.BulkheadConfig{
+			MaxConcurrent: *maxInflight,
+			MaxWaiting:    *shedQueue,
+			MaxWait:       *shedWait,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "maras-server:", err)
+			os.Exit(2)
+		}
+	}
+
 	var sampler *obs.RuntimeSampler
 	if *runtimeSample > 0 {
 		sampler = obs.NewRuntimeSampler(reg, obs.RuntimeSamplerOptions{
@@ -205,11 +251,12 @@ func main() {
 		quarters := ss.reg.Quarters()
 		logger.Info("serving from store", "dir", *storeDir,
 			"quarters", len(quarters), "default", ss.reg.Latest())
-		handler = ss.routes(reg, mw, journal, ready)
+		handler = ss.routes(reg, mw, journal, ready, shed)
 		ready.SetReady() // registry opened and scanned: store mode can serve
 		// Populate the audit timeline in the background: quality per
-		// quarter, drift per adjacent pair. Serving never waits on it.
-		go ss.auditSweep(context.Background())
+		// quarter, drift per adjacent pair. Serving never waits on it,
+		// and the sweep stops with the lifecycle context on SIGTERM.
+		go ss.auditSweep(ctx)
 	} else {
 		q, err := faers.LoadQuarter(*data, *quarter)
 		if err != nil {
@@ -255,7 +302,7 @@ func main() {
 		logger.Info("ingest quality", "quarter", *quarter, "verdict", qr.Verdict,
 			"drop_rate", fmt.Sprintf("%.3f", qr.DropRate), "findings", len(qr.Findings))
 		s := &server{analysis: a, quarter: *quarter, logger: logger, alog: alog, started: time.Now()}
-		handler = s.routes(reg, mw, journal, ready)
+		handler = s.routes(reg, mw, journal, ready, shed)
 		ready.SetReady() // initial mine complete: traffic can flow
 	}
 
@@ -271,8 +318,6 @@ func main() {
 		ErrorLog:     slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr)
@@ -286,6 +331,12 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
 		logger.Info("signal received, draining in-flight requests", "grace", shutdownGrace)
+		// Stop the background samplers before draining: the audit
+		// sweep already sees ctx canceled; the runtime sampler ticker
+		// must not outlive the listener.
+		if sampler != nil {
+			sampler.Stop()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

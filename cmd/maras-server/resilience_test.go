@@ -1,0 +1,239 @@
+package main
+
+// Server-level fault-tolerance tests: the bulkhead shedding under
+// saturation, graceful degradation to stale snapshots with the
+// /readyz flip, quarantine of a corrupt snapshot observed through the
+// HTTP surface, and an env-armed chaos smoke for CI.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/obs"
+	"maras/internal/resilience"
+	"maras/internal/store"
+)
+
+// storeHandlerShed is storeHandler with a bulkhead over the
+// application routes, for saturation tests.
+func storeHandlerShed(t *testing.T, dir string, cfg resilience.BulkheadConfig) (http.Handler, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	mw := obs.NewHTTPMetrics(reg, nil)
+	ss, err := newStoreServer(dir, nil, nil, obs.NewStoreMetrics(reg), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shed, err := resilience.NewBulkhead(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := &obs.Readiness{}
+	ready.SetReady()
+	return ss.routes(reg, mw, nil, ready, shed), reg
+}
+
+// flipByte corrupts a snapshot in place so decode fails its checksum.
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x55
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerShedsWhenSaturated holds the only bulkhead slot with a
+// request whose snapshot load is slowed by a failpoint, then verifies
+// the next request is shed: 503, Retry-After, and the shed counter
+// moving — while /healthz (outside the bulkhead) still answers.
+func TestServerShedsWhenSaturated(t *testing.T) {
+	t.Cleanup(resilience.DisableAll)
+	h, reg := storeHandlerShed(t, tempStoreDir(t, 1), resilience.BulkheadConfig{
+		MaxConcurrent: 1,
+		MaxWaiting:    0,
+		RetryAfter:    2 * time.Second,
+	})
+	if err := resilience.Enable(resilience.FPLoad + "=delay(750ms)"); err != nil {
+		t.Fatal(err)
+	}
+
+	slow := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/signals", nil))
+		slow <- rec
+	}()
+	// Wait until the slow request holds the slot before overloading.
+	inflight := reg.Gauge("maras_bulkhead_inflight",
+		"Requests currently executing inside the bulkhead.")
+	for deadline := time.Now().Add(5 * time.Second); inflight.Value() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never entered the bulkhead")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := getMux(t, h, "/api/signals")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status = %d, want 503", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	if !strings.Contains(rec.Body.String(), "overloaded") {
+		t.Fatalf("shed body = %q", rec.Body.String())
+	}
+	shedTotal := reg.Counter("maras_shed_total", "Requests shed by the bulkhead, by reason.",
+		obs.Label{Key: "reason", Value: "queue_full"})
+	if shedTotal.Value() == 0 {
+		t.Fatal("maras_shed_total{reason=queue_full} did not move")
+	}
+
+	// Operational endpoints bypass the bulkhead entirely.
+	if rec := getMux(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz under saturation = %d", rec.Code)
+	}
+
+	if rec := <-slow; rec.Code != http.StatusOK {
+		t.Fatalf("slow (admitted) request status = %d", rec.Code)
+	}
+}
+
+// TestServerServesStaleWhenLoadFails drives the degradation loop
+// through the HTTP surface: a warmed quarter whose disk path starts
+// failing is served from the last-good copy with X-Maras-Stale, the
+// readiness probe reports "degraded" (still 200 — the load balancer
+// keeps routing), and a fresh load clears both.
+func TestServerServesStaleWhenLoadFails(t *testing.T) {
+	t.Cleanup(resilience.DisableAll)
+	dir := tempStoreDir(t, 1)
+	h, ss, _, _ := storeHandler(t, dir)
+
+	// Warm: fresh serve populates the last-good cache.
+	rec := getMux(t, h, "/api/signals")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Maras-Stale") != "" {
+		t.Fatalf("warm request: status=%d stale=%q", rec.Code, rec.Header().Get("X-Maras-Stale"))
+	}
+
+	// Invalidate the resident copy so the next request must hit disk,
+	// then make every disk read fail.
+	a, err := ss.reg.Load("2014Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.reg.Save("2014Q1", a); err != nil {
+		t.Fatal(err)
+	}
+	ss.dropHandler("2014Q1")
+	if err := resilience.Enable(resilience.FPLoad + "=error"); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = getMux(t, h, "/api/signals")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded request status = %d, want 200 from stale copy", rec.Code)
+	}
+	if rec.Header().Get("X-Maras-Stale") != "1" {
+		t.Fatal("stale response missing X-Maras-Stale: 1")
+	}
+	rec = getMux(t, h, "/readyz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"degraded"`) {
+		t.Fatalf("readyz while degraded: status=%d body=%s", rec.Code, rec.Body.String())
+	}
+	if rec := getMux(t, h, "/healthz"); !strings.Contains(rec.Body.String(), `"degraded":true`) {
+		t.Fatalf("healthz missing degraded flag: %s", rec.Body.String())
+	}
+
+	// Fault clears: serving turns fresh again and the probe recovers.
+	resilience.DisableAll()
+	rec = getMux(t, h, "/api/signals")
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Maras-Stale") != "" {
+		t.Fatalf("recovered request: status=%d stale=%q", rec.Code, rec.Header().Get("X-Maras-Stale"))
+	}
+	rec = getMux(t, h, "/readyz")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ready"`) {
+		t.Fatalf("readyz after recovery: status=%d body=%s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestServerQuarantinesCorruptQuarter serves a store holding one
+// corrupt snapshot: the quarter route answers 503 + Retry-After (never
+// 500), the file is quarantined aside with an audit event, and the
+// healthy sibling keeps serving.
+func TestServerQuarantinesCorruptQuarter(t *testing.T) {
+	dir := tempStoreDir(t, 2)
+	path := filepath.Join(dir, "2014Q1"+store.Ext)
+	flipByte(t, path)
+	h, ss, _, _ := storeHandler(t, dir)
+
+	rec := getMux(t, h, "/q/2014Q1/api/signals")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("corrupt quarter status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if _, err := os.Stat(path + store.QuarantinedExt); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	found := false
+	for _, e := range ss.auditor.Log.Recent(0) {
+		if e.Rule == "store_quarantine" && e.Scope == "2014Q1" && e.Severity == audit.SevFail {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no store_quarantine audit event")
+	}
+
+	// The healthy sibling is untouched; the quarantined quarter (no
+	// stale copy was ever cached) now 404s instead of erroring.
+	if rec := getMux(t, h, "/q/2014Q2/api/signals"); rec.Code != http.StatusOK {
+		t.Fatalf("healthy quarter status = %d", rec.Code)
+	}
+	if rec := getMux(t, h, "/q/2014Q1/api/signals"); rec.Code != http.StatusNotFound {
+		t.Fatalf("quarantined quarter status = %d, want 404", rec.Code)
+	}
+}
+
+// TestServerChaosFromEnv is the CI chaos smoke: when MARAS_FAILPOINTS
+// is set (e.g. "store/decode=error*1;store/load=delay(20ms,0.2)") it
+// arms the spec exactly as the binaries do and hammers the quarter
+// routes, asserting the acceptance invariant — never a 500; every
+// answer is fresh, stale-marked, 503 + Retry-After, or a clean 404
+// after quarantine. Skipped when the variable is unset.
+func TestServerChaosFromEnv(t *testing.T) {
+	if os.Getenv(resilience.FailpointEnv) == "" {
+		t.Skip("set " + resilience.FailpointEnv + " to run the chaos smoke")
+	}
+	t.Cleanup(resilience.DisableAll)
+	resilience.Seed(1)
+	if _, err := resilience.EnableFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	h, _, _, _ := storeHandler(t, tempStoreDir(t, 2))
+	paths := []string{"/api/signals", "/q/2014Q1/api/signals", "/q/2014Q2/api/signals", "/api/quarters"}
+	for i := 0; i < 40; i++ {
+		p := paths[i%len(paths)]
+		rec := getMux(t, h, p)
+		switch {
+		case rec.Code < 500:
+		case rec.Code == http.StatusServiceUnavailable:
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatalf("%s: 503 without Retry-After", p)
+			}
+		default:
+			t.Fatalf("%s request %d: status %d — the fault leaked as a server error", p, i, rec.Code)
+		}
+	}
+}

@@ -31,38 +31,61 @@ import (
 	"time"
 
 	"maras/internal/audit"
+	"maras/internal/core"
 	"maras/internal/knowledge"
 	"maras/internal/obs"
+	"maras/internal/resilience"
 	"maras/internal/store"
 	"maras/internal/trend"
 )
+
+// staleRetryAfter is the Retry-After hint on quarter routes that can
+// serve nothing at all (no fresh load, no stale copy): long enough for
+// a breaker cooldown to elapse before the client returns.
+const staleRetryAfter = "5"
 
 type storeServer struct {
 	reg     *store.Registry
 	logger  *slog.Logger
 	auditor *audit.Auditor
 	started time.Time
+	ready   *obs.Readiness // degraded flag target; set by routes, may be nil
 
 	mu       sync.Mutex
 	handlers map[string]http.Handler // per-quarter muxes, dropped on LRU evict
+	// staleHandlers caches the mux built over a quarter's last-good
+	// stale analysis, keyed by quarter and invalidated when the stale
+	// copy itself changes. Deliberately NOT dropped on LRU evict: the
+	// whole point is surviving the live path going away.
+	staleHandlers map[string]staleHandler
+}
+
+type staleHandler struct {
+	a *core.Analysis
+	h http.Handler
 }
 
 // newStoreServer opens the snapshot registry in dir and binds it to
 // the serving layer. tracer, metrics, and auditor may be nil (a nil
 // auditor disables the event log; reports still compute at default
-// thresholds).
+// thresholds). The registry runs with the resilience layer on:
+// per-quarter load breakers, transient-failure retry, corrupt-snapshot
+// quarantine, and the last-good stale cache behind graceful
+// degradation.
 func newStoreServer(dir string, logger *slog.Logger, tracer *obs.Tracer, m *obs.StoreMetrics, auditor *audit.Auditor) (*storeServer, error) {
 	ss := &storeServer{
-		logger:   logger,
-		auditor:  auditor,
-		started:  time.Now(),
-		handlers: map[string]http.Handler{},
+		logger:        logger,
+		auditor:       auditor,
+		started:       time.Now(),
+		handlers:      map[string]http.Handler{},
+		staleHandlers: map[string]staleHandler{},
 	}
 	reg, err := store.OpenRegistry(dir, store.RegistryOptions{
-		Metrics: m,
-		Tracer:  tracer,
-		Auditor: auditor,
-		OnEvict: ss.dropHandler,
+		Metrics:    m,
+		Tracer:     tracer,
+		Auditor:    auditor,
+		OnEvict:    ss.dropHandler,
+		Resilience: &store.ResilienceOptions{Quarantine: true},
 	})
 	if err != nil {
 		return nil, err
@@ -81,16 +104,21 @@ func (ss *storeServer) log() *slog.Logger {
 // routes assembles the store-mode mux: quarter-scoped and default-
 // quarter application routes under observability middleware, plus the
 // operational endpoints. journal may be nil (tracing disabled,
-// /debug/traces 404s); ready gates /readyz.
-func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness) http.Handler {
+// /debug/traces 404s); ready gates /readyz and carries the degraded
+// flag; shed may be nil (no load shedding). The bulkhead wraps only
+// the application routes — the operational endpoints stay reachable
+// at any load, which is when an operator needs them most.
+func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead) http.Handler {
+	ss.ready = ready
+	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
 	mux := http.NewServeMux()
-	mw.HandleFunc(mux, "/api/quarters", ss.handleQuarters)
-	mw.HandleFunc(mux, "/api/timeline/", ss.handleTimeline)
-	mw.HandleFunc(mux, "/api/quality/", ss.handleQuality)
-	mw.HandleFunc(mux, "/api/drift/", ss.handleDrift)
-	mw.HandleFunc(mux, "/quarters", ss.handleQuartersPage)
-	mw.HandleFunc(mux, "/q/", ss.handleQuarterScoped)
-	mw.HandleFunc(mux, "/", ss.handleDefaultQuarter)
+	mw.Handle(mux, "/api/quarters", app(ss.handleQuarters))
+	mw.Handle(mux, "/api/timeline/", app(ss.handleTimeline))
+	mw.Handle(mux, "/api/quality/", app(ss.handleQuality))
+	mw.Handle(mux, "/api/drift/", app(ss.handleDrift))
+	mw.Handle(mux, "/quarters", app(ss.handleQuartersPage))
+	mw.Handle(mux, "/q/", app(ss.handleQuarterScoped))
+	mw.Handle(mux, "/", app(ss.handleDefaultQuarter))
 	mux.Handle("/metrics", obs.MetricsHandler(reg))
 	mux.Handle("/healthz", obs.HealthzHandler(ss.healthDetail))
 	mux.Handle("/readyz", obs.ReadyzHandler(ready, ss.healthDetail))
@@ -112,13 +140,36 @@ func (ss *storeServer) auditLog() *audit.Log {
 }
 
 func (ss *storeServer) healthDetail() map[string]any {
-	return map[string]any{
+	detail := map[string]any{
 		"mode":           "store",
 		"store_dir":      ss.reg.Dir(),
 		"quarters":       len(ss.reg.Quarters()),
 		"open_quarters":  ss.reg.OpenCount(),
 		"default":        ss.reg.Latest(),
 		"uptime_seconds": int64(time.Since(ss.started).Seconds()),
+	}
+	if ss.reg.Degraded() {
+		detail["degraded"] = true
+		open := []string{}
+		for label, st := range ss.reg.BreakerStates() {
+			if st != resilience.StateClosed {
+				open = append(open, label+":"+st.String())
+			}
+		}
+		if len(open) > 0 {
+			detail["breakers"] = open
+		}
+	}
+	return detail
+}
+
+// noteDegradation mirrors the registry's degradation state onto the
+// readiness probe after every quarter load, so /readyz flips to
+// "degraded" the moment stale serving starts and back once the live
+// path recovers.
+func (ss *storeServer) noteDegradation() {
+	if ss.ready != nil {
+		ss.ready.SetDegraded(ss.reg.Degraded())
 	}
 }
 
@@ -136,29 +187,71 @@ func (ss *storeServer) dropHandler(label string) {
 // snapshot through the registry LRU on first touch. The lookup runs
 // under a "quarter_mux" child span so a trace distinguishes the
 // handler cache from a registry load: handler_cache=hit means the
-// registry was never consulted this request.
-func (ss *storeServer) quarterHandler(ctx context.Context, label string) (http.Handler, error) {
+// registry was never consulted this request. stale=true means the live
+// load failed and the handler serves the quarter's last-good snapshot.
+func (ss *storeServer) quarterHandler(ctx context.Context, label string) (h http.Handler, stale bool, err error) {
 	ctx, span := obs.StartSpan(ctx, "quarter_mux")
 	defer span.End()
 	span.SetAttr("quarter", label)
 	ss.mu.Lock()
-	h := ss.handlers[label]
+	h = ss.handlers[label]
 	ss.mu.Unlock()
 	if h != nil {
 		span.SetAttr("handler_cache", "hit")
-		return h, nil
+		return h, false, nil
 	}
 	span.SetAttr("handler_cache", "miss")
-	a, err := ss.reg.LoadContext(ctx, label)
+	a, stale, err := ss.reg.LoadResilient(ctx, label)
+	defer ss.noteDegradation()
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	if stale {
+		span.SetAttr("stale", "true")
+		return ss.staleQuarterHandler(label, a), true, nil
 	}
 	qs := &server{analysis: a, quarter: label, logger: ss.logger, started: ss.started}
 	h = qs.quarterMux()
 	ss.mu.Lock()
 	ss.handlers[label] = h
 	ss.mu.Unlock()
-	return h, nil
+	return h, false, nil
+}
+
+// staleQuarterHandler returns (building if needed) the mux over a
+// quarter's last-good analysis. Cached separately from the live
+// handlers so LRU eviction cannot take it, and rebuilt only when the
+// stale copy itself changes.
+func (ss *storeServer) staleQuarterHandler(label string, a *core.Analysis) http.Handler {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if sh, ok := ss.staleHandlers[label]; ok && sh.a == a {
+		return sh.h
+	}
+	qs := &server{analysis: a, quarter: label, logger: ss.logger, started: ss.started}
+	h := qs.quarterMux()
+	ss.staleHandlers[label] = staleHandler{a: a, h: h}
+	return h
+}
+
+// serveQuarter dispatches a request into label's application mux with
+// graceful degradation: a fresh handler when the live path works, the
+// last-good stale copy (marked X-Maras-Stale: 1) when it does not, and
+// 503 with Retry-After — never a 500 — when neither exists.
+func (ss *storeServer) serveQuarter(w http.ResponseWriter, r *http.Request, label string) {
+	h, stale, err := ss.quarterHandler(r.Context(), label)
+	if err != nil {
+		ss.log().Error("load quarter", "quarter", label, "err", err)
+		w.Header().Set("Retry-After", staleRetryAfter)
+		http.Error(w, fmt.Sprintf("quarter %s temporarily unavailable, retry later", label),
+			http.StatusServiceUnavailable)
+		return
+	}
+	if stale {
+		ss.log().Warn("serving stale quarter", "quarter", label)
+		w.Header().Set("X-Maras-Stale", "1")
+	}
+	h.ServeHTTP(w, r)
 }
 
 // handleDefaultQuarter serves the whole single-quarter application
@@ -170,13 +263,7 @@ func (ss *storeServer) handleDefaultQuarter(w http.ResponseWriter, r *http.Reque
 		http.Error(w, "store is empty: no quarter snapshots on disk", http.StatusServiceUnavailable)
 		return
 	}
-	h, err := ss.quarterHandler(r.Context(), label)
-	if err != nil {
-		ss.log().Error("load default quarter", "quarter", label, "err", err)
-		http.Error(w, "quarter snapshot unavailable", http.StatusInternalServerError)
-		return
-	}
-	h.ServeHTTP(w, r)
+	ss.serveQuarter(w, r, label)
 }
 
 // handleQuarterScoped serves /q/{label}/<rest> by dispatching <rest>
@@ -188,19 +275,16 @@ func (ss *storeServer) handleQuarterScoped(w http.ResponseWriter, r *http.Reques
 		http.NotFound(w, r)
 		return
 	}
-	if !ss.reg.Has(label) {
+	// A quarter missing from disk (e.g. quarantined) but held as a
+	// last-good stale copy is still servable; only a label the store
+	// has never seen is a true 404.
+	if !ss.reg.Has(label) && !ss.reg.HasStale(label) {
 		http.Error(w, fmt.Sprintf("quarter %q not in store", label), http.StatusNotFound)
-		return
-	}
-	h, err := ss.quarterHandler(r.Context(), label)
-	if err != nil {
-		ss.log().Error("load quarter", "quarter", label, "err", err)
-		http.Error(w, "quarter snapshot unavailable", http.StatusInternalServerError)
 		return
 	}
 	r2 := r.Clone(r.Context())
 	r2.URL.Path = "/" + sub
-	h.ServeHTTP(w, r2)
+	ss.serveQuarter(w, r2, label)
 }
 
 // handleQuarters lists what the store can serve.

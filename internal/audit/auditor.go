@@ -28,6 +28,36 @@ func (ad *Auditor) ActiveThresholds() Thresholds {
 	return ad.Thresholds.withDefaults()
 }
 
+// RecordEvent routes an arbitrary event into the audit timeline — the
+// nil-safe entry point for subsystems (store resilience, server
+// degradation) whose events are not produced by an evaluator. A nil
+// auditor drops the event.
+func (ad *Auditor) RecordEvent(e Event) {
+	if ad == nil {
+		return
+	}
+	ad.Log.Record(e)
+}
+
+// RecordEventOnce is RecordEvent deduplicated on key: one event per
+// distinct ongoing condition, cleared with ForgetEvent when the
+// condition resolves.
+func (ad *Auditor) RecordEventOnce(key string, e Event) {
+	if ad == nil {
+		return
+	}
+	ad.Log.RecordOnce(key, e)
+}
+
+// ForgetEvent clears a RecordEventOnce key so the condition can alert
+// again if it recurs.
+func (ad *Auditor) ForgetEvent(key string) {
+	if ad == nil {
+		return
+	}
+	ad.Log.Forget(key)
+}
+
 // RecordQuality turns an evaluated quality report's findings into
 // events, one per distinct (quarter, rule, severity) — re-evaluations
 // of the same quarter do not repeat the event.

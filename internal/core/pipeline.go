@@ -21,6 +21,7 @@ import (
 	"maras/internal/meddra"
 	"maras/internal/obs"
 	"maras/internal/rank"
+	"maras/internal/resilience"
 	"maras/internal/strata"
 	"maras/internal/txdb"
 	"maras/internal/types"
@@ -388,6 +389,11 @@ func RunQuarter(q *faers.Quarter, opts Options) (*Analysis, error) {
 // automatically when the caller did not set one; a context without an
 // active span behaves exactly like Run.
 func RunContext(ctx context.Context, reports []faers.Report, opts Options) (*Analysis, error) {
+	// The core/mine failpoint sits ahead of the pipeline so chaos runs
+	// can stall or fail a quarter's mining without touching real data.
+	if err := resilience.Inject(resilience.FPMine); err != nil {
+		return nil, fmt.Errorf("core: mining aborted: %w", err)
+	}
 	span := obs.ActiveSpan(ctx)
 	if span != nil && opts.Tracer == nil {
 		opts.Tracer = obs.NewTracer(nil)

@@ -209,6 +209,14 @@ func (m *HTTPMetrics) HandleFunc(mux *http.ServeMux, pattern string, h http.Hand
 	mux.Handle(pattern, m.Wrap(pattern, h))
 }
 
+// Handle is HandleFunc for an http.Handler — the registration point
+// when the application handler is itself wrapped in middleware (e.g. a
+// load-shedding bulkhead) that should run inside the instrumentation,
+// so its responses are counted, logged, and spanned like any other.
+func (m *HTTPMetrics) Handle(mux *http.ServeMux, pattern string, h http.Handler) {
+	mux.Handle(pattern, m.Wrap(pattern, h))
+}
+
 // MetricsHandler serves the registry. The default rendering is
 // Prometheus exposition text (with runtime series appended);
 // ?format=json returns the full expvar dump, so one endpoint covers
@@ -252,7 +260,10 @@ func HealthzHandler(detail func() map[string]any) http.Handler {
 // initial mine is done; send traffic"). It starts not-ready; the
 // serving process flips it once its backing data is loadable. A nil
 // *Readiness reports not ready.
-type Readiness struct{ ready atomic.Bool }
+type Readiness struct {
+	ready    atomic.Bool
+	degraded atomic.Bool
+}
 
 // SetReady marks the process ready to serve.
 func (rd *Readiness) SetReady() { rd.ready.Store(true) }
@@ -260,9 +271,19 @@ func (rd *Readiness) SetReady() { rd.ready.Store(true) }
 // Ready reports whether SetReady has been called.
 func (rd *Readiness) Ready() bool { return rd != nil && rd.ready.Load() }
 
+// SetDegraded flags (or clears) degraded operation: the process is
+// still serving — /readyz stays 200 so the load balancer keeps routing
+// — but some answers come from stale data or a subsystem is failing
+// fast. Orchestrators alert on the status string; they do not drain.
+func (rd *Readiness) SetDegraded(v bool) { rd.degraded.Store(v) }
+
+// Degraded reports whether the process is in degraded operation.
+func (rd *Readiness) Degraded() bool { return rd != nil && rd.degraded.Load() }
+
 // ReadyzHandler answers 503 until rd is ready, then 200 with the
 // caller-supplied detail — the load-balancer gate, where /healthz is
-// the restart gate.
+// the restart gate. A ready-but-degraded process still answers 200,
+// with status "degraded" instead of "ready".
 func ReadyzHandler(rd *Readiness, detail func() map[string]any) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -271,7 +292,11 @@ func ReadyzHandler(rd *Readiness, detail func() map[string]any) http.Handler {
 			json.NewEncoder(w).Encode(map[string]any{"status": "unavailable"})
 			return
 		}
-		body := map[string]any{"status": "ready"}
+		status := "ready"
+		if rd.Degraded() {
+			status = "degraded"
+		}
+		body := map[string]any{"status": status}
 		if detail != nil {
 			for k, v := range detail() {
 				body[k] = v

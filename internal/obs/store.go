@@ -19,6 +19,17 @@ type StoreMetrics struct {
 	Evictions *Counter
 	// BytesRead accumulates snapshot bytes read from disk.
 	BytesRead *Counter
+	// Retries counts extra load attempts taken by the resilience
+	// layer's transient-failure retry (attempts beyond the first).
+	Retries *Counter
+	// Quarantined counts corrupt snapshots renamed aside.
+	Quarantined *Counter
+	// StaleServes counts loads answered from the last-good stale
+	// cache because the live load failed.
+	StaleServes *Counter
+	// BreakersOpen tracks how many per-quarter load breakers are
+	// currently not closed (open or half-open).
+	BreakersOpen *Gauge
 }
 
 // NewStoreMetrics registers the store metric families on r and
@@ -37,5 +48,13 @@ func NewStoreMetrics(r *Registry) *StoreMetrics {
 			"Quarters evicted by the open-quarter LRU."),
 		BytesRead: r.Counter("maras_store_snapshot_bytes_read_total",
 			"Snapshot bytes read from disk."),
+		Retries: r.Counter("maras_store_load_retries_total",
+			"Extra snapshot load attempts taken after transient failures."),
+		Quarantined: r.Counter("maras_store_quarantined_total",
+			"Corrupt snapshots quarantined (renamed aside)."),
+		StaleServes: r.Counter("maras_store_stale_serves_total",
+			"Loads served from the last-good stale cache after a live-load failure."),
+		BreakersOpen: r.Gauge("maras_store_breakers_open",
+			"Per-quarter load circuit breakers currently open or half-open."),
 	}
 }

@@ -1,0 +1,162 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock lets breaker tests advance the cooldown without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(onChange func(from, to BreakerState)) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	cfg := BreakerConfig{FailureThreshold: 3, Cooldown: time.Second, Now: clk.now}
+	return NewBreaker(cfg, onChange), clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := testBreaker(nil)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused a call")
+		}
+		b.Failure(false)
+	}
+	if b.State() != StateClosed {
+		t.Fatal("opened below threshold")
+	}
+	b.Allow()
+	b.Failure(false)
+	if b.State() != StateOpen {
+		t.Fatal("did not open at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+}
+
+func TestBreakerPermanentTripsImmediately(t *testing.T) {
+	b, _ := testBreaker(nil)
+	b.Allow()
+	b.Failure(true)
+	if b.State() != StateOpen {
+		t.Fatal("permanent failure did not trip immediately")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := testBreaker(nil)
+	b.Failure(false)
+	b.Failure(false)
+	b.Success()
+	b.Failure(false)
+	b.Failure(false)
+	if b.State() != StateClosed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	var transitions []string
+	b, clk := testBreaker(func(from, to BreakerState) {
+		transitions = append(transitions, from.String()+">"+to.String())
+	})
+	b.Failure(true)
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe allowed")
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe allowed while first in flight")
+	}
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatal("probe success did not close")
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker(nil)
+	b.Failure(true)
+	clk.advance(2 * time.Second)
+	b.Allow()
+	b.Failure(false)
+	if b.State() != StateOpen {
+		t.Fatal("probe failure did not re-open")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a call before a fresh cooldown")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("fresh cooldown elapsed but no probe allowed")
+	}
+}
+
+func TestBreakerReset(t *testing.T) {
+	b, _ := testBreaker(nil)
+	b.Failure(true)
+	b.Reset()
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatal("Reset did not close the breaker")
+	}
+}
+
+func TestBreakerSet(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var mu sync.Mutex
+	changes := map[string]int{}
+	s := NewBreakerSet(BreakerConfig{Now: clk.now}, func(key string, from, to BreakerState) {
+		mu.Lock()
+		changes[key]++
+		mu.Unlock()
+	})
+	if s.Get("2014Q1") != s.Get("2014Q1") {
+		t.Fatal("Get minted two breakers for one key")
+	}
+	s.Get("2014Q1").Failure(true)
+	if s.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d, want 1", s.OpenCount())
+	}
+	if st := s.States(); st["2014Q1"] != StateOpen {
+		t.Fatalf("States = %v", st)
+	}
+	mu.Lock()
+	n := changes["2014Q1"]
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("onChange fired %d times, want 1", n)
+	}
+	s.Remove("2014Q1")
+	if s.Get("2014Q1").State() != StateClosed {
+		t.Fatal("Remove did not drop the breaker")
+	}
+}

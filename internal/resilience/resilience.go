@@ -1,0 +1,45 @@
+// Package resilience is the fault-tolerance layer of the serving
+// tier: the third pillar next to observability (internal/obs) and
+// auditing (internal/audit). It provides the mechanisms a process
+// needs to keep answering through partial failure, and the fault-
+// injection harness needed to prove that it does:
+//
+//   - Failpoints (failpoint.go): named injection sites compiled into
+//     hot paths (snapshot decode, registry load, quarter mining) that
+//     are free when disabled and, when armed via the -failpoints flag
+//     or MARAS_FAILPOINTS, inject errors, delays, or panics with
+//     deterministic or probabilistic triggers. This is how chaos tests
+//     and maras-bench -exp chaos provoke the failures the rest of this
+//     package is supposed to absorb.
+//
+//   - Retry (retry.go): bounded retry with jittered exponential
+//     backoff and a total deadline budget, driven by the caller's
+//     error classification (transient I/O retries; corruption does
+//     not).
+//
+//   - Circuit breakers (breaker.go): per-key closed/open/half-open
+//     breakers so a persistently failing resource (one quarter's
+//     snapshot) fails fast instead of burning retry budget on every
+//     request, with a cooldown probe to detect recovery.
+//
+//   - Bulkhead / load shedding (shed.go): bounded request concurrency
+//     with a bounded wait queue; overflow is shed with 503 and
+//     Retry-After instead of letting saturation take out every
+//     request at once.
+//
+// The package is stdlib-only. Failpoint, retry, and breaker carry no
+// dependencies at all; the bulkhead middleware optionally binds to an
+// obs metrics registry and the request's active trace span.
+package resilience
+
+import "errors"
+
+// ErrInjected is the sentinel wrapped by every failpoint-injected
+// error, so tests and fault classifiers can tell provoked failures
+// from organic ones with errors.Is.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// ErrBreakerOpen is returned (wrapped) when a circuit breaker refuses
+// a call because the protected resource is failing; callers should
+// degrade (serve stale, shed) rather than retry immediately.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")

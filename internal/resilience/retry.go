@@ -1,0 +1,134 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Class is a caller-side error classification: whether a failed
+// operation is worth retrying.
+type Class int
+
+const (
+	// Transient marks failures that may clear on their own (I/O
+	// hiccups, timeouts): retry with backoff.
+	Transient Class = iota
+	// Permanent marks failures retrying cannot fix (corruption,
+	// version mismatch, not-found): fail immediately.
+	Permanent
+)
+
+// RetryConfig bounds a retry loop three ways at once: attempt count,
+// per-attempt backoff, and a total wall-clock budget covering both the
+// attempts and the sleeps between them. The zero value retries.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries including the first
+	// (<= 0 means DefaultRetry.MaxAttempts).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles
+	// per retry up to MaxDelay (<= 0 means the defaults).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Budget caps total wall time across attempts and sleeps; once
+	// spent, the last error returns even with attempts left (<= 0
+	// means DefaultRetry.Budget).
+	Budget time.Duration
+	// Jitter is the fraction of each backoff randomized away, 0..1
+	// (0 means DefaultRetry.Jitter; jitter spreads the retries of
+	// concurrent callers so they do not re-converge on a struggling
+	// disk in lockstep).
+	Jitter float64
+}
+
+// DefaultRetry is the store's load-path policy: three attempts inside
+// half a second, first backoff 10ms.
+var DefaultRetry = RetryConfig{
+	MaxAttempts: 3,
+	BaseDelay:   10 * time.Millisecond,
+	MaxDelay:    100 * time.Millisecond,
+	Budget:      500 * time.Millisecond,
+	Jitter:      0.5,
+}
+
+// withDefaults fills zero fields from DefaultRetry.
+func (c RetryConfig) withDefaults() RetryConfig {
+	d := DefaultRetry
+	if c.MaxAttempts > 0 {
+		d.MaxAttempts = c.MaxAttempts
+	}
+	if c.BaseDelay > 0 {
+		d.BaseDelay = c.BaseDelay
+	}
+	if c.MaxDelay > 0 {
+		d.MaxDelay = c.MaxDelay
+	}
+	if c.Budget > 0 {
+		d.Budget = c.Budget
+	}
+	if c.Jitter > 0 {
+		d.Jitter = c.Jitter
+	}
+	return d
+}
+
+// retryRand jitters backoff; its own source (not the failpoint one) so
+// arming failpoints does not change retry timing draws.
+var retryRand = struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+// Do runs op, retrying transient failures with jittered exponential
+// backoff until success, a permanent classification, attempt
+// exhaustion, budget exhaustion, or context cancellation — whichever
+// comes first. classify may be nil (everything transient). The
+// returned error wraps op's last error, so errors.Is/As reach through.
+// attempts reports how many times op ran.
+func (c RetryConfig) Do(ctx context.Context, op func(context.Context) error, classify func(error) Class) (attempts int, err error) {
+	cfg := c.withDefaults()
+	deadline := time.Now().Add(cfg.Budget)
+	backoff := cfg.BaseDelay
+	for {
+		attempts++
+		err = op(ctx)
+		if err == nil {
+			return attempts, nil
+		}
+		if classify != nil && classify(err) == Permanent {
+			return attempts, err
+		}
+		if attempts >= cfg.MaxAttempts {
+			return attempts, fmt.Errorf("after %d attempts: %w", attempts, err)
+		}
+		sleep := jitter(backoff, cfg.Jitter)
+		if remaining := time.Until(deadline); sleep > remaining {
+			return attempts, fmt.Errorf("retry budget %v exhausted after %d attempts: %w",
+				cfg.Budget, attempts, err)
+		}
+		t := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return attempts, fmt.Errorf("retry canceled after %d attempts (%w): %w", attempts, ctx.Err(), err)
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > cfg.MaxDelay {
+			backoff = cfg.MaxDelay
+		}
+	}
+}
+
+// jitter randomizes d by up to frac of itself, centered so the mean
+// stays d: d * (1 - frac/2 + frac*U[0,1)).
+func jitter(d time.Duration, frac float64) time.Duration {
+	if frac <= 0 || d <= 0 {
+		return d
+	}
+	retryRand.mu.Lock()
+	u := retryRand.rng.Float64()
+	retryRand.mu.Unlock()
+	return time.Duration(float64(d) * (1 - frac/2 + frac*u))
+}

@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+var errFlaky = errors.New("flaky")
+
+func fastRetry() RetryConfig {
+	return RetryConfig{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Budget: time.Second}
+}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	calls := 0
+	attempts, err := fastRetry().Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errFlaky
+		}
+		return nil
+	}, nil)
+	if err != nil || attempts != 3 || calls != 3 {
+		t.Fatalf("attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	attempts, err := fastRetry().Do(context.Background(), func(context.Context) error {
+		calls++
+		return errFlaky
+	}, func(error) Class { return Permanent })
+	if attempts != 1 || calls != 1 {
+		t.Fatalf("permanent error retried: attempts=%d", attempts)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("lost original error: %v", err)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	attempts, err := fastRetry().Do(context.Background(), func(context.Context) error {
+		return errFlaky
+	}, nil)
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("final error does not wrap the cause: %v", err)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	cfg := RetryConfig{MaxAttempts: 100, BaseDelay: 20 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Budget: 30 * time.Millisecond}
+	start := time.Now()
+	attempts, err := cfg.Do(context.Background(), func(context.Context) error { return errFlaky }, nil)
+	if err == nil || errors.Is(err, nil) {
+		t.Fatal("want error")
+	}
+	if attempts >= 100 {
+		t.Fatalf("budget did not bound attempts: %d", attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("budget 30ms ran for %v", elapsed)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("budget error does not wrap the cause: %v", err)
+	}
+}
+
+func TestRetryContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := RetryConfig{MaxAttempts: 50, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond, Budget: 10 * time.Second}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := cfg.Do(ctx, func(context.Context) error { return errFlaky }, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("want original error in chain, got %v", err)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	d := 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		j := jitter(d, 0.5)
+		if j < 75*time.Millisecond || j > 125*time.Millisecond {
+			t.Fatalf("jitter(100ms, 0.5) = %v outside [75ms,125ms]", j)
+		}
+	}
+	if jitter(d, 0) != d {
+		t.Fatal("zero jitter should return d unchanged")
+	}
+}

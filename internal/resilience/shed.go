@@ -1,0 +1,188 @@
+package resilience
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// Bulkhead bounds how many requests execute concurrently and how many
+// may queue waiting for a slot; everything beyond both bounds is shed
+// immediately with 503 and a Retry-After hint. Saturation then costs
+// exactly the configured amount of memory and latency instead of
+// cascading: the goodput through the bulkhead stays flat while the
+// overflow gets a fast, honest answer.
+//
+// Shed reasons (the "reason" label on maras_shed_total):
+//
+//	queue_full    the wait queue was already at capacity
+//	wait_timeout  a slot did not free up within MaxWait
+//	canceled      the client went away while queued
+type Bulkhead struct {
+	cfg  BulkheadConfig
+	sem  chan struct{}
+	wait atomic.Int64
+
+	shedQueueFull *obs.Counter
+	shedTimeout   *obs.Counter
+	shedCanceled  *obs.Counter
+	inflight      *obs.Gauge
+	waiting       *obs.Gauge
+	waitSeconds   *obs.Histogram
+}
+
+// BulkheadConfig tunes a Bulkhead. The zero value of optional fields
+// takes the documented defaults.
+type BulkheadConfig struct {
+	// MaxConcurrent is the number of requests allowed to execute at
+	// once; it must be > 0 (NewBulkhead rejects anything else —
+	// "disabled" is a nil *Bulkhead, whose middleware is a passthrough).
+	MaxConcurrent int
+	// MaxWaiting bounds the queue of requests waiting for a slot;
+	// 0 means no queue (overflow sheds immediately), < 0 is invalid.
+	MaxWaiting int
+	// MaxWait is how long a queued request waits for a slot before
+	// being shed (<= 0 means 250ms).
+	MaxWait time.Duration
+	// RetryAfter is the Retry-After hint on shed responses, rounded
+	// up to whole seconds (<= 0 means 1s).
+	RetryAfter time.Duration
+	// Exempt, when non-nil, bypasses the bulkhead for matching
+	// requests (health probes, metrics scrapes — the endpoints an
+	// operator needs most precisely when the process is saturated).
+	Exempt func(*http.Request) bool
+}
+
+// NewBulkhead builds a bulkhead and, when reg is non-nil, registers
+// its series: maras_shed_total{reason}, maras_bulkhead_inflight,
+// maras_bulkhead_waiting, maras_bulkhead_wait_seconds.
+func NewBulkhead(reg *obs.Registry, cfg BulkheadConfig) (*Bulkhead, error) {
+	if cfg.MaxConcurrent <= 0 {
+		return nil, fmt.Errorf("resilience: bulkhead MaxConcurrent must be > 0, got %d", cfg.MaxConcurrent)
+	}
+	if cfg.MaxWaiting < 0 {
+		return nil, fmt.Errorf("resilience: bulkhead MaxWaiting must be >= 0, got %d", cfg.MaxWaiting)
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 250 * time.Millisecond
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	b := &Bulkhead{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent)}
+	if reg != nil {
+		const shedHelp = "Requests shed by the bulkhead, by reason."
+		b.shedQueueFull = reg.Counter("maras_shed_total", shedHelp, obs.Label{Key: "reason", Value: "queue_full"})
+		b.shedTimeout = reg.Counter("maras_shed_total", shedHelp, obs.Label{Key: "reason", Value: "wait_timeout"})
+		b.shedCanceled = reg.Counter("maras_shed_total", shedHelp, obs.Label{Key: "reason", Value: "canceled"})
+		b.inflight = reg.Gauge("maras_bulkhead_inflight",
+			"Requests currently executing inside the bulkhead.")
+		b.waiting = reg.Gauge("maras_bulkhead_waiting",
+			"Requests currently queued for a bulkhead slot.")
+		b.waitSeconds = reg.Histogram("maras_bulkhead_wait_seconds",
+			"Time admitted requests spent queued for a bulkhead slot.", nil)
+	}
+	return b, nil
+}
+
+// Middleware wraps next in the bulkhead. A nil *Bulkhead is a
+// passthrough, so call sites can wire it unconditionally.
+func (b *Bulkhead) Middleware(next http.Handler) http.Handler {
+	if b == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if b.cfg.Exempt != nil && b.cfg.Exempt(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		span := obs.ActiveSpan(r.Context())
+		select {
+		case b.sem <- struct{}{}: // free slot, no queueing
+		default:
+			if !b.enqueue(w, r, span) {
+				return
+			}
+		}
+		if b.inflight != nil {
+			b.inflight.Add(1)
+		}
+		defer func() {
+			<-b.sem
+			if b.inflight != nil {
+				b.inflight.Add(-1)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// enqueue waits (bounded) for a slot, shedding on queue overflow, wait
+// timeout, or client cancellation. It reports whether the request was
+// admitted; when it returns false the response has been written.
+func (b *Bulkhead) enqueue(w http.ResponseWriter, r *http.Request, span *obs.Span) bool {
+	if n := b.wait.Add(1); n > int64(b.cfg.MaxWaiting) {
+		b.wait.Add(-1)
+		b.shed(w, span, "queue_full", b.shedQueueFull)
+		return false
+	}
+	if b.waiting != nil {
+		b.waiting.Add(1)
+	}
+	start := time.Now()
+	t := time.NewTimer(b.cfg.MaxWait)
+	defer t.Stop()
+	admitted := false
+	var reason string
+	var c *obs.Counter
+	select {
+	case b.sem <- struct{}{}:
+		admitted = true
+	case <-t.C:
+		reason, c = "wait_timeout", b.shedTimeout
+	case <-r.Context().Done():
+		reason, c = "canceled", b.shedCanceled
+	}
+	b.wait.Add(-1)
+	if b.waiting != nil {
+		b.waiting.Add(-1)
+	}
+	if !admitted {
+		b.shed(w, span, reason, c)
+		return false
+	}
+	queued := time.Since(start)
+	if b.waitSeconds != nil {
+		b.waitSeconds.Observe(queued.Seconds())
+	}
+	span.SetInt("bulkhead_wait_us", queued.Microseconds())
+	return true
+}
+
+// shed answers 503 with a Retry-After hint and records the reason on
+// the metric and the request span. A canceled client gets the status
+// too — it is gone, but the status keeps access logs truthful.
+func (b *Bulkhead) shed(w http.ResponseWriter, span *obs.Span, reason string, c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+	span.SetAttr("shed", reason)
+	secs := int(b.cfg.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "overloaded: request shed ("+reason+"), retry later", http.StatusServiceUnavailable)
+}
+
+// Waiting returns how many requests are queued right now (tests).
+func (b *Bulkhead) Waiting() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.wait.Load()
+}

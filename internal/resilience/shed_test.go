@@ -1,0 +1,218 @@
+package resilience
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// slowHandler blocks until released, signalling entry on started.
+type slowHandler struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (h *slowHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.started <- struct{}{}
+	<-h.release
+	w.WriteHeader(http.StatusOK)
+}
+
+func TestBulkheadConfigValidation(t *testing.T) {
+	if _, err := NewBulkhead(nil, BulkheadConfig{MaxConcurrent: 0}); err == nil {
+		t.Fatal("accepted MaxConcurrent=0")
+	}
+	if _, err := NewBulkhead(nil, BulkheadConfig{MaxConcurrent: 1, MaxWaiting: -1}); err == nil {
+		t.Fatal("accepted MaxWaiting=-1")
+	}
+}
+
+func TestNilBulkheadIsPassthrough(t *testing.T) {
+	var b *Bulkhead
+	h := b.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if b.Waiting() != 0 {
+		t.Fatal("nil bulkhead reports waiters")
+	}
+}
+
+func TestBulkheadShedsWhenSaturated(t *testing.T) {
+	reg := obs.NewRegistry()
+	b, err := NewBulkhead(reg, BulkheadConfig{
+		MaxConcurrent: 1,
+		MaxWaiting:    1,
+		MaxWait:       50 * time.Millisecond,
+		RetryAfter:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &slowHandler{started: make(chan struct{}, 8), release: make(chan struct{})}
+	h := b.Middleware(inner)
+
+	// Occupy the single slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	<-inner.started
+
+	// Fill the single queue seat; it will eventually shed on wait_timeout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("queued request code = %d, want 503 wait_timeout", rec.Code)
+		}
+	}()
+	for i := 0; i < 200 && b.Waiting() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if b.Waiting() != 1 {
+		t.Fatalf("Waiting = %d, want 1", b.Waiting())
+	}
+
+	// Third request: queue full, shed immediately with Retry-After.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overflow code = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want 2", got)
+	}
+	if !strings.Contains(rec.Body.String(), "queue_full") {
+		t.Fatalf("body %q does not name the shed reason", rec.Body.String())
+	}
+
+	// Let the queued waiter hit its MaxWait before the slot frees, so it
+	// sheds on wait_timeout rather than being admitted.
+	for i := 0; i < 500 && b.Waiting() != 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(inner.release)
+	wg.Wait()
+
+	if c := reg.Counter("maras_shed_total", "", obs.Label{Key: "reason", Value: "queue_full"}); c.Value() != 1 {
+		t.Fatalf("queue_full sheds = %d, want 1", c.Value())
+	}
+	if c := reg.Counter("maras_shed_total", "", obs.Label{Key: "reason", Value: "wait_timeout"}); c.Value() != 1 {
+		t.Fatalf("wait_timeout sheds = %d, want 1", c.Value())
+	}
+}
+
+func TestBulkheadAdmitsAfterRelease(t *testing.T) {
+	b, err := NewBulkhead(nil, BulkheadConfig{MaxConcurrent: 1, MaxWaiting: 1, MaxWait: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &slowHandler{started: make(chan struct{}, 8), release: make(chan struct{})}
+	h := b.Middleware(inner)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	<-inner.started
+
+	wg.Add(1)
+	queued := httptest.NewRecorder()
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(queued, httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	for i := 0; i < 200 && b.Waiting() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	go func() { close(inner.release) }()
+	<-inner.started // the queued request got the slot
+	wg.Wait()
+	if queued.Code != http.StatusOK {
+		t.Fatalf("queued request code = %d after slot freed", queued.Code)
+	}
+}
+
+func TestBulkheadShedsCanceledWaiter(t *testing.T) {
+	b, err := NewBulkhead(nil, BulkheadConfig{MaxConcurrent: 1, MaxWaiting: 1, MaxWait: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &slowHandler{started: make(chan struct{}, 8), release: make(chan struct{})}
+	h := b.Middleware(inner)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	<-inner.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := httptest.NewRecorder()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil).WithContext(ctx))
+	}()
+	for i := 0; i < 200 && b.Waiting() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(inner.release)
+	wg.Wait()
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "canceled") {
+		t.Fatalf("canceled waiter: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestBulkheadExempt(t *testing.T) {
+	b, err := NewBulkhead(nil, BulkheadConfig{
+		MaxConcurrent: 1,
+		Exempt:        func(r *http.Request) bool { return r.URL.Path == "/healthz" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &slowHandler{started: make(chan struct{}, 8), release: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.Handle("/slow", inner)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+	h := b.Middleware(mux)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/slow", nil))
+	}()
+	<-inner.started
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("exempt probe got %d while bulkhead saturated", rec.Code)
+	}
+	close(inner.release)
+	wg.Wait()
+}

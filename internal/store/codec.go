@@ -48,6 +48,7 @@ import (
 	"maras/internal/knowledge"
 	"maras/internal/mcac"
 	"maras/internal/meddra"
+	"maras/internal/resilience"
 	"maras/internal/txdb"
 	"maras/internal/types"
 )
@@ -204,6 +205,20 @@ func WriteFile(path, label string, a *core.Analysis) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	// The rename itself lives in the directory; fsync it so a crash
+	// right after WriteFile returns cannot roll the entry back (or
+	// leave a directory pointing at a temp name).
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, serr)
+	}
 	return nil
 }
 
@@ -217,8 +232,14 @@ func Read(r io.Reader) (*Snapshot, error) {
 	return Decode(data)
 }
 
-// Open reads the snapshot file at path.
+// Open reads the snapshot file at path. It hosts the store/decode
+// failpoint: armed, the injected fault presents exactly like a CRC
+// mismatch, so the quarantine and breaker paths above can be provoked
+// without hand-corrupting files.
 func Open(path string) (*Snapshot, error) {
+	if ferr := resilience.Inject(resilience.FPDecode); ferr != nil {
+		return nil, fmt.Errorf("%s: %w (%w)", path, ErrCorrupt, ferr)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)

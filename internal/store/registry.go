@@ -47,6 +47,11 @@ type RegistryOptions struct {
 	// their findings as audit events. A nil auditor evaluates with
 	// defaults and records nothing.
 	Auditor *audit.Auditor
+	// Resilience, when non-nil, puts snapshot loads behind per-quarter
+	// circuit breakers with transient-failure retry, and enables
+	// LoadResilient's stale serving (see ResilienceOptions). Nil keeps
+	// the registry's original fail-on-first-error behavior.
+	Resilience *ResilienceOptions
 }
 
 // DefaultMaxOpen is the open-quarter LRU capacity when
@@ -88,6 +93,10 @@ type Registry struct {
 	trendMu     sync.Mutex
 	trendKey    string
 	trendCached *trend.Analysis
+
+	// res is the resilience machinery (breakers, stale cache,
+	// quarantine); nil unless RegistryOptions.Resilience was set.
+	res *resState
 }
 
 // entry is one resident (or loading) quarter. The sync.Once decouples
@@ -118,6 +127,10 @@ func OpenRegistry(dir string, opts RegistryOptions) (*Registry, error) {
 	if r.maxOpen <= 0 {
 		r.maxOpen = DefaultMaxOpen
 	}
+	if opts.Resilience != nil {
+		r.initResilience(*opts.Resilience)
+	}
+	r.sweepOrphans()
 	if err := r.Refresh(); err != nil {
 		return nil, err
 	}
@@ -283,7 +296,7 @@ func (r *Registry) LoadContext(ctx context.Context, label string) (*core.Analysi
 		defer dspan.End()
 		start := time.Now()
 		path := r.Path(label)
-		snap, err := Open(path)
+		snap, err := r.openResilient(ctx, label, path, dspan)
 		if err != nil {
 			e.err = err
 			dspan.SetAttr("error", err.Error())

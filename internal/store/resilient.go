@@ -1,0 +1,361 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"maras/internal/audit"
+	"maras/internal/core"
+	"maras/internal/obs"
+	"maras/internal/resilience"
+)
+
+// QuarantinedExt is appended to a corrupt snapshot's filename when the
+// registry quarantines it ("2014Q1.maras" -> "2014Q1.maras.quarantined").
+// The suffix no longer ends in Ext, so Refresh stops discovering the
+// file; an operator repairs it out of band and renames it back.
+const QuarantinedExt = ".quarantined"
+
+// DefaultStaleCap bounds the last-good stale cache when
+// ResilienceOptions.StaleCap is zero.
+const DefaultStaleCap = 8
+
+// ResilienceOptions opts a Registry into fault-tolerant loading. The
+// zero value (referenced via RegistryOptions.Resilience) enables retry,
+// circuit breaking, and stale serving with defaults; quarantine stays
+// opt-in because it renames files.
+type ResilienceOptions struct {
+	// Quarantine, when true, renames a snapshot that fails decode as
+	// corrupt (ErrCorrupt/ErrBadMagic) to *.quarantined so it drops out
+	// of discovery and stops tripping the breaker on every probe. Off
+	// by default: repair-in-place workflows (and tests that exercise
+	// them) expect the file to stay where it is.
+	Quarantine bool
+	// Retry bounds the transient-failure retry around each disk load;
+	// the zero value takes resilience.DefaultRetry.
+	Retry resilience.RetryConfig
+	// Breaker tunes the per-quarter circuit breakers; the zero value
+	// takes the resilience defaults.
+	Breaker resilience.BreakerConfig
+	// StaleCap bounds how many last-good analyses LoadResilient keeps
+	// for stale serving (0 means DefaultStaleCap).
+	StaleCap int
+}
+
+// resState is a registry's resilience machinery; nil means the
+// registry behaves exactly as before the resilience layer existed.
+type resState struct {
+	opts     ResilienceOptions
+	breakers *resilience.BreakerSet
+
+	mu       sync.Mutex
+	stale    map[string]*core.Analysis
+	order    []string        // stale keys, least-recent first
+	degraded map[string]bool // labels currently served stale
+}
+
+// initResilience wires the resilience machinery into r from opts.
+func (r *Registry) initResilience(opts ResilienceOptions) {
+	if opts.StaleCap <= 0 {
+		opts.StaleCap = DefaultStaleCap
+	}
+	s := &resState{
+		opts:     opts,
+		stale:    map[string]*core.Analysis{},
+		degraded: map[string]bool{},
+	}
+	s.breakers = resilience.NewBreakerSet(opts.Breaker, func(key string, from, to resilience.BreakerState) {
+		if m := r.metrics; m != nil && m.BreakersOpen != nil {
+			m.BreakersOpen.Set(int64(s.breakers.OpenCount()))
+		}
+		sev := audit.SevWarn
+		if to == resilience.StateClosed {
+			sev = audit.SevInfo
+		}
+		r.auditor.RecordEvent(audit.Event{
+			Rule:     "store_breaker",
+			Severity: sev,
+			Scope:    key,
+			Message:  fmt.Sprintf("load breaker %s -> %s", from, to),
+		})
+	})
+	r.res = s
+}
+
+// classifyLoad decides whether a failed snapshot load is worth
+// retrying. Damage and format mismatches cannot clear on their own;
+// neither can a missing file or an open breaker. Everything else is
+// treated as a transient I/O hiccup.
+func classifyLoad(err error) resilience.Class {
+	switch {
+	case errors.Is(err, ErrCorrupt),
+		errors.Is(err, ErrBadMagic),
+		errors.Is(err, ErrVersion),
+		errors.Is(err, os.ErrNotExist),
+		errors.Is(err, resilience.ErrBreakerOpen),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return resilience.Permanent
+	}
+	return resilience.Transient
+}
+
+// openResilient performs the disk read behind a cold load. Without
+// resilience options it is a plain Open (plus the load failpoint the
+// chaos harness drives). With them, the read runs behind the quarter's
+// circuit breaker with transient-failure retry; a corrupt decode trips
+// the breaker immediately and — when opted in — quarantines the file.
+func (r *Registry) openResilient(ctx context.Context, label, path string, span *obs.Span) (*Snapshot, error) {
+	loadOnce := func(context.Context) (*Snapshot, error) {
+		if err := resilience.Inject(resilience.FPLoad); err != nil {
+			return nil, fmt.Errorf("store: %s: %w", path, err)
+		}
+		return Open(path)
+	}
+	if r.res == nil {
+		return loadOnce(ctx)
+	}
+	br := r.res.breakers.Get(label)
+	if !br.Allow() {
+		span.SetAttr("breaker", "open")
+		return nil, fmt.Errorf("store: quarter %q: %w", label, resilience.ErrBreakerOpen)
+	}
+	var snap *Snapshot
+	attempts, err := r.res.opts.Retry.Do(ctx, func(ctx context.Context) error {
+		s, e := loadOnce(ctx)
+		if e == nil {
+			snap = s
+		}
+		return e
+	}, classifyLoad)
+	if attempts > 1 {
+		if m := r.metrics; m != nil && m.Retries != nil {
+			m.Retries.Add(int64(attempts - 1))
+		}
+		span.SetInt("retries", int64(attempts-1))
+	}
+	if err != nil {
+		permanent := classifyLoad(err) == resilience.Permanent
+		br.Failure(permanent)
+		if r.res.opts.Quarantine && (errors.Is(err, ErrCorrupt) || errors.Is(err, ErrBadMagic)) {
+			r.quarantine(label, path, err)
+		}
+		return nil, err
+	}
+	br.Success()
+	return snap, nil
+}
+
+// quarantine moves label's corrupt snapshot aside and removes the
+// quarter from discovery: the file keeps its bytes for forensics, the
+// serving path stops routing to it, and the breaker (now guarding
+// nothing) is dropped. An operator repairs the file and renames it
+// back (or re-mines with Save); either way the quarter returns.
+func (r *Registry) quarantine(label, path string, cause error) {
+	qpath := path + QuarantinedExt
+	if err := os.Rename(path, qpath); err != nil {
+		r.auditor.RecordEvent(audit.Event{
+			Rule:     "store_quarantine",
+			Severity: audit.SevFail,
+			Scope:    label,
+			Message:  "quarantine rename failed: " + err.Error(),
+		})
+		return
+	}
+	if m := r.metrics; m != nil && m.Quarantined != nil {
+		m.Quarantined.Inc()
+	}
+	r.auditor.RecordEvent(audit.Event{
+		Rule:     "store_quarantine",
+		Severity: audit.SevFail,
+		Scope:    label,
+		Message:  fmt.Sprintf("corrupt snapshot quarantined to %s: %v", filepath.Base(qpath), cause),
+	})
+	r.mu.Lock()
+	for i, q := range r.quarters {
+		if q == label {
+			r.quarters = append(r.quarters[:i], r.quarters[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+	r.qmu.Lock()
+	delete(r.quality, label)
+	r.qmu.Unlock()
+	r.invalidateTrend()
+	r.res.breakers.Remove(label)
+	// Remove drops the breaker without a state-change callback; refresh
+	// the gauge so an open breaker does not linger on /metrics after
+	// its quarter is gone.
+	if m := r.metrics; m != nil && m.BreakersOpen != nil {
+		m.BreakersOpen.Set(int64(r.res.breakers.OpenCount()))
+	}
+}
+
+// LoadResilient is LoadContext with graceful degradation: when the
+// live load fails (open breaker, quarantined file, exhausted retries)
+// but a last-good copy of the quarter is cached, the copy is served
+// with stale=true instead of an error. A fresh success repopulates the
+// cache and clears the quarter's degraded mark. Without resilience
+// options it is LoadContext with stale always false.
+func (r *Registry) LoadResilient(ctx context.Context, label string) (a *core.Analysis, stale bool, err error) {
+	a, err = r.LoadContext(ctx, label)
+	if err == nil {
+		r.noteFresh(label, a)
+		return a, false, nil
+	}
+	if r.res == nil {
+		return nil, false, err
+	}
+	if sa := r.staleCopy(label); sa != nil {
+		if m := r.metrics; m != nil && m.StaleServes != nil {
+			m.StaleServes.Inc()
+		}
+		if span := obs.ActiveSpan(ctx); span != nil {
+			span.SetAttr("stale", "true")
+		}
+		r.markDegraded(label, err)
+		return sa, true, nil
+	}
+	return nil, false, err
+}
+
+// noteFresh records a successful live load: the analysis becomes the
+// quarter's last-good stale copy, and a previously degraded quarter is
+// marked recovered on the audit timeline.
+func (r *Registry) noteFresh(label string, a *core.Analysis) {
+	s := r.res
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.stale[label]; !ok {
+		s.order = append(s.order, label)
+		for len(s.order) > s.opts.StaleCap {
+			victim := s.order[0]
+			s.order = s.order[1:]
+			delete(s.stale, victim)
+		}
+	}
+	s.stale[label] = a
+	recovered := s.degraded[label]
+	delete(s.degraded, label)
+	s.mu.Unlock()
+	if recovered {
+		r.auditor.ForgetEvent("store_stale/" + label)
+		r.auditor.RecordEvent(audit.Event{
+			Rule:     "store_degraded",
+			Severity: audit.SevInfo,
+			Scope:    label,
+			Message:  "quarter recovered: serving fresh snapshot again",
+		})
+	}
+}
+
+// staleCopy returns label's last-good analysis, refreshing its LRU
+// position, or nil.
+func (r *Registry) staleCopy(label string) *core.Analysis {
+	s := r.res
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.stale[label]
+	if a != nil {
+		for i, l := range s.order {
+			if l == label {
+				s.order = append(append(append([]string{}, s.order[:i]...), s.order[i+1:]...), label)
+				break
+			}
+		}
+	}
+	return a
+}
+
+// markDegraded flags label as served-stale and records one audit event
+// per degradation episode (cleared by the next fresh load).
+func (r *Registry) markDegraded(label string, cause error) {
+	s := r.res
+	s.mu.Lock()
+	first := !s.degraded[label]
+	s.degraded[label] = true
+	s.mu.Unlock()
+	if first {
+		r.auditor.RecordEventOnce("store_stale/"+label, audit.Event{
+			Rule:     "store_degraded",
+			Severity: audit.SevWarn,
+			Scope:    label,
+			Message:  "serving last-good stale snapshot: " + cause.Error(),
+		})
+	}
+}
+
+// HasStale reports whether label has a last-good stale copy — i.e.
+// whether LoadResilient could still answer for it even if the snapshot
+// vanished from disk (quarantined, deleted).
+func (r *Registry) HasStale(label string) bool {
+	s := r.res
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stale[label] != nil
+}
+
+// Degraded reports whether the registry is currently limping: any
+// quarter served stale or any load breaker not closed. Always false
+// without resilience options.
+func (r *Registry) Degraded() bool {
+	s := r.res
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	n := len(s.degraded)
+	s.mu.Unlock()
+	return n > 0 || s.breakers.OpenCount() > 0
+}
+
+// BreakerStates snapshots the per-quarter load-breaker states; empty
+// without resilience options.
+func (r *Registry) BreakerStates() map[string]resilience.BreakerState {
+	if r.res == nil {
+		return map[string]resilience.BreakerState{}
+	}
+	return r.res.breakers.States()
+}
+
+// sweepOrphans removes write-temp files (label.maras.tmp*) left behind
+// by a writer that crashed between CreateTemp and the rename. Called
+// once at OpenRegistry, never during serving, so it cannot race a live
+// writer's rename.
+func (r *Registry) sweepOrphans() int {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if name := e.Name(); strings.Contains(name, Ext+".tmp") {
+			if os.Remove(filepath.Join(r.dir, name)) == nil {
+				removed++
+			}
+		}
+	}
+	if removed > 0 {
+		r.auditor.RecordEvent(audit.Event{
+			Rule:     "store_tmp_sweep",
+			Severity: audit.SevInfo,
+			Scope:    "store",
+			Message:  fmt.Sprintf("removed %d orphaned snapshot temp file(s)", removed),
+		})
+	}
+	return removed
+}
