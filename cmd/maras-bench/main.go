@@ -17,6 +17,7 @@
 //	trend         cross-quarter trajectories under ramping exposure
 //	drift         audit-layer drift detection: churn/rank-shift per pair + cost (BENCH_drift.json)
 //	chaos         fault-injected serving: availability/shed/recovery per mix (BENCH_chaos.json)
+//	slo           burn-rate alerting against a live server: client vs /api/slo agreement (BENCH_slo.json)
 //	all           everything above
 //
 // Usage:
@@ -48,6 +49,7 @@ type benchConfig struct {
 	traceOut   string
 	driftOut   string
 	chaosOut   string
+	sloOut     string
 	failpoints string
 }
 
@@ -121,6 +123,7 @@ func main() {
 		traceOut   = flag.String("trace-out", "BENCH_trace.json", "per-stage pipeline trace JSON artifact (empty = skip)")
 		driftOut   = flag.String("drift-out", "BENCH_drift.json", "drift-experiment JSON artifact (empty = skip)")
 		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "chaos-experiment JSON artifact (empty = skip)")
+		sloOut     = flag.String("slo-out", "BENCH_slo.json", "slo-experiment JSON artifact (empty = skip)")
 		failpoints = flag.String("failpoints", "", "custom failpoint spec for -exp chaos (replaces the built-in fault mixes)")
 	)
 	flag.Parse()
@@ -128,7 +131,7 @@ func main() {
 	cfg := benchConfig{
 		seed: *seed, reports: *reports, minsup: *minsup,
 		paperScale: *paperScale, svgOut: *svgOut, traceOut: *traceOut,
-		driftOut: *driftOut, chaosOut: *chaosOut, failpoints: *failpoints,
+		driftOut: *driftOut, chaosOut: *chaosOut, sloOut: *sloOut, failpoints: *failpoints,
 	}
 
 	runners := map[string]func(benchConfig) error{
@@ -146,11 +149,12 @@ func main() {
 		"trend":          runTrend,
 		"drift":          runDrift,
 		"chaos":          runChaos,
+		"slo":            runSLO,
 	}
 	order := []string{
 		"table5.1", "fig5.1", "table5.2", "cases", "fig5.2", "figs4",
 		"ablate-theta", "ablate-decay", "ablate-closed", "ablate-suspect",
-		"baselines", "trend", "drift", "chaos",
+		"baselines", "trend", "drift", "chaos", "slo",
 	}
 
 	var ids []string

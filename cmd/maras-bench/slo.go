@@ -1,0 +1,402 @@
+package main
+
+// The slo experiment validates the burn-rate alerting spine end to
+// end against a live instrumented server: it snapshots mined quarters
+// into a throwaway store, serves them through the real observability
+// middleware with a fast-scraping metrics history and scaled-down
+// burn-rate windows, then replays a clean / fault-armed / recovery
+// load sequence over real HTTP. The client keeps its own books
+// (status codes, latencies) and at the end compares them against what
+// /api/slo reports — availability must agree to within a scrape
+// interval's worth of traffic, the latency p99 must land in the same
+// histogram bucket — and asserts the injected fault mix drove a
+// fast-burn breach into the audit log that cleared after recovery.
+// The numbers land in BENCH_slo.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/core"
+	"maras/internal/obs"
+	"maras/internal/obs/history"
+	"maras/internal/resilience"
+	"maras/internal/slo"
+	"maras/internal/store"
+)
+
+// sloBench compresses production burn-rate dynamics into seconds:
+// windows shrink 600x (5m/1h -> 500ms/6s, 30m/6h -> 3s/36s) and the
+// history scrapes every 50ms, so a breach that takes minutes to
+// confirm in production confirms in about a second here.
+const (
+	sloWindowScale  = 1.0 / 600
+	sloScrapeEvery  = 50 * time.Millisecond
+	sloAvailTarget  = 0.995
+	sloP99Target    = 250 * time.Millisecond
+	sloFaultSpec    = "=error(0.85)" // appended to resilience.FPLoad
+	sloCleanFor     = 1500 * time.Millisecond
+	sloFaultMaxWait = 8 * time.Second
+	sloClearMaxWait = 10 * time.Second
+	sloRequestGap   = 2 * time.Millisecond
+)
+
+// sloPhase is one load phase's client-side ledger.
+type sloPhase struct {
+	Name     string  `json:"phase"`
+	Requests int     `json:"requests"`
+	OK       int     `json:"ok"`
+	Err5xx   int     `json:"err_5xx"`
+	Millis   int64   `json:"millis"`
+	ErrRate  float64 `json:"err_rate"`
+}
+
+// sloArtifact is the BENCH_slo.json payload.
+type sloArtifact struct {
+	Quarters     []string   `json:"quarters"`
+	WindowScale  float64    `json:"window_scale"`
+	ScrapeMillis int64      `json:"scrape_millis"`
+	Phases       []sloPhase `json:"phases"`
+
+	ClientAvailability float64 `json:"client_availability"`
+	EngineAvailability float64 `json:"engine_availability"`
+	AvailabilityDelta  float64 `json:"availability_delta"`
+	ClientP99Seconds   float64 `json:"client_p99_seconds"`
+	EngineP99Seconds   float64 `json:"engine_p99_seconds"`
+	P99BucketDistance  int     `json:"p99_bucket_distance"`
+
+	BreachDetectMillis int64 `json:"breach_detect_millis"`
+	BreachClearMillis  int64 `json:"breach_clear_millis"`
+	DegradedDuring     bool  `json:"degraded_during_breach"`
+	RecoveredClean     bool  `json:"recovered_clean"`
+
+	Report slo.Report `json:"slo_report"`
+}
+
+// runSLO drives the live-server burn-rate scenario and writes
+// BENCH_slo.json (path from -slo-out).
+func runSLO(cfg benchConfig) error {
+	labels := quarterLabels[:3]
+	analyses := make([]*core.Analysis, len(labels))
+	for i, label := range labels {
+		q, _, err := genQuarter(cfg, label, int64(i))
+		if err != nil {
+			return err
+		}
+		opts := core.NewOptions()
+		opts.MinSupport = cfg.minsup
+		a, err := tracedRun("slo", q, opts)
+		if err != nil {
+			return err
+		}
+		analyses[i] = a
+	}
+
+	dir, err := os.MkdirTemp("", "maras-slo-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	for i, label := range labels {
+		if err := store.WriteFile(filepath.Join(dir, label+store.Ext), label, analyses[i]); err != nil {
+			return err
+		}
+	}
+
+	// No resilience layer: the point is to measure raw fault impact,
+	// so injected load errors must surface as 503s instead of being
+	// absorbed by retries or masked by the stale cache. MaxOpen 1
+	// keeps the LRU churning so every request walks the disk path the
+	// failpoint arms.
+	reg := obs.NewRegistry()
+	sreg, err := store.OpenRegistry(dir, store.RegistryOptions{
+		MaxOpen: 1,
+		Metrics: obs.NewStoreMetrics(reg),
+	})
+	if err != nil {
+		return err
+	}
+
+	alog := audit.NewLog(audit.LogOptions{Metrics: reg})
+	ready := &obs.Readiness{}
+	ready.SetReady()
+	mw := obs.NewHTTPMetrics(reg, nil)
+
+	hist := history.New(reg, history.Options{
+		Interval:  sloScrapeEvery,
+		Retention: 2 * time.Minute,
+	})
+	eng := slo.NewEngine(hist, slo.Config{
+		Objectives: slo.DefaultObjectives(sloAvailTarget, sloP99Target, 0.5, 0.5),
+		Rules:      slo.DefaultRules(sloWindowScale),
+		Log:        alog,
+		Ready:      ready,
+		Metrics:    reg,
+	})
+	hist.OnScrape(eng.Tick)
+
+	// Only the quarter route is instrumented, exactly like
+	// maras-server's application routes: http_requests_total then
+	// counts precisely the traffic this client measures, making the
+	// availability comparison exact. The operational endpoints mount
+	// outside the middleware, as in production.
+	mux := http.NewServeMux()
+	mw.Handle(mux, "/q/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		label := strings.TrimPrefix(r.URL.Path, "/q/")
+		a, _, err := sreg.LoadResilient(r.Context(), label)
+		if err != nil {
+			http.Error(w, "quarter unavailable: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "%s: %d signals\n", label, len(a.Signals))
+	}))
+	mux.Handle("/api/slo", slo.Handler(eng))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hist.Start(ctx) // immediate first scrape: zero baselines before traffic
+
+	resilience.Seed(cfg.seed)
+	defer resilience.DisableAll()
+
+	art := sloArtifact{
+		Quarters:     labels,
+		WindowScale:  sloWindowScale,
+		ScrapeMillis: sloScrapeEvery.Milliseconds(),
+	}
+	client := ts.Client()
+	var latencies []float64
+	var total, bad int
+
+	// hit issues one request against a round-robin quarter, keeping
+	// the client-side ledger the engine comparison settles against.
+	seq := 0
+	hit := func(p *sloPhase) {
+		label := labels[seq%len(labels)]
+		seq++
+		start := time.Now()
+		resp, err := client.Get(ts.URL + "/q/" + label)
+		elapsed := time.Since(start).Seconds()
+		p.Requests++
+		total++
+		if err != nil {
+			p.Err5xx++
+			bad++
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		latencies = append(latencies, elapsed)
+		if resp.StatusCode >= 500 {
+			p.Err5xx++
+			bad++
+		} else {
+			p.OK++
+		}
+	}
+	finishPhase := func(p *sloPhase, started time.Time) {
+		p.Millis = time.Since(started).Milliseconds()
+		if p.Requests > 0 {
+			p.ErrRate = float64(p.Err5xx) / float64(p.Requests)
+		}
+		art.Phases = append(art.Phases, *p)
+	}
+
+	fmt.Printf("Burn-rate scenario: %d quarters, windows x%.4g, scrape %s\n\n",
+		len(labels), sloWindowScale, sloScrapeEvery)
+
+	// Phase 1 — clean: establish healthy baselines.
+	clean := sloPhase{Name: "clean"}
+	cleanStart := time.Now()
+	for time.Since(cleanStart) < sloCleanFor {
+		hit(&clean)
+		time.Sleep(sloRequestGap)
+	}
+	finishPhase(&clean, cleanStart)
+
+	// Phase 2 — fault: arm the failpoint and drive traffic until the
+	// fast-burn rule fires (both windows over 14.4x budget).
+	if err := resilience.Enable(resilience.FPLoad + sloFaultSpec); err != nil {
+		return err
+	}
+	fault := sloPhase{Name: "fault"}
+	faultStart := time.Now()
+	breached := false
+	for time.Since(faultStart) < sloFaultMaxWait {
+		hit(&fault)
+		if ready.Degraded() {
+			breached = true
+			break
+		}
+		time.Sleep(sloRequestGap)
+	}
+	art.BreachDetectMillis = time.Since(faultStart).Milliseconds()
+	art.DegradedDuring = breached
+	finishPhase(&fault, faultStart)
+
+	// Phase 3 — recovery: faults clear; keep serving clean traffic
+	// until the short window drains and the cooldown clears the breach.
+	resilience.DisableAll()
+	recovery := sloPhase{Name: "recovery"}
+	recoveryStart := time.Now()
+	cleared := false
+	for time.Since(recoveryStart) < sloClearMaxWait {
+		hit(&recovery)
+		if breached && !ready.Degraded() {
+			cleared = true
+			break
+		}
+		time.Sleep(sloRequestGap)
+	}
+	art.BreachClearMillis = time.Since(recoveryStart).Milliseconds()
+	art.RecoveredClean = cleared
+	finishPhase(&recovery, recoveryStart)
+	cancel() // stop the scrape loop before the manual tail scrape
+
+	// Tail scrape: fold the final partial interval into the history so
+	// the engine has seen every request the client counted.
+	hist.Scrape()
+
+	// Fetch the engine's own accounting over /api/slo, like an
+	// operator would.
+	resp, err := client.Get(ts.URL + "/api/slo")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&art.Report); err != nil {
+		return fmt.Errorf("decode /api/slo: %w", err)
+	}
+
+	// Settle the books: client-measured vs engine-reported.
+	art.ClientAvailability = 1
+	if total > 0 {
+		art.ClientAvailability = 1 - float64(bad)/float64(total)
+	}
+	art.ClientP99Seconds = percentile(latencies, 0.99)
+	for _, o := range art.Report.Objectives {
+		switch o.Name {
+		case "availability":
+			art.EngineAvailability = o.PeriodValue
+		case "latency-p99":
+			art.EngineP99Seconds = o.PeriodValue
+		}
+	}
+	art.AvailabilityDelta = math.Abs(art.ClientAvailability - art.EngineAvailability)
+	art.P99BucketDistance = bucketDistance(art.ClientP99Seconds, art.EngineP99Seconds,
+		obs.DefaultLatencyBuckets)
+
+	// Audit-log assertions: the breach landed and then cleared.
+	var sawBurn, sawRecovered bool
+	for _, e := range alog.Recent(0) {
+		if e.Rule == "slo_burn" && e.Scope == "availability" && e.Severity == audit.SevFail {
+			sawBurn = true
+		}
+		if e.Rule == "slo_recovered" && e.Scope == "availability" {
+			sawRecovered = true
+		}
+	}
+
+	fmt.Printf("%-10s %9s %6s %8s %9s %9s\n", "Phase", "Requests", "OK", "5xx", "ErrRate", "Wall")
+	for _, p := range art.Phases {
+		fmt.Printf("%-10s %9d %6d %8d %8.1f%% %8dms\n",
+			p.Name, p.Requests, p.OK, p.Err5xx, 100*p.ErrRate, p.Millis)
+	}
+	fmt.Printf("\navailability: client %.4f vs engine %.4f (delta %.4f)\n",
+		art.ClientAvailability, art.EngineAvailability, art.AvailabilityDelta)
+	fmt.Printf("latency p99:  client %.4fs vs engine %.4fs (bucket distance %d)\n",
+		art.ClientP99Seconds, art.EngineP99Seconds, art.P99BucketDistance)
+	fmt.Printf("fast burn:    detected in %dms, cleared %dms after faults lifted\n",
+		art.BreachDetectMillis, art.BreachClearMillis)
+
+	// The scrape interval bounds the measurement disagreement: at most
+	// one interval of traffic can be in flight between the client's
+	// ledger and the last scrape, and the tail scrape shrinks that to
+	// rounding. 1% of budget is far more than one interval's traffic.
+	if art.AvailabilityDelta > 0.01 {
+		fmt.Printf("  !! availability disagreement %.4f exceeds one scrape interval's traffic\n",
+			art.AvailabilityDelta)
+	}
+	if art.P99BucketDistance > 1 {
+		fmt.Printf("  !! engine p99 %.4fs not within one histogram bucket of client p99 %.4fs\n",
+			art.EngineP99Seconds, art.ClientP99Seconds)
+	}
+	if !breached || !sawBurn {
+		fmt.Printf("  !! fault mix did not drive a fast-burn availability breach into the audit log\n")
+	}
+	if !cleared || !sawRecovered {
+		fmt.Printf("  !! breach did not clear after recovery (degraded=%v, recovered-event=%v)\n",
+			ready.Degraded(), sawRecovered)
+	}
+
+	fmt.Println("\nShape check: the clean phase holds every burn rate near zero; arming an 85% load-error")
+	fmt.Println("failpoint drives the 5xx rate far past 14.4x the availability budget in both fast")
+	fmt.Println("windows, landing a SevFail slo_burn event and flipping /readyz to degraded; lifting")
+	fmt.Println("the faults drains the short window and the cooldown clears the breach, logging")
+	fmt.Println("slo_recovered. Client- and engine-measured availability agree to a scrape interval.")
+
+	if cfg.sloOut != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.sloOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote slo artifact (%d phases) to %s\n", len(art.Phases), cfg.sloOut)
+	}
+	return nil
+}
+
+// percentile returns the p-quantile of the sample set by
+// nearest-rank on the sorted values (0 when empty).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// bucketDistance reports how many histogram buckets apart two values
+// fall — 0 means the same bucket, so the engine's interpolated
+// quantile cannot be told apart from the client's exact one at the
+// histogram's resolution.
+func bucketDistance(a, b float64, bounds []float64) int {
+	d := bucketIndex(a, bounds) - bucketIndex(b, bounds)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func bucketIndex(v float64, bounds []float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}

@@ -96,6 +96,9 @@ td:first-child,th:first-child{text-align:left}
 </style></head><body>
 <h1>MARAS store — {{len .Rows}} quarters</h1>
 <p>Default quarter: <a href="/">{{.Default}}</a> · alert timeline at <a href="/debug/audit">/debug/audit</a></p>
+{{if .SLOs}}<p>SLOs (<a href="/api/slo">/api/slo</a>):
+{{range .SLOs}} <span class="{{.Status}}">{{.Name}}</span> ({{.Detail}}) ·{{end}}
+ history at <a href="/debug/history">/debug/history</a></p>{{end}}
 <table>
 <tr><th>Quarter</th><th>Reports</th><th>Drop&nbsp;rate</th><th>Signals</th><th>Quality</th>
 <th>Churn vs prev</th><th>Rank shift</th><th>New</th><th>Dropped</th><th>Drift</th></tr>
@@ -148,7 +151,8 @@ func (ss *storeServer) handleQuartersPage(w http.ResponseWriter, r *http.Request
 	data := struct {
 		Default string
 		Rows    []quarterRow
-	}{Default: ss.reg.Latest(), Rows: rows}
+		SLOs    []sloSummary
+	}{Default: ss.reg.Latest(), Rows: rows, SLOs: ss.slos.summarize()}
 	var sb strings.Builder
 	if err := quartersTmpl.Execute(&sb, data); err != nil {
 		ss.log().Error("quarters page render", "err", err)

@@ -48,7 +48,9 @@ import (
 	"maras/internal/glyph"
 	"maras/internal/network"
 	"maras/internal/obs"
+	"maras/internal/obs/history"
 	"maras/internal/resilience"
+	"maras/internal/slo"
 	"maras/internal/strata"
 )
 
@@ -81,10 +83,13 @@ func (s *server) log() *slog.Logger {
 // routes assembles the full instrumented mux: every UI/API handler
 // wrapped in the observability middleware, plus the operational
 // endpoints. journal may be nil (tracing disabled, /debug/traces
-// 404s); ready gates /readyz; shed may be nil (no load shedding).
-// The bulkhead covers only the application routes, so health probes
-// and metric scrapes stay answerable under saturation.
-func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead) http.Handler {
+// 404s); ready gates /readyz; shed may be nil (no load shedding);
+// slos may be nil (history/SLO endpoints 404). The bulkhead covers
+// only the application routes, so health probes and metric scrapes
+// stay answerable under saturation. The text-heavy operational
+// endpoints negotiate gzip — exposition text and trace dumps
+// compress an order of magnitude.
+func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack) http.Handler {
 	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
 	mux := http.NewServeMux()
 	mw.Handle(mux, "/", app(s.handleIndex))
@@ -95,14 +100,24 @@ func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Jou
 	mw.Handle(mux, "/api/signals", app(s.handleAPISignals))
 	mw.Handle(mux, "/network.dot", app(s.handleNetworkDOT))
 	mw.Handle(mux, "/network.json", app(s.handleNetworkJSON))
-	mux.Handle("/metrics", obs.MetricsHandler(reg))
-	mux.Handle("/healthz", obs.HealthzHandler(s.healthDetail))
-	mux.Handle("/readyz", obs.ReadyzHandler(ready, s.healthDetail))
-	mux.Handle("/debug/traces", obs.TracesHandler(journal))
-	mux.Handle("/debug/audit", audit.Handler(s.alog))
+	mountOperational(mux, reg, journal, ready, slos, s.healthDetail, s.alog)
+	return mux
+}
+
+// mountOperational registers the operational endpoints shared by the
+// mining and store serving modes: metrics, health/readiness, trace
+// and audit timelines, the metrics history, and the SLO report.
+func mountOperational(mux *http.ServeMux, reg *obs.Registry, journal *obs.Journal, ready *obs.Readiness, slos *sloStack, detail func() map[string]any, alog *audit.Log) {
+	mux.Handle("/metrics", obs.GzipHandler(obs.MetricsHandler(reg)))
+	mux.Handle("/healthz", obs.HealthzHandler(detail))
+	mux.Handle("/readyz", obs.ReadyzHandler(ready, detail))
+	mux.Handle("/debug/traces", obs.GzipHandler(obs.TracesHandler(journal)))
+	mux.Handle("/debug/audit", audit.Handler(alog))
+	mux.Handle("/debug/history", obs.GzipHandler(history.Handler(slos.history())))
+	mux.Handle("/api/history/", obs.GzipHandler(history.APIHandler(slos.history(), "/api/history/")))
+	mux.Handle("/api/slo", obs.GzipHandler(slo.Handler(slos.engine())))
 	mux.Handle("/debug/vars", obs.ExpvarHandler())
 	obs.RegisterPprof(mux)
-	return mux
 }
 
 // quarterMux assembles just the per-quarter application routes —
@@ -151,6 +166,15 @@ func main() {
 		auditTopK      = flag.Int("audit-topk", 25, "audit: rank cutoff for drift comparison (negative = all signals)")
 		auditChurnWarn = flag.Float64("audit-churn-warn", 0.5, "audit: warn when the top-K churn rate between quarters reaches this")
 		auditDropWarn  = flag.Float64("audit-drop-warn", 0.6, "audit: warn when a quarter's cleaning drop rate reaches this")
+
+		historyScrape    = flag.Duration("history-scrape", 10*time.Second, "metrics history scrape interval (0 disables history and the SLO engine)")
+		historyRetention = flag.Duration("history-retention", 6*time.Hour, "how far back metrics history windows can reach")
+		sloAvailability  = flag.Float64("slo-availability", 0.995, "SLO: target fraction of requests answered without a 5xx (0 disables)")
+		sloP99           = flag.Duration("slo-p99", 500*time.Millisecond, "SLO: p99 request latency target (0 disables)")
+		sloStaleCeiling  = flag.Float64("slo-stale-ceiling", 0.05, "SLO: max fraction of requests served from the stale cache (0 disables)")
+		sloShedCeiling   = flag.Float64("slo-shed-ceiling", 0.10, "SLO: max fraction of requests shed by the bulkhead (0 disables)")
+		sloWindowScale   = flag.Float64("slo-window-scale", 1, "SLO: multiply the burn-rate rule windows (sub-1 values shrink 5m/1h to test burn dynamics quickly)")
+		sloCooldown      = flag.Duration("slo-cooldown", 0, "SLO: clean time before an active breach clears (0 = each rule's short window)")
 
 		failpoints  = flag.String("failpoints", "", "arm fault-injection sites, e.g. 'store/decode=error*1;store/load=delay(50ms,0.2)' (also read from "+resilience.FailpointEnv+")")
 		maxInflight = flag.Int("max-inflight", 64, "bulkhead: application requests executing concurrently (0 disables load shedding)")
@@ -228,6 +252,20 @@ func main() {
 		}
 	}
 
+	// The SLO stack: scrape the registry into ring-buffer history and
+	// evaluate burn-rate rules on every sample. Shares the audit log
+	// and readiness probe with the rest of the alerting spine.
+	slos := newSLOStack(reg, alog, ready, logger, sloOptions{
+		scrape:       *historyScrape,
+		retention:    *historyRetention,
+		availability: *sloAvailability,
+		p99:          *sloP99,
+		staleCeiling: *sloStaleCeiling,
+		shedCeiling:  *sloShedCeiling,
+		windowScale:  *sloWindowScale,
+		cooldown:     *sloCooldown,
+	})
+
 	var sampler *obs.RuntimeSampler
 	if *runtimeSample > 0 {
 		sampler = obs.NewRuntimeSampler(reg, obs.RuntimeSamplerOptions{
@@ -251,7 +289,7 @@ func main() {
 		quarters := ss.reg.Quarters()
 		logger.Info("serving from store", "dir", *storeDir,
 			"quarters", len(quarters), "default", ss.reg.Latest())
-		handler = ss.routes(reg, mw, journal, ready, shed)
+		handler = ss.routes(reg, mw, journal, ready, shed, slos)
 		ready.SetReady() // registry opened and scanned: store mode can serve
 		// Populate the audit timeline in the background: quality per
 		// quarter, drift per adjacent pair. Serving never waits on it,
@@ -302,9 +340,13 @@ func main() {
 		logger.Info("ingest quality", "quarter", *quarter, "verdict", qr.Verdict,
 			"drop_rate", fmt.Sprintf("%.3f", qr.DropRate), "findings", len(qr.Findings))
 		s := &server{analysis: a, quarter: *quarter, logger: logger, alog: alog, started: time.Now()}
-		handler = s.routes(reg, mw, journal, ready, shed)
+		handler = s.routes(reg, mw, journal, ready, shed, slos)
 		ready.SetReady() // initial mine complete: traffic can flow
 	}
+	// Start scraping only once the serving mode is up: the first
+	// scrape then sees every eagerly-registered route series, giving
+	// the burn-rate windows a clean zero baseline.
+	slos.start(ctx)
 
 	srv := &http.Server{
 		Addr:              *addr,

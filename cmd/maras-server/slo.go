@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/obs"
+	"maras/internal/obs/history"
+	"maras/internal/slo"
+)
+
+// sloOptions carries the -history-*/-slo-* flag values into
+// newSLOStack.
+type sloOptions struct {
+	scrape    time.Duration // history scrape interval; 0 disables the stack
+	retention time.Duration
+
+	availability float64       // availability target; 0 disables the objective
+	p99          time.Duration // latency threshold; 0 disables
+	staleCeiling float64       // stale-serve ratio ceiling; 0 disables
+	shedCeiling  float64       // shed ratio ceiling; 0 disables
+	windowScale  float64       // multiplies the burn-rule windows
+	cooldown     time.Duration // breach clear delay; 0 = per-rule short window
+}
+
+// sloStack bundles the metrics history and the SLO engine so route
+// assembly and the quarters page take one handle. A nil *sloStack is
+// the disabled state: the history/SLO endpoints answer 404 and the
+// quarters page omits the SLO line.
+type sloStack struct {
+	hist *history.History
+	eng  *slo.Engine
+}
+
+func (st *sloStack) history() *history.History {
+	if st == nil {
+		return nil
+	}
+	return st.hist
+}
+
+func (st *sloStack) engine() *slo.Engine {
+	if st == nil {
+		return nil
+	}
+	return st.eng
+}
+
+// start launches the scrape loop (each scrape ends with an engine
+// tick). No-op on a nil stack.
+func (st *sloStack) start(ctx context.Context) {
+	if st == nil {
+		return
+	}
+	st.hist.Start(ctx)
+}
+
+// newSLOStack builds the history scraper and the burn-rate engine
+// over it, wired into the shared alerting spine: breaches land in
+// alog, page-severity breaches flip ready's degraded flag, and
+// everything exports as maras_slo_*/maras_history_* series on reg.
+// Returns nil when opts.scrape is zero (stack disabled).
+func newSLOStack(reg *obs.Registry, alog *audit.Log, ready *obs.Readiness, logger *slog.Logger, opts sloOptions) *sloStack {
+	if opts.scrape <= 0 {
+		return nil
+	}
+	hist := history.New(reg, history.Options{
+		Interval:  opts.scrape,
+		Retention: opts.retention,
+	})
+	objectives := slo.DefaultObjectives(opts.availability, opts.p99,
+		opts.staleCeiling, opts.shedCeiling)
+	eng := slo.NewEngine(hist, slo.Config{
+		Objectives: objectives,
+		Rules:      slo.DefaultRules(opts.windowScale),
+		Cooldown:   opts.cooldown,
+		Log:        alog,
+		Ready:      ready,
+		Metrics:    reg,
+		Logger:     logger,
+	})
+	hist.OnScrape(eng.Tick)
+	return &sloStack{hist: hist, eng: eng}
+}
+
+// sloSummary is the one-line SLO rollup the quarters page renders.
+type sloSummary struct {
+	Name   string
+	Status string // "ok", "warn", or "fail" (CSS classes on the page)
+	Detail string
+}
+
+// summarize flattens the engine report into per-objective rollups.
+// Empty on a nil/unticked stack.
+func (st *sloStack) summarize() []sloSummary {
+	eng := st.engine()
+	if eng == nil {
+		return nil
+	}
+	rep := eng.Report()
+	out := make([]sloSummary, 0, len(rep.Objectives))
+	for _, o := range rep.Objectives {
+		s := sloSummary{Name: o.Name, Status: "ok"}
+		worst := ""
+		for _, ru := range o.Rules {
+			if !ru.Active {
+				continue
+			}
+			switch ru.Severity {
+			case string(audit.SevFail):
+				s.Status = "fail"
+				worst = ru.Name
+			case string(audit.SevWarn):
+				if s.Status != "fail" {
+					s.Status = "warn"
+					worst = ru.Name
+				}
+			}
+		}
+		switch {
+		case worst != "":
+			s.Detail = fmt.Sprintf("%s burn active · budget %.0f%%", worst, 100*o.BudgetRemaining)
+		default:
+			s.Detail = fmt.Sprintf("budget %.0f%%", 100*o.BudgetRemaining)
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -50,6 +50,7 @@ type storeServer struct {
 	auditor *audit.Auditor
 	started time.Time
 	ready   *obs.Readiness // degraded flag target; set by routes, may be nil
+	slos    *sloStack      // SLO rollup for the quarters page; set by routes, may be nil
 
 	mu       sync.Mutex
 	handlers map[string]http.Handler // per-quarter muxes, dropped on LRU evict
@@ -105,11 +106,13 @@ func (ss *storeServer) log() *slog.Logger {
 // quarter application routes under observability middleware, plus the
 // operational endpoints. journal may be nil (tracing disabled,
 // /debug/traces 404s); ready gates /readyz and carries the degraded
-// flag; shed may be nil (no load shedding). The bulkhead wraps only
-// the application routes — the operational endpoints stay reachable
-// at any load, which is when an operator needs them most.
-func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead) http.Handler {
+// flag; shed may be nil (no load shedding); slos may be nil
+// (history/SLO endpoints 404). The bulkhead wraps only the
+// application routes — the operational endpoints stay reachable at
+// any load, which is when an operator needs them most.
+func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack) http.Handler {
 	ss.ready = ready
+	ss.slos = slos
 	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
 	mux := http.NewServeMux()
 	mw.Handle(mux, "/api/quarters", app(ss.handleQuarters))
@@ -119,13 +122,7 @@ func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *o
 	mw.Handle(mux, "/quarters", app(ss.handleQuartersPage))
 	mw.Handle(mux, "/q/", app(ss.handleQuarterScoped))
 	mw.Handle(mux, "/", app(ss.handleDefaultQuarter))
-	mux.Handle("/metrics", obs.MetricsHandler(reg))
-	mux.Handle("/healthz", obs.HealthzHandler(ss.healthDetail))
-	mux.Handle("/readyz", obs.ReadyzHandler(ready, ss.healthDetail))
-	mux.Handle("/debug/traces", obs.TracesHandler(journal))
-	mux.Handle("/debug/audit", audit.Handler(ss.auditLog()))
-	mux.Handle("/debug/vars", obs.ExpvarHandler())
-	obs.RegisterPprof(mux)
+	mountOperational(mux, reg, journal, ready, slos, ss.healthDetail, ss.auditLog())
 	return mux
 }
 
@@ -168,9 +165,7 @@ func (ss *storeServer) healthDetail() map[string]any {
 // "degraded" the moment stale serving starts and back once the live
 // path recovers.
 func (ss *storeServer) noteDegradation() {
-	if ss.ready != nil {
-		ss.ready.SetDegraded(ss.reg.Degraded())
-	}
+	ss.ready.SetDegraded("store", ss.reg.Degraded())
 }
 
 // dropHandler is the registry's eviction callback: when a quarter's

@@ -55,6 +55,8 @@ type Log struct {
 	next     int     // ring write cursor once full
 	full     bool
 	total    uint64
+	evicted  uint64       // events overwritten by the full ring
+	evictedC *obs.Counter // mirror of evicted; nil without Metrics
 	bySev    map[Severity]uint64
 	seen     map[string]bool // RecordOnce dedup keys
 }
@@ -67,7 +69,7 @@ func NewLog(opts LogOptions) *Log {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
-	return &Log{
+	l := &Log{
 		capacity: opts.Capacity,
 		now:      opts.Now,
 		logger:   opts.Logger,
@@ -76,6 +78,13 @@ func NewLog(opts LogOptions) *Log {
 		bySev:    make(map[Severity]uint64),
 		seen:     make(map[string]bool),
 	}
+	if opts.Metrics != nil {
+		// Registered eagerly so the series exists (at zero) from the
+		// first scrape; silent event loss must be visible, not latent.
+		l.evictedC = opts.Metrics.Counter("maras_audit_events_evicted_total",
+			"Audit events overwritten by the fixed-size event-log ring.")
+	}
+	return l
 }
 
 // Record appends an event, stamping Time when unset, bumping the
@@ -97,6 +106,10 @@ func (l *Log) Record(e Event) {
 		l.ring[l.next] = e
 		l.next = (l.next + 1) % l.capacity
 		l.full = true
+		l.evicted++
+		if l.evictedC != nil {
+			l.evictedC.Inc()
+		}
 	}
 	l.total++
 	l.bySev[e.Severity]++
@@ -180,6 +193,7 @@ type LogStats struct {
 	Total    uint64 `json:"total"`
 	Warn     uint64 `json:"warn"`
 	Fail     uint64 `json:"fail"`
+	Evicted  uint64 `json:"evicted"`
 	Capacity int    `json:"capacity"`
 }
 
@@ -194,6 +208,7 @@ func (l *Log) Stats() LogStats {
 		Total:    l.total,
 		Warn:     l.bySev[SevWarn],
 		Fail:     l.bySev[SevFail],
+		Evicted:  l.evicted,
 		Capacity: l.capacity,
 	}
 }

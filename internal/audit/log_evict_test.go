@@ -1,0 +1,34 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"maras/internal/obs"
+)
+
+func TestLogEvictionCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLog(LogOptions{Capacity: 2, Metrics: reg})
+	for i := 0; i < 5; i++ {
+		l.Record(Event{Rule: "r", Message: "m"})
+	}
+	if got := l.Stats().Evicted; got != 3 {
+		t.Errorf("Stats().Evicted = %d, want 3", got)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "maras_audit_events_evicted_total 3") {
+		t.Errorf("exposition missing eviction counter:\n%s", sb.String())
+	}
+}
+
+func TestLogEvictionSeriesEagerlyRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	NewLog(LogOptions{Metrics: reg})
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "maras_audit_events_evicted_total 0") {
+		t.Errorf("eviction counter not registered at zero:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestJournalEvictionCounted(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("maras_trace_journal_evicted_total", "h")
+	j := NewJournal(2, 0)
+	j.CountEvictions(c)
+	for i := 0; i < 5; i++ {
+		j.Add(TraceRecord{ID: fmt.Sprintf("t%d", i)})
+	}
+	if got := j.Stats().Evicted; got != 3 {
+		t.Errorf("Stats().Evicted = %d, want 3", got)
+	}
+	if got := c.Value(); got != 3 {
+		t.Errorf("eviction counter = %d, want 3", got)
+	}
+	// Without an attached counter, stats still track.
+	j2 := NewJournal(1, 0)
+	j2.Add(TraceRecord{ID: "a"})
+	j2.Add(TraceRecord{ID: "b"})
+	if got := j2.Stats().Evicted; got != 1 {
+		t.Errorf("unattached Evicted = %d, want 1", got)
+	}
+}
+
+func TestReadinessNamedCauses(t *testing.T) {
+	rd := &Readiness{}
+	if rd.Degraded() {
+		t.Fatal("fresh Readiness should not be degraded")
+	}
+	rd.SetDegraded("store", true)
+	rd.SetDegraded("slo:availability", true)
+	if !rd.Degraded() {
+		t.Fatal("degraded causes set but Degraded() false")
+	}
+	// Clearing one cause must not clear the other.
+	rd.SetDegraded("store", false)
+	if !rd.Degraded() {
+		t.Error("clearing one cause cleared all")
+	}
+	got := rd.DegradedCauses()
+	if len(got) != 1 || got[0] != "slo:availability" {
+		t.Errorf("DegradedCauses = %v, want [slo:availability]", got)
+	}
+	rd.SetDegraded("slo:availability", false)
+	if rd.Degraded() {
+		t.Error("all causes cleared but still degraded")
+	}
+	// Nil receiver is safe.
+	var nilRd *Readiness
+	nilRd.SetDegraded("x", true)
+	if nilRd.Degraded() || nilRd.DegradedCauses() != nil {
+		t.Error("nil Readiness should report nothing")
+	}
+}
+
+func TestReadyzHandlerListsDegradedCauses(t *testing.T) {
+	rd := &Readiness{}
+	rd.SetReady()
+	rd.SetDegraded("slo:availability", true)
+	rd.SetDegraded("store", true)
+	h := ReadyzHandler(rd, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (degraded still serves)", rec.Code)
+	}
+	var body struct {
+		Status string   `json:"status"`
+		Causes []string `json:"degraded_causes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "degraded" {
+		t.Errorf("status = %q, want degraded", body.Status)
+	}
+	if len(body.Causes) != 2 || body.Causes[0] != "slo:availability" || body.Causes[1] != "store" {
+		t.Errorf("degraded_causes = %v, want sorted [slo:availability store]", body.Causes)
+	}
+}

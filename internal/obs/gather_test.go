@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFloatGaugeSetAndRender(t *testing.T) {
+	reg := NewRegistry()
+	fg := reg.FloatGauge("maras_burn_rate", "Burn multiple.", Label{"objective", "avail"})
+	fg.Set(14.4)
+	if got := fg.Value(); got != 14.4 {
+		t.Fatalf("Value = %v, want 14.4", got)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `maras_burn_rate{objective="avail"} 14.4`) {
+		t.Errorf("rendering missing float gauge line:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE maras_burn_rate gauge") {
+		t.Errorf("float gauge family not typed gauge:\n%s", out)
+	}
+	fg.Set(-0.25)
+	if got := fg.Value(); got != -0.25 {
+		t.Errorf("negative Value = %v, want -0.25", got)
+	}
+}
+
+func TestFloatGaugeSameSeriesReturned(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.FloatGauge("fg", "h")
+	b := reg.FloatGauge("fg", "h")
+	if a != b {
+		t.Error("same name+labels should return the same FloatGauge")
+	}
+}
+
+func TestSeriesKeyStable(t *testing.T) {
+	k1 := SeriesKey("http_requests_total", []Label{{"route", "/"}, {"code", "2xx"}})
+	k2 := SeriesKey("http_requests_total", []Label{{"route", "/"}, {"code", "2xx"}})
+	if k1 != k2 {
+		t.Errorf("same series produced different keys: %q vs %q", k1, k2)
+	}
+	k3 := SeriesKey("http_requests_total", []Label{{"route", "/"}, {"code", "5xx"}})
+	if k1 == k3 {
+		t.Error("different label values produced the same key")
+	}
+	if k := SeriesKey("plain", nil); k != "plain" {
+		t.Errorf("unlabeled key = %q, want %q", k, "plain")
+	}
+}
+
+func TestGatherTypedSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total", "h", Label{"code", "2xx"})
+	c.Add(7)
+	g := reg.Gauge("inflight", "h")
+	g.Set(3)
+	fg := reg.FloatGauge("burn", "h")
+	fg.Set(1.5)
+	h := reg.Histogram("lat_seconds", "h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	byKey := map[string]SeriesSnapshot{}
+	for _, sn := range reg.Gather() {
+		byKey[SeriesKey(sn.Name, sn.Labels)] = sn
+	}
+	cs := byKey[SeriesKey("reqs_total", []Label{{"code", "2xx"}})]
+	if cs.Type != "counter" || cs.Value != 7 {
+		t.Errorf("counter snapshot = %+v", cs)
+	}
+	gs := byKey["inflight"]
+	if gs.Type != "gauge" || gs.Value != 3 {
+		t.Errorf("gauge snapshot = %+v", gs)
+	}
+	fs := byKey["burn"]
+	if fs.Type != "gauge" || fs.Value != 1.5 {
+		t.Errorf("float gauge snapshot = %+v", fs)
+	}
+	hs := byKey["lat_seconds"]
+	if hs.Type != "histogram" || hs.Count != 3 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+	if len(hs.Bounds) != 2 || len(hs.Cumulative) != 2 {
+		t.Fatalf("histogram snapshot buckets = %+v", hs)
+	}
+	if hs.Cumulative[0] != 1 || hs.Cumulative[1] != 2 {
+		t.Errorf("cumulative = %v, want [1 2]", hs.Cumulative)
+	}
+	if hs.Sum != 11 {
+		t.Errorf("sum = %v, want 11", hs.Sum)
+	}
+}

@@ -1,0 +1,248 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// defaultSampleCap bounds how many samples one API response carries
+// unless the client narrows it with ?n=.
+const defaultSampleCap = 500
+
+// Handler serves the scraper overview at /debug/history: a
+// plain-text series table by default, the structured dump with
+// ?format=json. A nil history answers 404 so the route can be
+// mounted unconditionally.
+func Handler(h *History) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h == nil {
+			http.Error(w, "metrics history disabled (-history-scrape 0)", http.StatusNotFound)
+			return
+		}
+		stats := h.Stats()
+		series := h.Series()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Stats  Stats        `json:"stats"`
+				Series []SeriesInfo `json:"series"`
+			}{stats, series})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "metrics history: %d series, %d scrapes, interval %s, retention %s\n",
+			stats.Series, stats.Scrapes, stats.Interval, stats.Retention)
+		if !stats.LastScrape.IsZero() {
+			fmt.Fprintf(w, "last scrape: %s\n", stats.LastScrape.Format(time.RFC3339))
+		}
+		fmt.Fprintf(w, "\n%-9s  %7s  %s\n", "TYPE", "SAMPLES", "SERIES")
+		for _, si := range series {
+			fmt.Fprintf(w, "%-9s  %7d  %s\n", si.Type, si.Samples, si.Key)
+		}
+		fmt.Fprintf(w, "\nper-series data: /api/history/{family}?label=k=v&window=5m&n=100\n")
+	})
+}
+
+// APIHandler serves windowed series data under /api/history/. The
+// path segment after the prefix names the metric family; repeated
+// ?label=key=value parameters narrow the match; ?window= computes
+// window aggregates (rate / gauge stats / histogram quantiles)
+// alongside the samples; ?n= caps returned samples per series
+// (default 500, 0 = samples omitted). A nil history answers 404.
+func APIHandler(h *History, prefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h == nil {
+			http.Error(w, "metrics history disabled (-history-scrape 0)", http.StatusNotFound)
+			return
+		}
+		family := strings.TrimPrefix(r.URL.Path, prefix)
+		family = strings.Trim(family, "/")
+		if family == "" {
+			// No family: list what exists, grouped.
+			writeFamilyIndex(w, h)
+			return
+		}
+		q := r.URL.Query()
+		sel, err := buildSelector(family, q["label"])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := defaultSampleCap
+		if v := q.Get("n"); v != "" {
+			iv, err := strconv.Atoi(v)
+			if err != nil || iv < 0 {
+				http.Error(w, "bad n: want non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = iv
+		}
+		var window time.Duration
+		if v := q.Get("window"); v != "" {
+			window, err = time.ParseDuration(v)
+			if err != nil || window <= 0 {
+				http.Error(w, "bad window: want positive Go duration (e.g. 5m)", http.StatusBadRequest)
+				return
+			}
+		}
+
+		type seriesOut struct {
+			SeriesInfo
+			Samples []Sample `json:"data,omitempty"`
+		}
+		resp := struct {
+			Family string         `json:"family"`
+			Window string         `json:"window,omitempty"`
+			Agg    map[string]any `json:"aggregates,omitempty"`
+			Series []seriesOut    `json:"series"`
+		}{Family: family}
+
+		matched := 0
+		var typ string
+		for _, si := range h.Series() {
+			if !sel(si.Name, labelsOf(h, si.Key)) {
+				continue
+			}
+			matched++
+			typ = si.Type
+			so := seriesOut{SeriesInfo: si}
+			if n > 0 {
+				_, samples, _ := h.Samples(si.Key, n)
+				so.Samples = samples
+			}
+			resp.Series = append(resp.Series, so)
+		}
+		if matched == 0 {
+			http.Error(w, fmt.Sprintf("no series match family %q", family), http.StatusNotFound)
+			return
+		}
+		if window > 0 {
+			resp.Window = window.String()
+			resp.Agg = windowAggregates(h, sel, typ, window)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}
+
+// buildSelector parses repeated label=key=value params into a
+// Selector over the family.
+func buildSelector(family string, labelParams []string) (Selector, error) {
+	sel := Family(family)
+	for _, lp := range labelParams {
+		k, v, ok := strings.Cut(lp, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad label %q: want key=value", lp)
+		}
+		inner := sel
+		sel = func(name string, labels []obs.Label) bool {
+			if !inner(name, labels) {
+				return false
+			}
+			for _, l := range labels {
+				if l.Key == k && l.Value == v {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return sel, nil
+}
+
+// labelsOf re-resolves a series' labels from its key via Samples
+// metadata (cheap: metadata only, no copy of the ring).
+func labelsOf(h *History, key string) []obs.Label {
+	info, _, ok := h.Samples(key, -1)
+	if !ok {
+		return nil
+	}
+	return info.Labels
+}
+
+// windowAggregates computes the type-appropriate summary for the
+// selection over the trailing window. Values are JSON-safe (no NaN).
+func windowAggregates(h *History, sel Selector, typ string, window time.Duration) map[string]any {
+	agg := map[string]any{}
+	switch typ {
+	case "counter":
+		sum, ok := h.CounterSum(sel, window)
+		agg["present"] = ok
+		agg["sum"] = sum
+		if rate, ok := h.Rate(sel, window); ok {
+			agg["rate_per_sec"] = round6(rate)
+		}
+	case "gauge":
+		gs, ok := h.GaugeWindow(sel, window)
+		agg["present"] = ok
+		if ok {
+			agg["min"] = gs.Min
+			agg["max"] = gs.Max
+			agg["avg"] = round6(gs.Avg)
+			agg["last"] = gs.Last
+			agg["samples"] = gs.Samples
+		}
+	case "histogram":
+		d, ok := h.HistogramWindow(sel, window)
+		agg["present"] = ok
+		if ok {
+			agg["count"] = d.Count
+			agg["sum"] = round6(d.Sum)
+			qs := map[string]any{}
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				if v, ok := d.Quantile(q); ok {
+					qs[fmt.Sprintf("p%g", q*100)] = round6(v)
+				}
+			}
+			if len(qs) > 0 {
+				agg["quantiles"] = qs
+			}
+		}
+	}
+	return agg
+}
+
+func round6(v float64) float64 {
+	return float64(int64(v*1e6+0.5)) / 1e6
+}
+
+// writeFamilyIndex lists the tracked families with series counts.
+func writeFamilyIndex(w http.ResponseWriter, h *History) {
+	counts := map[string]int{}
+	types := map[string]string{}
+	for _, si := range h.Series() {
+		counts[si.Name]++
+		types[si.Name] = si.Type
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type fam struct {
+		Name   string `json:"name"`
+		Type   string `json:"type"`
+		Series int    `json:"series"`
+	}
+	out := make([]fam, 0, len(names))
+	for _, n := range names {
+		out = append(out, fam{n, types[n], counts[n]})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Families []fam `json:"families"`
+	}{out})
+}

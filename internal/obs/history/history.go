@@ -1,0 +1,539 @@
+// Package history turns the point-in-time metrics Registry into
+// queryable time series: a fixed-interval scraper samples every
+// registered series into a per-series ring buffer — counters stored
+// as deltas between scrapes, gauges as points, histograms as
+// cumulative bucket snapshots — so the process can answer "what was
+// the error rate over the last five minutes" and "what was the p99
+// over the last hour" with no external collector. The SLO engine
+// (internal/slo) evaluates its burn-rate rules against these windows;
+// operators read the same data at /api/history/{series} and
+// /debug/history.
+//
+// Memory is strictly bounded: Retention/Interval samples per series,
+// and a sample is 16 bytes for counters/gauges plus the bucket
+// snapshot for histograms. The defaults (10s interval, 6h retention)
+// hold 2160 samples per series — about 34 KiB for a 15-bucket latency
+// histogram, two orders of magnitude below one open quarter snapshot.
+package history
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// Defaults for Options.
+const (
+	DefaultInterval  = 10 * time.Second
+	DefaultRetention = 6 * time.Hour
+)
+
+// Options configures New. Every field is optional.
+type Options struct {
+	// Interval is the scrape period (<= 0 = DefaultInterval).
+	Interval time.Duration
+	// Retention is how far back windows can reach (<= 0 =
+	// DefaultRetention; clamped up to cover at least two intervals).
+	Retention time.Duration
+	// Now stubs the clock in tests; defaults to time.Now.
+	Now func() time.Time
+}
+
+// Sample is one scrape of one series.
+type Sample struct {
+	T time.Time `json:"t"`
+	// Value carries the counter delta since the previous scrape, or
+	// the gauge level. Zero for histograms.
+	Value float64 `json:"v"`
+	// Histogram snapshot: cumulative counts aligned with the series
+	// bounds, total count (including +Inf), and sum.
+	Cum   []int64 `json:"cum,omitempty"`
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+}
+
+// series is one ring of samples. The History mutex guards all fields.
+type series struct {
+	name   string
+	typ    string
+	labels []obs.Label
+	bounds []float64 // histogram bucket upper bounds
+
+	ring []Sample
+	next int
+	full bool
+
+	prevRaw float64 // last cumulative counter value, for deltas
+	seeded  bool    // first scrape seen (baseline recorded)
+}
+
+// History scrapes a Registry on a fixed interval into bounded
+// per-series rings. A nil *History is safe: queries report no data
+// and Scrape/Start are no-ops, so call sites wire it unconditionally.
+type History struct {
+	reg       *obs.Registry
+	interval  time.Duration
+	retention time.Duration
+	slots     int
+	now       func() time.Time
+
+	mu         sync.Mutex
+	series     map[string]*series
+	order      []string
+	scrapes    uint64
+	lastScrape time.Time
+	onScrape   func(now time.Time)
+
+	scrapesC *obs.Counter
+	seriesG  *obs.Gauge
+}
+
+// New builds a History over reg. The scraper's own series
+// (maras_history_scrapes_total, maras_history_series) register on the
+// same registry, so the history layer observes itself.
+func New(reg *obs.Registry, opts Options) *History {
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.Retention <= 0 {
+		opts.Retention = DefaultRetention
+	}
+	if opts.Retention < 2*opts.Interval {
+		opts.Retention = 2 * opts.Interval
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &History{
+		reg:       reg,
+		interval:  opts.Interval,
+		retention: opts.Retention,
+		slots:     int(opts.Retention / opts.Interval),
+		now:       opts.Now,
+		series:    map[string]*series{},
+		scrapesC: reg.Counter("maras_history_scrapes_total",
+			"Completed scrapes of the metrics registry into the history rings."),
+		seriesG: reg.Gauge("maras_history_series",
+			"Series currently tracked by the metrics history."),
+	}
+}
+
+// Interval returns the scrape period.
+func (h *History) Interval() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.interval
+}
+
+// Retention returns how far back windows can reach.
+func (h *History) Retention() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return h.retention
+}
+
+// OnScrape registers fn to run after every completed scrape, on the
+// scraper's goroutine — the SLO engine's evaluation tick hangs here
+// so burn rates are recomputed exactly once per sample.
+func (h *History) OnScrape(fn func(now time.Time)) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.onScrape = fn
+	h.mu.Unlock()
+}
+
+// Start launches the scrape loop and returns; it stops when ctx ends.
+// An immediate scrape runs first so counter baselines exist before
+// the first interval elapses.
+func (h *History) Start(ctx context.Context) {
+	if h == nil {
+		return
+	}
+	h.Scrape()
+	go func() {
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				h.Scrape()
+			}
+		}
+	}()
+}
+
+// Scrape samples every registry series once. Safe to call manually
+// (tests, benches) even while the Start loop runs. A series seen for
+// the first time records a zero counter delta — its pre-history count
+// accrued over an unknown span and must not be attributed to one
+// interval.
+func (h *History) Scrape() {
+	if h == nil {
+		return
+	}
+	now := h.now()
+	snaps := h.reg.Gather()
+	h.mu.Lock()
+	for _, sn := range snaps {
+		key := obs.SeriesKey(sn.Name, sn.Labels)
+		s := h.series[key]
+		if s == nil {
+			labels := make([]obs.Label, len(sn.Labels))
+			copy(labels, sn.Labels)
+			s = &series{
+				name:   sn.Name,
+				typ:    sn.Type,
+				labels: labels,
+				ring:   make([]Sample, 0, h.slots),
+			}
+			h.series[key] = s
+			h.order = append(h.order, key)
+		}
+		smp := Sample{T: now}
+		switch sn.Type {
+		case "counter":
+			if s.seeded {
+				smp.Value = sn.Value - s.prevRaw
+				if smp.Value < 0 {
+					smp.Value = sn.Value // counter reset: count from zero
+				}
+			}
+			s.prevRaw = sn.Value
+		case "gauge":
+			smp.Value = sn.Value
+		case "histogram":
+			if s.bounds == nil {
+				s.bounds = sn.Bounds
+			}
+			smp.Cum = sn.Cumulative
+			smp.Count = sn.Count
+			smp.Sum = sn.Sum
+		}
+		s.seeded = true
+		s.push(smp, h.slots)
+	}
+	h.scrapes++
+	h.lastScrape = now
+	h.seriesG.Set(int64(len(h.series)))
+	fn := h.onScrape
+	h.mu.Unlock()
+	h.scrapesC.Inc()
+	if fn != nil {
+		fn(now)
+	}
+}
+
+// push appends a sample under ring semantics.
+func (s *series) push(smp Sample, slots int) {
+	if len(s.ring) < slots {
+		s.ring = append(s.ring, smp)
+		return
+	}
+	s.ring[s.next] = smp
+	s.next = (s.next + 1) % slots
+	s.full = true
+}
+
+// ordered returns the ring oldest..newest.
+func (s *series) ordered() []Sample {
+	out := make([]Sample, 0, len(s.ring))
+	if s.full {
+		out = append(out, s.ring[s.next:]...)
+		out = append(out, s.ring[:s.next]...)
+	} else {
+		out = append(out, s.ring...)
+	}
+	return out
+}
+
+// Stats summarizes scraper activity for /debug/history.
+type Stats struct {
+	Scrapes    uint64        `json:"scrapes"`
+	Series     int           `json:"series"`
+	Interval   time.Duration `json:"interval_ns"`
+	Retention  time.Duration `json:"retention_ns"`
+	LastScrape time.Time     `json:"last_scrape"`
+}
+
+// Stats returns totals since startup.
+func (h *History) Stats() Stats {
+	if h == nil {
+		return Stats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Stats{
+		Scrapes:    h.scrapes,
+		Series:     len(h.series),
+		Interval:   h.interval,
+		Retention:  h.retention,
+		LastScrape: h.lastScrape,
+	}
+}
+
+// SeriesInfo describes one tracked series without its samples.
+type SeriesInfo struct {
+	Key     string      `json:"key"`
+	Name    string      `json:"name"`
+	Type    string      `json:"type"`
+	Labels  []obs.Label `json:"labels,omitempty"`
+	Samples int         `json:"samples"`
+}
+
+// Series lists every tracked series in first-seen order.
+func (h *History) Series() []SeriesInfo {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]SeriesInfo, 0, len(h.order))
+	for _, key := range h.order {
+		s := h.series[key]
+		out = append(out, SeriesInfo{
+			Key: key, Name: s.name, Type: s.typ,
+			Labels: s.labels, Samples: len(s.ring),
+		})
+	}
+	return out
+}
+
+// Samples returns up to n of one series' samples, oldest first
+// (n <= 0 returns everything held), plus its metadata. ok is false
+// for an unknown key.
+func (h *History) Samples(key string, n int) (info SeriesInfo, samples []Sample, ok bool) {
+	if h == nil {
+		return SeriesInfo{}, nil, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.series[key]
+	if s == nil {
+		return SeriesInfo{}, nil, false
+	}
+	samples = s.ordered()
+	if n > 0 && len(samples) > n {
+		samples = samples[len(samples)-n:]
+	}
+	return SeriesInfo{
+		Key: key, Name: s.name, Type: s.typ,
+		Labels: s.labels, Samples: len(s.ring),
+	}, samples, true
+}
+
+// Selector chooses series by family name and labels.
+type Selector func(name string, labels []obs.Label) bool
+
+// Family selects every series of the named family.
+func Family(name string) Selector {
+	return func(n string, _ []obs.Label) bool { return n == name }
+}
+
+// FamilyLabel selects the named family's series carrying label
+// key=value.
+func FamilyLabel(name, key, value string) Selector {
+	return func(n string, labels []obs.Label) bool {
+		if n != name {
+			return false
+		}
+		for _, l := range labels {
+			if l.Key == key && l.Value == value {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// windowed returns a series' samples with T > cutoff, oldest first,
+// plus the last sample at or before the cutoff (the window baseline
+// for cumulative histogram snapshots; nil when the series is younger
+// than the window).
+func (s *series) windowed(cutoff time.Time) (in []Sample, baseline *Sample) {
+	all := s.ordered()
+	for i := range all {
+		if all[i].T.After(cutoff) {
+			if i > 0 {
+				baseline = &all[i-1]
+			}
+			return all[i:], baseline
+		}
+	}
+	if n := len(all); n > 0 {
+		baseline = &all[n-1]
+	}
+	return nil, baseline
+}
+
+// CounterSum sums the deltas of every matching counter series over
+// the trailing window. ok is false when no matching counter series
+// exists (sum 0, no data) — a zero sum with ok=true means the series
+// exist but nothing happened.
+func (h *History) CounterSum(sel Selector, window time.Duration) (sum float64, ok bool) {
+	if h == nil {
+		return 0, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cutoff := h.now().Add(-window)
+	for _, key := range h.order {
+		s := h.series[key]
+		if s.typ != "counter" || !sel(s.name, s.labels) {
+			continue
+		}
+		ok = true
+		in, _ := s.windowed(cutoff)
+		for _, smp := range in {
+			sum += smp.Value
+		}
+	}
+	return sum, ok
+}
+
+// Rate is CounterSum divided by the window — events per second.
+func (h *History) Rate(sel Selector, window time.Duration) (perSec float64, ok bool) {
+	sum, ok := h.CounterSum(sel, window)
+	if !ok || window <= 0 {
+		return 0, ok
+	}
+	return sum / window.Seconds(), true
+}
+
+// GaugeStats summarizes one gauge series over a window.
+type GaugeStats struct {
+	Min, Max, Avg, Last float64
+	Samples             int
+}
+
+// GaugeWindow computes min/max/avg/last over the matching gauge
+// series' samples in the trailing window (all matching series pooled).
+// ok is false when no sample falls inside the window.
+func (h *History) GaugeWindow(sel Selector, window time.Duration) (GaugeStats, bool) {
+	if h == nil {
+		return GaugeStats{}, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cutoff := h.now().Add(-window)
+	var gs GaugeStats
+	var sum float64
+	var lastT time.Time
+	for _, key := range h.order {
+		s := h.series[key]
+		if s.typ != "gauge" || !sel(s.name, s.labels) {
+			continue
+		}
+		in, _ := s.windowed(cutoff)
+		for _, smp := range in {
+			if gs.Samples == 0 || smp.Value < gs.Min {
+				gs.Min = smp.Value
+			}
+			if gs.Samples == 0 || smp.Value > gs.Max {
+				gs.Max = smp.Value
+			}
+			if gs.Samples == 0 || smp.T.After(lastT) {
+				gs.Last, lastT = smp.Value, smp.T
+			}
+			sum += smp.Value
+			gs.Samples++
+		}
+	}
+	if gs.Samples == 0 {
+		return GaugeStats{}, false
+	}
+	gs.Avg = sum / float64(gs.Samples)
+	return gs, true
+}
+
+// HistDelta is the windowed difference of cumulative histogram
+// snapshots: what was observed during the window, in classic
+// cumulative-bucket form.
+type HistDelta struct {
+	Bounds []float64
+	Cum    []int64 // cumulative counts per bound, window-local
+	Count  int64   // total observations in the window (incl. +Inf)
+	Sum    float64
+}
+
+// Quantile interpolates the q-quantile of the window's observations.
+func (d HistDelta) Quantile(q float64) (float64, bool) {
+	return obs.BucketQuantile(q, d.Bounds, d.Cum, d.Count)
+}
+
+// FractionOver estimates the fraction of the window's observations
+// above threshold.
+func (d HistDelta) FractionOver(threshold float64) (float64, bool) {
+	return obs.BucketFractionOver(threshold, d.Bounds, d.Cum, d.Count)
+}
+
+// HistogramWindow merges every matching histogram series and returns
+// the bucket deltas accumulated during the trailing window. Series
+// whose bucket bounds differ from the first match are skipped (the
+// route histograms all share DefaultLatencyBuckets). ok is false when
+// no matching series holds a sample.
+func (h *History) HistogramWindow(sel Selector, window time.Duration) (HistDelta, bool) {
+	if h == nil {
+		return HistDelta{}, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cutoff := h.now().Add(-window)
+	var d HistDelta
+	found := false
+	for _, key := range h.order {
+		s := h.series[key]
+		if s.typ != "histogram" || !sel(s.name, s.labels) {
+			continue
+		}
+		in, baseline := s.windowed(cutoff)
+		if len(in) == 0 {
+			continue
+		}
+		latest := in[len(in)-1]
+		if d.Bounds == nil {
+			d.Bounds = s.bounds
+			d.Cum = make([]int64, len(s.bounds))
+		} else if !sameBounds(d.Bounds, s.bounds) {
+			continue
+		}
+		var baseCum []int64
+		var baseCount int64
+		var baseSum float64
+		if baseline != nil {
+			baseCum, baseCount, baseSum = baseline.Cum, baseline.Count, baseline.Sum
+		}
+		for i := range d.Cum {
+			var b int64
+			if i < len(baseCum) {
+				b = baseCum[i]
+			}
+			if i < len(latest.Cum) {
+				d.Cum[i] += latest.Cum[i] - b
+			}
+		}
+		d.Count += latest.Count - baseCount
+		d.Sum += latest.Sum - baseSum
+		found = true
+	}
+	return d, found
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

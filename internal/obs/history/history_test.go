@@ -1,0 +1,352 @@
+package history
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// fakeClock steps time manually so windows are deterministic.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestHistory(t *testing.T, interval, retention time.Duration) (*obs.Registry, *History, *fakeClock) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	h := New(reg, Options{Interval: interval, Retention: retention, Now: clock.Now})
+	return reg, h, clock
+}
+
+func TestCounterDeltasAndBaseline(t *testing.T) {
+	reg, h, clock := newTestHistory(t, time.Second, time.Minute)
+	c := reg.Counter("reqs_total", "h", obs.Label{Key: "code", Value: "2xx"})
+	c.Add(100) // pre-history count: must NOT be attributed to one interval
+
+	h.Scrape()
+	clock.Advance(time.Second)
+	c.Add(7)
+	h.Scrape()
+	clock.Advance(time.Second)
+	c.Add(3)
+	h.Scrape()
+
+	sum, ok := h.CounterSum(Family("reqs_total"), 10*time.Second)
+	if !ok {
+		t.Fatal("CounterSum found no counter series")
+	}
+	if sum != 10 {
+		t.Errorf("window sum = %v, want 10 (the 100 pre-history counts must be excluded)", sum)
+	}
+	rate, ok := h.Rate(Family("reqs_total"), 10*time.Second)
+	if !ok || math.Abs(rate-1.0) > 1e-9 {
+		t.Errorf("rate = %v ok=%v, want 1.0/s", rate, ok)
+	}
+}
+
+func TestCounterSumRespectsWindow(t *testing.T) {
+	reg, h, clock := newTestHistory(t, time.Second, time.Minute)
+	c := reg.Counter("evts_total", "h")
+	h.Scrape()
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Second)
+		c.Inc()
+		h.Scrape()
+	}
+	// Only the last 3 seconds of deltas fall inside a 3s window.
+	sum, ok := h.CounterSum(Family("evts_total"), 3*time.Second)
+	if !ok || sum != 3 {
+		t.Errorf("3s sum = %v ok=%v, want 3", sum, ok)
+	}
+	sum, _ = h.CounterSum(Family("evts_total"), time.Hour)
+	if sum != 10 {
+		t.Errorf("full-window sum = %v, want 10", sum)
+	}
+	if _, ok := h.CounterSum(Family("missing_total"), time.Hour); ok {
+		t.Error("unknown family reported ok=true")
+	}
+}
+
+func TestFamilyLabelSelector(t *testing.T) {
+	reg, h, clock := newTestHistory(t, time.Second, time.Minute)
+	ok2 := reg.Counter("reqs_total", "h", obs.Label{Key: "code", Value: "2xx"})
+	bad := reg.Counter("reqs_total", "h", obs.Label{Key: "code", Value: "5xx"})
+	h.Scrape()
+	clock.Advance(time.Second)
+	ok2.Add(90)
+	bad.Add(10)
+	h.Scrape()
+
+	sum, ok := h.CounterSum(FamilyLabel("reqs_total", "code", "5xx"), 10*time.Second)
+	if !ok || sum != 10 {
+		t.Errorf("5xx sum = %v ok=%v, want 10", sum, ok)
+	}
+	sum, _ = h.CounterSum(Family("reqs_total"), 10*time.Second)
+	if sum != 100 {
+		t.Errorf("family sum = %v, want 100", sum)
+	}
+}
+
+func TestGaugeWindowStats(t *testing.T) {
+	reg, h, clock := newTestHistory(t, time.Second, time.Minute)
+	g := reg.Gauge("inflight", "h")
+	for _, v := range []int64{2, 8, 4} {
+		g.Set(v)
+		h.Scrape()
+		clock.Advance(time.Second)
+	}
+	gs, ok := h.GaugeWindow(Family("inflight"), time.Minute)
+	if !ok {
+		t.Fatal("no gauge samples in window")
+	}
+	if gs.Min != 2 || gs.Max != 8 || gs.Last != 4 || gs.Samples != 3 {
+		t.Errorf("stats = %+v", gs)
+	}
+	if math.Abs(gs.Avg-14.0/3) > 1e-9 {
+		t.Errorf("avg = %v, want %v", gs.Avg, 14.0/3)
+	}
+}
+
+func TestHistogramWindowDeltasAndQuantile(t *testing.T) {
+	reg, h, clock := newTestHistory(t, time.Second, time.Minute)
+	hist := reg.Histogram("lat_seconds", "h", []float64{1, 2, 4})
+
+	// First batch lands before the window of interest.
+	for i := 0; i < 50; i++ {
+		hist.Observe(0.5)
+	}
+	h.Scrape()
+	clock.Advance(10 * time.Second)
+
+	// Second batch: 10 per bucket.
+	for i := 0; i < 10; i++ {
+		hist.Observe(0.5)
+		hist.Observe(1.5)
+		hist.Observe(3)
+		hist.Observe(9)
+	}
+	h.Scrape()
+
+	d, ok := h.HistogramWindow(Family("lat_seconds"), 5*time.Second)
+	if !ok {
+		t.Fatal("no histogram data in window")
+	}
+	if d.Count != 40 {
+		t.Errorf("window count = %d, want 40 (first batch excluded)", d.Count)
+	}
+	if d.Cum[0] != 10 || d.Cum[1] != 20 || d.Cum[2] != 30 {
+		t.Errorf("window cum = %v, want [10 20 30]", d.Cum)
+	}
+	q, ok := d.Quantile(0.5)
+	if !ok || math.Abs(q-2.0) > 1e-9 {
+		t.Errorf("p50 = %v ok=%v, want 2", q, ok)
+	}
+	frac, ok := d.FractionOver(4)
+	if !ok || math.Abs(frac-0.25) > 1e-9 {
+		t.Errorf("FractionOver(4) = %v ok=%v, want 0.25", frac, ok)
+	}
+
+	// A window spanning everything sees both batches.
+	d, _ = h.HistogramWindow(Family("lat_seconds"), time.Hour)
+	if d.Count != 90 {
+		t.Errorf("full-window count = %d, want 90", d.Count)
+	}
+}
+
+func TestRingBoundedByRetention(t *testing.T) {
+	reg, h, clock := newTestHistory(t, time.Second, 3*time.Second)
+	reg.Gauge("g", "h").Set(1)
+	for i := 0; i < 10; i++ {
+		h.Scrape()
+		clock.Advance(time.Second)
+	}
+	_, samples, ok := h.Samples(obs.SeriesKey("g", nil), -0)
+	if !ok {
+		t.Fatal("series not found")
+	}
+	if len(samples) != 3 {
+		t.Errorf("ring holds %d samples, want 3 (retention/interval)", len(samples))
+	}
+	// Oldest-first ordering survives the wrap.
+	for i := 1; i < len(samples); i++ {
+		if !samples[i].T.After(samples[i-1].T) {
+			t.Errorf("samples out of order: %v then %v", samples[i-1].T, samples[i].T)
+		}
+	}
+}
+
+func TestScrapeSelfMetrics(t *testing.T) {
+	reg, h, clock := newTestHistory(t, time.Second, time.Minute)
+	h.Scrape()
+	clock.Advance(time.Second)
+	h.Scrape()
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "maras_history_scrapes_total 2") {
+		t.Errorf("exposition missing scrape counter:\n%s", out)
+	}
+	if !strings.Contains(out, "maras_history_series") {
+		t.Errorf("exposition missing series gauge:\n%s", out)
+	}
+	st := h.Stats()
+	if st.Scrapes != 2 || st.Series == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOnScrapeRunsPerScrape(t *testing.T) {
+	_, h, clock := newTestHistory(t, time.Second, time.Minute)
+	var ticks []time.Time
+	h.OnScrape(func(now time.Time) { ticks = append(ticks, now) })
+	h.Scrape()
+	clock.Advance(time.Second)
+	h.Scrape()
+	if len(ticks) != 2 {
+		t.Fatalf("OnScrape ran %d times, want 2", len(ticks))
+	}
+	if !ticks[1].After(ticks[0]) {
+		t.Error("tick times not advancing")
+	}
+}
+
+func TestNilHistorySafe(t *testing.T) {
+	var h *History
+	h.Scrape()
+	h.Start(nil) //nolint — nil context fine for the nil receiver no-op
+	if _, ok := h.CounterSum(Family("x"), time.Minute); ok {
+		t.Error("nil history reported data")
+	}
+	if _, ok := h.HistogramWindow(Family("x"), time.Minute); ok {
+		t.Error("nil history reported histogram data")
+	}
+	if h.Series() != nil || h.Stats().Scrapes != 0 {
+		t.Error("nil history reported series")
+	}
+	rec := httptest.NewRecorder()
+	Handler(h).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/history", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("nil Handler status = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	APIHandler(h, "/api/history/").ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/history/x", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("nil APIHandler status = %d, want 404", rec.Code)
+	}
+}
+
+func TestDebugHandlerFormats(t *testing.T) {
+	reg, h, _ := newTestHistory(t, time.Second, time.Minute)
+	reg.Counter("reqs_total", "h").Inc()
+	h.Scrape()
+
+	rec := httptest.NewRecorder()
+	Handler(h).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/history", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("text status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "reqs_total") {
+		t.Errorf("text body missing series:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(h).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/history?format=json", nil))
+	var body struct {
+		Stats  Stats        `json:"stats"`
+		Series []SeriesInfo `json:"series"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Stats.Scrapes != 1 || len(body.Series) == 0 {
+		t.Errorf("json body = %+v", body)
+	}
+}
+
+func TestAPIHandlerSeriesAndAggregates(t *testing.T) {
+	reg, h, clock := newTestHistory(t, time.Second, time.Minute)
+	c2 := reg.Counter("reqs_total", "h", obs.Label{Key: "code", Value: "2xx"})
+	c5 := reg.Counter("reqs_total", "h", obs.Label{Key: "code", Value: "5xx"})
+	h.Scrape()
+	clock.Advance(time.Second)
+	c2.Add(9)
+	c5.Add(1)
+	h.Scrape()
+
+	api := APIHandler(h, "/api/history/")
+
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+		"/api/history/reqs_total?window=10s&label=code=5xx", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Family string         `json:"family"`
+		Agg    map[string]any `json:"aggregates"`
+		Series []struct {
+			Key  string `json:"key"`
+			Data []struct {
+				V float64 `json:"v"`
+			} `json:"data"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Series) != 1 {
+		t.Fatalf("label filter matched %d series, want 1", len(body.Series))
+	}
+	if sum, _ := body.Agg["sum"].(float64); sum != 1 {
+		t.Errorf("aggregate sum = %v, want 1", body.Agg["sum"])
+	}
+
+	// Unknown family answers 404; bad params answer 400.
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/history/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown family status = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/history/reqs_total?window=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad window status = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/history/reqs_total?label=nokey", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad label status = %d, want 400", rec.Code)
+	}
+
+	// The bare prefix lists families.
+	rec = httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/history/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "reqs_total") {
+		t.Errorf("family index status = %d body:\n%s", rec.Code, rec.Body.String())
+	}
+}

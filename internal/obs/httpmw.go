@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -48,6 +50,8 @@ func (m *HTTPMetrics) EnableTracing(j *Journal) {
 	m.traces = m.reg.Counter("http_traces_total", "Request traces recorded in the journal.")
 	m.slowTraces = m.reg.Counter("http_slow_traces_total",
 		"Request traces at or above the slow-trace threshold.")
+	j.CountEvictions(m.reg.Counter("maras_trace_journal_evicted_total",
+		"Completed traces overwritten by the fixed-size journal ring."))
 }
 
 // statusRecorder captures the status code and bytes written by the
@@ -261,8 +265,9 @@ func HealthzHandler(detail func() map[string]any) http.Handler {
 // serving process flips it once its backing data is loadable. A nil
 // *Readiness reports not ready.
 type Readiness struct {
-	ready    atomic.Bool
-	degraded atomic.Bool
+	ready  atomic.Bool
+	mu     sync.Mutex
+	causes map[string]bool // named degradation causes currently set
 }
 
 // SetReady marks the process ready to serve.
@@ -271,14 +276,54 @@ func (rd *Readiness) SetReady() { rd.ready.Store(true) }
 // Ready reports whether SetReady has been called.
 func (rd *Readiness) Ready() bool { return rd != nil && rd.ready.Load() }
 
-// SetDegraded flags (or clears) degraded operation: the process is
-// still serving — /readyz stays 200 so the load balancer keeps routing
-// — but some answers come from stale data or a subsystem is failing
-// fast. Orchestrators alert on the status string; they do not drain.
-func (rd *Readiness) SetDegraded(v bool) { rd.degraded.Store(v) }
+// SetDegraded flags (or clears) one named cause of degraded
+// operation: the process is still serving — /readyz stays 200 so the
+// load balancer keeps routing — but some answers come from stale data
+// or a service objective is burning. Causes are independent: stale
+// store serving ("store") and an SLO fast burn ("slo:availability")
+// can overlap without stomping each other's flag, and Degraded stays
+// true until every cause clears. Orchestrators alert on the status
+// string; they do not drain.
+func (rd *Readiness) SetDegraded(cause string, on bool) {
+	if rd == nil {
+		return
+	}
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	if on {
+		if rd.causes == nil {
+			rd.causes = map[string]bool{}
+		}
+		rd.causes[cause] = true
+		return
+	}
+	delete(rd.causes, cause)
+}
 
-// Degraded reports whether the process is in degraded operation.
-func (rd *Readiness) Degraded() bool { return rd != nil && rd.degraded.Load() }
+// Degraded reports whether any degradation cause is set.
+func (rd *Readiness) Degraded() bool {
+	if rd == nil {
+		return false
+	}
+	rd.mu.Lock()
+	defer rd.mu.Unlock()
+	return len(rd.causes) > 0
+}
+
+// DegradedCauses returns the sorted names of the active causes.
+func (rd *Readiness) DegradedCauses() []string {
+	if rd == nil {
+		return nil
+	}
+	rd.mu.Lock()
+	out := make([]string, 0, len(rd.causes))
+	for c := range rd.causes {
+		out = append(out, c)
+	}
+	rd.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
 
 // ReadyzHandler answers 503 until rd is ready, then 200 with the
 // caller-supplied detail — the load-balancer gate, where /healthz is
@@ -293,10 +338,12 @@ func ReadyzHandler(rd *Readiness, detail func() map[string]any) http.Handler {
 			return
 		}
 		status := "ready"
-		if rd.Degraded() {
+		body := map[string]any{}
+		if causes := rd.DegradedCauses(); len(causes) > 0 {
 			status = "degraded"
+			body["degraded_causes"] = causes
 		}
-		body := map[string]any{"status": status}
+		body["status"] = status
 		if detail != nil {
 			for k, v := range detail() {
 				body[k] = v

@@ -34,6 +34,8 @@ type Journal struct {
 	full      bool
 	total     uint64
 	slowTotal uint64
+	evicted   uint64        // traces overwritten by the full ring
+	evictedC  *Counter      // optional mirror of evicted (CountEvictions)
 	slowest   []TraceRecord // sorted by duration, descending, ≤ slowestKept
 }
 
@@ -52,6 +54,18 @@ func NewJournal(capacity int, slowThreshold time.Duration) *Journal {
 		threshold: slowThreshold,
 		ring:      make([]TraceRecord, 0, capacity),
 	}
+}
+
+// CountEvictions attaches a counter bumped every time the full ring
+// overwrites (evicts) its oldest trace, so silent trace loss is
+// visible on /metrics instead of only in JournalStats.
+func (j *Journal) CountEvictions(c *Counter) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.evictedC = c
+	j.mu.Unlock()
 }
 
 // SlowThreshold returns the configured slow-trace threshold.
@@ -77,6 +91,10 @@ func (j *Journal) Add(rec TraceRecord) (slow bool) {
 		j.ring[j.next] = rec
 		j.next = (j.next + 1) % j.capacity
 		j.full = true
+		j.evicted++
+		if j.evictedC != nil {
+			j.evictedC.Inc()
+		}
 	}
 	j.total++
 	if rec.Slow {
@@ -144,6 +162,7 @@ func (j *Journal) Slowest(n int) []TraceRecord {
 type JournalStats struct {
 	Total         uint64        `json:"total"`
 	Slow          uint64        `json:"slow"`
+	Evicted       uint64        `json:"evicted"`
 	Capacity      int           `json:"capacity"`
 	SlowThreshold time.Duration `json:"slow_threshold_ns"`
 }
@@ -158,6 +177,7 @@ func (j *Journal) Stats() JournalStats {
 	return JournalStats{
 		Total:         j.total,
 		Slow:          j.slowTotal,
+		Evicted:       j.evicted,
 		Capacity:      j.capacity,
 		SlowThreshold: j.threshold,
 	}

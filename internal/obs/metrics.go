@@ -55,6 +55,17 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 — burn rates, budget
+// fractions, and ratios need sub-unit resolution the int64 Gauge
+// cannot carry. It renders as TYPE gauge.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set forces the gauge to v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current level.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram is a fixed-bucket distribution (Prometheus classic
 // histogram semantics: cumulative buckets plus sum and count).
 type Histogram struct {
@@ -127,6 +138,7 @@ type series struct {
 	labels []Label
 	c      *Counter
 	g      *Gauge
+	fg     *FloatGauge
 	h      *Histogram
 }
 
@@ -224,6 +236,17 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 		s.g = &Gauge{}
 	}
 	return s.g
+}
+
+// FloatGauge returns (creating on first use) a float-valued gauge
+// series. A family must stay homogeneous: mixing Gauge and FloatGauge
+// series under one name renders both, so pick one per family.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	s := r.family(name, help, typeGauge).get(labels)
+	if s.fg == nil {
+		s.fg = &FloatGauge{}
+	}
+	return s.fg
 }
 
 // Histogram returns (creating on first use) the histogram series
@@ -326,7 +349,11 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			case typeCounter:
 				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.c.Value())
 			case typeGauge:
-				fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.g.Value())
+				if s.fg != nil {
+					fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels), formatFloat(s.fg.Value()))
+				} else {
+					fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.g.Value())
+				}
 			case typeHistogram:
 				cum, total := s.h.snapshot()
 				for i, bound := range s.h.bounds {
@@ -399,7 +426,11 @@ func (r *Registry) Snapshot() map[string]any {
 			case typeCounter:
 				fam[lbl] = s.c.Value()
 			case typeGauge:
-				fam[lbl] = s.g.Value()
+				if s.fg != nil {
+					fam[lbl] = s.fg.Value()
+				} else {
+					fam[lbl] = s.g.Value()
+				}
 			case typeHistogram:
 				cum, total := s.h.snapshot()
 				buckets := map[string]int64{}
@@ -416,6 +447,75 @@ func (r *Registry) Snapshot() map[string]any {
 		}
 		f.mu.Unlock()
 		out[name] = fam
+	}
+	return out
+}
+
+// SeriesKey renders the canonical identity of a series —
+// name{k="v",...}, exactly as WritePrometheus prints it — used by the
+// history layer to key per-series rings and by /api/history lookups.
+func SeriesKey(name string, labels []Label) string {
+	return name + renderLabels(labels)
+}
+
+// SeriesSnapshot is one series' instantaneous state in typed form:
+// the scrape surface behind internal/obs/history (WritePrometheus is
+// the same data rendered as exposition text).
+type SeriesSnapshot struct {
+	Name   string
+	Type   string // "counter", "gauge", "histogram"
+	Labels []Label
+	// Value carries the counter count or gauge level.
+	Value float64
+	// Histogram state: finite bucket upper bounds, cumulative counts
+	// aligned with them, the total count (including +Inf), and the sum.
+	Bounds     []float64
+	Cumulative []int64
+	Count      int64
+	Sum        float64
+}
+
+// Gather snapshots every series in registration order. Bounds aliases
+// the histogram's immutable bounds slice; Cumulative is freshly
+// allocated per call.
+func (r *Registry) Gather() []SeriesSnapshot {
+	r.mu.Lock()
+	names := append([]string{}, r.order...)
+	r.mu.Unlock()
+	var out []SeriesSnapshot
+	for _, name := range names {
+		r.mu.Lock()
+		f := r.families[name]
+		r.mu.Unlock()
+		if f == nil {
+			continue
+		}
+		f.mu.Lock()
+		sers := make([]*series, 0, len(f.order))
+		for _, k := range f.order {
+			sers = append(sers, f.series[k])
+		}
+		f.mu.Unlock()
+		for _, s := range sers {
+			sn := SeriesSnapshot{Name: f.name, Type: f.typ, Labels: s.labels}
+			switch f.typ {
+			case typeCounter:
+				sn.Value = float64(s.c.Value())
+			case typeGauge:
+				if s.fg != nil {
+					sn.Value = s.fg.Value()
+				} else {
+					sn.Value = float64(s.g.Value())
+				}
+			case typeHistogram:
+				cum, total := s.h.snapshot()
+				sn.Bounds = s.h.bounds
+				sn.Cumulative = cum
+				sn.Count = total
+				sn.Sum = s.h.Sum()
+			}
+			out = append(out, sn)
+		}
 	}
 	return out
 }

@@ -1,0 +1,77 @@
+package obs
+
+// Bucket-interpolation math shared by the SLO engine and the history
+// views: both answer "what is the p99 over this window" and "what
+// fraction of requests breached the latency target" from the same
+// cumulative-bucket histogram deltas, so the interpolation lives here
+// once instead of being duplicated per consumer.
+
+// BucketQuantile estimates the q-quantile (0 < q <= 1) of a classic
+// cumulative-bucket histogram by linear interpolation inside the
+// bucket the quantile falls in. bounds are the finite upper bounds in
+// ascending order; cum the cumulative counts aligned with them; total
+// the full observation count including the +Inf bucket. Observations
+// landing in +Inf clamp to the highest finite bound (the histogram
+// carries no shape information beyond it). ok is false when there are
+// no observations, no finite buckets, or q is out of range.
+func BucketQuantile(q float64, bounds []float64, cum []int64, total int64) (v float64, ok bool) {
+	if total <= 0 || len(bounds) == 0 || len(cum) != len(bounds) || q <= 0 || q > 1 {
+		return 0, false
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			lower := 0.0
+			var below int64
+			if i > 0 {
+				lower = bounds[i-1]
+				below = cum[i-1]
+			}
+			in := c - below
+			if in <= 0 {
+				return bounds[i], true
+			}
+			frac := (rank - float64(below)) / float64(in)
+			return lower + (bounds[i]-lower)*frac, true
+		}
+	}
+	// The quantile falls in the +Inf bucket: clamp.
+	return bounds[len(bounds)-1], true
+}
+
+// BucketFractionOver estimates the fraction of observations strictly
+// above threshold, interpolating within the bucket containing it.
+// Observations in the +Inf bucket always count as over; a threshold
+// at or beyond the highest finite bound therefore returns exactly the
+// +Inf share. ok is false when there are no observations or no
+// finite buckets.
+func BucketFractionOver(threshold float64, bounds []float64, cum []int64, total int64) (frac float64, ok bool) {
+	if total <= 0 || len(bounds) == 0 || len(cum) != len(bounds) {
+		return 0, false
+	}
+	if threshold < 0 {
+		return 1, true
+	}
+	last := len(bounds) - 1
+	if threshold >= bounds[last] {
+		return float64(total-cum[last]) / float64(total), true
+	}
+	for i, bound := range bounds {
+		if threshold < bound {
+			lower := 0.0
+			var below int64
+			if i > 0 {
+				lower = bounds[i-1]
+				below = cum[i-1]
+			}
+			in := float64(cum[i] - below)
+			share := 0.0
+			if bound > lower {
+				share = (threshold - lower) / (bound - lower)
+			}
+			under := float64(below) + in*share
+			return (float64(total) - under) / float64(total), true
+		}
+	}
+	return 0, true // unreachable: threshold < bounds[last] found a bucket
+}

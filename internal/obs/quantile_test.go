@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// The shared fixture: bounds 1/2/4 with 10 observations per finite
+// bucket and 10 more in +Inf (total 40).
+var (
+	qBounds = []float64{1, 2, 4}
+	qCum    = []int64{10, 20, 30}
+	qTotal  = int64(40)
+)
+
+func TestBucketQuantileInterpolates(t *testing.T) {
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 1.0}, // rank 10: exactly fills bucket 1 → its bound
+		{0.125, 0.5},
+		{0.5, 2.0},
+		{0.625, 3.0}, // rank 25: halfway through the (2,4] bucket
+		{0.75, 4.0},
+		{0.99, 4.0}, // +Inf bucket clamps to the last finite bound
+	}
+	for _, c := range cases {
+		got, ok := BucketQuantile(c.q, qBounds, qCum, qTotal)
+		if !ok {
+			t.Fatalf("q=%v: ok=false", c.q)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBucketQuantileRejectsBadInput(t *testing.T) {
+	if _, ok := BucketQuantile(0.5, qBounds, qCum, 0); ok {
+		t.Error("zero total should not produce a quantile")
+	}
+	if _, ok := BucketQuantile(0, qBounds, qCum, qTotal); ok {
+		t.Error("q=0 should be rejected")
+	}
+	if _, ok := BucketQuantile(1.5, qBounds, qCum, qTotal); ok {
+		t.Error("q>1 should be rejected")
+	}
+	if _, ok := BucketQuantile(0.5, nil, nil, qTotal); ok {
+		t.Error("no buckets should not produce a quantile")
+	}
+	if _, ok := BucketQuantile(0.5, qBounds, qCum[:2], qTotal); ok {
+		t.Error("mismatched cum length should be rejected")
+	}
+}
+
+func TestBucketQuantileTrailingEmptyBucket(t *testing.T) {
+	// Everything landed in the first bucket; quantiles interpolate
+	// inside it and never reach the empty (1,2] bucket.
+	got, ok := BucketQuantile(0.5, []float64{1, 2}, []int64{10, 10}, 10)
+	if !ok || math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("got %v ok=%v, want 0.5 true", got, ok)
+	}
+	got, ok = BucketQuantile(1, []float64{1, 2}, []int64{10, 10}, 10)
+	if !ok || math.Abs(got-1) > 1e-9 {
+		t.Errorf("q=1: got %v ok=%v, want 1 true", got, ok)
+	}
+}
+
+func TestBucketFractionOver(t *testing.T) {
+	cases := []struct {
+		threshold float64
+		want      float64
+	}{
+		{0.5, 0.875}, // half of bucket 1 under
+		{1, 0.75},    // exactly the first bound
+		{1.5, 0.625}, // halfway through (1,2]
+		{3, 0.375},   // halfway through (2,4]
+		{4, 0.25},    // at the last bound: exactly the +Inf share
+		{100, 0.25},  // beyond it: still the +Inf share
+		{-1, 1},      // negative threshold: everything is over
+	}
+	for _, c := range cases {
+		got, ok := BucketFractionOver(c.threshold, qBounds, qCum, qTotal)
+		if !ok {
+			t.Fatalf("threshold=%v: ok=false", c.threshold)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("threshold=%v: got %v, want %v", c.threshold, got, c.want)
+		}
+	}
+	if _, ok := BucketFractionOver(1, qBounds, qCum, 0); ok {
+		t.Error("zero total should not produce a fraction")
+	}
+}

@@ -1,0 +1,394 @@
+package slo
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/obs"
+	"maras/internal/obs/history"
+)
+
+// Config configures NewEngine. Objectives is required; everything
+// else is optional.
+type Config struct {
+	Objectives []Objective
+	// Rules defaults to DefaultRules(1).
+	Rules []BurnRule
+	// Cooldown is how long a rule's short window must run below
+	// threshold before an active breach clears (<= 0 = the rule's
+	// own short window).
+	Cooldown time.Duration
+	// MinEvents is the minimum short-window event count before a
+	// rule may fire, guarding against burn-rate noise at trivial
+	// traffic (<= 0 = 10).
+	MinEvents float64
+	// Period is the error-budget accounting window (<= 0 = the
+	// longest rule Long window).
+	Period time.Duration
+
+	// Log receives breach and recovery events; Ready carries the
+	// degraded flag for SevFail breaches; Metrics exports the
+	// maras_slo_* series; Logger mirrors transitions to slog. All
+	// nil-safe.
+	Log     *audit.Log
+	Ready   *obs.Readiness
+	Metrics *obs.Registry
+	Logger  *slog.Logger
+}
+
+// ruleState tracks one (objective, rule) pair across ticks.
+type ruleState struct {
+	active    bool
+	firedAt   time.Time
+	clearOK   time.Time // since when the short window has been below threshold
+	breachesC *obs.Counter
+	activeG   *obs.Gauge
+	shortG    *obs.FloatGauge
+	longG     *obs.FloatGauge
+}
+
+// objState tracks one objective across ticks.
+type objState struct {
+	obj     Objective
+	rules   []*ruleState
+	budgetG *obs.FloatGauge
+}
+
+// Engine evaluates burn-rate rules against the metrics history. It
+// holds no lock of its own: Tick runs on the history's scrape
+// goroutine (wire with hist.OnScrape(eng.Tick)), and Report reads a
+// snapshot the last Tick published. A nil *Engine is safe: Tick is a
+// no-op and Report returns a zero report.
+type Engine struct {
+	hist *history.History
+	cfg  Config
+	objs []*objState
+
+	evalsC *obs.Counter
+
+	mu       chan struct{} // 1-token semaphore guarding state + report
+	lastTick time.Time
+	report   Report
+}
+
+// NewEngine builds an engine over the history. Metric series are
+// registered eagerly so every objective and rule exists (at zero)
+// from the first scrape.
+func NewEngine(h *history.History, cfg Config) *Engine {
+	if len(cfg.Rules) == 0 {
+		cfg.Rules = DefaultRules(1)
+	}
+	if cfg.MinEvents <= 0 {
+		cfg.MinEvents = 10
+	}
+	if cfg.Period <= 0 {
+		for _, r := range cfg.Rules {
+			if r.Long > cfg.Period {
+				cfg.Period = r.Long
+			}
+		}
+	}
+	e := &Engine{hist: h, cfg: cfg, mu: make(chan struct{}, 1)}
+	e.mu <- struct{}{}
+	reg := cfg.Metrics
+	if reg != nil {
+		e.evalsC = reg.Counter("maras_slo_evaluations_total",
+			"SLO burn-rate evaluation ticks completed.")
+	}
+	for _, obj := range cfg.Objectives {
+		os := &objState{obj: obj}
+		if reg != nil {
+			os.budgetG = reg.FloatGauge("maras_slo_error_budget_remaining",
+				"Fraction of the period's error budget still unspent, by objective (1 = untouched, negative = overspent).",
+				obs.Label{Key: "objective", Value: obj.Name})
+			os.budgetG.Set(1)
+		}
+		for _, rule := range cfg.Rules {
+			rs := &ruleState{}
+			if reg != nil {
+				lbl := []obs.Label{{Key: "objective", Value: obj.Name}, {Key: "rule", Value: rule.Name}}
+				rs.breachesC = reg.Counter("maras_slo_breaches_total",
+					"Burn-rate breaches fired, by objective and rule.", lbl...)
+				rs.activeG = reg.Gauge("maras_slo_breach_active",
+					"Whether the burn-rate rule is currently breached (1) or clear (0).", lbl...)
+				rs.shortG = reg.FloatGauge("maras_slo_burn_rate",
+					"Error-budget burn-rate multiple over the rule window, by objective, rule, and window.",
+					obs.Label{Key: "objective", Value: obj.Name}, obs.Label{Key: "rule", Value: rule.Name},
+					obs.Label{Key: "window", Value: "short"})
+				rs.longG = reg.FloatGauge("maras_slo_burn_rate",
+					"Error-budget burn-rate multiple over the rule window, by objective, rule, and window.",
+					obs.Label{Key: "objective", Value: obj.Name}, obs.Label{Key: "rule", Value: rule.Name},
+					obs.Label{Key: "window", Value: "long"})
+			}
+			os.rules = append(os.rules, rs)
+		}
+		e.objs = append(e.objs, os)
+	}
+	return e
+}
+
+// Period returns the error-budget accounting window.
+func (e *Engine) Period() time.Duration {
+	if e == nil {
+		return 0
+	}
+	return e.cfg.Period
+}
+
+// cooldownFor returns the clear delay for a rule.
+func (e *Engine) cooldownFor(rule BurnRule) time.Duration {
+	if e.cfg.Cooldown > 0 {
+		return e.cfg.Cooldown
+	}
+	return rule.Short
+}
+
+// Tick evaluates every (objective, rule) pair at now, updates
+// metrics, emits breach/recovery audit events, maintains the
+// degraded flag, and publishes a fresh Report. Wire it to the
+// history scraper with hist.OnScrape(eng.Tick) so burn rates update
+// exactly once per sample.
+func (e *Engine) Tick(now time.Time) {
+	if e == nil || e.hist == nil {
+		return
+	}
+	<-e.mu
+	defer func() { e.mu <- struct{}{} }()
+
+	rep := Report{Time: now, Period: e.cfg.Period.String()}
+	for _, os := range e.objs {
+		obj := os.obj
+		budget := obj.Budget()
+		or := ObjectiveReport{
+			Name:        obj.Name,
+			Kind:        string(obj.Kind),
+			Description: obj.Description,
+			Budget:      budget,
+		}
+		e.fillPeriod(&or, obj)
+		if os.budgetG != nil {
+			os.budgetG.Set(or.BudgetRemaining)
+		}
+
+		anyFailActive := false
+		for i, rule := range e.cfg.Rules {
+			rs := os.rules[i]
+			shortRate, shortTotal := obj.errRate(e.hist, rule.Short)
+			longRate, _ := obj.errRate(e.hist, rule.Long)
+			shortBurn := burn(shortRate, budget)
+			longBurn := burn(longRate, budget)
+			if rs.shortG != nil {
+				rs.shortG.Set(shortBurn)
+				rs.longG.Set(longBurn)
+			}
+
+			over := shortBurn >= rule.Threshold && longBurn >= rule.Threshold &&
+				shortTotal >= e.cfg.MinEvents
+			key := fmt.Sprintf("slo_burn:%s:%s", obj.Name, rule.Name)
+			switch {
+			case over && !rs.active:
+				rs.active = true
+				rs.firedAt = now
+				rs.clearOK = time.Time{}
+				if rs.breachesC != nil {
+					rs.breachesC.Inc()
+					rs.activeG.Set(1)
+				}
+				if e.cfg.Log.RecordOnce(key, audit.Event{
+					Time:     now,
+					Rule:     "slo_burn",
+					Severity: rule.Severity,
+					Scope:    obj.Name,
+					Message: fmt.Sprintf("%s burn %.1fx/%.1fx over %s/%s (threshold %.1fx): %s",
+						rule.Name, shortBurn, longBurn, rule.Short, rule.Long,
+						rule.Threshold, obj.Description),
+				}) && e.cfg.Logger != nil {
+					e.cfg.Logger.Warn("slo burn-rate breach",
+						"objective", obj.Name, "rule", rule.Name,
+						"short_burn", shortBurn, "long_burn", longBurn)
+				}
+			case over && rs.active:
+				rs.clearOK = time.Time{} // still burning; reset the clear clock
+			case !over && rs.active:
+				// The short window no longer burns; clear after the
+				// cooldown so a flapping fault can't clear instantly.
+				if shortBurn < rule.Threshold {
+					if rs.clearOK.IsZero() {
+						rs.clearOK = now
+					}
+					if now.Sub(rs.clearOK) >= e.cooldownFor(rule) {
+						rs.active = false
+						if rs.activeG != nil {
+							rs.activeG.Set(0)
+						}
+						e.cfg.Log.Forget(key)
+						e.cfg.Log.Record(audit.Event{
+							Time:     now,
+							Rule:     "slo_recovered",
+							Severity: audit.SevInfo,
+							Scope:    obj.Name,
+							Message: fmt.Sprintf("%s burn recovered after %s (burn %.1fx < %.1fx)",
+								rule.Name, now.Sub(rs.firedAt).Round(time.Millisecond),
+								shortBurn, rule.Threshold),
+						})
+						if e.cfg.Logger != nil {
+							e.cfg.Logger.Info("slo burn-rate recovered",
+								"objective", obj.Name, "rule", rule.Name)
+						}
+					}
+				} else {
+					rs.clearOK = time.Time{}
+				}
+			}
+			if rs.active && rule.Severity == audit.SevFail {
+				anyFailActive = true
+			}
+			or.Rules = append(or.Rules, RuleReport{
+				Name:      rule.Name,
+				Short:     rule.Short.String(),
+				Long:      rule.Long.String(),
+				Threshold: rule.Threshold,
+				ShortBurn: round4(shortBurn),
+				LongBurn:  round4(longBurn),
+				Active:    rs.active,
+				Severity:  string(rule.Severity),
+			})
+		}
+		// The degraded cause follows page-severity breaches only:
+		// SevWarn burns are ticket-worthy, not routing-worthy.
+		e.cfg.Ready.SetDegraded("slo:"+obj.Name, anyFailActive)
+		rep.Objectives = append(rep.Objectives, or)
+	}
+	if e.evalsC != nil {
+		e.evalsC.Inc()
+	}
+	e.lastTick = now
+	e.report = rep
+}
+
+// fillPeriod computes the error-budget accounting fields over the
+// engine period. Every value is finite (JSON-safe).
+func (e *Engine) fillPeriod(or *ObjectiveReport, obj Objective) {
+	budget := obj.Budget()
+	rate, total := obj.errRate(e.hist, e.cfg.Period)
+	or.PeriodEvents = total
+	or.PeriodErrRate = round6(rate)
+	or.BudgetRemaining = 1
+	if budget > 0 && total > 0 {
+		or.BudgetRemaining = round4(1 - rate/budget)
+	}
+	switch obj.Kind {
+	case KindAvailability:
+		or.Target = obj.Target
+		or.PeriodValue = round6(1 - rate)
+	case KindLatency:
+		or.Target = obj.Threshold
+		if d, ok := e.hist.HistogramWindow(obj.Hist, e.cfg.Period); ok {
+			if q, ok := d.Quantile(obj.Quantile); ok {
+				or.PeriodValue = round6(q)
+			}
+		}
+	case KindRatio:
+		or.Target = obj.Target
+		or.PeriodValue = round6(rate)
+	}
+}
+
+// burn converts an error rate into a budget-burn multiple; a zero
+// budget never burns (disabled objective).
+func burn(rate, budget float64) float64 {
+	if budget <= 0 {
+		return 0
+	}
+	return rate / budget
+}
+
+// RuleReport is one burn-rate rule's state in a Report.
+type RuleReport struct {
+	Name      string  `json:"name"`
+	Short     string  `json:"short_window"`
+	Long      string  `json:"long_window"`
+	Threshold float64 `json:"threshold"`
+	ShortBurn float64 `json:"short_burn"`
+	LongBurn  float64 `json:"long_burn"`
+	Active    bool    `json:"active"`
+	Severity  string  `json:"severity"`
+}
+
+// ObjectiveReport is one objective's state in a Report.
+type ObjectiveReport struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Description string `json:"description"`
+	// Target is the availability target, latency threshold in
+	// seconds, or ratio ceiling, per Kind.
+	Target float64 `json:"target"`
+	Budget float64 `json:"budget"`
+	// PeriodValue is the period's measured availability, quantile
+	// latency (seconds), or bad-event ratio, per Kind.
+	PeriodValue     float64      `json:"period_value"`
+	PeriodErrRate   float64      `json:"period_err_rate"`
+	PeriodEvents    float64      `json:"period_events"`
+	BudgetRemaining float64      `json:"budget_remaining"`
+	Rules           []RuleReport `json:"rules"`
+}
+
+// Report is the engine's full published state, as served at /api/slo.
+type Report struct {
+	Time       time.Time         `json:"time"`
+	Period     string            `json:"period"`
+	Objectives []ObjectiveReport `json:"objectives"`
+}
+
+// Breached returns the names of objectives with any active rule.
+func (r Report) Breached() []string {
+	var out []string
+	for _, o := range r.Objectives {
+		for _, ru := range o.Rules {
+			if ru.Active {
+				out = append(out, o.Name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report returns the state published by the last Tick. Before the
+// first Tick (or on a nil engine) it is zero apart from objective
+// names, so callers can render "no data yet".
+func (e *Engine) Report() Report {
+	if e == nil {
+		return Report{}
+	}
+	<-e.mu
+	defer func() { e.mu <- struct{}{} }()
+	if e.lastTick.IsZero() {
+		rep := Report{Period: e.cfg.Period.String()}
+		for _, os := range e.objs {
+			rep.Objectives = append(rep.Objectives, ObjectiveReport{
+				Name:            os.obj.Name,
+				Kind:            string(os.obj.Kind),
+				Description:     os.obj.Description,
+				Budget:          os.obj.Budget(),
+				BudgetRemaining: 1,
+			})
+		}
+		return rep
+	}
+	return e.report
+}
+
+func round4(v float64) float64 { return float64(int64(v*1e4+sign(v)*0.5)) / 1e4 }
+func round6(v float64) float64 { return float64(int64(v*1e6+sign(v)*0.5)) / 1e6 }
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

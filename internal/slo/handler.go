@@ -1,0 +1,22 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the engine's published report at /api/slo as
+// indented JSON. A nil engine answers 404 so the route can be
+// mounted unconditionally.
+func Handler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if e == nil {
+			http.Error(w, "slo engine disabled (-history-scrape 0)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(e.Report())
+	})
+}

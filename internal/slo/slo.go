@@ -1,0 +1,202 @@
+// Package slo evaluates service-level objectives against the
+// in-process metrics history (internal/obs/history) using
+// multi-window burn-rate rules, the alerting recipe from the Google
+// SRE workbook: a breach fires only when BOTH a short and a long
+// trailing window burn error budget faster than a threshold — the
+// long window proves the problem is sustained, the short window
+// proves it is still happening — and clears after the short window
+// runs clean for a cooldown. Breaches land as events in the audit
+// log (internal/audit), flip the /readyz degraded flag for
+// page-severity rules, and export as maras_slo_* gauges, so the SLO
+// engine, watchdog, and quality auditor share one alerting spine.
+package slo
+
+import (
+	"fmt"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/obs/history"
+)
+
+// Kind selects how an objective turns history windows into an error
+// rate.
+type Kind string
+
+const (
+	// KindAvailability measures bad-events / total-events from two
+	// counter selections (e.g. 5xx responses over all responses).
+	KindAvailability Kind = "availability"
+	// KindLatency measures the fraction of histogram observations
+	// above Threshold; the budget is 1-Quantile (a p99 objective
+	// tolerates 1% of requests over the threshold).
+	KindLatency Kind = "latency"
+	// KindRatio measures bad-events / total-events against an
+	// explicit ceiling (e.g. stale serves, shed requests); the
+	// ceiling itself is the budget.
+	KindRatio Kind = "ratio"
+)
+
+// Objective is one declarative service-level objective.
+type Objective struct {
+	// Name keys metrics labels, audit scopes, and readiness causes.
+	Name        string
+	Kind        Kind
+	Description string
+
+	// Target is the availability target (e.g. 0.995) for
+	// KindAvailability, or the bad-fraction ceiling (e.g. 0.05) for
+	// KindRatio. Unused for KindLatency.
+	Target float64
+	// Quantile (e.g. 0.99) and Threshold (seconds) define a latency
+	// objective: Quantile of requests must complete under Threshold.
+	Quantile  float64
+	Threshold float64
+
+	// Selectors over the history. Total/Bad select counter series for
+	// availability and ratio objectives; Hist selects histogram
+	// series for latency objectives.
+	Total history.Selector
+	Bad   history.Selector
+	Hist  history.Selector
+}
+
+// Budget returns the objective's error budget: the fraction of
+// events allowed to be bad.
+func (o Objective) Budget() float64 {
+	switch o.Kind {
+	case KindAvailability:
+		return 1 - o.Target
+	case KindLatency:
+		return 1 - o.Quantile
+	case KindRatio:
+		return o.Target
+	}
+	return 0
+}
+
+// errRate computes the objective's bad-event fraction over a
+// trailing window, plus the window's total event count (the
+// MinEvents guard). Rates are always finite: an empty window reports
+// a zero rate, never NaN.
+func (o Objective) errRate(h *history.History, window time.Duration) (rate float64, total float64) {
+	switch o.Kind {
+	case KindAvailability, KindRatio:
+		tot, _ := h.CounterSum(o.Total, window)
+		bad, _ := h.CounterSum(o.Bad, window)
+		if tot <= 0 {
+			return 0, 0
+		}
+		if bad < 0 {
+			bad = 0
+		}
+		if bad > tot {
+			bad = tot
+		}
+		return bad / tot, tot
+	case KindLatency:
+		d, ok := h.HistogramWindow(o.Hist, window)
+		if !ok || d.Count <= 0 {
+			return 0, 0
+		}
+		frac, ok := d.FractionOver(o.Threshold)
+		if !ok {
+			return 0, float64(d.Count)
+		}
+		return frac, float64(d.Count)
+	}
+	return 0, 0
+}
+
+// DefaultObjectives builds the stock MARAS objectives over the
+// serving stack's existing series. A target/ceiling of 0 (or a
+// latency threshold of 0) disables that objective.
+//
+//   - availability: non-5xx fraction of http_requests_total
+//   - latency-p99: p99 of http_request_duration_seconds under p99 seconds
+//   - stale-serves: maras_store_stale_serves_total over requests,
+//     capped at staleCeil
+//   - shed-rate: maras_shed_total over requests, capped at shedCeil
+func DefaultObjectives(availability float64, p99 time.Duration, staleCeil, shedCeil float64) []Objective {
+	requests := history.Family("http_requests_total")
+	var objs []Objective
+	if availability > 0 {
+		objs = append(objs, Objective{
+			Name:        "availability",
+			Kind:        KindAvailability,
+			Description: fmt.Sprintf("%.4g%% of requests answer without a 5xx", availability*100),
+			Target:      availability,
+			Total:       requests,
+			Bad:         history.FamilyLabel("http_requests_total", "code", "5xx"),
+		})
+	}
+	if p99 > 0 {
+		objs = append(objs, Objective{
+			Name:        "latency-p99",
+			Kind:        KindLatency,
+			Description: fmt.Sprintf("99%% of requests complete under %s", p99),
+			Quantile:    0.99,
+			Threshold:   p99.Seconds(),
+			Hist:        history.Family("http_request_duration_seconds"),
+		})
+	}
+	if staleCeil > 0 {
+		objs = append(objs, Objective{
+			Name:        "stale-serves",
+			Kind:        KindRatio,
+			Description: fmt.Sprintf("at most %.4g%% of requests served from the stale cache", staleCeil*100),
+			Target:      staleCeil,
+			Total:       requests,
+			Bad:         history.Family("maras_store_stale_serves_total"),
+		})
+	}
+	if shedCeil > 0 {
+		objs = append(objs, Objective{
+			Name:        "shed-rate",
+			Kind:        KindRatio,
+			Description: fmt.Sprintf("at most %.4g%% of requests shed by the bulkhead", shedCeil*100),
+			Target:      shedCeil,
+			Total:       requests,
+			Bad:         history.Family("maras_shed_total"),
+		})
+	}
+	return objs
+}
+
+// BurnRule is one multi-window burn-rate alerting rule: fire when
+// the error rate over BOTH windows exceeds Threshold × budget.
+type BurnRule struct {
+	// Name labels the rule in metrics and audit events.
+	Name string
+	// Short and Long are the paired trailing windows.
+	Short, Long time.Duration
+	// Threshold is the burn-rate multiple (err-rate / budget) both
+	// windows must reach.
+	Threshold float64
+	// Severity of the audit event a breach emits; SevFail rules also
+	// flip the /readyz degraded flag.
+	Severity audit.Severity
+}
+
+// DefaultRules returns the standard fast/slow burn-rate pair, with
+// every window multiplied by scale so short-lived processes (tests,
+// benches) can exercise real burn dynamics in seconds:
+//
+//   - fast: 5m/1h at 14.4× budget → SevFail. 14.4× burns 2% of a
+//     30-day budget in one hour — page-worthy.
+//   - slow: 30m/6h at 6× budget → SevWarn. 6× burns 5% in six hours
+//     — ticket-worthy.
+func DefaultRules(scale float64) []BurnRule {
+	if scale <= 0 {
+		scale = 1
+	}
+	d := func(base time.Duration) time.Duration {
+		return time.Duration(float64(base) * scale)
+	}
+	return []BurnRule{
+		{Name: "fast", Short: d(5 * time.Minute), Long: d(time.Hour),
+			Threshold: 14.4, Severity: audit.SevFail},
+		{Name: "slow", Short: d(30 * time.Minute), Long: d(6 * time.Hour),
+			Threshold: 6, Severity: audit.SevWarn},
+	}
+}

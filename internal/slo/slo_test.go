@@ -1,0 +1,374 @@
+package slo
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/obs"
+	"maras/internal/obs/history"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testStack wires a registry, a clock-stubbed history, an audit log,
+// a readiness probe, and an engine with 5s/20s fast + 10s/40s slow
+// windows over a 99.5% availability objective.
+type testStack struct {
+	reg   *obs.Registry
+	hist  *history.History
+	eng   *Engine
+	alog  *audit.Log
+	ready *obs.Readiness
+	clock *fakeClock
+	ok    *obs.Counter
+	bad   *obs.Counter
+}
+
+func newTestStack(t *testing.T) *testStack {
+	t.Helper()
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	hist := history.New(reg, history.Options{
+		Interval: time.Second, Retention: 5 * time.Minute, Now: clock.Now,
+	})
+	alog := audit.NewLog(audit.LogOptions{})
+	ready := &obs.Readiness{}
+	ready.SetReady()
+	rules := []BurnRule{
+		{Name: "fast", Short: 5 * time.Second, Long: 20 * time.Second,
+			Threshold: 14.4, Severity: audit.SevFail},
+		{Name: "slow", Short: 10 * time.Second, Long: 40 * time.Second,
+			Threshold: 6, Severity: audit.SevWarn},
+	}
+	eng := NewEngine(hist, Config{
+		Objectives: DefaultObjectives(0.995, 0, 0, 0),
+		Rules:      rules,
+		MinEvents:  1,
+		Cooldown:   2 * time.Second,
+		Log:        alog,
+		Ready:      ready,
+		Metrics:    reg,
+	})
+	hist.OnScrape(eng.Tick)
+	st := &testStack{reg: reg, hist: hist, eng: eng, alog: alog,
+		ready: ready, clock: clock}
+	st.ok = reg.Counter("http_requests_total", "h",
+		obs.Label{Key: "route", Value: "/"}, obs.Label{Key: "code", Value: "2xx"})
+	st.bad = reg.Counter("http_requests_total", "h",
+		obs.Label{Key: "route", Value: "/"}, obs.Label{Key: "code", Value: "5xx"})
+	hist.Scrape() // baseline
+	return st
+}
+
+// step advances the clock one scrape interval, adds traffic, and
+// scrapes (which ticks the engine).
+func (st *testStack) step(ok, bad int64) {
+	st.clock.Advance(time.Second)
+	if ok > 0 {
+		st.ok.Add(ok)
+	}
+	if bad > 0 {
+		st.bad.Add(bad)
+	}
+	st.hist.Scrape()
+}
+
+func hasEvent(alog *audit.Log, rule, scope string) bool {
+	for _, e := range alog.Recent(0) {
+		if e.Rule == rule && e.Scope == scope {
+			return true
+		}
+	}
+	return false
+}
+
+func TestObjectiveBudgets(t *testing.T) {
+	if b := (Objective{Kind: KindAvailability, Target: 0.995}).Budget(); math.Abs(b-0.005) > 1e-9 {
+		t.Errorf("availability budget = %v", b)
+	}
+	if b := (Objective{Kind: KindLatency, Quantile: 0.99}).Budget(); math.Abs(b-0.01) > 1e-9 {
+		t.Errorf("latency budget = %v", b)
+	}
+	if b := (Objective{Kind: KindRatio, Target: 0.05}).Budget(); b != 0.05 {
+		t.Errorf("ratio budget = %v", b)
+	}
+}
+
+func TestDefaultObjectivesGating(t *testing.T) {
+	objs := DefaultObjectives(0.995, 500*time.Millisecond, 0.05, 0.1)
+	if len(objs) != 4 {
+		t.Fatalf("all enabled: %d objectives, want 4", len(objs))
+	}
+	objs = DefaultObjectives(0.995, 0, 0, 0)
+	if len(objs) != 1 || objs[0].Name != "availability" {
+		t.Fatalf("gated: %+v", objs)
+	}
+	if objs = DefaultObjectives(0, 0, 0, 0); len(objs) != 0 {
+		t.Fatalf("all disabled: %d objectives, want 0", len(objs))
+	}
+}
+
+func TestDefaultRulesScale(t *testing.T) {
+	rules := DefaultRules(1)
+	if rules[0].Short != 5*time.Minute || rules[0].Long != time.Hour {
+		t.Errorf("fast windows = %v/%v", rules[0].Short, rules[0].Long)
+	}
+	scaled := DefaultRules(1.0 / 60)
+	if scaled[0].Short != 5*time.Second || scaled[0].Long != time.Minute {
+		t.Errorf("scaled fast windows = %v/%v", scaled[0].Short, scaled[0].Long)
+	}
+	if def := DefaultRules(0); def[0].Short != 5*time.Minute {
+		t.Errorf("zero scale should fall back to 1x, got %v", def[0].Short)
+	}
+}
+
+func TestCleanTrafficNoBreach(t *testing.T) {
+	st := newTestStack(t)
+	for i := 0; i < 10; i++ {
+		st.step(100, 0)
+	}
+	rep := st.eng.Report()
+	if got := rep.Breached(); len(got) != 0 {
+		t.Errorf("clean traffic breached %v", got)
+	}
+	av := rep.Objectives[0]
+	if av.PeriodValue != 1 {
+		t.Errorf("period availability = %v, want 1", av.PeriodValue)
+	}
+	if av.BudgetRemaining != 1 {
+		t.Errorf("budget remaining = %v, want 1", av.BudgetRemaining)
+	}
+	if st.ready.Degraded() {
+		t.Error("clean traffic flipped the degraded flag")
+	}
+}
+
+func TestBreachLifecycle(t *testing.T) {
+	st := newTestStack(t)
+	// Healthy baseline.
+	for i := 0; i < 3; i++ {
+		st.step(100, 0)
+	}
+	// Sustained 50% error rate: burn 100x >> 14.4x in both fast
+	// windows once enough samples accrue.
+	for i := 0; i < 6; i++ {
+		st.step(50, 50)
+	}
+	rep := st.eng.Report()
+	fast := rep.Objectives[0].Rules[0]
+	if !fast.Active {
+		t.Fatalf("fast rule not active after sustained errors: %+v", fast)
+	}
+	if !st.ready.Degraded() {
+		t.Error("SevFail breach did not flip the degraded flag")
+	}
+	if causes := st.ready.DegradedCauses(); len(causes) != 1 || causes[0] != "slo:availability" {
+		t.Errorf("degraded causes = %v", causes)
+	}
+	if !hasEvent(st.alog, "slo_burn", "availability") {
+		t.Error("breach did not land in the audit log")
+	}
+
+	// Recovery: clean traffic drains the short window; after the 2s
+	// cooldown the breach clears, the flag drops, and the recovery
+	// event lands.
+	for i := 0; i < 30 && st.ready.Degraded(); i++ {
+		st.step(100, 0)
+	}
+	rep = st.eng.Report()
+	if rep.Objectives[0].Rules[0].Active {
+		t.Fatal("fast rule still active after sustained clean traffic")
+	}
+	if st.ready.Degraded() {
+		t.Error("degraded flag survived recovery")
+	}
+	if !hasEvent(st.alog, "slo_recovered", "availability") {
+		t.Error("recovery did not land in the audit log")
+	}
+}
+
+func TestShortBlipDoesNotBreach(t *testing.T) {
+	st := newTestStack(t)
+	// Long healthy history, then a single 1-second error spike: the
+	// short window burns but the 20s long window stays diluted below
+	// threshold, so the multi-window rule must not fire.
+	for i := 0; i < 20; i++ {
+		st.step(100, 0)
+	}
+	st.step(80, 20) // one bad second: long-window err ≈ 1% → burn ≈ 2x
+	for i := 0; i < 3; i++ {
+		st.step(100, 0)
+	}
+	if got := st.eng.Report().Breached(); len(got) != 0 {
+		t.Errorf("single blip breached %v", got)
+	}
+	if hasEvent(st.alog, "slo_burn", "availability") {
+		t.Error("blip landed a breach event")
+	}
+}
+
+func TestMinEventsGuard(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	hist := history.New(reg, history.Options{Interval: time.Second, Retention: time.Minute, Now: clock.Now})
+	eng := NewEngine(hist, Config{
+		Objectives: DefaultObjectives(0.995, 0, 0, 0),
+		Rules: []BurnRule{{Name: "fast", Short: 5 * time.Second,
+			Long: 10 * time.Second, Threshold: 14.4, Severity: audit.SevFail}},
+		MinEvents: 100,
+	})
+	hist.OnScrape(eng.Tick)
+	bad := reg.Counter("http_requests_total", "h", obs.Label{Key: "code", Value: "5xx"})
+	hist.Scrape()
+	for i := 0; i < 5; i++ {
+		clock.Advance(time.Second)
+		bad.Add(2) // 100% errors but only 10 events total
+		hist.Scrape()
+	}
+	if got := eng.Report().Breached(); len(got) != 0 {
+		t.Errorf("sub-MinEvents traffic breached %v", got)
+	}
+}
+
+func TestSloMetricsRendered(t *testing.T) {
+	st := newTestStack(t)
+	for i := 0; i < 3; i++ {
+		st.step(100, 0)
+	}
+	var sb strings.Builder
+	st.reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`maras_slo_burn_rate{objective="availability",rule="fast",window="short"}`,
+		`maras_slo_burn_rate{objective="availability",rule="slow",window="long"}`,
+		`maras_slo_error_budget_remaining{objective="availability"} 1`,
+		`maras_slo_breach_active{objective="availability",rule="fast"} 0`,
+		`maras_slo_breaches_total{objective="availability",rule="fast"} 0`,
+		"maras_slo_evaluations_total",
+		"maras_history_scrapes_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Drive a breach and confirm the breach series move.
+	for i := 0; i < 8; i++ {
+		st.step(0, 100)
+	}
+	sb.Reset()
+	st.reg.WritePrometheus(&sb)
+	out = sb.String()
+	if !strings.Contains(out, `maras_slo_breach_active{objective="availability",rule="fast"} 1`) {
+		t.Errorf("breach_active not set after breach:\n%s", out)
+	}
+	if !strings.Contains(out, `maras_slo_breaches_total{objective="availability",rule="fast"} 1`) {
+		t.Errorf("breaches_total not bumped after breach")
+	}
+}
+
+func TestLatencyObjective(t *testing.T) {
+	reg := obs.NewRegistry()
+	clock := newFakeClock()
+	hist := history.New(reg, history.Options{Interval: time.Second, Retention: time.Minute, Now: clock.Now})
+	eng := NewEngine(hist, Config{
+		Objectives: []Objective{{
+			Name: "latency-p99", Kind: KindLatency, Quantile: 0.99,
+			Threshold: 0.5, Hist: history.Family("http_request_duration_seconds"),
+		}},
+		Rules: []BurnRule{{Name: "fast", Short: 3 * time.Second,
+			Long: 6 * time.Second, Threshold: 10, Severity: audit.SevFail}},
+		MinEvents: 1,
+	})
+	hist.OnScrape(eng.Tick)
+	h := reg.Histogram("http_request_duration_seconds", "h",
+		obs.DefaultLatencyBuckets, obs.Label{Key: "route", Value: "/"})
+	hist.Scrape()
+	// 20% of requests over the 0.5s target: err rate 0.2 / budget
+	// 0.01 = burn 20x > 10x.
+	for i := 0; i < 6; i++ {
+		clock.Advance(time.Second)
+		for j := 0; j < 8; j++ {
+			h.Observe(0.01)
+		}
+		h.Observe(1.5)
+		h.Observe(1.5)
+		hist.Scrape()
+	}
+	rep := eng.Report()
+	if got := rep.Breached(); len(got) != 1 || got[0] != "latency-p99" {
+		t.Fatalf("breached = %v, want [latency-p99]", got)
+	}
+	if pv := rep.Objectives[0].PeriodValue; pv <= 0.5 {
+		t.Errorf("period p99 = %v, want > 0.5s with 20%% slow requests", pv)
+	}
+}
+
+func TestReportJSONSafe(t *testing.T) {
+	st := newTestStack(t)
+	// Before any traffic and right after baseline: no NaNs allowed.
+	if _, err := json.Marshal(st.eng.Report()); err != nil {
+		t.Fatalf("pre-traffic report not marshalable: %v", err)
+	}
+	st.step(0, 0) // a tick with zero events
+	if _, err := json.Marshal(st.eng.Report()); err != nil {
+		t.Fatalf("zero-event report not marshalable: %v", err)
+	}
+}
+
+func TestHandlerServesReport(t *testing.T) {
+	st := newTestStack(t)
+	st.step(100, 0)
+	rec := httptest.NewRecorder()
+	Handler(st.eng).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/slo", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Objectives) != 1 || rep.Objectives[0].Name != "availability" {
+		t.Errorf("report objectives = %+v", rep.Objectives)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/slo", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("nil engine status = %d, want 404", rec.Code)
+	}
+}
+
+func TestNilEngineSafe(t *testing.T) {
+	var e *Engine
+	e.Tick(time.Now())
+	if rep := e.Report(); len(rep.Objectives) != 0 {
+		t.Errorf("nil engine report = %+v", rep)
+	}
+}
