@@ -41,4 +41,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_trace.json BENCH_drift.json BENCH_chaos.json
+	rm -f BENCH_trace.json BENCH_drift.json BENCH_chaos.json BENCH_slo.json BENCH_watch.json

@@ -18,6 +18,7 @@
 //	drift         audit-layer drift detection: churn/rank-shift per pair + cost (BENCH_drift.json)
 //	chaos         fault-injected serving: availability/shed/recovery per mix (BENCH_chaos.json)
 //	slo           burn-rate alerting against a live server: client vs /api/slo agreement (BENCH_slo.json)
+//	watch         watchlist alerting at scale: index build + eval latency vs population (BENCH_watch.json)
 //	all           everything above
 //
 // Usage:
@@ -51,6 +52,9 @@ type benchConfig struct {
 	chaosOut   string
 	sloOut     string
 	failpoints string
+	watchLists int
+	watchIters int
+	watchOut   string
 }
 
 // traceRun is one traced pipeline execution: which experiment ran
@@ -125,6 +129,9 @@ func main() {
 		chaosOut   = flag.String("chaos-out", "BENCH_chaos.json", "chaos-experiment JSON artifact (empty = skip)")
 		sloOut     = flag.String("slo-out", "BENCH_slo.json", "slo-experiment JSON artifact (empty = skip)")
 		failpoints = flag.String("failpoints", "", "custom failpoint spec for -exp chaos (replaces the built-in fault mixes)")
+		watchLists = flag.Int("watch-lists", 1_000_000, "watchlist population for -exp watch")
+		watchIters = flag.Int("watch-iters", 40, "evaluation iterations per population for -exp watch")
+		watchOut   = flag.String("watch-out", "BENCH_watch.json", "watch-experiment JSON artifact (empty = skip)")
 	)
 	flag.Parse()
 
@@ -132,6 +139,7 @@ func main() {
 		seed: *seed, reports: *reports, minsup: *minsup,
 		paperScale: *paperScale, svgOut: *svgOut, traceOut: *traceOut,
 		driftOut: *driftOut, chaosOut: *chaosOut, sloOut: *sloOut, failpoints: *failpoints,
+		watchLists: *watchLists, watchIters: *watchIters, watchOut: *watchOut,
 	}
 
 	runners := map[string]func(benchConfig) error{
@@ -150,11 +158,12 @@ func main() {
 		"drift":          runDrift,
 		"chaos":          runChaos,
 		"slo":            runSLO,
+		"watch":          runWatch,
 	}
 	order := []string{
 		"table5.1", "fig5.1", "table5.2", "cases", "fig5.2", "figs4",
 		"ablate-theta", "ablate-decay", "ablate-closed", "ablate-suspect",
-		"baselines", "trend", "drift", "chaos", "slo",
+		"baselines", "trend", "drift", "chaos", "slo", "watch",
 	}
 
 	var ids []string

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -46,12 +47,14 @@ import (
 	"maras/internal/core"
 	"maras/internal/faers"
 	"maras/internal/glyph"
+	"maras/internal/knowledge"
 	"maras/internal/network"
 	"maras/internal/obs"
 	"maras/internal/obs/history"
 	"maras/internal/resilience"
 	"maras/internal/slo"
 	"maras/internal/strata"
+	"maras/internal/watch"
 )
 
 // svgCacheControl marks the per-rank SVG renders as immutable: a
@@ -89,7 +92,7 @@ func (s *server) log() *slog.Logger {
 // stay answerable under saturation. The text-heavy operational
 // endpoints negotiate gzip — exposition text and trace dumps
 // compress an order of magnitude.
-func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack) http.Handler {
+func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack) http.Handler {
 	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
 	mux := http.NewServeMux()
 	mw.Handle(mux, "/", app(s.handleIndex))
@@ -100,6 +103,7 @@ func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Jou
 	mw.Handle(mux, "/api/signals", app(s.handleAPISignals))
 	mw.Handle(mux, "/network.dot", app(s.handleNetworkDOT))
 	mw.Handle(mux, "/network.json", app(s.handleNetworkJSON))
+	ws.register(mux, mw, app)
 	mountOperational(mux, reg, journal, ready, slos, s.healthDetail, s.alog)
 	return mux
 }
@@ -175,6 +179,11 @@ func main() {
 		sloShedCeiling   = flag.Float64("slo-shed-ceiling", 0.10, "SLO: max fraction of requests shed by the bulkhead (0 disables)")
 		sloWindowScale   = flag.Float64("slo-window-scale", 1, "SLO: multiply the burn-rate rule windows (sub-1 values shrink 5m/1h to test burn dynamics quickly)")
 		sloCooldown      = flag.Duration("slo-cooldown", 0, "SLO: clean time before an active breach clears (0 = each rule's short window)")
+
+		watchFile    = flag.String("watch-file", "", "persist watchlists to this snapshot file (store mode defaults to <store>/watchlists.mrwl; empty elsewhere keeps lists in memory)")
+		watchUserCap = flag.Int("watch-user-cap", 100, "max watchlists per user")
+		watchFeedCap = flag.Int("watch-feed-cap", watch.DefaultFeedCapacity, "alerts retained per user feed")
+		watchBudget  = flag.Duration("watch-eval-budget", watch.DefaultEvalBudget, "watch evaluation latency budget; slower passes raise a warn audit event")
 
 		failpoints  = flag.String("failpoints", "", "arm fault-injection sites, e.g. 'store/decode=error*1;store/load=delay(50ms,0.2)' (also read from "+resilience.FailpointEnv+")")
 		maxInflight = flag.Int("max-inflight", 64, "bulkhead: application requests executing concurrently (0 disables load shedding)")
@@ -279,9 +288,31 @@ func main() {
 		defer sampler.Stop()
 	}
 
+	// The watchlist subsystem is live in both serving modes; store mode
+	// persists lists next to the snapshots unless told otherwise. Drift
+	// events reach the evaluator through the audit log subscription.
+	wfile := *watchFile
+	if wfile == "" && *storeDir != "" {
+		wfile = filepath.Join(*storeDir, "watchlists.mrwl")
+	}
+	ws, err := newWatchStack(watchConfig{
+		file:    wfile,
+		userCap: *watchUserCap,
+		feedCap: *watchFeedCap,
+		budget:  *watchBudget,
+	}, knowledge.Builtin(), reg, auditor, logger)
+	if err != nil {
+		logger.Error("open watchlists", "err", err)
+		os.Exit(1)
+	}
+	alog.OnRecord(ws.ev.HandleAuditEvent)
+	if ws.ix.Len() > 0 {
+		logger.Info("watchlists loaded", "file", wfile, "lists", ws.ix.Len())
+	}
+
 	var handler http.Handler
 	if *storeDir != "" {
-		ss, err := newStoreServer(*storeDir, logger, tracer, obs.NewStoreMetrics(reg), auditor)
+		ss, err := newStoreServer(*storeDir, logger, tracer, obs.NewStoreMetrics(reg), auditor, ws)
 		if err != nil {
 			logger.Error("open store", "err", err)
 			os.Exit(1)
@@ -289,7 +320,7 @@ func main() {
 		quarters := ss.reg.Quarters()
 		logger.Info("serving from store", "dir", *storeDir,
 			"quarters", len(quarters), "default", ss.reg.Latest())
-		handler = ss.routes(reg, mw, journal, ready, shed, slos)
+		handler = ss.routes(reg, mw, journal, ready, shed, slos, ws)
 		ready.SetReady() // registry opened and scanned: store mode can serve
 		// Populate the audit timeline in the background: quality per
 		// quarter, drift per adjacent pair. Serving never waits on it,
@@ -339,8 +370,12 @@ func main() {
 		auditor.RecordQuality(qr)
 		logger.Info("ingest quality", "quarter", *quarter, "verdict", qr.Verdict,
 			"drop_rate", fmt.Sprintf("%.3f", qr.DropRate), "findings", len(qr.Findings))
+		// Seed the watch subsystem with the mined quarter: populate the
+		// known-drug vocabulary and fire any alerts the startup signals
+		// qualify for.
+		ws.onQuarterLoaded(context.Background(), *quarter, a)
 		s := &server{analysis: a, quarter: *quarter, logger: logger, alog: alog, started: time.Now()}
-		handler = s.routes(reg, mw, journal, ready, shed, slos)
+		handler = s.routes(reg, mw, journal, ready, shed, slos, ws)
 		ready.SetReady() // initial mine complete: traffic can flow
 	}
 	// Start scraping only once the serving mode is up: the first

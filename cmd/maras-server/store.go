@@ -73,7 +73,7 @@ type staleHandler struct {
 // per-quarter load breakers, transient-failure retry, corrupt-snapshot
 // quarantine, and the last-good stale cache behind graceful
 // degradation.
-func newStoreServer(dir string, logger *slog.Logger, tracer *obs.Tracer, m *obs.StoreMetrics, auditor *audit.Auditor) (*storeServer, error) {
+func newStoreServer(dir string, logger *slog.Logger, tracer *obs.Tracer, m *obs.StoreMetrics, auditor *audit.Auditor, ws *watchStack) (*storeServer, error) {
 	ss := &storeServer{
 		logger:        logger,
 		auditor:       auditor,
@@ -82,10 +82,14 @@ func newStoreServer(dir string, logger *slog.Logger, tracer *obs.Tracer, m *obs.
 		staleHandlers: map[string]staleHandler{},
 	}
 	reg, err := store.OpenRegistry(dir, store.RegistryOptions{
-		Metrics:    m,
-		Tracer:     tracer,
-		Auditor:    auditor,
-		OnEvict:    ss.dropHandler,
+		Metrics: m,
+		Tracer:  tracer,
+		Auditor: auditor,
+		OnEvict: ss.dropHandler,
+		// Every cold decode flows into the watchlist evaluator (a nil
+		// ws makes this a no-op), so quarter loads and refreshes fire
+		// alerts without any polling.
+		OnLoad:     ws.onQuarterLoaded,
 		Resilience: &store.ResilienceOptions{Quarantine: true},
 	})
 	if err != nil {
@@ -110,18 +114,22 @@ func (ss *storeServer) log() *slog.Logger {
 // (history/SLO endpoints 404). The bulkhead wraps only the
 // application routes — the operational endpoints stay reachable at
 // any load, which is when an operator needs them most.
-func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack) http.Handler {
+func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack) http.Handler {
 	ss.ready = ready
 	ss.slos = slos
 	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
 	mux := http.NewServeMux()
-	mw.Handle(mux, "/api/quarters", app(ss.handleQuarters))
-	mw.Handle(mux, "/api/timeline/", app(ss.handleTimeline))
+	// The JSON list APIs negotiate gzip: quarter inventories and
+	// timelines are repetitive text that compresses an order of
+	// magnitude for polling clients.
+	mw.Handle(mux, "/api/quarters", obs.GzipHandler(app(ss.handleQuarters)))
+	mw.Handle(mux, "/api/timeline/", obs.GzipHandler(app(ss.handleTimeline)))
 	mw.Handle(mux, "/api/quality/", app(ss.handleQuality))
 	mw.Handle(mux, "/api/drift/", app(ss.handleDrift))
 	mw.Handle(mux, "/quarters", app(ss.handleQuartersPage))
 	mw.Handle(mux, "/q/", app(ss.handleQuarterScoped))
 	mw.Handle(mux, "/", app(ss.handleDefaultQuarter))
+	ws.register(mux, mw, app)
 	mountOperational(mux, reg, journal, ready, slos, ss.healthDetail, ss.auditLog())
 	return mux
 }

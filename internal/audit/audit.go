@@ -102,6 +102,11 @@ type Finding struct {
 	// it was held against, so dashboards need not parse Message.
 	Value float64 `json:"value"`
 	Limit float64 `json:"limit"`
+	// Subject optionally identifies the specific entity the finding is
+	// about (for signal_lost, the lost signal's drug-combination key);
+	// it is copied onto the emitted Event so subscribers can route
+	// per-entity without parsing Message.
+	Subject string `json:"subject,omitempty"`
 }
 
 // Thresholds configures every audit rule. The zero value of any field

@@ -92,12 +92,19 @@ func (ad *Auditor) RecordDrift(d *DriftReport) {
 		if f.Severity == SevOK {
 			continue
 		}
+		// Subject-bearing findings (one signal_lost per vanished
+		// signal) dedup per subject, not per rule: each lost signal is
+		// individually actionable and must reach subscribers.
 		key := "drift/" + scope + "/" + f.Rule + "/" + string(f.Severity)
+		if f.Subject != "" {
+			key += "/" + f.Subject
+		}
 		ad.Log.RecordOnce(key, Event{
 			Rule:     f.Rule,
 			Severity: f.Severity,
 			Scope:    scope,
 			Message:  f.Message,
+			Subject:  f.Subject,
 		})
 	}
 	if ad.Metrics != nil {

@@ -204,8 +204,9 @@ func EvaluateDrift(d *DriftReport, th Thresholds) {
 				Severity: SevWarn,
 				Message: fmt.Sprintf("signal %q (rank %d in %s, support %d) absent from %s top-%d",
 					sd.Key, sd.FromRank, d.From, sd.FromSupport, d.To, d.TopK),
-				Value: float64(sd.FromRank),
-				Limit: leading,
+				Value:   float64(sd.FromRank),
+				Limit:   leading,
+				Subject: sd.Key,
 			})
 		}
 	}

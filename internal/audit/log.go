@@ -27,6 +27,11 @@ type Event struct {
 	// "from->to" quarter pair, or "runtime" for watchdog events.
 	Scope   string `json:"scope,omitempty"`
 	Message string `json:"message"`
+	// Subject optionally carries the machine-readable identity the
+	// event is about — for signal_lost drift events the canonical
+	// drug-combination key — so subscribers can route the event
+	// without parsing Message.
+	Subject string `json:"subject,omitempty"`
 }
 
 // LogOptions configures NewLog. Every field is optional.
@@ -59,6 +64,7 @@ type Log struct {
 	evictedC *obs.Counter // mirror of evicted; nil without Metrics
 	bySev    map[Severity]uint64
 	seen     map[string]bool // RecordOnce dedup keys
+	subs     []func(Event)   // OnRecord subscribers, append-only
 }
 
 // NewLog builds an event log.
@@ -113,7 +119,18 @@ func (l *Log) Record(e Event) {
 	}
 	l.total++
 	l.bySev[e.Severity]++
+	subs := l.subs
 	l.mu.Unlock()
+
+	// Subscribers run outside the lock (mirroring the watchdog's
+	// OnViolation contract): they may query the log or record further
+	// events, but a subscriber that re-enters Record sees its own event
+	// delivered recursively, so event-producing subscribers must guard
+	// against feeding on their own output. The subs slice is append-
+	// only, so the snapshot taken under the lock stays valid here.
+	for _, fn := range subs {
+		fn(e)
+	}
 
 	if l.metrics != nil {
 		l.metrics.Counter("maras_audit_events_total",
@@ -132,6 +149,22 @@ func (l *Log) Record(e Event) {
 			"rule", e.Rule, "severity", string(e.Severity),
 			"scope", e.Scope, "msg", e.Message)
 	}
+}
+
+// OnRecord registers fn to be called with every event the log
+// records, after the event has been appended to the ring. Callbacks
+// are invoked synchronously on the recording goroutine but outside
+// the log's lock, so a subscriber may safely call Recent, Stats, or
+// even Record without deadlocking. Events recorded concurrently may
+// reach subscribers in either order; within one goroutine delivery
+// follows Record order. A nil log ignores the registration.
+func (l *Log) OnRecord(fn func(Event)) {
+	if l == nil || fn == nil {
+		return
+	}
+	l.mu.Lock()
+	l.subs = append(l.subs, fn)
+	l.mu.Unlock()
 }
 
 // RecordOnce records the event only the first time key is seen,

@@ -52,15 +52,35 @@ type Interaction struct {
 	Source string
 }
 
-// Key returns the canonical identity of the drug combination:
-// sorted, upper-cased names joined by "+".
+// DrugKey returns the canonical identity of the drug combination:
+// sorted, upper-cased names joined by "+". Empty names and duplicates
+// (after normalization) are dropped, so "aspirin, ASPIRIN , WARFARIN"
+// and "WARFARIN+ASPIRIN" name the same combination.
 func DrugKey(drugs []string) string {
-	ds := make([]string, len(drugs))
-	for i, d := range drugs {
-		ds[i] = strings.ToUpper(strings.TrimSpace(d))
+	ds := make([]string, 0, len(drugs))
+	for _, d := range drugs {
+		if n := strings.ToUpper(strings.TrimSpace(d)); n != "" {
+			ds = append(ds, n)
+		}
 	}
 	sort.Strings(ds)
-	return strings.Join(ds, "+")
+	out := ds[:0]
+	for i, d := range ds {
+		if i == 0 || d != ds[i-1] {
+			out = append(out, d)
+		}
+	}
+	return strings.Join(out, "+")
+}
+
+// NormReaction canonicalizes a reaction term for matching: leading
+// and trailing space trimmed, internal whitespace collapsed to single
+// spaces, upper-cased. Reaction vocabulary arrives in mixed case
+// ("Haemorrhage" from the pipeline, free-form from API clients), so
+// every term comparison against the base goes through this one
+// normalization instead of each caller reimplementing it.
+func NormReaction(term string) string {
+	return strings.ToUpper(strings.Join(strings.Fields(term), " "))
 }
 
 // Key returns the interaction's drug-combination key.
@@ -69,17 +89,30 @@ func (i *Interaction) Key() string { return DrugKey(i.Drugs) }
 // Base is a queryable knowledge base.
 type Base struct {
 	byKey map[string]*Interaction
+	// reacs holds each entry's reaction terms normalized via
+	// NormReaction, keyed like byKey, so expectedness checks are a map
+	// lookup instead of a scan with ad-hoc case folding.
+	reacs map[string]map[string]bool
 	all   []Interaction
 }
 
 // New builds a base from entries; later duplicates of a drug
 // combination override earlier ones.
 func New(entries []Interaction) *Base {
-	b := &Base{byKey: make(map[string]*Interaction, len(entries))}
+	b := &Base{
+		byKey: make(map[string]*Interaction, len(entries)),
+		reacs: make(map[string]map[string]bool, len(entries)),
+	}
 	b.all = make([]Interaction, len(entries))
 	copy(b.all, entries)
 	for i := range b.all {
-		b.byKey[b.all[i].Key()] = &b.all[i]
+		key := b.all[i].Key()
+		b.byKey[key] = &b.all[i]
+		set := make(map[string]bool, len(b.all[i].Reactions))
+		for _, r := range b.all[i].Reactions {
+			set[NormReaction(r)] = true
+		}
+		b.reacs[key] = set
 	}
 	return b
 }
@@ -98,6 +131,21 @@ func (b *Base) Lookup(drugs []string) *Interaction {
 
 // Known reports whether the drug combination is a curated interaction.
 func (b *Base) Known(drugs []string) bool { return b.Lookup(drugs) != nil }
+
+// KnownReaction reports whether the curated entry for the drug
+// combination lists term among its documented reactions. Matching is
+// case- and whitespace-insensitive (NormReaction on both sides). A
+// combination absent from the base reports false for every term —
+// callers deciding "expectedness" should check Known separately to
+// distinguish an unknown combination from a known one with a novel
+// reaction.
+func (b *Base) KnownReaction(drugs []string, term string) bool {
+	set := b.reacs[DrugKey(drugs)]
+	if set == nil {
+		return false
+	}
+	return set[NormReaction(term)]
+}
 
 // All returns every entry, sorted by key for determinism.
 func (b *Base) All() []Interaction {

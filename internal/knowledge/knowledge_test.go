@@ -13,6 +13,56 @@ func TestDrugKeyCanonical(t *testing.T) {
 	}
 }
 
+func TestDrugKeyEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []string
+		want string
+	}{
+		{"empty list", nil, ""},
+		{"all empty strings", []string{"", "   "}, ""},
+		{"empties dropped", []string{"", "ASPIRIN", " "}, "ASPIRIN"},
+		{"duplicates collapse", []string{"ASPIRIN", "aspirin", " Aspirin "}, "ASPIRIN"},
+		{"mixed case and order", []string{"warfarin", "ASPIRIN", "Warfarin"}, "ASPIRIN+WARFARIN"},
+		{"single drug", []string{" lithium "}, "LITHIUM"},
+	}
+	for _, tc := range cases {
+		if got := DrugKey(tc.in); got != tc.want {
+			t.Errorf("%s: DrugKey(%q) = %q, want %q", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNormReaction(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Haemorrhage", "HAEMORRHAGE"},
+		{"  acute   renal\tfailure ", "ACUTE RENAL FAILURE"},
+		{"", ""},
+		{"   ", ""},
+	}
+	for _, tc := range cases {
+		if got := NormReaction(tc.in); got != tc.want {
+			t.Errorf("NormReaction(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestKnownReaction(t *testing.T) {
+	b := Builtin()
+	if !b.KnownReaction([]string{"WARFARIN", "ASPIRIN"}, "haemorrhage") {
+		t.Error("haemorrhage should be a known reaction of aspirin+warfarin, any case or order")
+	}
+	if b.KnownReaction([]string{"ASPIRIN", "WARFARIN"}, "Nausea") {
+		t.Error("nausea is not curated for aspirin+warfarin")
+	}
+	if b.KnownReaction([]string{"ASPIRIN", "NEXIUM"}, "Haemorrhage") {
+		t.Error("unknown combination must report false for every term")
+	}
+	if !b.KnownReaction([]string{"zometa", "prilosec"}, " osteonecrosis  of jaw ") {
+		t.Error("whitespace-mangled term should still match the curated entry")
+	}
+}
+
 func TestBuiltinContainsCaseStudies(t *testing.T) {
 	b := Builtin()
 	cases := [][]string{

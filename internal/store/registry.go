@@ -52,6 +52,15 @@ type RegistryOptions struct {
 	// LoadResilient's stale serving (see ResilienceOptions). Nil keeps
 	// the registry's original fail-on-first-error behavior.
 	Resilience *ResilienceOptions
+	// OnLoad, when non-nil, is called after every successful cold load
+	// (disk decode) with the freshly rehydrated analysis — once per
+	// decode, not per LRU hit, so re-serving a resident quarter costs
+	// nothing extra. It runs on the loading goroutine, outside the
+	// registry lock, with the load's context (so callbacks can attach
+	// spans to the request trace that paid for the decode). Consumers
+	// reacting to quarter content changes (the watch evaluator) hang
+	// off this hook.
+	OnLoad func(ctx context.Context, label string, a *core.Analysis)
 }
 
 // DefaultMaxOpen is the open-quarter LRU capacity when
@@ -71,6 +80,7 @@ type Registry struct {
 	metrics *obs.StoreMetrics
 	tracer  *obs.Tracer
 	onEvict func(string)
+	onLoad  func(context.Context, string, *core.Analysis)
 	auditor *audit.Auditor
 
 	mu       sync.Mutex
@@ -120,6 +130,7 @@ func OpenRegistry(dir string, opts RegistryOptions) (*Registry, error) {
 		metrics: opts.Metrics,
 		tracer:  opts.Tracer,
 		onEvict: opts.OnEvict,
+		onLoad:  opts.OnLoad,
 		auditor: opts.Auditor,
 		open:    map[string]*entry{},
 		quality: map[string]*audit.QualityReport{},
@@ -323,6 +334,9 @@ func (r *Registry) LoadContext(ctx context.Context, label string) (*core.Analysi
 		st.Count("signals", int64(len(snap.Analysis.Signals)))
 		st.Count("reports", int64(snap.Analysis.Stats.Reports))
 		st.End()
+		if r.onLoad != nil {
+			r.onLoad(ctx, label, snap.Analysis)
+		}
 	})
 	if e.err != nil {
 		// Drop the failed entry so a repaired file can be retried.

@@ -118,3 +118,30 @@ func zipfWeights(n int, s float64) []float64 {
 	}
 	return w
 }
+
+// ZipfSampler draws rank indices in [0,n) from the same truncated
+// zipf popularity the generator gives drugs and reactions, exported
+// so consumers synthesizing correlated populations (e.g. watchlist
+// benchmarks skewed toward popular drugs) share the generator's
+// distribution instead of reimplementing it.
+type ZipfSampler struct {
+	cum []float64
+}
+
+// NewZipfSampler builds a sampler over n ranks with exponent s
+// (s > 0; larger s concentrates more mass on the head ranks).
+func NewZipfSampler(n int, s float64) *ZipfSampler {
+	w := zipfWeights(n, s)
+	cum := make([]float64, n)
+	total := 0.0
+	for i, wi := range w {
+		total += wi
+		cum[i] = total
+	}
+	return &ZipfSampler{cum: cum}
+}
+
+// Sample draws one rank index using rng.
+func (z *ZipfSampler) Sample(rng *rand.Rand) int {
+	return sampleCum(rng, z.cum)
+}

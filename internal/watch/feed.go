@@ -1,0 +1,142 @@
+package watch
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultFeedCapacity is the per-user alert ring size when Feeds is
+// built with a non-positive capacity.
+const DefaultFeedCapacity = 128
+
+// Alert is one qualified notification delivered to a user's feed.
+type Alert struct {
+	// Seq is a feed-global, monotonically increasing cursor; clients
+	// poll with ?since=<last seen Seq>.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+
+	User     string `json:"user"`
+	ListID   string `json:"list_id"`
+	ListName string `json:"list_name,omitempty"`
+
+	// Kind is "signal" (a changed ranked signal qualified) or "drift"
+	// (an audit drift event, e.g. a watched signal vanished).
+	Kind      string  `json:"kind"`
+	Quarter   string  `json:"quarter"`
+	SignalKey string  `json:"signal_key"`
+	Rank      int     `json:"rank,omitempty"`
+	Score     float64 `json:"score,omitempty"`
+	Support   int     `json:"support,omitempty"`
+	Severity  string  `json:"severity,omitempty"`
+	Message   string  `json:"message"`
+}
+
+// feedRing is one user's fixed-capacity alert ring: start indexes the
+// oldest alert, full rings overwrite oldest-first.
+type feedRing struct {
+	buf   []Alert
+	start int
+	n     int
+}
+
+func (r *feedRing) push(a Alert) (overwrote bool) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = a
+		r.n++
+		return false
+	}
+	r.buf[r.start] = a
+	r.start = (r.start + 1) % len(r.buf)
+	return true
+}
+
+// Feeds holds the per-user alert rings. One mutex covers all users:
+// alerts arrive in batches from a single evaluation pass, so
+// contention is between evaluation and HTTP reads, both short.
+type Feeds struct {
+	mu       sync.Mutex
+	capacity int
+	seq      uint64
+	users    map[string]*feedRing
+	pushed   uint64
+	dropped  uint64
+}
+
+// NewFeeds builds the feed store with the given per-user ring
+// capacity (non-positive means DefaultFeedCapacity).
+func NewFeeds(capacity int) *Feeds {
+	if capacity <= 0 {
+		capacity = DefaultFeedCapacity
+	}
+	return &Feeds{capacity: capacity, users: map[string]*feedRing{}}
+}
+
+// PushAll appends a batch of alerts under one lock, stamping Seq and
+// Time, and returns how many existing alerts were overwritten by full
+// rings.
+func (f *Feeds) PushAll(now time.Time, alerts []Alert) (dropped int) {
+	if len(alerts) == 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range alerts {
+		f.seq++
+		alerts[i].Seq = f.seq
+		alerts[i].Time = now
+		r := f.users[alerts[i].User]
+		if r == nil {
+			r = &feedRing{buf: make([]Alert, f.capacity)}
+			f.users[alerts[i].User] = r
+		}
+		if r.push(alerts[i]) {
+			dropped++
+		}
+	}
+	f.pushed += uint64(len(alerts))
+	f.dropped += uint64(dropped)
+	return dropped
+}
+
+// Since returns the user's alerts with Seq > since, oldest first, at
+// most n (n <= 0 means all retained).
+func (f *Feeds) Since(user string, since uint64, n int) []Alert {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r := f.users[user]
+	if r == nil {
+		return nil
+	}
+	out := make([]Alert, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		a := r.buf[(r.start+i)%len(r.buf)]
+		if a.Seq > since {
+			out = append(out, a)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// FeedStats is the operational view of the feed store.
+type FeedStats struct {
+	Users    int    `json:"users"`
+	Pushed   uint64 `json:"alerts_pushed"`
+	Dropped  uint64 `json:"alerts_dropped"`
+	Capacity int    `json:"ring_capacity"`
+}
+
+// Stats snapshots the feed store.
+func (f *Feeds) Stats() FeedStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FeedStats{
+		Users:    len(f.users),
+		Pushed:   f.pushed,
+		Dropped:  f.dropped,
+		Capacity: f.capacity,
+	}
+}

@@ -1,0 +1,71 @@
+package watch
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFeedsPushAndSince(t *testing.T) {
+	f := NewFeeds(4)
+	now := time.Unix(1700000000, 0)
+	dropped := f.PushAll(now, []Alert{
+		{User: "a", ListID: "l1", SignalKey: "S1"},
+		{User: "a", ListID: "l1", SignalKey: "S2"},
+		{User: "b", ListID: "l2", SignalKey: "S1"},
+	})
+	if dropped != 0 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	all := f.Since("a", 0, 0)
+	if len(all) != 2 || all[0].SignalKey != "S1" || all[1].SignalKey != "S2" {
+		t.Fatalf("a's feed = %+v", all)
+	}
+	if all[0].Seq == 0 || all[1].Seq <= all[0].Seq || !all[0].Time.Equal(now) {
+		t.Fatalf("seq/time not stamped: %+v", all)
+	}
+	// Cursor: only alerts after the given Seq.
+	rest := f.Since("a", all[0].Seq, 0)
+	if len(rest) != 1 || rest[0].SignalKey != "S2" {
+		t.Fatalf("since cursor = %+v", rest)
+	}
+	if got := f.Since("nobody", 0, 0); got != nil {
+		t.Fatalf("unknown user feed = %+v", got)
+	}
+	// Limit keeps the newest n.
+	if got := f.Since("a", 0, 1); len(got) != 1 || got[0].SignalKey != "S2" {
+		t.Fatalf("limited = %+v", got)
+	}
+}
+
+func TestFeedsRingOverwrite(t *testing.T) {
+	f := NewFeeds(3)
+	now := time.Unix(1700000000, 0)
+	var batch []Alert
+	for i := 0; i < 5; i++ {
+		batch = append(batch, Alert{User: "u", SignalKey: fmt.Sprintf("S%d", i)})
+	}
+	if dropped := f.PushAll(now, batch); dropped != 2 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	got := f.Since("u", 0, 0)
+	if len(got) != 3 {
+		t.Fatalf("retained = %+v", got)
+	}
+	for i, a := range got {
+		if want := fmt.Sprintf("S%d", i+2); a.SignalKey != want {
+			t.Fatalf("slot %d = %s, want %s (oldest overwritten first)", i, a.SignalKey, want)
+		}
+	}
+	st := f.Stats()
+	if st.Users != 1 || st.Pushed != 5 || st.Dropped != 2 || st.Capacity != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFeedsDefaultCapacity(t *testing.T) {
+	f := NewFeeds(0)
+	if f.Stats().Capacity != DefaultFeedCapacity {
+		t.Fatalf("capacity = %d", f.Stats().Capacity)
+	}
+}

@@ -1,0 +1,282 @@
+package watch
+
+import (
+	"fmt"
+	"sync"
+)
+
+// compactMinDead is the floor of tombstoned posting entries below
+// which compaction is not worth a full rebuild.
+const compactMinDead = 1024
+
+// Index is the inverted index at the heart of the subsystem: each
+// normalized drug and reaction term maps to the posting list of
+// watchlist slots subscribed to it, so routing a changed signal costs
+// the length of its terms' posting lists — independent of the total
+// population.
+//
+// Slots are dense indices into entries; removal tombstones the slot
+// (entries[slot] = nil) and leaves postings in place, so the hot path
+// needs only a nil check and removal never rewrites posting lists.
+// Slots are NOT reused between compactions — a posting entry
+// therefore always refers to the list it was created for, which lets
+// evaluation trust the arrival dimension (a candidate reached via a
+// drug posting is known to watch that drug). When tombstoned postings
+// exceed a quarter of the total, compaction rebuilds the index
+// densely under the write lock.
+type Index struct {
+	mu      sync.RWMutex
+	entries []*Watchlist // slot -> list; nil = tombstone
+	byID    map[string]uint32
+	byUser  map[string][]uint32 // insertion order per user
+
+	drugs map[string][]uint32
+	reacs map[string][]uint32
+
+	live        int // non-tombstoned entries
+	postings    int // posting entries currently in the maps
+	dead        int // of those, tombstoned
+	compactions uint64
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		byID:   map[string]uint32{},
+		byUser: map[string][]uint32{},
+		drugs:  map[string][]uint32{},
+		reacs:  map[string][]uint32{},
+	}
+}
+
+// Add normalizes w (rejecting invalid lists) and indexes it. The ID
+// must be unique; the index takes ownership of the pointer.
+func (ix *Index) Add(w *Watchlist) error {
+	if err := w.Normalize(); err != nil {
+		return err
+	}
+	if w.ID == "" {
+		return fmt.Errorf("watch: list ID required")
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, dup := ix.byID[w.ID]; dup {
+		return fmt.Errorf("watch: duplicate list ID %q", w.ID)
+	}
+	slot := uint32(len(ix.entries))
+	ix.entries = append(ix.entries, w)
+	ix.byID[w.ID] = slot
+	ix.byUser[w.User] = append(ix.byUser[w.User], slot)
+	for _, d := range w.Drugs {
+		ix.drugs[d] = append(ix.drugs[d], slot)
+	}
+	for _, r := range w.Reactions {
+		ix.reacs[r] = append(ix.reacs[r], slot)
+	}
+	ix.live++
+	ix.postings += len(w.Drugs) + len(w.Reactions)
+	return nil
+}
+
+// Remove tombstones the list with the given ID, reporting whether it
+// existed. Posting entries linger until compaction.
+func (ix *Index) Remove(id string) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	slot, ok := ix.byID[id]
+	if !ok {
+		return false
+	}
+	w := ix.entries[slot]
+	ix.entries[slot] = nil
+	delete(ix.byID, id)
+	slots := ix.byUser[w.User]
+	for i, s := range slots {
+		if s == slot {
+			ix.byUser[w.User] = append(slots[:i], slots[i+1:]...)
+			break
+		}
+	}
+	if len(ix.byUser[w.User]) == 0 {
+		delete(ix.byUser, w.User)
+	}
+	ix.live--
+	ix.dead += len(w.Drugs) + len(w.Reactions)
+	ix.maybeCompactLocked()
+	return true
+}
+
+// maybeCompactLocked rebuilds the index densely once tombstoned
+// postings pass a quarter of the total (and a fixed floor, so tiny
+// indexes never bother). Caller holds the write lock.
+func (ix *Index) maybeCompactLocked() {
+	if ix.dead < compactMinDead || ix.dead*4 <= ix.postings {
+		return
+	}
+	entries := make([]*Watchlist, 0, ix.live)
+	byID := make(map[string]uint32, ix.live)
+	byUser := make(map[string][]uint32, len(ix.byUser))
+	drugs := make(map[string][]uint32)
+	reacs := make(map[string][]uint32)
+	postings := 0
+	// Old slot order preserves per-user insertion order.
+	for _, w := range ix.entries {
+		if w == nil {
+			continue
+		}
+		slot := uint32(len(entries))
+		entries = append(entries, w)
+		byID[w.ID] = slot
+		byUser[w.User] = append(byUser[w.User], slot)
+		for _, d := range w.Drugs {
+			drugs[d] = append(drugs[d], slot)
+		}
+		for _, r := range w.Reactions {
+			reacs[r] = append(reacs[r], slot)
+		}
+		postings += len(w.Drugs) + len(w.Reactions)
+	}
+	ix.entries, ix.byID, ix.byUser = entries, byID, byUser
+	ix.drugs, ix.reacs = drugs, reacs
+	ix.postings, ix.dead = postings, 0
+	ix.compactions++
+}
+
+// Get returns the list with the given ID.
+func (ix *Index) Get(id string) (*Watchlist, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	slot, ok := ix.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return ix.entries[slot], true
+}
+
+// ByUser returns the user's lists in creation order.
+func (ix *Index) ByUser(user string) []*Watchlist {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	slots := ix.byUser[user]
+	out := make([]*Watchlist, 0, len(slots))
+	for _, s := range slots {
+		if w := ix.entries[s]; w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// UserCount returns how many lists the user holds (the per-user cap
+// check).
+func (ix *Index) UserCount(user string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.byUser[user])
+}
+
+// Len returns the number of live lists.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.live
+}
+
+// All returns every live list in slot order (persistence snapshots).
+func (ix *Index) All() []*Watchlist {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]*Watchlist, 0, ix.live)
+	for _, w := range ix.entries {
+		if w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// IndexStats is the operational view of the index.
+type IndexStats struct {
+	Lists         int    `json:"lists"`
+	Users         int    `json:"users"`
+	Keys          int    `json:"index_keys"`
+	Postings      int    `json:"index_postings"`
+	DeadPostings  int    `json:"dead_postings"`
+	Compactions   uint64 `json:"compactions"`
+	CapacitySlots int    `json:"capacity_slots"`
+}
+
+// Stats snapshots the index shape.
+func (ix *Index) Stats() IndexStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return IndexStats{
+		Lists:         ix.live,
+		Users:         len(ix.byUser),
+		Keys:          len(ix.drugs) + len(ix.reacs),
+		Postings:      ix.postings,
+		DeadPostings:  ix.dead,
+		Compactions:   ix.compactions,
+		CapacitySlots: len(ix.entries),
+	}
+}
+
+// marks is an epoch-stamped visited set over index slots: next()
+// opens a new epoch in O(1), visit() marks and reports first sight.
+// One marks value is owned by one evaluator (evaluation passes are
+// serialized), sized lazily to the index.
+type marks struct {
+	epoch []uint32
+	cur   uint32
+}
+
+func (m *marks) next(n int) {
+	if n > len(m.epoch) {
+		grown := make([]uint32, n+n/2+16)
+		copy(grown, m.epoch)
+		m.epoch = grown
+	}
+	m.cur++
+	if m.cur == 0 { // wrapped: stale stamps would look current
+		for i := range m.epoch {
+			m.epoch[i] = 0
+		}
+		m.cur = 1
+	}
+}
+
+func (m *marks) visit(slot uint32) bool {
+	if m.epoch[slot] == m.cur {
+		return false
+	}
+	m.epoch[slot] = m.cur
+	return true
+}
+
+// forEachCandidate delivers every live list subscribed to any of the
+// given normalized terms exactly once (per marks epoch), tagged with
+// the dimension it arrived through: viaReaction=false means a drug
+// posting, so the drug-match condition is already established (slots
+// are not reused, so postings never misattribute). Caller holds at
+// least the read lock and owns m.
+func (ix *Index) forEachCandidate(drugs, reacs []string, m *marks, fn func(w *Watchlist, viaReaction bool)) {
+	m.next(len(ix.entries))
+	for _, d := range drugs {
+		for _, slot := range ix.drugs[d] {
+			w := ix.entries[slot]
+			if w == nil || !m.visit(slot) {
+				continue
+			}
+			fn(w, false)
+		}
+	}
+	for _, r := range reacs {
+		for _, slot := range ix.reacs[r] {
+			w := ix.entries[slot]
+			if w == nil || !m.visit(slot) {
+				continue
+			}
+			fn(w, true)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package watch
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustAdd(t *testing.T, ix *Index, w *Watchlist) {
+	t.Helper()
+	if err := ix.Add(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func candidates(ix *Index, drugs, reacs []string) map[string]bool {
+	m := &marks{}
+	out := map[string]bool{}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.forEachCandidate(drugs, reacs, m, func(w *Watchlist, _ bool) {
+		out[w.ID] = true
+	})
+	return out
+}
+
+func TestIndexAddRemoveLookup(t *testing.T) {
+	ix := NewIndex()
+	mustAdd(t, ix, &Watchlist{ID: "a", User: "u1", Drugs: []string{"ASPIRIN"}})
+	mustAdd(t, ix, &Watchlist{ID: "b", User: "u1", Reactions: []string{"Haemorrhage"}})
+	mustAdd(t, ix, &Watchlist{ID: "c", User: "u2", Drugs: []string{"WARFARIN", "ASPIRIN"}})
+
+	if ix.Len() != 3 || ix.UserCount("u1") != 2 || ix.UserCount("u2") != 1 {
+		t.Fatalf("len=%d u1=%d u2=%d", ix.Len(), ix.UserCount("u1"), ix.UserCount("u2"))
+	}
+	if err := ix.Add(&Watchlist{ID: "a", User: "x", Drugs: []string{"D"}}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if w, ok := ix.Get("b"); !ok || w.User != "u1" {
+		t.Fatalf("Get(b) = %v %v", w, ok)
+	}
+	if got := candidates(ix, []string{"ASPIRIN"}, nil); !got["a"] || !got["c"] || got["b"] {
+		t.Fatalf("drug candidates = %v", got)
+	}
+	if got := candidates(ix, nil, []string{"HAEMORRHAGE"}); !got["b"] || len(got) != 1 {
+		t.Fatalf("reaction candidates = %v", got)
+	}
+	// A signal carrying both dimensions still yields each list once.
+	if got := candidates(ix, []string{"ASPIRIN", "WARFARIN"}, []string{"HAEMORRHAGE"}); len(got) != 3 {
+		t.Fatalf("combined candidates = %v", got)
+	}
+
+	if !ix.Remove("a") || ix.Remove("a") {
+		t.Fatal("Remove semantics")
+	}
+	if _, ok := ix.Get("a"); ok {
+		t.Fatal("removed list still resolvable")
+	}
+	if got := candidates(ix, []string{"ASPIRIN"}, nil); got["a"] || !got["c"] {
+		t.Fatalf("tombstoned list still routed: %v", got)
+	}
+	if lists := ix.ByUser("u1"); len(lists) != 1 || lists[0].ID != "b" {
+		t.Fatalf("ByUser(u1) = %v", lists)
+	}
+	st := ix.Stats()
+	if st.Lists != 2 || st.DeadPostings != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIndexCompaction(t *testing.T) {
+	ix := NewIndex()
+	n := compactMinDead * 2 // one drug posting per list
+	for i := 0; i < n; i++ {
+		mustAdd(t, ix, &Watchlist{
+			ID:    fmt.Sprintf("wl-%d", i),
+			User:  fmt.Sprintf("u%d", i%7),
+			Drugs: []string{fmt.Sprintf("DRUG%d", i%31)},
+		})
+	}
+	// Removal n/2 crosses dead >= floor with dead*4 > postings, so the
+	// last removal compacts and the stats come out clean.
+	for i := 0; i < n/2; i++ {
+		if !ix.Remove(fmt.Sprintf("wl-%d", i)) {
+			t.Fatalf("remove wl-%d", i)
+		}
+	}
+	st := ix.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d removals: %+v", n/2, st)
+	}
+	if st.DeadPostings != 0 || st.CapacitySlots != st.Lists {
+		t.Fatalf("compaction left garbage: %+v", st)
+	}
+	// Survivors still resolve and route through rebuilt postings.
+	survivor := fmt.Sprintf("wl-%d", n-1)
+	if _, ok := ix.Get(survivor); !ok {
+		t.Fatalf("%s lost in compaction", survivor)
+	}
+	got := candidates(ix, []string{fmt.Sprintf("DRUG%d", (n-1)%31)}, nil)
+	if !got[survivor] {
+		t.Fatalf("%s not routed after compaction", survivor)
+	}
+	for id := range got {
+		if w, ok := ix.Get(id); !ok || w == nil {
+			t.Fatalf("candidate %s is dead", id)
+		}
+	}
+}
+
+func TestMarksEpochWrap(t *testing.T) {
+	m := &marks{}
+	m.next(4)
+	if !m.visit(1) || m.visit(1) {
+		t.Fatal("visit dedup broken")
+	}
+	m.cur = ^uint32(0) // force wrap on the next epoch
+	m.epoch[2] = m.cur
+	m.next(4)
+	if m.cur != 1 {
+		t.Fatalf("cur after wrap = %d", m.cur)
+	}
+	if !m.visit(2) {
+		t.Fatal("stale stamp treated as current after wrap")
+	}
+}

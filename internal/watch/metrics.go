@@ -1,0 +1,68 @@
+package watch
+
+import "maras/internal/obs"
+
+// Metrics bundles the maras_watch_* instruments. A nil *Metrics is
+// checked at every call site, so metering is optional (benchmarks run
+// without a registry).
+type Metrics struct {
+	Lists    *obs.Gauge
+	Users    *obs.Gauge
+	Keys     *obs.Gauge
+	Postings *obs.Gauge
+
+	Evaluations    *obs.Counter
+	ChangedSignals *obs.Counter
+	Candidates     *obs.Counter
+	Alerts         *obs.Counter
+	Suppressed     *obs.Counter
+	DriftEvents    *obs.Counter
+	FeedDropped    *obs.Counter
+
+	EvalSeconds *obs.Histogram
+}
+
+// NewMetrics registers the watch instrument family on reg (nil reg
+// returns nil, which every method-less call site tolerates).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Lists: reg.Gauge("maras_watch_lists",
+			"Live watchlists in the inverted index."),
+		Users: reg.Gauge("maras_watch_users",
+			"Distinct users holding at least one watchlist."),
+		Keys: reg.Gauge("maras_watch_index_keys",
+			"Distinct drug and reaction terms in the inverted index."),
+		Postings: reg.Gauge("maras_watch_index_postings",
+			"Posting entries in the inverted index (including tombstoned)."),
+		Evaluations: reg.Counter("maras_watch_evaluations_total",
+			"Watch evaluation passes over loaded quarters."),
+		ChangedSignals: reg.Counter("maras_watch_changed_signals_total",
+			"Signals whose fingerprint changed and were routed through the index."),
+		Candidates: reg.Counter("maras_watch_candidates_total",
+			"Candidate (signal, watchlist) pairs visited during routing."),
+		Alerts: reg.Counter("maras_watch_alerts_total",
+			"Alerts that qualified and were pushed to user feeds."),
+		Suppressed: reg.Counter("maras_watch_suppressed_total",
+			"Qualified alerts suppressed as duplicates of already-fired state."),
+		DriftEvents: reg.Counter("maras_watch_drift_events_total",
+			"Audit drift events consumed by the watch evaluator."),
+		FeedDropped: reg.Counter("maras_watch_feed_dropped_total",
+			"Alerts overwritten in full per-user feed rings."),
+		EvalSeconds: reg.Histogram("maras_watch_eval_seconds",
+			"Latency of watch evaluation passes.", obs.DefaultLatencyBuckets),
+	}
+}
+
+// SyncIndex refreshes the index-shape gauges from a stats snapshot.
+func (m *Metrics) SyncIndex(st IndexStats) {
+	if m == nil {
+		return
+	}
+	m.Lists.Set(int64(st.Lists))
+	m.Users.Set(int64(st.Users))
+	m.Keys.Set(int64(st.Keys))
+	m.Postings.Set(int64(st.Postings))
+}

@@ -1,0 +1,133 @@
+package watch
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "watchlists.mrwl")
+	in := []*Watchlist{
+		{
+			ID: "wl-1", User: "alice", Name: "bleeding",
+			Drugs: []string{"ASPIRIN", "WARFARIN"}, Reactions: []string{"HAEMORRHAGE"},
+			MinScore: 0.5, MinSupport: 10, SeverityFloor: "severe",
+			RareOnly: true, CreatedAt: time.UnixMilli(1700000000123).UTC(),
+		},
+		{
+			ID: "wl-2", User: "bob",
+			Reactions:      []string{"RASH"},
+			UnexpectedOnly: true,
+		},
+	}
+	if err := SaveFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in  %+v %+v\n out %+v %+v", in[0], in[1], out[0], out[1])
+	}
+	// Loaded lists survive re-normalization into an index.
+	ix := NewIndex()
+	for _, w := range out {
+		if err := ix.Add(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("index len = %d", ix.Len())
+	}
+}
+
+func TestPersistEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.mrwl")
+	if err := SaveFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadFile(path)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty round trip = %v, %v", out, err)
+	}
+}
+
+func TestPersistMissingFile(t *testing.T) {
+	_, err := LoadFile(filepath.Join(t.TempDir(), "absent.mrwl"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPersistCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "watchlists.mrwl")
+	lists := []*Watchlist{{ID: "wl-1", User: "u", Drugs: []string{"A"}}}
+	if err := SaveFile(path, lists); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Flipped payload byte: CRC catches it.
+	bad := append([]byte{}, data...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := LoadFile(write("flip.mrwl", bad)); !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("flipped byte err = %v", err)
+	}
+
+	// Truncation: CRC (or length floor) catches it.
+	if _, err := LoadFile(write("trunc.mrwl", data[:len(data)-6])); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated err = %v", err)
+	}
+	if _, err := LoadFile(write("tiny.mrwl", data[:4])); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tiny err = %v", err)
+	}
+
+	// Wrong magic.
+	bad = append([]byte{}, data...)
+	copy(bad, "NOPE")
+	if _, err := LoadFile(write("magic.mrwl", bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic err = %v", err)
+	}
+}
+
+func TestPersistVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "watchlists.mrwl")
+	if err := SaveFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = 99 // bump version, then re-seal the CRC
+	crc := crc32.ChecksumIEEE(data[:len(data)-4])
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc)
+	p := filepath.Join(dir, "future.mrwl")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(p); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version err = %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package watch turns mined quarters into targeted notifications: the
+// per-user watchlist subscription and alerting subsystem (ROADMAP
+// item 4, "millions of users registering interest in drug
+// combinations").
+//
+// A Watchlist names the drugs and/or reaction terms a user cares
+// about plus qualification gates (minimum score and support, a
+// severity floor, rare-only and unexpected-only flags modeled on the
+// rare-and-unexpected AE filter pipeline). Lists live in an inverted
+// Index from normalized drug/reaction terms to subscriber slots, so
+// evaluating a quarter costs O(changed signals × matching lists) —
+// never O(all watchlists). The Evaluator fingerprints every signal
+// per quarter; on a quarter load or refresh only signals whose
+// fingerprint moved are routed through the index, qualified per list,
+// and materialized as Alerts into per-user ring-buffered Feeds with
+// dedup (the same signal state fires once per quarter). Audit drift
+// events (signal_lost carrying a Subject key, churn/rank-shift
+// marking a quarter dirty) feed the same path via the audit log's
+// OnRecord hook. Watchlist populations persist with the store's
+// atomic write-then-rename + CRC trailer pattern (persist.go).
+package watch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"maras/internal/knowledge"
+)
+
+// Limits enforced by Watchlist.Normalize, sized so a hostile client
+// cannot bloat the index or the persistence file with one list.
+const (
+	// MaxTerms bounds drugs and reactions per list, each.
+	MaxTerms = 16
+	// MaxNameLen bounds the display name.
+	MaxNameLen = 120
+	// MaxUserLen bounds the user identifier.
+	MaxUserLen = 64
+)
+
+// Severity floor levels, ordered: a signal qualifies when its graded
+// severity is at or above the list's floor.
+const (
+	sevNone     = 0 // no floor
+	sevMinor    = 1
+	sevModerate = 2
+	sevSevere   = 3
+)
+
+// Watchlist is one user subscription. Drugs and Reactions are
+// normalized in place by Normalize (upper-cased, whitespace-
+// collapsed, deduplicated, sorted); a list must watch at least one
+// term. Matching is per dimension: a signal matches when it involves
+// at least one watched drug AND (if reactions are listed) mentions at
+// least one watched reaction; a drug-less list matches on reactions
+// alone. A Watchlist handed to Index.Add must not be mutated
+// afterwards — the index and the alert path share the pointer.
+type Watchlist struct {
+	ID   string `json:"id"`
+	User string `json:"user"`
+	Name string `json:"name,omitempty"`
+
+	Drugs     []string `json:"drugs,omitempty"`
+	Reactions []string `json:"reactions,omitempty"`
+
+	// MinScore / MinSupport gate signals below these thresholds.
+	MinScore   float64 `json:"min_score,omitempty"`
+	MinSupport int     `json:"min_support,omitempty"`
+	// SeverityFloor is "", "minor", "moderate", or "severe": the
+	// minimum graded severity (curated severity for known
+	// interactions, serious-outcome share otherwise) a signal needs.
+	SeverityFloor string `json:"severity_floor,omitempty"`
+	// RareOnly keeps only signals whose support sits below the
+	// quarter's mean signal support (the rarity gate of the
+	// rare-and-unexpected filter pipeline).
+	RareOnly bool `json:"rare_only,omitempty"`
+	// UnexpectedOnly keeps only signals that are not fully explained
+	// by the knowledge base: either the combination is uncurated, or
+	// it fires a reaction the curated entry does not list.
+	UnexpectedOnly bool `json:"unexpected_only,omitempty"`
+
+	CreatedAt time.Time `json:"created_at,omitempty"`
+
+	// sevFloor is SeverityFloor parsed by Normalize; not serialized.
+	sevFloor int
+}
+
+// Normalize validates the list and canonicalizes its terms in place:
+// drugs upper-cased and trimmed, reactions through
+// knowledge.NormReaction, both deduplicated and sorted. It is called
+// by Index.Add, so every indexed list is normalized exactly once.
+func (w *Watchlist) Normalize() error {
+	w.User = strings.TrimSpace(w.User)
+	if w.User == "" {
+		return fmt.Errorf("watch: user required")
+	}
+	if len(w.User) > MaxUserLen {
+		return fmt.Errorf("watch: user longer than %d bytes", MaxUserLen)
+	}
+	if strings.ContainsAny(w.User, "/ \t\n") {
+		return fmt.Errorf("watch: user must not contain slashes or whitespace")
+	}
+	w.Name = strings.TrimSpace(w.Name)
+	if len(w.Name) > MaxNameLen {
+		return fmt.Errorf("watch: name longer than %d bytes", MaxNameLen)
+	}
+	if len(w.Drugs) > MaxTerms {
+		return fmt.Errorf("watch: more than %d drugs", MaxTerms)
+	}
+	if len(w.Reactions) > MaxTerms {
+		return fmt.Errorf("watch: more than %d reactions", MaxTerms)
+	}
+	w.Drugs = normTerms(w.Drugs, func(s string) string {
+		return strings.ToUpper(strings.TrimSpace(s))
+	})
+	w.Reactions = normTerms(w.Reactions, knowledge.NormReaction)
+	if len(w.Drugs) == 0 && len(w.Reactions) == 0 {
+		return fmt.Errorf("watch: list must watch at least one drug or reaction")
+	}
+	if w.MinScore < 0 || w.MinSupport < 0 {
+		return fmt.Errorf("watch: negative threshold")
+	}
+	floor, err := parseSeverityFloor(w.SeverityFloor)
+	if err != nil {
+		return err
+	}
+	w.sevFloor = floor
+	w.SeverityFloor = severityFloorName(floor)
+	return nil
+}
+
+// normTerms normalizes, drops empties, deduplicates, and sorts.
+func normTerms(terms []string, norm func(string) string) []string {
+	out := terms[:0]
+	for _, t := range terms {
+		if n := norm(t); n != "" {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	dedup := out[:0]
+	for i, t := range out {
+		if i == 0 || t != out[i-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup
+}
+
+func parseSeverityFloor(s string) (int, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "":
+		return sevNone, nil
+	case "minor":
+		return sevMinor, nil
+	case "moderate":
+		return sevModerate, nil
+	case "severe":
+		return sevSevere, nil
+	}
+	return 0, fmt.Errorf("watch: severity_floor %q (want minor, moderate, or severe)", s)
+}
+
+func severityFloorName(floor int) string {
+	switch floor {
+	case sevMinor:
+		return "minor"
+	case sevModerate:
+		return "moderate"
+	case sevSevere:
+		return "severe"
+	default:
+		return ""
+	}
+}

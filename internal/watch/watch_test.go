@@ -1,0 +1,71 @@
+package watch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeCanonicalizes(t *testing.T) {
+	w := &Watchlist{
+		ID:        "wl-1",
+		User:      " alice ",
+		Name:      "  bleeding watch ",
+		Drugs:     []string{"warfarin", " Aspirin", "ASPIRIN", ""},
+		Reactions: []string{"  haemorrhage ", "Haemorrhage"},
+	}
+	if err := w.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if w.User != "alice" || w.Name != "bleeding watch" {
+		t.Fatalf("user/name not trimmed: %q %q", w.User, w.Name)
+	}
+	if got := strings.Join(w.Drugs, ","); got != "ASPIRIN,WARFARIN" {
+		t.Fatalf("drugs = %q", got)
+	}
+	if got := strings.Join(w.Reactions, ","); got != "HAEMORRHAGE" {
+		t.Fatalf("reactions = %q", got)
+	}
+	if w.sevFloor != sevNone || w.SeverityFloor != "" {
+		t.Fatalf("severity floor = %d %q", w.sevFloor, w.SeverityFloor)
+	}
+}
+
+func TestNormalizeSeverityFloor(t *testing.T) {
+	w := &Watchlist{User: "u", Drugs: []string{"A"}, SeverityFloor: " Moderate "}
+	if err := w.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if w.sevFloor != sevModerate || w.SeverityFloor != "moderate" {
+		t.Fatalf("floor = %d %q", w.sevFloor, w.SeverityFloor)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	many := make([]string, MaxTerms+1)
+	for i := range many {
+		many[i] = "D" + strings.Repeat("X", i+1)
+	}
+	cases := []struct {
+		name string
+		w    Watchlist
+	}{
+		{"no user", Watchlist{Drugs: []string{"A"}}},
+		{"user too long", Watchlist{User: strings.Repeat("u", MaxUserLen+1), Drugs: []string{"A"}}},
+		{"user with slash", Watchlist{User: "a/b", Drugs: []string{"A"}}},
+		{"user with space", Watchlist{User: "a b", Drugs: []string{"A"}}},
+		{"name too long", Watchlist{User: "u", Name: strings.Repeat("n", MaxNameLen+1), Drugs: []string{"A"}}},
+		{"no terms", Watchlist{User: "u"}},
+		{"only empty terms", Watchlist{User: "u", Drugs: []string{"", "  "}}},
+		{"too many drugs", Watchlist{User: "u", Drugs: many}},
+		{"too many reactions", Watchlist{User: "u", Drugs: []string{"A"}, Reactions: many}},
+		{"negative score", Watchlist{User: "u", Drugs: []string{"A"}, MinScore: -1}},
+		{"negative support", Watchlist{User: "u", Drugs: []string{"A"}, MinSupport: -1}},
+		{"bad severity", Watchlist{User: "u", Drugs: []string{"A"}, SeverityFloor: "fatal"}},
+	}
+	for _, tc := range cases {
+		w := tc.w
+		if err := w.Normalize(); err == nil {
+			t.Errorf("%s: Normalize accepted %+v", tc.name, tc.w)
+		}
+	}
+}
