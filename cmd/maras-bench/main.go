@@ -19,6 +19,7 @@
 //	chaos         fault-injected serving: availability/shed/recovery per mix (BENCH_chaos.json)
 //	slo           burn-rate alerting against a live server: client vs /api/slo agreement (BENCH_slo.json)
 //	watch         watchlist alerting at scale: index build + eval latency vs population (BENCH_watch.json)
+//	prof          continuous profiling: stage attribution, capture overhead, triggered snapshots (BENCH_prof.json)
 //	all           everything above
 //
 // Usage:
@@ -55,6 +56,7 @@ type benchConfig struct {
 	watchLists int
 	watchIters int
 	watchOut   string
+	profOut    string
 }
 
 // traceRun is one traced pipeline execution: which experiment ran
@@ -132,6 +134,7 @@ func main() {
 		watchLists = flag.Int("watch-lists", 1_000_000, "watchlist population for -exp watch")
 		watchIters = flag.Int("watch-iters", 40, "evaluation iterations per population for -exp watch")
 		watchOut   = flag.String("watch-out", "BENCH_watch.json", "watch-experiment JSON artifact (empty = skip)")
+		profOut    = flag.String("prof-out", "BENCH_prof.json", "profiling-experiment JSON artifact (empty = skip)")
 	)
 	flag.Parse()
 
@@ -140,6 +143,7 @@ func main() {
 		paperScale: *paperScale, svgOut: *svgOut, traceOut: *traceOut,
 		driftOut: *driftOut, chaosOut: *chaosOut, sloOut: *sloOut, failpoints: *failpoints,
 		watchLists: *watchLists, watchIters: *watchIters, watchOut: *watchOut,
+		profOut: *profOut,
 	}
 
 	runners := map[string]func(benchConfig) error{
@@ -159,11 +163,12 @@ func main() {
 		"chaos":          runChaos,
 		"slo":            runSLO,
 		"watch":          runWatch,
+		"prof":           runProf,
 	}
 	order := []string{
 		"table5.1", "fig5.1", "table5.2", "cases", "fig5.2", "figs4",
 		"ablate-theta", "ablate-decay", "ablate-closed", "ablate-suspect",
-		"baselines", "trend", "drift", "chaos", "slo", "watch",
+		"baselines", "trend", "drift", "chaos", "slo", "watch", "prof",
 	}
 
 	var ids []string

@@ -51,6 +51,7 @@ import (
 	"maras/internal/network"
 	"maras/internal/obs"
 	"maras/internal/obs/history"
+	"maras/internal/obs/prof"
 	"maras/internal/resilience"
 	"maras/internal/slo"
 	"maras/internal/strata"
@@ -92,7 +93,7 @@ func (s *server) log() *slog.Logger {
 // stay answerable under saturation. The text-heavy operational
 // endpoints negotiate gzip — exposition text and trace dumps
 // compress an order of magnitude.
-func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack) http.Handler {
+func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack, captor *prof.Captor) http.Handler {
 	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
 	mux := http.NewServeMux()
 	mw.Handle(mux, "/", app(s.handleIndex))
@@ -104,23 +105,39 @@ func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Jou
 	mw.Handle(mux, "/network.dot", app(s.handleNetworkDOT))
 	mw.Handle(mux, "/network.json", app(s.handleNetworkJSON))
 	ws.register(mux, mw, app)
-	mountOperational(mux, reg, journal, ready, slos, s.healthDetail, s.alog)
+	mountOperational(mux, reg, journal, ready, slos, s.healthDetail, s.alog, captor)
 	return mux
 }
 
 // mountOperational registers the operational endpoints shared by the
 // mining and store serving modes: metrics, health/readiness, trace
-// and audit timelines, the metrics history, and the SLO report.
-func mountOperational(mux *http.ServeMux, reg *obs.Registry, journal *obs.Journal, ready *obs.Readiness, slos *sloStack, detail func() map[string]any, alog *audit.Log) {
+// and audit timelines, the metrics history, the SLO report, and the
+// continuous-profiling surface. Build identity is registered here —
+// once per process, whichever serving mode runs — and echoed on
+// /healthz and /readyz next to the caller's detail.
+func mountOperational(mux *http.ServeMux, reg *obs.Registry, journal *obs.Journal, ready *obs.Readiness, slos *sloStack, detail func() map[string]any, alog *audit.Log, captor *prof.Captor) {
+	bi := obs.RegisterBuildInfo(reg)
+	withBuild := func() map[string]any {
+		m := bi.Detail()
+		if detail != nil {
+			for k, v := range detail() {
+				m[k] = v
+			}
+		}
+		return m
+	}
 	mux.Handle("/metrics", obs.GzipHandler(obs.MetricsHandler(reg)))
-	mux.Handle("/healthz", obs.HealthzHandler(detail))
-	mux.Handle("/readyz", obs.ReadyzHandler(ready, detail))
+	mux.Handle("/healthz", obs.HealthzHandler(withBuild))
+	mux.Handle("/readyz", obs.ReadyzHandler(ready, withBuild))
 	mux.Handle("/debug/traces", obs.GzipHandler(obs.TracesHandler(journal)))
-	mux.Handle("/debug/audit", audit.Handler(alog))
+	mux.Handle("/debug/audit", obs.GzipHandler(audit.Handler(alog)))
 	mux.Handle("/debug/history", obs.GzipHandler(history.Handler(slos.history())))
 	mux.Handle("/api/history/", obs.GzipHandler(history.APIHandler(slos.history(), "/api/history/")))
 	mux.Handle("/api/slo", obs.GzipHandler(slo.Handler(slos.engine())))
 	mux.Handle("/debug/vars", obs.ExpvarHandler())
+	profH := prof.Handler(captor, "/debug/profiles")
+	mux.Handle("/debug/profiles", profH)
+	mux.Handle("/debug/profiles/", profH)
 	obs.RegisterPprof(mux)
 }
 
@@ -185,6 +202,15 @@ func main() {
 		watchFeedCap = flag.Int("watch-feed-cap", watch.DefaultFeedCapacity, "alerts retained per user feed")
 		watchBudget  = flag.Duration("watch-eval-budget", watch.DefaultEvalBudget, "watch evaluation latency budget; slower passes raise a warn audit event")
 
+		profDir       = flag.String("prof-dir", "", "continuous profiling: record capture artifacts into this directory (empty disables)")
+		profCPUWindow = flag.Duration("prof-cpu-window", prof.DefaultCPUWindow, "continuous profiling: CPU sampling window per scheduled capture")
+		profInterval  = flag.Duration("prof-interval", prof.DefaultInterval, "continuous profiling: scheduled capture period (0 keeps only anomaly-triggered captures)")
+		profRetain    = flag.Int("prof-retain", prof.DefaultMaxArtifacts, "continuous profiling: capture artifacts retained on disk")
+		profRetainMB  = flag.Int("prof-retain-mb", 64, "continuous profiling: megabytes of capture artifacts retained on disk")
+		profCooldown  = flag.Duration("prof-trigger-cooldown", prof.DefaultCooldown, "continuous profiling: minimum gap between anomaly-triggered captures of the same cause")
+		mutexFraction = flag.Int("mutex-profile-fraction", 0, "sample 1/N of mutex contention events into /debug/pprof/mutex (0 disables)")
+		blockRate     = flag.Duration("block-profile-rate", 0, "record goroutine blocking events at least this long into /debug/pprof/block (0 disables)")
+
 		failpoints  = flag.String("failpoints", "", "arm fault-injection sites, e.g. 'store/decode=error*1;store/load=delay(50ms,0.2)' (also read from "+resilience.FailpointEnv+")")
 		maxInflight = flag.Int("max-inflight", 64, "bulkhead: application requests executing concurrently (0 disables load shedding)")
 		shedQueue   = flag.Int("shed-queue", 64, "bulkhead: requests allowed to queue for a slot before overflow sheds with 503")
@@ -214,6 +240,12 @@ func main() {
 		}
 		logger.Warn("failpoints armed", "spec", *failpoints)
 	}
+
+	// Runtime contention profiling: off unless asked for, because both
+	// collectors cost on every contention event. Set before any real
+	// work so the profiles cover the whole process lifetime.
+	prof.EnableMutexProfiling(*mutexFraction)
+	prof.EnableBlockProfiling(*blockRate)
 
 	reg := obs.NewRegistry()
 	reg.PublishExpvar("maras_metrics")
@@ -275,6 +307,50 @@ func main() {
 		cooldown:     *sloCooldown,
 	})
 
+	// Continuous profiling: scheduled capture cycles into the on-disk
+	// artifact ring, plus anomaly-triggered snapshots from the audit
+	// log (watchdog violations, SLO burns, slow watch passes) and from
+	// the trace journal's slow-trace threshold. The trigger adapts
+	// audit events to plain strings because obs/prof cannot import
+	// internal/audit (audit → core → prof would cycle).
+	var captor *prof.Captor
+	if *profDir != "" {
+		pstore, err := prof.OpenStore(*profDir, prof.StoreOptions{
+			MaxArtifacts: *profRetain,
+			MaxBytes:     int64(*profRetainMB) << 20,
+			Metrics:      reg,
+			Logger:       logger,
+		})
+		if err != nil {
+			logger.Error("open profile store", "err", err)
+			os.Exit(1)
+		}
+		captor = prof.NewCaptor(prof.CaptorOptions{
+			Store:     pstore,
+			CPUWindow: *profCPUWindow,
+			Interval:  *profInterval,
+			Metrics:   reg,
+			Logger:    logger,
+		})
+		captor.Start(ctx)
+		defer captor.Stop()
+		trigger := prof.NewTrigger(prof.TriggerOptions{
+			Captor:   captor,
+			Cooldown: *profCooldown,
+			Metrics:  reg,
+			Logger:   logger,
+		})
+		alog.OnRecord(func(e audit.Event) {
+			trigger.Observe(e.Rule, string(e.Severity), e.Scope, e.Message)
+		})
+		journal.OnSlow(func(tr obs.TraceRecord) {
+			trigger.SlowTrace(tr.Name, tr.Duration())
+		})
+		logger.Info("continuous profiling enabled", "dir", *profDir,
+			"interval", *profInterval, "cpu_window", *profCPUWindow,
+			"retain", *profRetain, "retain_mb", *profRetainMB)
+	}
+
 	var sampler *obs.RuntimeSampler
 	if *runtimeSample > 0 {
 		sampler = obs.NewRuntimeSampler(reg, obs.RuntimeSamplerOptions{
@@ -320,7 +396,7 @@ func main() {
 		quarters := ss.reg.Quarters()
 		logger.Info("serving from store", "dir", *storeDir,
 			"quarters", len(quarters), "default", ss.reg.Latest())
-		handler = ss.routes(reg, mw, journal, ready, shed, slos, ws)
+		handler = ss.routes(reg, mw, journal, ready, shed, slos, ws, captor)
 		ready.SetReady() // registry opened and scanned: store mode can serve
 		// Populate the audit timeline in the background: quality per
 		// quarter, drift per adjacent pair. Serving never waits on it,
@@ -375,7 +451,7 @@ func main() {
 		// qualify for.
 		ws.onQuarterLoaded(context.Background(), *quarter, a)
 		s := &server{analysis: a, quarter: *quarter, logger: logger, alog: alog, started: time.Now()}
-		handler = s.routes(reg, mw, journal, ready, shed, slos, ws)
+		handler = s.routes(reg, mw, journal, ready, shed, slos, ws, captor)
 		ready.SetReady() // initial mine complete: traffic can flow
 	}
 	// Start scraping only once the serving mode is up: the first
@@ -617,12 +693,12 @@ func (s *server) handleSignal(w http.ResponseWriter, r *http.Request) {
 		socs[i] = string(soc)
 	}
 	d.SOCList = strings.Join(socs, "; ")
-	prof := s.analysis.Demographics(sig)
-	d.SexBreakdown = renderDist(prof.SexSignal)
-	d.AgeBreakdown = renderDist(prof.AgeSignal)
-	d.SexChi = prof.SexChiSquare
-	d.AgeChi = prof.AgeChiSquare
-	d.Enriched = strings.Join(prof.Enriched(0.15), ", ")
+	demo := s.analysis.Demographics(sig)
+	d.SexBreakdown = renderDist(demo.SexSignal)
+	d.AgeBreakdown = renderDist(demo.AgeSignal)
+	d.SexChi = demo.SexChiSquare
+	d.AgeChi = demo.AgeChiSquare
+	d.Enriched = strings.Join(demo.Enriched(0.15), ", ")
 	if sig.Known != nil {
 		d.Known = true
 		d.KnownSeverity = sig.Known.Severity.String()

@@ -36,7 +36,7 @@ func storeHandlerShed(t *testing.T, dir string, cfg resilience.BulkheadConfig) (
 	}
 	ready := &obs.Readiness{}
 	ready.SetReady()
-	return ss.routes(reg, mw, nil, ready, shed, nil, nil), reg
+	return ss.routes(reg, mw, nil, ready, shed, nil, nil, nil), reg
 }
 
 // flipByte corrupts a snapshot in place so decode fails its checksum.

@@ -59,7 +59,7 @@ func sloStoreHandler(t *testing.T, dir string) (http.Handler, *sloStack, *sloClo
 	})
 	hist.OnScrape(eng.Tick)
 	slos := &sloStack{hist: hist, eng: eng}
-	h := ss.routes(reg, mw, nil, ready, nil, slos, nil)
+	h := ss.routes(reg, mw, nil, ready, nil, slos, nil, nil)
 	hist.Scrape() // baseline after routes register the HTTP series
 	return h, slos, clock, ready, alog
 }

@@ -34,6 +34,7 @@ import (
 	"maras/internal/core"
 	"maras/internal/knowledge"
 	"maras/internal/obs"
+	"maras/internal/obs/prof"
 	"maras/internal/resilience"
 	"maras/internal/store"
 	"maras/internal/trend"
@@ -114,23 +115,23 @@ func (ss *storeServer) log() *slog.Logger {
 // (history/SLO endpoints 404). The bulkhead wraps only the
 // application routes — the operational endpoints stay reachable at
 // any load, which is when an operator needs them most.
-func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack) http.Handler {
+func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack, captor *prof.Captor) http.Handler {
 	ss.ready = ready
 	ss.slos = slos
 	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
 	mux := http.NewServeMux()
-	// The JSON list APIs negotiate gzip: quarter inventories and
-	// timelines are repetitive text that compresses an order of
-	// magnitude for polling clients.
+	// The JSON APIs negotiate gzip: quarter inventories, timelines,
+	// quality reports, and drift reports are repetitive text that
+	// compresses an order of magnitude for polling clients.
 	mw.Handle(mux, "/api/quarters", obs.GzipHandler(app(ss.handleQuarters)))
 	mw.Handle(mux, "/api/timeline/", obs.GzipHandler(app(ss.handleTimeline)))
-	mw.Handle(mux, "/api/quality/", app(ss.handleQuality))
-	mw.Handle(mux, "/api/drift/", app(ss.handleDrift))
+	mw.Handle(mux, "/api/quality/", obs.GzipHandler(app(ss.handleQuality)))
+	mw.Handle(mux, "/api/drift/", obs.GzipHandler(app(ss.handleDrift)))
 	mw.Handle(mux, "/quarters", app(ss.handleQuartersPage))
 	mw.Handle(mux, "/q/", app(ss.handleQuarterScoped))
 	mw.Handle(mux, "/", app(ss.handleDefaultQuarter))
 	ws.register(mux, mw, app)
-	mountOperational(mux, reg, journal, ready, slos, ss.healthDetail, ss.auditLog())
+	mountOperational(mux, reg, journal, ready, slos, ss.healthDetail, ss.auditLog(), captor)
 	return mux
 }
 

@@ -68,7 +68,7 @@ func storeHandler(t *testing.T, dir string) (http.Handler, *storeServer, *obs.Tr
 	}
 	ready := &obs.Readiness{}
 	ready.SetReady()
-	return ss.routes(reg, mw, nil, ready, nil, nil, nil), ss, tracer, reg
+	return ss.routes(reg, mw, nil, ready, nil, nil, nil, nil), ss, tracer, reg
 }
 
 // storeHandlerTraced is storeHandler with span tracing into a journal.
@@ -84,7 +84,7 @@ func storeHandlerTraced(t *testing.T, dir string) (http.Handler, *obs.Journal) {
 	}
 	ready := &obs.Readiness{}
 	ready.SetReady()
-	return ss.routes(reg, mw, journal, ready, nil, nil, nil), journal
+	return ss.routes(reg, mw, journal, ready, nil, nil, nil, nil), journal
 }
 
 func TestStoreModeQuartersEndpoint(t *testing.T) {

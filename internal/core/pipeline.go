@@ -20,6 +20,7 @@ import (
 	"maras/internal/mcac"
 	"maras/internal/meddra"
 	"maras/internal/obs"
+	"maras/internal/obs/prof"
 	"maras/internal/rank"
 	"maras/internal/resilience"
 	"maras/internal/strata"
@@ -203,21 +204,35 @@ func (a *Analysis) Dict() *types.Dictionary { return a.dict }
 // transaction database — so experiment harnesses can drive the mining
 // layers directly.
 func EncodeReports(reports []faers.Report, opts Options) (*txdb.DB, cleaning.Stats, error) {
+	return encodeReports(context.Background(), reports, opts)
+}
+
+// encodeReports is EncodeReports with a context for pprof stage
+// labels: CPU samples taken inside a stage carry stage=<name> (see
+// internal/obs/prof), which is how the capture scheduler and
+// maras-bench -exp prof attribute mining cycles per stage.
+func encodeReports(ctx context.Context, reports []faers.Report, opts Options) (*txdb.DB, cleaning.Stats, error) {
+	var (
+		cleaned []faers.Report
+		cstats  cleaning.Stats
+	)
 	st := opts.Tracer.StartStage(StageClean)
-	if opts.ExpeditedOnly {
-		reports = faers.FilterExpedited(reports)
-	}
-	if opts.SuspectOnly {
-		narrowed := make([]faers.Report, len(reports))
-		for i, r := range reports {
-			n := r
-			n.Drugs = r.SuspectDrugs()
-			n.DrugRoles = nil // alignment is gone after narrowing
-			narrowed[i] = n
+	prof.DoStage(ctx, StageClean, func() {
+		if opts.ExpeditedOnly {
+			reports = faers.FilterExpedited(reports)
 		}
-		reports = narrowed
-	}
-	cleaned, cstats := cleaning.Clean(reports, opts.Cleaning)
+		if opts.SuspectOnly {
+			narrowed := make([]faers.Report, len(reports))
+			for i, r := range reports {
+				n := r
+				n.Drugs = r.SuspectDrugs()
+				n.DrugRoles = nil // alignment is gone after narrowing
+				narrowed[i] = n
+			}
+			reports = narrowed
+		}
+		cleaned, cstats = cleaning.Clean(reports, opts.Cleaning)
+	})
 	st.Count("reports_in", int64(cstats.ReportsIn))
 	st.Count("reports_out", int64(cstats.ReportsOut))
 	st.Count("duplicates_removed", int64(cstats.DuplicateReports))
@@ -227,19 +242,25 @@ func EncodeReports(reports []faers.Report, opts Options) (*txdb.DB, cleaning.Sta
 		return nil, cstats, fmt.Errorf("core: no usable reports after cleaning (in=%d)", cstats.ReportsIn)
 	}
 	st = opts.Tracer.StartStage(StageEncode)
-	dict := types.NewDictionary()
-	db := txdb.New(dict)
-	for _, r := range cleaned {
-		items := make(types.Itemset, 0, len(r.Drugs)+len(r.Reactions))
-		for _, d := range r.Drugs {
-			items = append(items, dict.Intern(d, types.DomainDrug))
+	var (
+		dict *types.Dictionary
+		db   *txdb.DB
+	)
+	prof.DoStage(ctx, StageEncode, func() {
+		dict = types.NewDictionary()
+		db = txdb.New(dict)
+		for _, r := range cleaned {
+			items := make(types.Itemset, 0, len(r.Drugs)+len(r.Reactions))
+			for _, d := range r.Drugs {
+				items = append(items, dict.Intern(d, types.DomainDrug))
+			}
+			for _, a := range r.Reactions {
+				items = append(items, dict.Intern(a, types.DomainReaction))
+			}
+			db.Add(r.PrimaryID, items)
 		}
-		for _, a := range r.Reactions {
-			items = append(items, dict.Intern(a, types.DomainReaction))
-		}
-		db.Add(r.PrimaryID, items)
-	}
-	db.Freeze()
+		db.Freeze()
+	})
 	st.Count("transactions", int64(db.Len()))
 	st.Count("dictionary_items", int64(dict.Len()))
 	st.End()
@@ -248,6 +269,13 @@ func EncodeReports(reports []faers.Report, opts Options) (*txdb.DB, cleaning.Sta
 
 // Run executes the full pipeline over raw reports.
 func Run(reports []faers.Report, opts Options) (*Analysis, error) {
+	return run(context.Background(), reports, opts)
+}
+
+// run is the pipeline body. Every stage executes under a pprof
+// stage=<name> label so continuous-profiling captures can say which
+// stage the cycles went to.
+func run(ctx context.Context, reports []faers.Report, opts Options) (*Analysis, error) {
 	if opts.MinSupport < 1 {
 		opts.MinSupport = 1
 	}
@@ -266,7 +294,7 @@ func Run(reports []faers.Report, opts Options) (*Analysis, error) {
 			serious[reports[i].PrimaryID] = true
 		}
 	}
-	db, cstats, err := EncodeReports(reports, opts)
+	db, cstats, err := encodeReports(ctx, reports, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -276,12 +304,18 @@ func Run(reports []faers.Report, opts Options) (*Analysis, error) {
 	// only to size the unfiltered rule space (Fig 5.1 counts).
 	st := opts.Tracer.StartStage(StageMine)
 	mopts := fpgrowth.Options{MinSupport: opts.MinSupport, MaxLen: opts.MaxItems}
-	frequent := fpgrowth.Mine(db, mopts)
+	var frequent []fpgrowth.FrequentSet
+	prof.DoStage(ctx, StageMine, func() {
+		frequent = fpgrowth.Mine(db, mopts)
+	})
 	st.Count("frequent_itemsets", int64(len(frequent)))
 	st.End()
 
 	st = opts.Tracer.StartStage(StageClosure)
-	closed := fpgrowth.FilterClosed(frequent)
+	var closed []fpgrowth.FrequentSet
+	prof.DoStage(ctx, StageClosure, func() {
+		closed = fpgrowth.FilterClosed(frequent)
+	})
 	st.Count("closed_itemsets", int64(len(closed)))
 	st.Count("itemsets_dropped", int64(len(frequent)-len(closed)))
 	st.End()
@@ -293,21 +327,30 @@ func Run(reports []faers.Report, opts Options) (*Analysis, error) {
 	}
 
 	st = opts.Tracer.StartStage(StageRules)
-	targets := assoc.FromItemsets(db, closed, assoc.GenOptions{
-		MinDrugs: opts.MinDrugs,
-		MaxDrugs: opts.MaxDrugs,
+	var targets []assoc.Rule
+	prof.DoStage(ctx, StageRules, func() {
+		targets = assoc.FromItemsets(db, closed, assoc.GenOptions{
+			MinDrugs: opts.MinDrugs,
+			MaxDrugs: opts.MaxDrugs,
+		})
 	})
 	st.Count("rules_kept", int64(len(targets)))
 	st.End()
 
 	st = opts.Tracer.StartStage(StageCluster)
-	clusters := mcac.BuildAll(db, targets)
+	var clusters []mcac.Cluster
+	prof.DoStage(ctx, StageCluster, func() {
+		clusters = mcac.BuildAll(db, targets)
+	})
 	counts.MCACs = len(clusters)
 	st.Count("clusters_built", int64(len(clusters)))
 	st.End()
 
 	st = opts.Tracer.StartStage(StageRank)
-	ranked := rank.Rank(clusters, opts.Method, rank.Options{Theta: opts.Theta, Decay: opts.Decay})
+	var ranked []rank.Ranked
+	prof.DoStage(ctx, StageRank, func() {
+		ranked = rank.Rank(clusters, opts.Method, rank.Options{Theta: opts.Theta, Decay: opts.Decay})
+	})
 	st.Count("clusters_ranked", int64(len(ranked)))
 	if opts.TopK > 0 && len(ranked) > opts.TopK {
 		ranked = ranked[:opts.TopK]
@@ -317,47 +360,49 @@ func Run(reports []faers.Report, opts Options) (*Analysis, error) {
 
 	st = opts.Tracer.StartStage(StageLink)
 	signals := make([]Signal, len(ranked))
-	var tidBuf []txdb.TID
-	for i, r := range ranked {
-		c := r.Cluster
-		drugs := dict.SortedNames(c.Target.Antecedent)
-		reacs := dict.SortedNames(c.Target.Consequent)
-		tidBuf = db.TIDs(c.Target.Complete(), tidBuf)
-		ids := make([]string, len(tidBuf))
-		nSerious := 0
-		for j, tid := range tidBuf {
-			ids[j] = db.Tx(tid).ReportID
-			if serious[ids[j]] {
-				nSerious++
+	known := 0
+	prof.DoStage(ctx, StageLink, func() {
+		var tidBuf []txdb.TID
+		for i, r := range ranked {
+			c := r.Cluster
+			drugs := dict.SortedNames(c.Target.Antecedent)
+			reacs := dict.SortedNames(c.Target.Consequent)
+			tidBuf = db.TIDs(c.Target.Complete(), tidBuf)
+			ids := make([]string, len(tidBuf))
+			nSerious := 0
+			for j, tid := range tidBuf {
+				ids[j] = db.Tx(tid).ReportID
+				if serious[ids[j]] {
+					nSerious++
+				}
+			}
+			sort.Strings(ids)
+			seriousShare := 0.0
+			if len(ids) > 0 {
+				seriousShare = float64(nSerious) / float64(len(ids))
+			}
+			signals[i] = Signal{
+				Rank:         i + 1,
+				Score:        r.Score,
+				Drugs:        drugs,
+				Reactions:    reacs,
+				Support:      c.Target.Support,
+				Confidence:   c.Target.Confidence,
+				Lift:         c.Target.Lift,
+				SupportType:  assoc.Classify(db, c.Target.Complete()),
+				Cluster:      c,
+				Known:        opts.Knowledge.Lookup(drugs),
+				SeriousShare: seriousShare,
+				SOCs:         meddra.ClassifyAll(reacs),
+				ReportIDs:    ids,
 			}
 		}
-		sort.Strings(ids)
-		seriousShare := 0.0
-		if len(ids) > 0 {
-			seriousShare = float64(nSerious) / float64(len(ids))
+		for i := range signals {
+			if signals[i].Known != nil {
+				known++
+			}
 		}
-		signals[i] = Signal{
-			Rank:         i + 1,
-			Score:        r.Score,
-			Drugs:        drugs,
-			Reactions:    reacs,
-			Support:      c.Target.Support,
-			Confidence:   c.Target.Confidence,
-			Lift:         c.Target.Lift,
-			SupportType:  assoc.Classify(db, c.Target.Complete()),
-			Cluster:      c,
-			Known:        opts.Knowledge.Lookup(drugs),
-			SeriousShare: seriousShare,
-			SOCs:         meddra.ClassifyAll(reacs),
-			ReportIDs:    ids,
-		}
-	}
-	known := 0
-	for i := range signals {
-		if signals[i].Known != nil {
-			known++
-		}
-	}
+	})
 	st.Count("signals", int64(len(signals)))
 	st.Count("known", int64(known))
 	st.Count("novel", int64(len(signals)-known))
@@ -401,7 +446,7 @@ func RunContext(ctx context.Context, reports []faers.Report, opts Options) (*Ana
 	// The caller may reuse a tracer across runs; bridge only the
 	// stages this run adds.
 	base := opts.Tracer.Len()
-	a, err := Run(reports, opts)
+	a, err := run(ctx, reports, opts)
 	if err == nil && span != nil {
 		if recs := opts.Tracer.Records(); base < len(recs) {
 			obs.AttachStageRecords(ctx, recs[base:])

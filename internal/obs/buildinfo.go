@@ -1,0 +1,65 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo is the subset of runtime/debug.BuildInfo the server
+// exposes: enough to answer "which binary is this" from /metrics or
+// /healthz without shelling into the box.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Version   string `json:"version"`  // module version; "(devel)" for local builds
+	Revision  string `json:"revision"` // VCS commit, when stamped
+	Modified  bool   `json:"modified"` // dirty working tree at build time
+}
+
+// ReadBuildInfo extracts build identity from the running binary.
+// Fields the toolchain did not stamp stay "unknown" rather than
+// empty so label values render meaningfully.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: "unknown", Version: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				bi.Revision = s.Value
+			}
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo publishes the Prometheus-idiom maras_build_info
+// gauge: constant 1, with the identity carried in labels so joins
+// against any other series annotate it with the running version.
+// Returns the info so callers can also echo it on /healthz.
+func RegisterBuildInfo(reg *Registry) BuildInfo {
+	bi := ReadBuildInfo()
+	reg.Gauge("maras_build_info",
+		"Build identity of the running binary (value is always 1).",
+		Label{"go_version", bi.GoVersion},
+		Label{"version", bi.Version},
+		Label{"revision", bi.Revision},
+	).Set(1)
+	return bi
+}
+
+// Detail returns the build info as /healthz detail entries.
+func (bi BuildInfo) Detail() map[string]any {
+	return map[string]any{
+		"go_version": bi.GoVersion,
+		"version":    bi.Version,
+		"revision":   bi.Revision,
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	rpprof "runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -203,7 +204,14 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 				)
 			}
 		}()
-		next.ServeHTTP(rec, r)
+		// Serve under a route= pprof label so CPU profile samples —
+		// whether from an attached operator or the continuous-capture
+		// scheduler — attribute request cycles per route. The label set
+		// is tiny and pprof.Do is a few map writes; this is always on.
+		// (runtime/pprof directly, not obs/prof: prof imports obs.)
+		rpprof.Do(r.Context(), rpprof.Labels("route", route), func(ctx context.Context) {
+			next.ServeHTTP(rec, r.WithContext(ctx))
+		})
 	})
 }
 

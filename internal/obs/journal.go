@@ -34,9 +34,10 @@ type Journal struct {
 	full      bool
 	total     uint64
 	slowTotal uint64
-	evicted   uint64        // traces overwritten by the full ring
-	evictedC  *Counter      // optional mirror of evicted (CountEvictions)
-	slowest   []TraceRecord // sorted by duration, descending, ≤ slowestKept
+	evicted   uint64            // traces overwritten by the full ring
+	evictedC  *Counter          // optional mirror of evicted (CountEvictions)
+	slowest   []TraceRecord     // sorted by duration, descending, ≤ slowestKept
+	onSlow    func(TraceRecord) // called outside the lock per slow trace
 }
 
 // NewJournal builds a journal holding up to capacity recent traces
@@ -65,6 +66,20 @@ func (j *Journal) CountEvictions(c *Counter) {
 	}
 	j.mu.Lock()
 	j.evictedC = c
+	j.mu.Unlock()
+}
+
+// OnSlow registers fn to run for every slow trace recorded, outside
+// the journal lock on the goroutine that called Add — the hook the
+// continuous profiler uses to snapshot the process while whatever
+// made the request slow may still be happening. One subscriber;
+// set it during wiring, before traffic.
+func (j *Journal) OnSlow(fn func(TraceRecord)) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.onSlow = fn
 	j.mu.Unlock()
 }
 
@@ -112,7 +127,11 @@ func (j *Journal) Add(rec TraceRecord) (slow bool) {
 			j.slowest = j.slowest[:slowestKept]
 		}
 	}
+	onSlow := j.onSlow
 	j.mu.Unlock()
+	if rec.Slow && onSlow != nil {
+		onSlow(rec)
+	}
 	return rec.Slow
 }
 

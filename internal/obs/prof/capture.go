@@ -1,0 +1,405 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// Capture cadence defaults.
+const (
+	DefaultCPUWindow     = 2 * time.Second
+	DefaultTriggerWindow = 500 * time.Millisecond
+	DefaultInterval      = 60 * time.Second
+)
+
+// CauseScheduled marks artifacts taken by the periodic loop; every
+// other cause names the anomaly (audit rule or slow_trace) that
+// triggered the capture.
+const CauseScheduled = "scheduled"
+
+// CaptorOptions configures NewCaptor.
+type CaptorOptions struct {
+	// Store receives capture artifacts. Required.
+	Store *Store
+	// CPUWindow is how long scheduled CPU captures record (<= 0 =
+	// DefaultCPUWindow).
+	CPUWindow time.Duration
+	// TriggerWindow is the shorter CPU window for anomaly-triggered
+	// captures, so a capture cannot outlive the incident that asked
+	// for it (<= 0 = DefaultTriggerWindow).
+	TriggerWindow time.Duration
+	// Interval is the scheduled capture period. 0 disables the
+	// periodic loop (triggered captures still work); < 0 =
+	// DefaultInterval.
+	Interval time.Duration
+	// Metrics exports maras_prof_capture_* series.
+	Metrics *obs.Registry
+	// Logger reports capture failures.
+	Logger *slog.Logger
+}
+
+// Captor records profile capture cycles — a CPU window plus heap,
+// goroutine, mutex, and block snapshots — into a Store, either on a
+// periodic schedule (Start) or on demand (CaptureCycle, used by
+// Trigger for anomaly-driven snapshots). Cycles are serialized: the
+// runtime allows one active CPU profile per process, and overlapping
+// a scheduled cycle with a triggered one would corrupt neither but
+// fail one of them for no benefit.
+type Captor struct {
+	store         *Store
+	cpuWindow     time.Duration
+	triggerWindow time.Duration
+	interval      time.Duration
+	logger        *slog.Logger
+
+	capturesC *obs.Counter   // nil without metrics
+	errorsC   *obs.Counter   // nil without metrics
+	secondsH  *obs.Histogram // nil without metrics
+
+	cycleMu sync.Mutex // serializes capture cycles
+	stateMu sync.Mutex // guards prevHeapInUse, cycles, lastCycle
+	prev    heapBaseline
+	cycles  uint64
+	last    time.Time
+	lastErr string
+
+	loopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// heapBaseline remembers the previous capture's in-use heap so the
+// next heap artifact can carry a delta note.
+type heapBaseline struct {
+	valid   bool
+	inUse   int64
+	objects int64
+}
+
+// NewCaptor builds a Captor. opts.Store must be non-nil.
+func NewCaptor(opts CaptorOptions) *Captor {
+	if opts.Store == nil {
+		panic("prof: NewCaptor requires a Store")
+	}
+	if opts.CPUWindow <= 0 {
+		opts.CPUWindow = DefaultCPUWindow
+	}
+	if opts.TriggerWindow <= 0 {
+		opts.TriggerWindow = DefaultTriggerWindow
+	}
+	if opts.Interval < 0 {
+		opts.Interval = DefaultInterval
+	}
+	c := &Captor{
+		store:         opts.Store,
+		cpuWindow:     opts.CPUWindow,
+		triggerWindow: opts.TriggerWindow,
+		interval:      opts.Interval,
+		logger:        opts.Logger,
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	if reg := opts.Metrics; reg != nil {
+		c.capturesC = reg.Counter("maras_prof_captures_total",
+			"Profile capture cycles completed.")
+		c.errorsC = reg.Counter("maras_prof_capture_errors_total",
+			"Individual profile captures that failed inside a cycle.")
+		c.secondsH = reg.Histogram("maras_prof_capture_seconds",
+			"Capture cycle wall time excluding the CPU sampling window.",
+			obs.DefaultLatencyBuckets)
+	}
+	return c
+}
+
+// Store returns the artifact store backing the captor.
+func (c *Captor) Store() *Store { return c.store }
+
+// Start runs the periodic capture loop until ctx is cancelled or Stop
+// is called. No-op when the interval is 0.
+func (c *Captor) Start(ctx context.Context) {
+	if c.interval <= 0 {
+		close(c.done)
+		return
+	}
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-c.stop:
+				return
+			case <-t.C:
+				if _, err := c.CaptureCycle(ctx, CauseScheduled, ""); err != nil {
+					c.log().Warn("prof: scheduled capture failed", "err", err)
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the periodic loop and waits for an in-flight scheduled
+// cycle's store writes to finish.
+func (c *Captor) Stop() {
+	c.loopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// CaptureCycle records one full cycle — CPU window, heap, goroutine,
+// and (when enabled) mutex and block profiles — into the store,
+// tagging every artifact with cause and the linked audit event. The
+// cause picks the CPU window: scheduled captures use the full window,
+// anomaly-triggered ones the shorter trigger window so the snapshot
+// lands while the incident is still in progress. Returns the
+// artifacts written; individual profile failures are counted and
+// logged but do not abort the rest of the cycle.
+func (c *Captor) CaptureCycle(ctx context.Context, cause, event string) ([]Artifact, error) {
+	c.cycleMu.Lock()
+	defer c.cycleMu.Unlock()
+
+	window := c.cpuWindow
+	if cause != CauseScheduled {
+		window = c.triggerWindow
+	}
+
+	var arts []Artifact
+	var firstErr error
+	record := func(a Artifact, err error, kind string) {
+		if err != nil {
+			if c.errorsC != nil {
+				c.errorsC.Inc()
+			}
+			c.log().Warn("prof: capture failed", "kind", kind, "cause", cause, "err", err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		arts = append(arts, a)
+	}
+
+	start := time.Now()
+	a, err := c.captureCPU(ctx, cause, event, window)
+	record(a, err, "cpu")
+
+	a, err = c.captureHeap(cause, event)
+	record(a, err, "heap")
+	a, err = c.captureLookup("goroutine", cause, event, "")
+	record(a, err, "goroutine")
+	if MutexProfileFraction() > 0 {
+		a, err = c.captureLookup("mutex", cause, event,
+			fmt.Sprintf("fraction=1/%d", MutexProfileFraction()))
+		record(a, err, "mutex")
+	}
+	if BlockProfileRate() > 0 {
+		a, err = c.captureLookup("block", cause, event,
+			fmt.Sprintf("rate=%s", BlockProfileRate()))
+		record(a, err, "block")
+	}
+
+	if c.capturesC != nil {
+		c.capturesC.Inc()
+	}
+	if c.secondsH != nil {
+		// The CPU window is deliberate sampling time, not overhead;
+		// report only the work around it.
+		work := time.Since(start) - window
+		if work < 0 {
+			work = 0
+		}
+		c.secondsH.Observe(work.Seconds())
+	}
+	c.stateMu.Lock()
+	c.cycles++
+	c.last = time.Now()
+	if firstErr != nil {
+		c.lastErr = firstErr.Error()
+	} else {
+		c.lastErr = ""
+	}
+	c.stateMu.Unlock()
+	if len(arts) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return arts, nil
+}
+
+// captureCPU records a CPU profile window and annotates the artifact
+// with per-label-key sample attribution parsed back out of the
+// profile.
+func (c *Captor) captureCPU(ctx context.Context, cause, event string, window time.Duration) (Artifact, error) {
+	var buf bytes.Buffer
+	start := time.Now()
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		// Something else (an operator on /debug/pprof/profile, or a
+		// concurrent test) holds the one process-wide CPU profile.
+		return Artifact{}, fmt.Errorf("prof: cpu profile busy: %w", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(window):
+	}
+	pprof.StopCPUProfile()
+
+	note := ""
+	if stats, err := ParseCPULabels(buf.Bytes()); err == nil && stats.TotalWeight > 0 {
+		note = cpuNote(stats)
+	}
+	return c.store.Add("cpu", cause, event, note, buf.Bytes(), time.Since(start))
+}
+
+// cpuNote renders "stage 83% · route 4%" style attribution from
+// parsed label stats.
+func cpuNote(stats CPULabelStats) string {
+	keys := make([]string, 0, len(stats.ByKey))
+	for k := range stats.ByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s %.0f%%",
+			k, 100*float64(stats.ByKey[k])/float64(stats.TotalWeight)))
+	}
+	if len(parts) == 0 {
+		return "no labeled samples"
+	}
+	return "labeled: " + strings.Join(parts, ", ")
+}
+
+// captureHeap records the heap profile with an in-use delta note
+// against the previous heap capture.
+func (c *Captor) captureHeap(cause, event string) (Artifact, error) {
+	var buf bytes.Buffer
+	start := time.Now()
+	p := pprof.Lookup("heap")
+	if p == nil {
+		return Artifact{}, fmt.Errorf("prof: heap profile unavailable")
+	}
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return Artifact{}, fmt.Errorf("prof: write heap profile: %w", err)
+	}
+
+	inUse, objects := heapInUse()
+	c.stateMu.Lock()
+	prev := c.prev
+	c.prev = heapBaseline{valid: true, inUse: inUse, objects: objects}
+	c.stateMu.Unlock()
+	note := fmt.Sprintf("inuse %s / %d objs", fmtBytes(inUse), objects)
+	if prev.valid {
+		note += fmt.Sprintf(" (%s vs prev)", fmtDelta(inUse-prev.inUse))
+	}
+	return c.store.Add("heap", cause, event, note, buf.Bytes(), time.Since(start))
+}
+
+// captureLookup records a named runtime profile (goroutine, mutex,
+// block) via pprof.Lookup.
+func (c *Captor) captureLookup(name, cause, event, note string) (Artifact, error) {
+	var buf bytes.Buffer
+	start := time.Now()
+	p := pprof.Lookup(name)
+	if p == nil {
+		return Artifact{}, fmt.Errorf("prof: %s profile unavailable", name)
+	}
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return Artifact{}, fmt.Errorf("prof: write %s profile: %w", name, err)
+	}
+	if name == "goroutine" {
+		note = fmt.Sprintf("%d goroutines", runtime.NumGoroutine())
+	}
+	return c.store.Add(name, cause, event, note, buf.Bytes(), time.Since(start))
+}
+
+// heapInUse totals sampled in-use bytes and objects from the runtime
+// memory profile records.
+func heapInUse() (bytes, objects int64) {
+	n, _ := runtime.MemProfile(nil, true)
+	recs := make([]runtime.MemProfileRecord, n+64)
+	n, ok := runtime.MemProfile(recs, true)
+	if !ok {
+		// Records grew between calls; one retry with headroom.
+		recs = make([]runtime.MemProfileRecord, n+128)
+		n, ok = runtime.MemProfile(recs, true)
+		if !ok {
+			return 0, 0
+		}
+	}
+	for _, r := range recs[:n] {
+		bytes += r.InUseBytes()
+		objects += r.InUseObjects()
+	}
+	return bytes, objects
+}
+
+// CaptorStats summarizes captor state for /debug/profiles.
+type CaptorStats struct {
+	Cycles        uint64    `json:"cycles"`
+	LastCapture   time.Time `json:"last_capture,omitempty"`
+	LastError     string    `json:"last_error,omitempty"`
+	CPUWindowMS   float64   `json:"cpu_window_ms"`
+	TriggerWinMS  float64   `json:"trigger_window_ms"`
+	IntervalMS    float64   `json:"interval_ms"`
+	MutexFraction int       `json:"mutex_profile_fraction"`
+	BlockRateMS   float64   `json:"block_profile_rate_ms"`
+}
+
+// Stats returns captor state.
+func (c *Captor) Stats() CaptorStats {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return CaptorStats{
+		Cycles:        c.cycles,
+		LastCapture:   c.last,
+		LastError:     c.lastErr,
+		CPUWindowMS:   float64(c.cpuWindow.Microseconds()) / 1000,
+		TriggerWinMS:  float64(c.triggerWindow.Microseconds()) / 1000,
+		IntervalMS:    float64(c.interval.Microseconds()) / 1000,
+		MutexFraction: MutexProfileFraction(),
+		BlockRateMS:   float64(BlockProfileRate().Microseconds()) / 1000,
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	abs := n
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case abs >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case abs >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// fmtDelta renders a signed byte delta.
+func fmtDelta(n int64) string {
+	if n >= 0 {
+		return "+" + fmtBytes(n)
+	}
+	return fmtBytes(n)
+}
+
+func (c *Captor) log() *slog.Logger {
+	if c.logger != nil {
+		return c.logger
+	}
+	return slog.New(discardHandler{})
+}

@@ -1,0 +1,110 @@
+package prof
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func kinds(arts []Artifact) map[string]Artifact {
+	m := map[string]Artifact{}
+	for _, a := range arts {
+		m[a.Kind] = a
+	}
+	return m
+}
+
+func TestCaptureCycleWritesCoreProfiles(t *testing.T) {
+	captor := testCaptor(t)
+	arts, err := captor.CaptureCycle(context.Background(), CauseScheduled, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := kinds(arts)
+	for _, k := range []string{"cpu", "heap", "goroutine"} {
+		a, ok := byKind[k]
+		if !ok {
+			t.Fatalf("cycle missing %s artifact: %+v", k, arts)
+		}
+		if a.Cause != CauseScheduled || a.Bytes <= 0 {
+			t.Fatalf("%s artifact malformed: %+v", k, a)
+		}
+		if data, _, err := captor.Store().Read(a.ID); err != nil || int64(len(data)) != a.Bytes {
+			t.Fatalf("%s artifact read back: %v", k, err)
+		}
+	}
+	if byKind["heap"].Note == "" || !strings.Contains(byKind["heap"].Note, "inuse") {
+		t.Fatalf("heap note missing: %q", byKind["heap"].Note)
+	}
+
+	// The second cycle's heap note carries a delta against the first.
+	arts2, err := captor.CaptureCycle(context.Background(), "slo_burn", "slo_burn api: burning")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind2 := kinds(arts2)
+	if !strings.Contains(byKind2["heap"].Note, "vs prev") {
+		t.Fatalf("second heap note should carry a delta, got %q", byKind2["heap"].Note)
+	}
+	if byKind2["cpu"].Event != "slo_burn api: burning" {
+		t.Fatalf("triggered artifacts must link the event, got %q", byKind2["cpu"].Event)
+	}
+
+	st := captor.Stats()
+	if st.Cycles != 2 || st.LastCapture.IsZero() {
+		t.Fatalf("captor stats: %+v", st)
+	}
+}
+
+func TestCaptureCycleIncludesContentionProfilesWhenEnabled(t *testing.T) {
+	EnableMutexProfiling(2)
+	EnableBlockProfiling(time.Microsecond)
+	defer func() {
+		EnableMutexProfiling(0)
+		EnableBlockProfiling(0)
+	}()
+
+	captor := testCaptor(t)
+	arts, err := captor.CaptureCycle(context.Background(), CauseScheduled, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := kinds(arts)
+	if _, ok := byKind["mutex"]; !ok {
+		t.Fatalf("mutex profile missing with fraction set: %+v", arts)
+	}
+	if _, ok := byKind["block"]; !ok {
+		t.Fatalf("block profile missing with rate set: %+v", arts)
+	}
+	if !strings.Contains(byKind["mutex"].Note, "fraction=") {
+		t.Fatalf("mutex note: %q", byKind["mutex"].Note)
+	}
+}
+
+func TestCaptorStartStop(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	captor := NewCaptor(CaptorOptions{
+		Store:         s,
+		CPUWindow:     time.Millisecond,
+		TriggerWindow: time.Millisecond,
+		Interval:      5 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	captor.Start(ctx)
+	deadline := time.Now().Add(5 * time.Second)
+	for captor.Stats().Cycles == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	captor.Stop()
+	if captor.Stats().Cycles == 0 {
+		t.Fatal("periodic loop never captured")
+	}
+	if len(s.List()) == 0 {
+		t.Fatal("periodic loop wrote no artifacts")
+	}
+}

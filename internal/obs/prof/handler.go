@@ -1,0 +1,125 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the profiling surface under prefix (conventionally
+// "/debug/profiles"):
+//
+//	GET {prefix}        index: captor + store state, the artifact
+//	                    table, and live in-process summaries, as
+//	                    aligned text or JSON (?format=json)
+//	GET {prefix}/{id}   raw artifact download, CRC-verified
+//
+// A nil captor (profiling disabled) serves 404 with a hint, so the
+// route can be mounted unconditionally.
+func Handler(c *Captor, prefix string) http.Handler {
+	prefix = strings.TrimSuffix(prefix, "/")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if c == nil {
+			http.Error(w, "profiling disabled; start the server with -prof-dir", http.StatusNotFound)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, prefix)
+		rest = strings.Trim(rest, "/")
+		if rest == "" {
+			serveIndex(w, r, c)
+			return
+		}
+		serveArtifact(w, r, c, rest)
+	})
+}
+
+// indexPayload is the JSON shape of the profiles index.
+type indexPayload struct {
+	Captor    CaptorStats      `json:"captor"`
+	Store     StoreStats       `json:"store"`
+	Artifacts []Artifact       `json:"artifacts"` // oldest..newest
+	Live      []ProfileSummary `json:"live"`
+}
+
+func serveIndex(w http.ResponseWriter, r *http.Request, c *Captor) {
+	payload := indexPayload{
+		Captor:    c.Stats(),
+		Store:     c.Store().Stats(),
+		Artifacts: c.Store().List(),
+		Live:      Summarize(10),
+	}
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(payload)
+		return
+	}
+
+	var b strings.Builder
+	b.WriteString("# maras continuous profiling\n\n")
+	fmt.Fprintf(&b, "captures: %d cycles", payload.Captor.Cycles)
+	if !payload.Captor.LastCapture.IsZero() {
+		fmt.Fprintf(&b, ", last %s", payload.Captor.LastCapture.Format("2006-01-02T15:04:05Z07:00"))
+	}
+	if payload.Captor.LastError != "" {
+		fmt.Fprintf(&b, ", last error: %s", payload.Captor.LastError)
+	}
+	fmt.Fprintf(&b, "\nwindows: cpu %.0fms scheduled / %.0fms triggered, interval %.0fs\n",
+		payload.Captor.CPUWindowMS, payload.Captor.TriggerWinMS, payload.Captor.IntervalMS/1000)
+	fmt.Fprintf(&b, "mutex fraction: %d, block rate: %.1fms\n",
+		payload.Captor.MutexFraction, payload.Captor.BlockRateMS)
+	fmt.Fprintf(&b, "store: %d artifacts / %s (caps %d / %s), %d evicted, dir %s\n\n",
+		payload.Store.Artifacts, fmtBytes(payload.Store.Bytes),
+		payload.Store.MaxArtifacts, fmtBytes(payload.Store.MaxBytes),
+		payload.Store.Evicted, payload.Store.Dir)
+
+	b.WriteString("## artifacts (oldest first; GET /debug/profiles/{id})\n")
+	if len(payload.Artifacts) == 0 {
+		b.WriteString("  (none yet)\n")
+	}
+	for _, a := range payload.Artifacts {
+		fmt.Fprintf(&b, "  %-22s %-10s %10s  %-14s %s",
+			a.ID, a.Kind, fmtBytes(a.Bytes), a.Cause,
+			a.TakenAt.Format("15:04:05"))
+		if a.Note != "" {
+			fmt.Fprintf(&b, "  %s", a.Note)
+		}
+		if a.Event != "" {
+			fmt.Fprintf(&b, "  [%s]", a.Event)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	RenderText(&b, payload.Live)
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+func serveArtifact(w http.ResponseWriter, r *http.Request, c *Captor, id string) {
+	data, a, err := c.Store().Read(id)
+	if err != nil {
+		if _, ok := c.Store().Get(id); !ok {
+			http.Error(w, "no such artifact", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", a.ID+ArtifactExt))
+	w.Header().Set("Content-Length", fmt.Sprintf("%d", len(data)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(data)
+}

@@ -1,0 +1,90 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerNilCaptor(t *testing.T) {
+	h := Handler(nil, "/debug/profiles")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rec.Code != 404 || !strings.Contains(rec.Body.String(), "-prof-dir") {
+		t.Fatalf("nil captor: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHandlerMethodNotAllowed(t *testing.T) {
+	h := Handler(testCaptor(t), "/debug/profiles")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/profiles", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST: %d", rec.Code)
+	}
+}
+
+func TestHandlerIndexAndArtifact(t *testing.T) {
+	captor := testCaptor(t)
+	arts, err := captor.CaptureCycle(context.Background(), "slo_burn", "slo_burn api: burn 12x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Handler(captor, "/debug/profiles")
+
+	// Text index lists the artifacts and live summaries.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rec.Code != 200 {
+		t.Fatalf("index: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "maras continuous profiling") ||
+		!strings.Contains(body, arts[0].ID) ||
+		!strings.Contains(body, "slo_burn") {
+		t.Fatalf("index body missing content:\n%s", body)
+	}
+
+	// JSON index decodes and carries the same artifacts.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles?format=json", nil))
+	var payload struct {
+		Captor    CaptorStats `json:"captor"`
+		Artifacts []Artifact  `json:"artifacts"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("json index: %v", err)
+	}
+	if payload.Captor.Cycles != 1 || len(payload.Artifacts) != len(arts) {
+		t.Fatalf("json payload: %+v", payload)
+	}
+
+	// Raw artifact download matches the stored bytes.
+	want, _, err := captor.Store().Read(arts[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/"+arts[0].ID, nil))
+	if rec.Code != 200 || !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatalf("artifact download: %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type: %q", ct)
+	}
+
+	// HEAD reports length without a body; unknown IDs 404.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("HEAD", "/debug/profiles/"+arts[0].ID, nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Fatalf("HEAD: %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/999999-cpu", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown artifact: %d", rec.Code)
+	}
+}

@@ -1,0 +1,87 @@
+// Package prof is the continuous-profiling layer of the MARAS
+// observability stack: pprof label attribution for the pipeline
+// stages, store loads, watch evaluation, and HTTP routes (so CPU
+// samples say *where* the cycles went, not just that they went), a
+// capture scheduler that periodically records CPU windows and
+// heap/goroutine/mutex/block snapshots into a bounded on-disk
+// artifact ring with a CRC-indexed manifest, anomaly-triggered
+// captures fed by the audit event log, and in-process profile
+// summaries built straight from runtime records (no protobuf
+// parsing) behind /debug/profiles. Standard library only
+// (runtime/pprof, runtime, compress/gzip), like the rest of
+// internal/obs.
+package prof
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// LabelStage is the pprof label key carried by pipeline-stage CPU
+// samples (stage=fpgrowth, stage=mcac_build, ...).
+const LabelStage = "stage"
+
+// LabelOp is the pprof label key for non-pipeline hot paths: store
+// snapshot decodes (op=store_load) and watchlist evaluation passes
+// (op=watch_eval).
+const LabelOp = "op"
+
+// LabelRoute is the pprof label key HTTP requests carry (route=/q/).
+const LabelRoute = "route"
+
+// Do runs fn with the given pprof label pairs (key, value, key,
+// value, ...) attached to the calling goroutine — and any goroutine
+// it starts — for the duration of the call. CPU profile samples taken
+// while fn runs carry the labels, which is how /debug/pprof/profile
+// and the capture scheduler attribute cycles to stages and routes.
+func Do(ctx context.Context, fn func(context.Context), kv ...string) {
+	pprof.Do(ctx, pprof.Labels(kv...), fn)
+}
+
+// DoStage runs one pipeline stage under a stage=<name> label. The
+// pipeline's stages neither take nor return through the context, so
+// the inner context is dropped for the caller's convenience.
+func DoStage(ctx context.Context, stage string, fn func()) {
+	pprof.Do(ctx, pprof.Labels(LabelStage, stage), func(context.Context) { fn() })
+}
+
+// Mutex and block profiling are off by default in the Go runtime, so
+// /debug/pprof/mutex and /debug/pprof/block serve empty profiles
+// unless a rate is set. The setters below remember what they set —
+// runtime exposes no getter for the block rate — so /debug/profiles
+// can report whether the profiles are live or dormant.
+var (
+	mutexFraction int
+	blockRateNS   int64
+)
+
+// EnableMutexProfiling samples 1/fraction of mutex contention events
+// (runtime.SetMutexProfileFraction). fraction <= 0 disables.
+func EnableMutexProfiling(fraction int) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	mutexFraction = fraction
+	runtime.SetMutexProfileFraction(fraction)
+}
+
+// EnableBlockProfiling records blocking events (channel waits, mutex
+// waits) lasting at least rate (runtime.SetBlockProfileRate). rate
+// <= 0 disables.
+func EnableBlockProfiling(rate time.Duration) {
+	if rate < 0 {
+		rate = 0
+	}
+	blockRateNS = rate.Nanoseconds()
+	runtime.SetBlockProfileRate(int(blockRateNS))
+}
+
+// MutexProfileFraction reports the configured mutex sampling fraction
+// (0 = disabled).
+func MutexProfileFraction() int { return mutexFraction }
+
+// BlockProfileRate reports the configured block profiling threshold
+// (0 = disabled).
+func BlockProfileRate() time.Duration { return time.Duration(blockRateNS) }

@@ -1,0 +1,297 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// CPULabelStats aggregates the sample weight carried by each pprof
+// label key (and key=value pair) in a CPU profile. Weight is the
+// first sample value — for CPU profiles, the sample count — so
+// ByKey["stage"] / TotalWeight is the fraction of CPU time spent
+// under any stage= label.
+type CPULabelStats struct {
+	// TotalWeight is the summed weight of every sample, labeled or
+	// not.
+	TotalWeight int64
+	// ByKey sums sample weight per label key. A sample with two label
+	// keys counts toward both; a sample counts at most once per key.
+	ByKey map[string]int64
+	// ByKeyValue sums sample weight per key=value pair.
+	ByKeyValue map[string]map[string]int64
+}
+
+// Fraction returns the share of total weight carried by key, in
+// [0, 1].
+func (s CPULabelStats) Fraction(key string) float64 {
+	if s.TotalWeight == 0 {
+		return 0
+	}
+	return float64(s.ByKey[key]) / float64(s.TotalWeight)
+}
+
+// ParseCPULabels extracts per-label sample weights from a pprof
+// protobuf profile (gzipped or raw), walking just enough of the wire
+// format to reach Sample.label — the full profile.proto model (and
+// its protoc dependency) is overkill for one aggregation. Fields
+// touched: Profile.sample (2), Profile.string_table (6),
+// Sample.value (2), Sample.label (3), Label.key (1), Label.str (2).
+func ParseCPULabels(data []byte) (CPULabelStats, error) {
+	stats := CPULabelStats{
+		ByKey:      map[string]int64{},
+		ByKeyValue: map[string]map[string]int64{},
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return stats, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		zr.Close()
+		if err != nil {
+			return stats, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+	}
+
+	// Pass 1: the string table must be complete before labels can be
+	// resolved, and the proto spec does not order fields, so collect
+	// raw sample messages and strings in one walk.
+	var strTable []string
+	var samples [][]byte
+	d := &protoDecoder{buf: data}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return stats, err
+		}
+		switch {
+		case field == 6 && wire == wireBytes: // string_table
+			s, err := d.bytes()
+			if err != nil {
+				return stats, err
+			}
+			strTable = append(strTable, string(s))
+		case field == 2 && wire == wireBytes: // sample
+			s, err := d.bytes()
+			if err != nil {
+				return stats, err
+			}
+			samples = append(samples, s)
+		default:
+			if err := d.skip(wire); err != nil {
+				return stats, err
+			}
+		}
+	}
+
+	str := func(idx int64) string {
+		if idx < 0 || idx >= int64(len(strTable)) {
+			return ""
+		}
+		return strTable[idx]
+	}
+
+	for _, raw := range samples {
+		weight, labels, err := parseSample(raw)
+		if err != nil {
+			return stats, err
+		}
+		stats.TotalWeight += weight
+		seen := map[string]bool{}
+		for _, l := range labels {
+			key := str(l.key)
+			if key == "" || seen[key] {
+				continue
+			}
+			seen[key] = true
+			stats.ByKey[key] += weight
+			val := str(l.str)
+			m := stats.ByKeyValue[key]
+			if m == nil {
+				m = map[string]int64{}
+				stats.ByKeyValue[key] = m
+			}
+			m[val] += weight
+		}
+	}
+	return stats, nil
+}
+
+// sampleLabel holds string-table indices for one Sample.label entry.
+type sampleLabel struct {
+	key int64
+	str int64
+}
+
+// parseSample extracts the first value and the labels from one Sample
+// message.
+func parseSample(raw []byte) (weight int64, labels []sampleLabel, err error) {
+	d := &protoDecoder{buf: raw}
+	haveValue := false
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch {
+		case field == 2 && wire == wireVarint: // value, unpacked
+			v, err := d.varint()
+			if err != nil {
+				return 0, nil, err
+			}
+			if !haveValue {
+				weight = int64(v)
+				haveValue = true
+			}
+		case field == 2 && wire == wireBytes: // value, packed
+			packed, err := d.bytes()
+			if err != nil {
+				return 0, nil, err
+			}
+			pd := &protoDecoder{buf: packed}
+			for !pd.done() {
+				v, err := pd.varint()
+				if err != nil {
+					return 0, nil, err
+				}
+				if !haveValue {
+					weight = int64(v)
+					haveValue = true
+				}
+			}
+		case field == 3 && wire == wireBytes: // label
+			lraw, err := d.bytes()
+			if err != nil {
+				return 0, nil, err
+			}
+			l, err := parseLabel(lraw)
+			if err != nil {
+				return 0, nil, err
+			}
+			labels = append(labels, l)
+		default:
+			if err := d.skip(wire); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	if !haveValue {
+		weight = 1
+	}
+	return weight, labels, nil
+}
+
+// parseLabel extracts key and str indices from one Label message.
+func parseLabel(raw []byte) (sampleLabel, error) {
+	var l sampleLabel
+	d := &protoDecoder{buf: raw}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return l, err
+		}
+		switch {
+		case field == 1 && wire == wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return l, err
+			}
+			l.key = int64(v)
+		case field == 2 && wire == wireVarint:
+			v, err := d.varint()
+			if err != nil {
+				return l, err
+			}
+			l.str = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+// Protobuf wire types.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// protoDecoder is a minimal protobuf wire-format cursor.
+type protoDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *protoDecoder) done() bool { return d.pos >= len(d.buf) }
+
+func (d *protoDecoder) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.pos >= len(d.buf) {
+			return 0, fmt.Errorf("prof: truncated varint")
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("prof: varint overflow")
+		}
+	}
+}
+
+func (d *protoDecoder) tag() (field int, wire int, err error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+func (d *protoDecoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, fmt.Errorf("prof: truncated bytes field")
+	}
+	out := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+func (d *protoDecoder) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wireFixed64:
+		if len(d.buf)-d.pos < 8 {
+			return fmt.Errorf("prof: truncated fixed64")
+		}
+		d.pos += 8
+		return nil
+	case wireBytes:
+		_, err := d.bytes()
+		return err
+	case wireFixed32:
+		if len(d.buf)-d.pos < 4 {
+			return fmt.Errorf("prof: truncated fixed32")
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wire)
+	}
+}

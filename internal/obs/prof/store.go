@@ -1,0 +1,458 @@
+package prof
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// Store retention defaults: how many capture artifacts stay on disk
+// and how many bytes they may occupy together.
+const (
+	DefaultMaxArtifacts = 48
+	DefaultMaxBytes     = 64 << 20
+)
+
+// ArtifactExt is the capture artifact file extension.
+const ArtifactExt = ".pprof"
+
+// manifestName is the CRC-indexed artifact manifest kept next to the
+// artifacts.
+const manifestName = "MANIFEST.json"
+
+// Artifact is one manifest entry: a profile written to disk, what
+// kind it is, why it was taken, and the CRC-32 the bytes must still
+// hash to when read back.
+type Artifact struct {
+	ID      string    `json:"id"`   // "<seq>-<kind>", the /debug/profiles/{id} handle
+	Seq     uint64    `json:"seq"`  // monotonic capture sequence; eviction order
+	Kind    string    `json:"kind"` // cpu, heap, goroutine, mutex, block
+	Cause   string    `json:"cause"`
+	Event   string    `json:"event,omitempty"` // linked audit event, for triggered captures
+	TakenAt time.Time `json:"taken_at"`
+	WallMS  float64   `json:"wall_ms"` // capture wall time
+	Bytes   int64     `json:"bytes"`
+	CRC     uint32    `json:"crc32"`
+	Note    string    `json:"note,omitempty"` // kind-specific summary (label attribution, heap delta)
+}
+
+// file returns the artifact's on-disk file name.
+func (a Artifact) file() string { return a.ID + ArtifactExt }
+
+// manifest is the on-disk index. Seq persists the allocator so IDs
+// never collide across restarts even after evictions.
+type manifest struct {
+	Seq       uint64     `json:"seq"`
+	Artifacts []Artifact `json:"artifacts"` // oldest..newest
+}
+
+// StoreOptions configures OpenStore. Every field is optional.
+type StoreOptions struct {
+	// MaxArtifacts bounds how many artifacts are retained (<= 0 =
+	// DefaultMaxArtifacts).
+	MaxArtifacts int
+	// MaxBytes bounds the artifacts' combined size (<= 0 =
+	// DefaultMaxBytes). The newest artifact is never evicted, so one
+	// oversized capture can transiently exceed the cap.
+	MaxBytes int64
+	// Metrics exports maras_prof_store_* series.
+	Metrics *obs.Registry
+	// Logger reports recovery actions and eviction churn.
+	Logger *slog.Logger
+}
+
+// Store is a bounded on-disk ring of profile artifacts with a
+// CRC-indexed manifest. Artifacts and the manifest are written with
+// the snapshot store's atomic discipline — temp file, fsync, rename,
+// directory fsync — so a crash mid-write can never leave a torn
+// artifact listed as good: either the manifest names the complete
+// file or recovery drops it.
+type Store struct {
+	dir    string
+	max    int
+	maxB   int64
+	logger *slog.Logger
+
+	artifactsG *obs.Gauge   // nil without metrics
+	bytesG     *obs.Gauge   // nil without metrics
+	evictedC   *obs.Counter // nil without metrics
+
+	mu      sync.Mutex
+	seq     uint64
+	entries []Artifact // oldest..newest
+	bytes   int64
+	evicted uint64
+}
+
+// OpenStore opens (creating if needed) the artifact directory and
+// recovers its manifest: orphaned temp files are swept, listed
+// artifacts are verified against their recorded size and CRC (corrupt
+// or missing ones are dropped and deleted), and artifact files the
+// manifest does not know — a crash between artifact rename and
+// manifest rename — are adopted with a recomputed CRC.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if opts.MaxArtifacts <= 0 {
+		opts.MaxArtifacts = DefaultMaxArtifacts
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prof: open store: %w", err)
+	}
+	s := &Store{dir: dir, max: opts.MaxArtifacts, maxB: opts.MaxBytes, logger: opts.Logger}
+	if reg := opts.Metrics; reg != nil {
+		s.artifactsG = reg.Gauge("maras_prof_store_artifacts",
+			"Profile capture artifacts retained on disk.")
+		s.bytesG = reg.Gauge("maras_prof_store_bytes",
+			"Bytes of profile capture artifacts retained on disk.")
+		s.evictedC = reg.Counter("maras_prof_store_evicted_total",
+			"Profile artifacts evicted by count or byte retention.")
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the artifact directory.
+func (s *Store) Dir() string { return s.dir }
+
+// recover rebuilds the in-memory index from disk, repairing whatever
+// a crash left behind.
+func (s *Store) recover() error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("prof: scan store: %w", err)
+	}
+	onDisk := map[string]int64{} // artifact file name -> size
+	for _, de := range names {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.Contains(name, ".tmp-") {
+			// A crash mid-write: the rename never happened, the
+			// content is untrusted. Sweep it.
+			if err := os.Remove(filepath.Join(s.dir, name)); err == nil {
+				s.log().Warn("prof store: swept orphaned temp file", "file", name)
+			}
+			continue
+		}
+		if strings.HasSuffix(name, ArtifactExt) {
+			if fi, err := de.Info(); err == nil {
+				onDisk[name] = fi.Size()
+			}
+		}
+	}
+
+	var m manifest
+	dirty := false
+	raw, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	switch {
+	case err == nil:
+		if jerr := json.Unmarshal(raw, &m); jerr != nil {
+			s.log().Warn("prof store: corrupt manifest, rebuilding from artifacts", "err", jerr)
+			m = manifest{}
+			dirty = true
+		}
+	case os.IsNotExist(err):
+		dirty = len(onDisk) > 0
+	default:
+		return fmt.Errorf("prof: read manifest: %w", err)
+	}
+
+	// Verify every listed artifact: present, right size, right CRC.
+	kept := m.Artifacts[:0]
+	for _, a := range m.Artifacts {
+		size, ok := onDisk[a.file()]
+		if !ok {
+			s.log().Warn("prof store: manifest entry missing on disk, dropped", "id", a.ID)
+			dirty = true
+			continue
+		}
+		delete(onDisk, a.file())
+		if size != a.Bytes || !s.verifyCRC(a) {
+			s.log().Warn("prof store: artifact fails verification, dropped", "id", a.ID)
+			os.Remove(filepath.Join(s.dir, a.file()))
+			dirty = true
+			continue
+		}
+		kept = append(kept, a)
+		if a.Seq >= m.Seq {
+			m.Seq = a.Seq + 1
+		}
+	}
+
+	// Adopt artifacts the manifest does not know: recompute the CRC so
+	// the index stays trustworthy, and date them from the file.
+	for name := range onDisk {
+		a, ok := s.adopt(name)
+		if !ok {
+			continue
+		}
+		kept = append(kept, a)
+		if a.Seq >= m.Seq {
+			m.Seq = a.Seq + 1
+		}
+		dirty = true
+		s.log().Warn("prof store: adopted unlisted artifact", "id", a.ID)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Seq < kept[j].Seq })
+
+	s.entries = kept
+	s.seq = m.Seq
+	s.bytes = 0
+	for _, a := range kept {
+		s.bytes += a.Bytes
+	}
+	s.evictLocked()
+	s.syncGauges()
+	if dirty {
+		return s.writeManifestLocked()
+	}
+	return nil
+}
+
+// adopt builds a manifest entry for an unlisted artifact file.
+func (s *Store) adopt(name string) (Artifact, bool) {
+	id := strings.TrimSuffix(name, ArtifactExt)
+	seqStr, kind, ok := strings.Cut(id, "-")
+	if !ok {
+		return Artifact{}, false
+	}
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return Artifact{}, false
+	}
+	path := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Artifact{}, false
+	}
+	a := Artifact{
+		ID:    id,
+		Seq:   seq,
+		Kind:  kind,
+		Cause: "recovered",
+		Bytes: int64(len(data)),
+		CRC:   crc32.ChecksumIEEE(data),
+	}
+	if fi, err := os.Stat(path); err == nil {
+		a.TakenAt = fi.ModTime()
+	}
+	return a, true
+}
+
+// verifyCRC re-hashes an artifact file against its manifest entry.
+func (s *Store) verifyCRC(a Artifact) bool {
+	data, err := os.ReadFile(filepath.Join(s.dir, a.file()))
+	if err != nil {
+		return false
+	}
+	return crc32.ChecksumIEEE(data) == a.CRC
+}
+
+// Add writes one capture artifact and its manifest entry, evicting
+// the oldest artifacts past the count or byte caps.
+func (s *Store) Add(kind, cause, event, note string, data []byte, wall time.Duration) (Artifact, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := Artifact{
+		Seq:     s.seq,
+		Kind:    kind,
+		Cause:   cause,
+		Event:   event,
+		Note:    note,
+		TakenAt: time.Now(),
+		WallMS:  float64(wall.Microseconds()) / 1000,
+		Bytes:   int64(len(data)),
+		CRC:     crc32.ChecksumIEEE(data),
+	}
+	a.ID = fmt.Sprintf("%06d-%s", a.Seq, kind)
+	s.seq++
+	if err := atomicWrite(filepath.Join(s.dir, a.file()), data); err != nil {
+		return Artifact{}, err
+	}
+	s.entries = append(s.entries, a)
+	s.bytes += a.Bytes
+	s.evictLocked()
+	s.syncGauges()
+	if err := s.writeManifestLocked(); err != nil {
+		return Artifact{}, err
+	}
+	return a, nil
+}
+
+// evictLocked drops oldest-first until both retention caps hold. The
+// newest artifact always survives: a capture that itself exceeds the
+// byte cap is still worth having until the next one replaces it.
+func (s *Store) evictLocked() {
+	for len(s.entries) > 1 && (len(s.entries) > s.max || s.bytes > s.maxB) {
+		victim := s.entries[0]
+		s.entries = s.entries[1:]
+		s.bytes -= victim.Bytes
+		s.evicted++
+		if s.evictedC != nil {
+			s.evictedC.Inc()
+		}
+		os.Remove(filepath.Join(s.dir, victim.file()))
+		s.log().Debug("prof store: evicted artifact", "id", victim.ID, "bytes", victim.Bytes)
+	}
+}
+
+func (s *Store) syncGauges() {
+	if s.artifactsG != nil {
+		s.artifactsG.Set(int64(len(s.entries)))
+	}
+	if s.bytesG != nil {
+		s.bytesG.Set(s.bytes)
+	}
+}
+
+// writeManifestLocked persists the index atomically.
+func (s *Store) writeManifestLocked() error {
+	m := manifest{Seq: s.seq, Artifacts: s.entries}
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("prof: encode manifest: %w", err)
+	}
+	return atomicWrite(filepath.Join(s.dir, manifestName), append(data, '\n'))
+}
+
+// List returns the retained artifacts, oldest first.
+func (s *Store) List() []Artifact {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Artifact, len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// Get returns the manifest entry for id.
+func (s *Store) Get(id string) (Artifact, bool) {
+	if s == nil {
+		return Artifact{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.entries {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return Artifact{}, false
+}
+
+// Read returns an artifact's bytes after verifying them against the
+// manifest CRC, so a damaged file can never masquerade as a profile.
+func (s *Store) Read(id string) ([]byte, Artifact, error) {
+	a, ok := s.Get(id)
+	if !ok {
+		return nil, Artifact{}, fmt.Errorf("prof: no artifact %q", id)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, a.file()))
+	if err != nil {
+		return nil, a, fmt.Errorf("prof: read artifact %q: %w", id, err)
+	}
+	if crc32.ChecksumIEEE(data) != a.CRC {
+		return nil, a, fmt.Errorf("prof: artifact %q fails CRC check", id)
+	}
+	return data, a, nil
+}
+
+// StoreStats summarizes retention state.
+type StoreStats struct {
+	Dir          string `json:"dir"`
+	Artifacts    int    `json:"artifacts"`
+	Bytes        int64  `json:"bytes"`
+	Evicted      uint64 `json:"evicted"`
+	MaxArtifacts int    `json:"max_artifacts"`
+	MaxBytes     int64  `json:"max_bytes"`
+}
+
+// Stats returns retention totals.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Dir:          s.dir,
+		Artifacts:    len(s.entries),
+		Bytes:        s.bytes,
+		Evicted:      s.evicted,
+		MaxArtifacts: s.max,
+		MaxBytes:     s.maxB,
+	}
+}
+
+func (s *Store) log() *slog.Logger {
+	if s.logger != nil {
+		return s.logger
+	}
+	return slog.New(discardHandler{})
+}
+
+// discardHandler drops every record (slog.DiscardHandler arrives in a
+// newer Go than go.mod pins).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// atomicWrite lands data at path via the store codec's discipline:
+// temp file in the same directory, fsync, rename, directory fsync.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("prof: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("prof: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("prof: sync temp: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		cleanup()
+		return fmt.Errorf("prof: chmod temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("prof: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("prof: rename: %w", err)
+	}
+	// The rename lives in the directory; fsync it so a crash cannot
+	// roll the entry back.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

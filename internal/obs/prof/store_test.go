@@ -1,0 +1,236 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testData(n int, fill byte) []byte { return bytes.Repeat([]byte{fill}, n) }
+
+func TestStoreAddListReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(100, 0xAB)
+	a, err := s.Add("cpu", "scheduled", "", "note", data, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == "" || a.Kind != "cpu" || a.Bytes != 100 {
+		t.Fatalf("bad artifact: %+v", a)
+	}
+	if a.CRC != crc32.ChecksumIEEE(data) {
+		t.Fatalf("CRC mismatch: %x", a.CRC)
+	}
+	got, meta, err := s.Read(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || meta.Note != "note" {
+		t.Fatalf("read mismatch: %d bytes, note %q", len(got), meta.Note)
+	}
+	if l := s.List(); len(l) != 1 || l[0].ID != a.ID {
+		t.Fatalf("list: %+v", l)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get(nope) should miss")
+	}
+}
+
+func TestStoreCountEvictionOrdering(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{MaxArtifacts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		a, err := s.Add("heap", "scheduled", "", "", testData(10, byte(i)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, a.ID)
+	}
+	l := s.List()
+	if len(l) != 3 {
+		t.Fatalf("want 3 retained, got %d", len(l))
+	}
+	// Oldest-first eviction: the two first adds are gone, order is
+	// ascending by seq.
+	want := ids[2:]
+	for i, a := range l {
+		if a.ID != want[i] {
+			t.Fatalf("retained[%d] = %s, want %s", i, a.ID, want[i])
+		}
+	}
+	for _, id := range ids[:2] {
+		if _, ok := s.Get(id); ok {
+			t.Fatalf("%s should be evicted", id)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id+ArtifactExt)); !os.IsNotExist(err) {
+			t.Fatalf("%s file should be deleted, err=%v", id, err)
+		}
+	}
+	if st := s.Stats(); st.Evicted != 2 {
+		t.Fatalf("evicted count = %d, want 2", st.Evicted)
+	}
+}
+
+func TestStoreByteCapEviction(t *testing.T) {
+	dir := t.TempDir()
+	// 250-byte cap, 100-byte artifacts: the third add must evict the
+	// first.
+	s, err := OpenStore(dir, StoreOptions{MaxArtifacts: 100, MaxBytes: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := s.Add("cpu", "scheduled", "", "", testData(100, 1), 0)
+	a2, _ := s.Add("cpu", "scheduled", "", "", testData(100, 2), 0)
+	a3, _ := s.Add("cpu", "scheduled", "", "", testData(100, 3), 0)
+	l := s.List()
+	if len(l) != 2 || l[0].ID != a2.ID || l[1].ID != a3.ID {
+		t.Fatalf("byte-cap eviction wrong: %+v", l)
+	}
+	if _, ok := s.Get(a1.ID); ok {
+		t.Fatal("oldest should be evicted under byte pressure")
+	}
+	if st := s.Stats(); st.Bytes != 200 {
+		t.Fatalf("bytes = %d, want 200", st.Bytes)
+	}
+
+	// One oversized capture: everything older goes, but the newest
+	// itself always survives.
+	big, err := s.Add("heap", "scheduled", "", "", testData(400, 9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l = s.List()
+	if len(l) != 1 || l[0].ID != big.ID {
+		t.Fatalf("oversized newest must survive alone: %+v", l)
+	}
+}
+
+func TestStoreRecoverAfterCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := s.Add("cpu", "scheduled", "", "", testData(50, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-write: an orphaned temp file, an artifact
+	// that never made it into the manifest, and a listed artifact whose
+	// bytes were torn (CRC no longer matches).
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json.tmp-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := testData(64, 7)
+	if err := os.WriteFile(filepath.Join(dir, "000099-heap"+ArtifactExt), orphan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, keep.file()), testData(50, 0xFF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s2.List()
+	if len(l) != 1 {
+		t.Fatalf("want 1 recovered artifact, got %+v", l)
+	}
+	got := l[0]
+	if got.ID != "000099-heap" || got.Kind != "heap" || got.Cause != "recovered" {
+		t.Fatalf("adopted artifact wrong: %+v", got)
+	}
+	if data, _, err := s2.Read(got.ID); err != nil || !bytes.Equal(data, orphan) {
+		t.Fatalf("adopted read: %v", err)
+	}
+	// The torn artifact is dropped from the manifest and deleted.
+	if _, ok := s2.Get(keep.ID); ok {
+		t.Fatal("torn artifact should be dropped on recovery")
+	}
+	if _, err := os.Stat(filepath.Join(dir, keep.file())); !os.IsNotExist(err) {
+		t.Fatal("torn artifact file should be deleted")
+	}
+	// Temp file swept.
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST.json.tmp-123")); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file should be swept")
+	}
+	// Sequence numbering resumes past the adopted artifact, so IDs
+	// never collide.
+	next, err := s2.Add("cpu", "scheduled", "", "", testData(10, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Seq <= 99 {
+		t.Fatalf("seq must resume past adopted max, got %d", next.Seq)
+	}
+}
+
+func TestStoreRecoverCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Add("goroutine", "scheduled", "", "", testData(30, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s2.List()
+	if len(l) != 1 || l[0].ID != a.ID || l[0].Cause != "recovered" {
+		t.Fatalf("rebuild from artifacts failed: %+v", l)
+	}
+	// The rebuilt manifest must itself be valid JSON on disk.
+	raw, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Artifacts []Artifact `json:"artifacts"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("rewritten manifest invalid: %v", err)
+	}
+	if len(m.Artifacts) != 1 {
+		t.Fatalf("rewritten manifest entries: %+v", m.Artifacts)
+	}
+}
+
+func TestStoreReadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Add("cpu", "scheduled", "", "", testData(40, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, a.file()), testData(40, 5), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Read(a.ID); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("want CRC failure, got %v", err)
+	}
+}

@@ -1,0 +1,240 @@
+package prof
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// SummaryRow is one aggregated entry of an in-process profile
+// summary: a call site (leaf-ward frames) and its weight.
+type SummaryRow struct {
+	Site    string  `json:"site"`             // "pkg.Func (file.go:123)"
+	Value   int64   `json:"value"`            // bytes, goroutines, or cycle-derived ns
+	Count   int64   `json:"count"`            // objects, goroutines, or contention events
+	Percent float64 `json:"percent"`          // share of the profile total
+	Detail  string  `json:"detail,omitempty"` // human units for Value
+}
+
+// ProfileSummary is one profile's in-process top-N, built straight
+// from runtime records — no protobuf round trip, so it reflects the
+// live process at the instant of the request rather than the last
+// capture artifact.
+type ProfileSummary struct {
+	Name    string       `json:"name"`
+	Enabled bool         `json:"enabled"`
+	Total   int64        `json:"total"`
+	Unit    string       `json:"unit"`
+	Rows    []SummaryRow `json:"rows"`
+	Note    string       `json:"note,omitempty"`
+}
+
+// Summarize builds live in-process summaries of the heap, goroutine,
+// mutex, and block profiles, keeping the top n rows of each.
+func Summarize(n int) []ProfileSummary {
+	if n <= 0 {
+		n = 10
+	}
+	return []ProfileSummary{
+		summarizeHeap(n),
+		summarizeGoroutines(n),
+		summarizeContention("mutex", n),
+		summarizeContention("block", n),
+	}
+}
+
+// siteKey renders the most useful frame of a record's stack: the
+// innermost non-runtime caller, with file:line.
+func siteKey(stk []uintptr) string {
+	frames := runtime.CallersFrames(stk)
+	var fallback string
+	for {
+		f, more := frames.Next()
+		if f.Function == "" {
+			if !more {
+				break
+			}
+			continue
+		}
+		if fallback == "" {
+			fallback = f.Function
+		}
+		if !strings.HasPrefix(f.Function, "runtime.") && !strings.HasPrefix(f.Function, "runtime/") {
+			short := f.File
+			if i := strings.LastIndexByte(short, '/'); i >= 0 {
+				short = short[i+1:]
+			}
+			return fmt.Sprintf("%s (%s:%d)", f.Function, short, f.Line)
+		}
+		if !more {
+			break
+		}
+	}
+	if fallback == "" {
+		return "(unknown)"
+	}
+	return fallback
+}
+
+// aggregate folds per-record (value, count) pairs by site and returns
+// the top n with percents of the total value.
+type siteAgg struct {
+	value int64
+	count int64
+}
+
+func topRows(bySite map[string]siteAgg, n int, detail func(int64) string) (rows []SummaryRow, total int64) {
+	for _, agg := range bySite {
+		total += agg.value
+	}
+	rows = make([]SummaryRow, 0, len(bySite))
+	for site, agg := range bySite {
+		r := SummaryRow{Site: site, Value: agg.value, Count: agg.count}
+		if total > 0 {
+			r.Percent = 100 * float64(agg.value) / float64(total)
+		}
+		if detail != nil {
+			r.Detail = detail(agg.value)
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Value != rows[j].Value {
+			return rows[i].Value > rows[j].Value
+		}
+		return rows[i].Site < rows[j].Site
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows, total
+}
+
+func summarizeHeap(n int) ProfileSummary {
+	cnt, _ := runtime.MemProfile(nil, false)
+	recs := make([]runtime.MemProfileRecord, cnt+64)
+	cnt, ok := runtime.MemProfile(recs, false)
+	if !ok {
+		recs = make([]runtime.MemProfileRecord, cnt+128)
+		cnt, ok = runtime.MemProfile(recs, false)
+	}
+	s := ProfileSummary{Name: "heap", Enabled: true, Unit: "bytes"}
+	if !ok {
+		s.Note = "profile growing too fast to snapshot"
+		return s
+	}
+	bySite := map[string]siteAgg{}
+	for _, r := range recs[:cnt] {
+		if r.InUseBytes() == 0 {
+			continue
+		}
+		k := siteKey(r.Stack())
+		agg := bySite[k]
+		agg.value += r.InUseBytes()
+		agg.count += r.InUseObjects()
+		bySite[k] = agg
+	}
+	s.Rows, s.Total = topRows(bySite, n, fmtBytes)
+	return s
+}
+
+func summarizeGoroutines(n int) ProfileSummary {
+	cnt := runtime.NumGoroutine()
+	recs := make([]runtime.StackRecord, cnt+32)
+	cnt, ok := runtime.GoroutineProfile(recs)
+	if !ok {
+		recs = make([]runtime.StackRecord, cnt+64)
+		cnt, ok = runtime.GoroutineProfile(recs)
+	}
+	s := ProfileSummary{Name: "goroutine", Enabled: true, Unit: "goroutines"}
+	if !ok {
+		s.Note = "goroutine count changing too fast to snapshot"
+		return s
+	}
+	bySite := map[string]siteAgg{}
+	for _, r := range recs[:cnt] {
+		k := siteKey(r.Stack())
+		agg := bySite[k]
+		agg.value++
+		agg.count++
+		bySite[k] = agg
+	}
+	s.Rows, s.Total = topRows(bySite, n, nil)
+	return s
+}
+
+// summarizeContention handles the mutex and block profiles, which
+// share runtime.BlockProfileRecord. The runtime does not export its
+// cycles-per-second conversion, so rows report raw cycles and the
+// percent share does the comparative work.
+func summarizeContention(name string, n int) ProfileSummary {
+	var fetch func([]runtime.BlockProfileRecord) (int, bool)
+	s := ProfileSummary{Name: name, Unit: "cycles"}
+	switch name {
+	case "mutex":
+		fetch = runtime.MutexProfile
+		s.Enabled = MutexProfileFraction() > 0
+		if !s.Enabled {
+			s.Note = "disabled; set -mutex-profile-fraction"
+		}
+	case "block":
+		fetch = runtime.BlockProfile
+		s.Enabled = BlockProfileRate() > 0
+		if !s.Enabled {
+			s.Note = "disabled; set -block-profile-rate"
+		}
+	default:
+		s.Note = "unknown profile"
+		return s
+	}
+	cnt, _ := fetch(nil)
+	recs := make([]runtime.BlockProfileRecord, cnt+32)
+	cnt, ok := fetch(recs)
+	if !ok {
+		recs = make([]runtime.BlockProfileRecord, cnt+64)
+		cnt, ok = fetch(recs)
+	}
+	if !ok {
+		s.Note = "profile growing too fast to snapshot"
+		return s
+	}
+	bySite := map[string]siteAgg{}
+	for _, r := range recs[:cnt] {
+		if r.Cycles == 0 {
+			continue
+		}
+		k := siteKey(r.Stack())
+		agg := bySite[k]
+		agg.value += r.Cycles
+		agg.count += r.Count
+		bySite[k] = agg
+	}
+	s.Rows, s.Total = topRows(bySite, n, nil)
+	return s
+}
+
+// RenderText writes the summaries as an aligned text report.
+func RenderText(b *strings.Builder, sums []ProfileSummary) {
+	for _, s := range sums {
+		fmt.Fprintf(b, "## %s", s.Name)
+		if !s.Enabled {
+			fmt.Fprintf(b, " (disabled)")
+		}
+		if s.Note != "" {
+			fmt.Fprintf(b, " — %s", s.Note)
+		}
+		fmt.Fprintf(b, "\n")
+		for _, r := range s.Rows {
+			val := fmt.Sprintf("%d", r.Value)
+			if r.Detail != "" {
+				val = r.Detail
+			}
+			fmt.Fprintf(b, "  %5.1f%%  %12s  n=%-8d %s\n", r.Percent, val, r.Count, r.Site)
+		}
+		if len(s.Rows) == 0 {
+			fmt.Fprintf(b, "  (no samples)\n")
+		}
+		fmt.Fprintf(b, "\n")
+	}
+}

@@ -1,0 +1,157 @@
+package prof
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+
+	"maras/internal/obs"
+)
+
+// DefaultCooldown is the per-cause minimum gap between triggered
+// captures. A sustained SLO burn records a violation on every tick;
+// one snapshot per cooldown window captures the incident without
+// turning the profiler into the incident.
+const DefaultCooldown = 2 * time.Minute
+
+// CauseSlowTrace tags captures triggered by the trace journal's
+// slow-trace threshold.
+const CauseSlowTrace = "slow_trace"
+
+// TriggerOptions configures NewTrigger.
+type TriggerOptions struct {
+	// Captor performs the captures. Required.
+	Captor *Captor
+	// Cooldown is the per-cause dedup window (<= 0 = DefaultCooldown).
+	Cooldown time.Duration
+	// Metrics exports maras_prof_trigger_* series.
+	Metrics *obs.Registry
+	// Logger reports trigger decisions.
+	Logger *slog.Logger
+	// Now overrides the clock for tests.
+	Now func() time.Time
+}
+
+// Trigger converts anomaly signals into capture cycles: audit events
+// (watchdog violations, SLO burns, slow watch evaluations) arrive via
+// Observe, slow traces via SlowTrace. Each distinct cause gets at
+// most one capture per cooldown window, and captures run on their own
+// goroutine because audit subscribers execute synchronously on
+// whatever goroutine recorded the event — a capture's CPU window must
+// never stall an SLO tick.
+//
+// Trigger deliberately takes plain strings rather than audit.Event:
+// internal/audit imports internal/core for quality reports, and core
+// imports prof for stage labels, so prof depending on audit would be
+// a cycle. The server adapts audit events with a one-line closure.
+type Trigger struct {
+	captor   *Captor
+	cooldown time.Duration
+	logger   *slog.Logger
+	now      func() time.Time
+
+	firedC      *obs.Counter // nil without metrics
+	suppressedC *obs.Counter // nil without metrics
+
+	mu          sync.Mutex
+	lastByCause map[string]time.Time
+
+	wg sync.WaitGroup
+}
+
+// NewTrigger builds a Trigger. opts.Captor must be non-nil.
+func NewTrigger(opts TriggerOptions) *Trigger {
+	if opts.Captor == nil {
+		panic("prof: NewTrigger requires a Captor")
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = DefaultCooldown
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	t := &Trigger{
+		captor:      opts.Captor,
+		cooldown:    opts.Cooldown,
+		logger:      opts.Logger,
+		now:         opts.Now,
+		lastByCause: map[string]time.Time{},
+	}
+	if reg := opts.Metrics; reg != nil {
+		t.firedC = reg.Counter("maras_prof_triggers_total",
+			"Anomaly-triggered profile captures fired.")
+		t.suppressedC = reg.Counter("maras_prof_triggers_suppressed_total",
+			"Anomaly capture requests suppressed by the per-cause cooldown.")
+	}
+	return t
+}
+
+// Observe feeds one audit event (rule, severity, scope, message) to
+// the trigger. Watchdog violations (rule prefix "watchdog_"), SLO
+// burns ("slo_burn"), and slow watch evaluations ("watch_eval_slow")
+// at warn or fail severity fire a capture; everything else is
+// ignored.
+func (t *Trigger) Observe(rule, severity, scope, message string) {
+	if severity != "warn" && severity != "fail" {
+		return
+	}
+	if rule != "slo_burn" && rule != "watch_eval_slow" && !strings.HasPrefix(rule, "watchdog_") {
+		return
+	}
+	event := rule
+	if scope != "" {
+		event = rule + " " + scope
+	}
+	if message != "" {
+		event += ": " + message
+	}
+	t.Fire(rule, event)
+}
+
+// SlowTrace feeds one slow trace (from obs.Journal's OnSlow hook) to
+// the trigger.
+func (t *Trigger) SlowTrace(name string, d time.Duration) {
+	t.Fire(CauseSlowTrace, fmt.Sprintf("%s took %s", name, d.Round(time.Millisecond)))
+}
+
+// Fire requests a capture for cause, deduplicating per cause within
+// the cooldown window. The capture itself runs asynchronously; Wait
+// blocks until in-flight captures land (tests and the bench use it).
+func (t *Trigger) Fire(cause, event string) {
+	now := t.now()
+	t.mu.Lock()
+	if last, ok := t.lastByCause[cause]; ok && now.Sub(last) < t.cooldown {
+		t.mu.Unlock()
+		if t.suppressedC != nil {
+			t.suppressedC.Inc()
+		}
+		return
+	}
+	t.lastByCause[cause] = now
+	t.mu.Unlock()
+
+	if t.firedC != nil {
+		t.firedC.Inc()
+	}
+	t.log().Info("prof: anomaly capture triggered", "cause", cause, "event", event)
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		if _, err := t.captor.CaptureCycle(context.Background(), cause, event); err != nil {
+			t.log().Warn("prof: triggered capture failed", "cause", cause, "err", err)
+		}
+	}()
+}
+
+// Wait blocks until all in-flight triggered captures have finished.
+func (t *Trigger) Wait() { t.wg.Wait() }
+
+func (t *Trigger) log() *slog.Logger {
+	if t.logger != nil {
+		return t.logger
+	}
+	return slog.New(discardHandler{})
+}

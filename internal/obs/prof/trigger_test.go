@@ -1,0 +1,124 @@
+package prof
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testCaptor builds a captor with millisecond CPU windows so capture
+// cycles finish fast.
+func testCaptor(t *testing.T) *Captor {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCaptor(CaptorOptions{
+		Store:         s,
+		CPUWindow:     time.Millisecond,
+		TriggerWindow: time.Millisecond,
+	})
+}
+
+// countByCause tallies retained artifacts per cause, one capture cycle
+// producing several kinds.
+func countByCause(s *Store, cause, kind string) int {
+	n := 0
+	for _, a := range s.List() {
+		if a.Cause == cause && a.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// fakeClock is a mutable time source for cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestTriggerDedupDuringSustainedBurn(t *testing.T) {
+	captor := testCaptor(t)
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	tr := NewTrigger(TriggerOptions{
+		Captor:   captor,
+		Cooldown: time.Minute,
+		Now:      clock.Now,
+	})
+
+	// A sustained SLO burn records a violation on every engine tick;
+	// only the first within the cooldown window may capture.
+	for i := 0; i < 10; i++ {
+		tr.Observe("slo_burn", "fail", "api_signal", "burn 14.2x")
+		clock.Advance(time.Second)
+	}
+	tr.Wait()
+	if got := countByCause(captor.Store(), "slo_burn", "cpu"); got != 1 {
+		t.Fatalf("sustained burn should capture once per cooldown, got %d cpu artifacts", got)
+	}
+
+	// Past the cooldown the same cause fires again.
+	clock.Advance(time.Minute)
+	tr.Observe("slo_burn", "fail", "api_signal", "still burning")
+	tr.Wait()
+	if got := countByCause(captor.Store(), "slo_burn", "cpu"); got != 2 {
+		t.Fatalf("post-cooldown burn should capture again, got %d cpu artifacts", got)
+	}
+
+	// The triggered artifacts carry the linked event.
+	found := false
+	for _, a := range captor.Store().List() {
+		if a.Cause == "slo_burn" && a.Event != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("triggered artifacts should carry the linked audit event")
+	}
+}
+
+func TestTriggerCooldownIsPerCause(t *testing.T) {
+	captor := testCaptor(t)
+	clock := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	tr := NewTrigger(TriggerOptions{Captor: captor, Cooldown: time.Minute, Now: clock.Now})
+
+	tr.Observe("slo_burn", "fail", "api_signal", "burn")
+	tr.Observe("watchdog_rss", "warn", "process", "rss over budget")
+	tr.SlowTrace("mine_quarter", 3*time.Second)
+	tr.Wait()
+
+	s := captor.Store()
+	for _, cause := range []string{"slo_burn", "watchdog_rss", CauseSlowTrace} {
+		if got := countByCause(s, cause, "cpu"); got != 1 {
+			t.Fatalf("cause %s: want 1 capture, got %d", cause, got)
+		}
+	}
+}
+
+func TestTriggerIgnoresUnrelatedEvents(t *testing.T) {
+	captor := testCaptor(t)
+	tr := NewTrigger(TriggerOptions{Captor: captor, Cooldown: time.Minute})
+
+	tr.Observe("slo_burn", "info", "api_signal", "below threshold") // wrong severity
+	tr.Observe("quality_gate", "fail", "2015Q1", "support floor")   // wrong rule
+	tr.Observe("", "fail", "", "")                                  // empty rule
+	tr.Wait()
+
+	if got := len(captor.Store().List()); got != 0 {
+		t.Fatalf("unrelated events must not capture, got %d artifacts", got)
+	}
+}

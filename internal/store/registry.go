@@ -13,6 +13,7 @@ import (
 	"maras/internal/audit"
 	"maras/internal/core"
 	"maras/internal/obs"
+	"maras/internal/obs/prof"
 	"maras/internal/trend"
 )
 
@@ -302,41 +303,46 @@ func (r *Registry) LoadContext(ctx context.Context, label string) (*core.Analysi
 	}
 
 	e.once.Do(func() {
-		st := r.tracer.StartStage(StageSnapshotLoad)
-		_, dspan := obs.StartSpan(ctx, SpanDecode)
-		defer dspan.End()
-		start := time.Now()
-		path := r.Path(label)
-		snap, err := r.openResilient(ctx, label, path, dspan)
-		if err != nil {
-			e.err = err
-			dspan.SetAttr("error", err.Error())
-			st.End()
-			return
-		}
-		e.a = snap.Analysis
-		e.q = snap.Quality
-		if snap.Quality != nil {
-			r.qmu.Lock()
-			r.quality[label] = snap.Quality
-			r.qmu.Unlock()
-		}
-		if m != nil {
-			m.LoadSeconds.Observe(time.Since(start).Seconds())
-		}
-		if fi, statErr := os.Stat(path); statErr == nil {
-			if m != nil {
-				m.BytesRead.Add(fi.Size())
+		// The decode runs under op=store_load so continuous-profiling
+		// captures attribute cold-load CPU (CRC sweep + snapshot
+		// decode) separately from request handling.
+		prof.Do(ctx, func(ctx context.Context) {
+			st := r.tracer.StartStage(StageSnapshotLoad)
+			_, dspan := obs.StartSpan(ctx, SpanDecode)
+			defer dspan.End()
+			start := time.Now()
+			path := r.Path(label)
+			snap, err := r.openResilient(ctx, label, path, dspan)
+			if err != nil {
+				e.err = err
+				dspan.SetAttr("error", err.Error())
+				st.End()
+				return
 			}
-			dspan.SetInt("bytes", fi.Size())
-		}
-		dspan.SetInt("signals", int64(len(snap.Analysis.Signals)))
-		st.Count("signals", int64(len(snap.Analysis.Signals)))
-		st.Count("reports", int64(snap.Analysis.Stats.Reports))
-		st.End()
-		if r.onLoad != nil {
-			r.onLoad(ctx, label, snap.Analysis)
-		}
+			e.a = snap.Analysis
+			e.q = snap.Quality
+			if snap.Quality != nil {
+				r.qmu.Lock()
+				r.quality[label] = snap.Quality
+				r.qmu.Unlock()
+			}
+			if m != nil {
+				m.LoadSeconds.Observe(time.Since(start).Seconds())
+			}
+			if fi, statErr := os.Stat(path); statErr == nil {
+				if m != nil {
+					m.BytesRead.Add(fi.Size())
+				}
+				dspan.SetInt("bytes", fi.Size())
+			}
+			dspan.SetInt("signals", int64(len(snap.Analysis.Signals)))
+			st.Count("signals", int64(len(snap.Analysis.Signals)))
+			st.Count("reports", int64(snap.Analysis.Stats.Reports))
+			st.End()
+			if r.onLoad != nil {
+				r.onLoad(ctx, label, snap.Analysis)
+			}
+		}, prof.LabelOp, "store_load", "quarter", label)
 	})
 	if e.err != nil {
 		// Drop the failed entry so a repaired file can be retried.

@@ -10,6 +10,7 @@ import (
 	"maras/internal/audit"
 	"maras/internal/knowledge"
 	"maras/internal/obs"
+	"maras/internal/obs/prof"
 )
 
 // SpanEvaluate is the trace span emitted around every evaluation pass.
@@ -130,8 +131,16 @@ func (ev *Evaluator) EvaluateQuarter(ctx context.Context, label string, sigs []S
 	sp.SetAttr("quarter", label)
 	start := ev.now()
 
+	// op=watch_eval labels the routing pass for continuous-profiling
+	// captures — at 1M lists this is a hot path worth attributing.
+	var (
+		res  Result
+		slow bool
+	)
 	ev.mu.Lock()
-	res, slow := ev.evaluateLocked(label, sigs, start)
+	prof.Do(ctx, func(context.Context) {
+		res, slow = ev.evaluateLocked(label, sigs, start)
+	}, prof.LabelOp, "watch_eval", "quarter", label)
 	ev.mu.Unlock()
 
 	if m := ev.opts.Metrics; m != nil {
