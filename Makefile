@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build fmt vet test race bench fuzz clean
+.PHONY: check build fmt vet test race bench fuzz vuln clean
 
 ## check: the CI gate — formatting, vet, and the race-enabled suite.
 check: fmt vet race
@@ -39,6 +39,14 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 
+## vuln: known-vulnerability scan of the module graph and stdlib
+## call sites. The binary is not installed here (CI pins its version;
+## locally: go install golang.org/x/vuln/cmd/govulncheck@latest).
+GOVULNCHECK ?= govulncheck
+vuln:
+	$(GOVULNCHECK) ./...
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_trace.json BENCH_drift.json BENCH_chaos.json BENCH_slo.json BENCH_watch.json
+	rm -f BENCH_trace.json BENCH_drift.json BENCH_chaos.json BENCH_slo.json \
+		BENCH_watch.json BENCH_prof.json BENCH_wide.json

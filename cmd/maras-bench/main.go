@@ -20,6 +20,7 @@
 //	slo           burn-rate alerting against a live server: client vs /api/slo agreement (BENCH_slo.json)
 //	watch         watchlist alerting at scale: index build + eval latency vs population (BENCH_watch.json)
 //	prof          continuous profiling: stage attribution, capture overhead, triggered snapshots (BENCH_prof.json)
+//	wide          wide-event telemetry: emit cost, disabled-path allocs, query p99, diag correlation (BENCH_wide.json)
 //	all           everything above
 //
 // Usage:
@@ -57,6 +58,7 @@ type benchConfig struct {
 	watchIters int
 	watchOut   string
 	profOut    string
+	wideOut    string
 }
 
 // traceRun is one traced pipeline execution: which experiment ran
@@ -135,6 +137,7 @@ func main() {
 		watchIters = flag.Int("watch-iters", 40, "evaluation iterations per population for -exp watch")
 		watchOut   = flag.String("watch-out", "BENCH_watch.json", "watch-experiment JSON artifact (empty = skip)")
 		profOut    = flag.String("prof-out", "BENCH_prof.json", "profiling-experiment JSON artifact (empty = skip)")
+		wideOut    = flag.String("wide-out", "BENCH_wide.json", "wide-event-experiment JSON artifact (empty = skip)")
 	)
 	flag.Parse()
 
@@ -143,7 +146,7 @@ func main() {
 		paperScale: *paperScale, svgOut: *svgOut, traceOut: *traceOut,
 		driftOut: *driftOut, chaosOut: *chaosOut, sloOut: *sloOut, failpoints: *failpoints,
 		watchLists: *watchLists, watchIters: *watchIters, watchOut: *watchOut,
-		profOut: *profOut,
+		profOut: *profOut, wideOut: *wideOut,
 	}
 
 	runners := map[string]func(benchConfig) error{
@@ -164,11 +167,13 @@ func main() {
 		"slo":            runSLO,
 		"watch":          runWatch,
 		"prof":           runProf,
+		"wide":           runWide,
 	}
 	order := []string{
 		"table5.1", "fig5.1", "table5.2", "cases", "fig5.2", "figs4",
 		"ablate-theta", "ablate-decay", "ablate-closed", "ablate-suspect",
 		"baselines", "trend", "drift", "chaos", "slo", "watch", "prof",
+		"wide",
 	}
 
 	var ids []string

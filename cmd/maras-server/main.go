@@ -52,6 +52,7 @@ import (
 	"maras/internal/obs"
 	"maras/internal/obs/history"
 	"maras/internal/obs/prof"
+	"maras/internal/obs/wide"
 	"maras/internal/resilience"
 	"maras/internal/slo"
 	"maras/internal/strata"
@@ -93,7 +94,7 @@ func (s *server) log() *slog.Logger {
 // stay answerable under saturation. The text-heavy operational
 // endpoints negotiate gzip — exposition text and trace dumps
 // compress an order of magnitude.
-func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack, captor *prof.Captor) http.Handler {
+func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack, captor *prof.Captor, events *wide.Ring) http.Handler {
 	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
 	mux := http.NewServeMux()
 	mw.Handle(mux, "/", app(s.handleIndex))
@@ -105,7 +106,7 @@ func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Jou
 	mw.Handle(mux, "/network.dot", app(s.handleNetworkDOT))
 	mw.Handle(mux, "/network.json", app(s.handleNetworkJSON))
 	ws.register(mux, mw, app)
-	mountOperational(mux, reg, journal, ready, slos, s.healthDetail, s.alog, captor)
+	mountOperational(mux, reg, journal, ready, slos, s.healthDetail, s.alog, captor, events)
 	return mux
 }
 
@@ -115,7 +116,7 @@ func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Jou
 // continuous-profiling surface. Build identity is registered here —
 // once per process, whichever serving mode runs — and echoed on
 // /healthz and /readyz next to the caller's detail.
-func mountOperational(mux *http.ServeMux, reg *obs.Registry, journal *obs.Journal, ready *obs.Readiness, slos *sloStack, detail func() map[string]any, alog *audit.Log, captor *prof.Captor) {
+func mountOperational(mux *http.ServeMux, reg *obs.Registry, journal *obs.Journal, ready *obs.Readiness, slos *sloStack, detail func() map[string]any, alog *audit.Log, captor *prof.Captor, events *wide.Ring) {
 	bi := obs.RegisterBuildInfo(reg)
 	withBuild := func() map[string]any {
 		m := bi.Detail()
@@ -135,9 +136,15 @@ func mountOperational(mux *http.ServeMux, reg *obs.Registry, journal *obs.Journa
 	mux.Handle("/api/history/", obs.GzipHandler(history.APIHandler(slos.history(), "/api/history/")))
 	mux.Handle("/api/slo", obs.GzipHandler(slo.Handler(slos.engine())))
 	mux.Handle("/debug/vars", obs.ExpvarHandler())
-	profH := prof.Handler(captor, "/debug/profiles")
+	// The profile index and JSON listing negotiate gzip like the other
+	// text surfaces; artifact downloads (application/octet-stream) pass
+	// through uncompressed so clients keep a trustworthy Content-Length.
+	profH := obs.GzipHandler(prof.Handler(captor, "/debug/profiles"))
 	mux.Handle("/debug/profiles", profH)
 	mux.Handle("/debug/profiles/", profH)
+	mux.Handle("/debug/events", obs.GzipHandler(wide.Handler(events)))
+	mux.Handle("/debug/diag/", obs.GzipHandler(wide.DiagHandler(
+		newDiag(events, journal, alog, slos, ready, captor), "/debug/diag/")))
 	obs.RegisterPprof(mux)
 }
 
@@ -179,6 +186,9 @@ func main() {
 
 		traceCap  = flag.Int("trace-journal", obs.DefaultJournalCapacity, "completed request traces kept in the in-memory journal (0 disables span tracing)")
 		traceSlow = flag.Duration("trace-slow", obs.DefaultSlowThreshold, "requests at or above this duration are flagged slow in the trace journal")
+
+		wideCap    = flag.Int("wide-events", wide.DefaultCapacity, "wide events kept in the in-memory ring behind /debug/events and /debug/diag (0 disables wide-event telemetry)")
+		wideSample = flag.Int("wide-sample", 1, "keep every Nth wide event (1 keeps all)")
 
 		runtimeSample = flag.Duration("runtime-sample", obs.DefaultSampleInterval, "runtime health sampling interval (0 disables the sampler)")
 		wdGoroutines  = flag.Int64("watchdog-max-goroutines", 10000, "watchdog: warn and count when goroutines exceed this (0 disables)")
@@ -259,6 +269,16 @@ func main() {
 	}
 	ready := &obs.Readiness{}
 
+	// Wide-event telemetry: one flat record per request (and per store
+	// load, watch evaluation, and mining run) into the columnar ring
+	// behind /debug/events and /debug/diag. A nil ring no-ops at every
+	// emission point, so the wiring below is unconditional.
+	var events *wide.Ring
+	if *wideCap > 0 {
+		events = wide.NewRing(*wideCap, *wideSample, reg)
+		mw.OnComplete(events.EmitRequest)
+	}
+
 	// The audit pillar: one event log for the process, fed by quality
 	// and drift evaluations and by runtime watchdog excursions.
 	alog := audit.NewLog(audit.LogOptions{Logger: logger, Metrics: reg})
@@ -320,6 +340,11 @@ func main() {
 			MaxBytes:     int64(*profRetainMB) << 20,
 			Metrics:      reg,
 			Logger:       logger,
+			// Back-link wide events to the artifact that profiled them:
+			// the CPU window plus slack covers the capture's extent.
+			OnAdd: func(a prof.Artifact) {
+				events.LinkProfile(a.ID, a.TakenAt, *profCPUWindow+5*time.Second)
+			},
 		})
 		if err != nil {
 			logger.Error("open profile store", "err", err)
@@ -376,7 +401,7 @@ func main() {
 		userCap: *watchUserCap,
 		feedCap: *watchFeedCap,
 		budget:  *watchBudget,
-	}, knowledge.Builtin(), reg, auditor, logger)
+	}, knowledge.Builtin(), reg, auditor, logger, events)
 	if err != nil {
 		logger.Error("open watchlists", "err", err)
 		os.Exit(1)
@@ -388,7 +413,7 @@ func main() {
 
 	var handler http.Handler
 	if *storeDir != "" {
-		ss, err := newStoreServer(*storeDir, logger, tracer, obs.NewStoreMetrics(reg), auditor, ws)
+		ss, err := newStoreServer(*storeDir, logger, tracer, obs.NewStoreMetrics(reg), auditor, ws, events)
 		if err != nil {
 			logger.Error("open store", "err", err)
 			os.Exit(1)
@@ -396,7 +421,7 @@ func main() {
 		quarters := ss.reg.Quarters()
 		logger.Info("serving from store", "dir", *storeDir,
 			"quarters", len(quarters), "default", ss.reg.Latest())
-		handler = ss.routes(reg, mw, journal, ready, shed, slos, ws, captor)
+		handler = ss.routes(reg, mw, journal, ready, shed, slos, ws, captor, events)
 		ready.SetReady() // registry opened and scanned: store mode can serve
 		// Populate the audit timeline in the background: quality per
 		// quarter, drift per adjacent pair. Serving never waits on it,
@@ -431,6 +456,12 @@ func main() {
 			logger.Error("pipeline", "err", err)
 			os.Exit(1)
 		}
+		// The startup mine is a unit of work like any other: one wide
+		// event, linked to the "startup" trace when tracing is on.
+		events.Emit(wide.Event{
+			Kind: wide.KindMine, Quarter: *quarter, Status: 200,
+			Duration: tracer.TotalDuration(), Trace: mineRoot.TraceID(),
+		})
 		for _, st := range tracer.Records() {
 			logger.Info("pipeline stage", "stage", st.Name,
 				"duration", st.Duration().Round(time.Millisecond),
@@ -451,7 +482,7 @@ func main() {
 		// qualify for.
 		ws.onQuarterLoaded(context.Background(), *quarter, a)
 		s := &server{analysis: a, quarter: *quarter, logger: logger, alog: alog, started: time.Now()}
-		handler = s.routes(reg, mw, journal, ready, shed, slos, ws, captor)
+		handler = s.routes(reg, mw, journal, ready, shed, slos, ws, captor, events)
 		ready.SetReady() // initial mine complete: traffic can flow
 	}
 	// Start scraping only once the serving mode is up: the first

@@ -222,7 +222,7 @@ func testHandler(t *testing.T) (http.Handler, *server) {
 	mw := obs.NewHTTPMetrics(reg, nil)
 	ready := &obs.Readiness{}
 	ready.SetReady()
-	return s.routes(reg, mw, nil, ready, nil, nil, nil, nil), s
+	return s.routes(reg, mw, nil, ready, nil, nil, nil, nil, nil), s
 }
 
 // testHandlerTraced is testHandler with span tracing into a journal.
@@ -235,7 +235,7 @@ func testHandlerTraced(t *testing.T) (http.Handler, *obs.Journal) {
 	mw.EnableTracing(journal)
 	ready := &obs.Readiness{}
 	ready.SetReady()
-	return s.routes(reg, mw, journal, ready, nil, nil, nil, nil), journal
+	return s.routes(reg, mw, journal, ready, nil, nil, nil, nil, nil), journal
 }
 
 func getMux(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
@@ -355,7 +355,7 @@ func TestReadyzEndpoint(t *testing.T) {
 	reg := obs.NewRegistry()
 	mw := obs.NewHTTPMetrics(reg, nil)
 	ready := &obs.Readiness{}
-	h := s.routes(reg, mw, nil, ready, nil, nil, nil, nil)
+	h := s.routes(reg, mw, nil, ready, nil, nil, nil, nil, nil)
 
 	if rec := getMux(t, h, "/healthz"); rec.Code != http.StatusOK {
 		t.Errorf("/healthz before ready = %d, want 200 (liveness is unconditional)", rec.Code)

@@ -43,7 +43,7 @@ func TestProfilesEndpointThroughMux(t *testing.T) {
 		CPUWindow:     time.Millisecond,
 		TriggerWindow: time.Millisecond,
 	})
-	h := s.routes(reg, mw, nil, ready, nil, nil, nil, captor)
+	h := s.routes(reg, mw, nil, ready, nil, nil, nil, captor, nil)
 
 	arts, err := captor.CaptureCycle(context.Background(), prof.CauseScheduled, "")
 	if err != nil {
@@ -96,7 +96,7 @@ func TestAuditEndpointGzip(t *testing.T) {
 	s.alog = audit.NewLog(audit.LogOptions{Metrics: reg})
 	s.alog.Record(audit.Event{Rule: "quality_gate", Severity: audit.SevWarn,
 		Scope: "2014Q1", Message: "support floor grazed"})
-	h := s.routes(reg, mw, nil, ready, nil, nil, nil, nil)
+	h := s.routes(reg, mw, nil, ready, nil, nil, nil, nil, nil)
 
 	req := httptest.NewRequest(http.MethodGet, "/debug/audit", nil)
 	req.Header.Set("Accept-Encoding", "gzip")

@@ -26,7 +26,7 @@ func storeHandlerShed(t *testing.T, dir string, cfg resilience.BulkheadConfig) (
 	t.Helper()
 	reg := obs.NewRegistry()
 	mw := obs.NewHTTPMetrics(reg, nil)
-	ss, err := newStoreServer(dir, nil, nil, obs.NewStoreMetrics(reg), nil, nil)
+	ss, err := newStoreServer(dir, nil, nil, obs.NewStoreMetrics(reg), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func storeHandlerShed(t *testing.T, dir string, cfg resilience.BulkheadConfig) (
 	}
 	ready := &obs.Readiness{}
 	ready.SetReady()
-	return ss.routes(reg, mw, nil, ready, shed, nil, nil, nil), reg
+	return ss.routes(reg, mw, nil, ready, shed, nil, nil, nil, nil), reg
 }
 
 // flipByte corrupts a snapshot in place so decode fails its checksum.

@@ -37,7 +37,7 @@ func sloStoreHandler(t *testing.T, dir string) (http.Handler, *sloStack, *sloClo
 	reg := obs.NewRegistry()
 	mw := obs.NewHTTPMetrics(reg, nil)
 	alog := audit.NewLog(audit.LogOptions{Metrics: reg})
-	ss, err := newStoreServer(dir, nil, nil, obs.NewStoreMetrics(reg), &audit.Auditor{Log: alog, Metrics: reg}, nil)
+	ss, err := newStoreServer(dir, nil, nil, obs.NewStoreMetrics(reg), &audit.Auditor{Log: alog, Metrics: reg}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func sloStoreHandler(t *testing.T, dir string) (http.Handler, *sloStack, *sloClo
 	})
 	hist.OnScrape(eng.Tick)
 	slos := &sloStack{hist: hist, eng: eng}
-	h := ss.routes(reg, mw, nil, ready, nil, slos, nil, nil)
+	h := ss.routes(reg, mw, nil, ready, nil, slos, nil, nil, nil)
 	hist.Scrape() // baseline after routes register the HTTP series
 	return h, slos, clock, ready, alog
 }

@@ -35,6 +35,7 @@ import (
 	"maras/internal/knowledge"
 	"maras/internal/obs"
 	"maras/internal/obs/prof"
+	"maras/internal/obs/wide"
 	"maras/internal/resilience"
 	"maras/internal/store"
 	"maras/internal/trend"
@@ -74,7 +75,7 @@ type staleHandler struct {
 // per-quarter load breakers, transient-failure retry, corrupt-snapshot
 // quarantine, and the last-good stale cache behind graceful
 // degradation.
-func newStoreServer(dir string, logger *slog.Logger, tracer *obs.Tracer, m *obs.StoreMetrics, auditor *audit.Auditor, ws *watchStack) (*storeServer, error) {
+func newStoreServer(dir string, logger *slog.Logger, tracer *obs.Tracer, m *obs.StoreMetrics, auditor *audit.Auditor, ws *watchStack, events *wide.Ring) (*storeServer, error) {
 	ss := &storeServer{
 		logger:        logger,
 		auditor:       auditor,
@@ -91,6 +92,7 @@ func newStoreServer(dir string, logger *slog.Logger, tracer *obs.Tracer, m *obs.
 		// ws makes this a no-op), so quarter loads and refreshes fire
 		// alerts without any polling.
 		OnLoad:     ws.onQuarterLoaded,
+		Wide:       events,
 		Resilience: &store.ResilienceOptions{Quarantine: true},
 	})
 	if err != nil {
@@ -115,7 +117,7 @@ func (ss *storeServer) log() *slog.Logger {
 // (history/SLO endpoints 404). The bulkhead wraps only the
 // application routes — the operational endpoints stay reachable at
 // any load, which is when an operator needs them most.
-func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack, captor *prof.Captor) http.Handler {
+func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack, captor *prof.Captor, events *wide.Ring) http.Handler {
 	ss.ready = ready
 	ss.slos = slos
 	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
@@ -131,7 +133,7 @@ func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *o
 	mw.Handle(mux, "/q/", app(ss.handleQuarterScoped))
 	mw.Handle(mux, "/", app(ss.handleDefaultQuarter))
 	ws.register(mux, mw, app)
-	mountOperational(mux, reg, journal, ready, slos, ss.healthDetail, ss.auditLog(), captor)
+	mountOperational(mux, reg, journal, ready, slos, ss.healthDetail, ss.auditLog(), captor, events)
 	return mux
 }
 

@@ -62,13 +62,13 @@ func storeHandler(t *testing.T, dir string) (http.Handler, *storeServer, *obs.Tr
 	mw := obs.NewHTTPMetrics(reg, nil)
 	tracer := obs.NewTracer(nil)
 	auditor := &audit.Auditor{Log: audit.NewLog(audit.LogOptions{Metrics: reg}), Metrics: reg}
-	ss, err := newStoreServer(dir, nil, tracer, obs.NewStoreMetrics(reg), auditor, nil)
+	ss, err := newStoreServer(dir, nil, tracer, obs.NewStoreMetrics(reg), auditor, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ready := &obs.Readiness{}
 	ready.SetReady()
-	return ss.routes(reg, mw, nil, ready, nil, nil, nil, nil), ss, tracer, reg
+	return ss.routes(reg, mw, nil, ready, nil, nil, nil, nil, nil), ss, tracer, reg
 }
 
 // storeHandlerTraced is storeHandler with span tracing into a journal.
@@ -78,13 +78,13 @@ func storeHandlerTraced(t *testing.T, dir string) (http.Handler, *obs.Journal) {
 	mw := obs.NewHTTPMetrics(reg, nil)
 	journal := obs.NewJournal(16, time.Hour)
 	mw.EnableTracing(journal)
-	ss, err := newStoreServer(dir, nil, nil, obs.NewStoreMetrics(reg), nil, nil)
+	ss, err := newStoreServer(dir, nil, nil, obs.NewStoreMetrics(reg), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ready := &obs.Readiness{}
 	ready.SetReady()
-	return ss.routes(reg, mw, journal, ready, nil, nil, nil, nil), journal
+	return ss.routes(reg, mw, journal, ready, nil, nil, nil, nil, nil), journal
 }
 
 func TestStoreModeQuartersEndpoint(t *testing.T) {

@@ -37,6 +37,7 @@ import (
 	"maras/internal/core"
 	"maras/internal/knowledge"
 	"maras/internal/obs"
+	"maras/internal/obs/wide"
 	"maras/internal/types"
 	"maras/internal/watch"
 )
@@ -82,8 +83,8 @@ type watchStack struct {
 
 // newWatchStack loads any persisted watchlists and wires the
 // evaluator. auditor may be nil (no slow-eval events); reg may be nil
-// (no metrics).
-func newWatchStack(cfg watchConfig, kb *knowledge.Base, reg *obs.Registry, auditor *audit.Auditor, logger *slog.Logger) (*watchStack, error) {
+// (no metrics); events may be nil (no wide events per evaluation).
+func newWatchStack(cfg watchConfig, kb *knowledge.Base, reg *obs.Registry, auditor *audit.Auditor, logger *slog.Logger, events *wide.Ring) (*watchStack, error) {
 	ws := &watchStack{
 		ix:      watch.NewIndex(),
 		feeds:   watch.NewFeeds(cfg.feedCap),
@@ -118,6 +119,7 @@ func newWatchStack(cfg watchConfig, kb *knowledge.Base, reg *obs.Registry, audit
 		Metrics:   ws.met,
 		Auditor:   auditor,
 		Budget:    cfg.budget,
+		Wide:      events,
 	})
 	ws.met.SyncIndex(ws.ix.Stats())
 	return ws, nil
@@ -152,16 +154,20 @@ func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
 func (d discardHandler) WithGroup(string) slog.Handler           { return d }
 
 // register mounts the watch routes behind the shared middleware/
-// bulkhead wrapper. Alert feeds negotiate gzip — a full ring of JSON
-// alerts is highly repetitive.
+// bulkhead wrapper. All the JSON surfaces negotiate gzip — alert
+// feeds, watchlist listings, and the stats dump are repetitive JSON
+// that compresses an order of magnitude for polling clients. (POST
+// and DELETE responses are tiny; wrapping the whole route is still
+// correct because GzipHandler only engages per-request on
+// Accept-Encoding.)
 func (ws *watchStack) register(mux *http.ServeMux, mw *obs.HTTPMetrics, app func(http.HandlerFunc) http.Handler) {
 	if ws == nil {
 		return
 	}
-	mw.Handle(mux, "/api/watchlists", app(ws.handleWatchlists))
-	mw.Handle(mux, "/api/watchlists/", app(ws.handleWatchlistByID))
+	mw.Handle(mux, "/api/watchlists", obs.GzipHandler(app(ws.handleWatchlists)))
+	mw.Handle(mux, "/api/watchlists/", obs.GzipHandler(app(ws.handleWatchlistByID)))
 	mw.Handle(mux, "/api/alerts/", obs.GzipHandler(app(ws.handleAlerts)))
-	mw.Handle(mux, "/api/watch/stats", app(ws.handleWatchStats))
+	mw.Handle(mux, "/api/watch/stats", obs.GzipHandler(app(ws.handleWatchStats)))
 }
 
 // onQuarterLoaded is the store registry's OnLoad hook: every cold
@@ -269,6 +275,7 @@ func (ws *watchStack) createWatchlist(w http.ResponseWriter, r *http.Request) {
 			http.StatusBadRequest)
 		return
 	}
+	obs.ActiveSpan(r.Context()).SetAttr("user", wl.User)
 
 	ws.mu.Lock()
 	if ws.ix.UserCount(wl.User) >= ws.userCap {
@@ -299,6 +306,7 @@ func (ws *watchStack) listWatchlists(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "usage: /api/watchlists?user=USER", http.StatusBadRequest)
 		return
 	}
+	obs.ActiveSpan(r.Context()).SetAttr("user", user)
 	lists := ws.ix.ByUser(user)
 	ws.writeJSON(w, http.StatusOK, "watchlists", struct {
 		User       string             `json:"user"`
@@ -350,6 +358,7 @@ func (ws *watchStack) handleAlerts(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "usage: /api/alerts/USER?since=SEQ", http.StatusBadRequest)
 		return
 	}
+	obs.ActiveSpan(r.Context()).SetAttr("user", user)
 	var since uint64
 	if raw := r.URL.Query().Get("since"); raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 64)

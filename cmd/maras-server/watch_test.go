@@ -34,18 +34,18 @@ func watchStoreHandler(t *testing.T, dir, file string) (http.Handler, *storeServ
 	auditor := &audit.Auditor{Log: alog, Metrics: reg}
 	ws, err := newWatchStack(watchConfig{
 		file: file, userCap: 3, feedCap: 16, budget: time.Second,
-	}, knowledge.Builtin(), reg, auditor, nil)
+	}, knowledge.Builtin(), reg, auditor, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	alog.OnRecord(ws.ev.HandleAuditEvent)
-	ss, err := newStoreServer(dir, nil, nil, obs.NewStoreMetrics(reg), auditor, ws)
+	ss, err := newStoreServer(dir, nil, nil, obs.NewStoreMetrics(reg), auditor, ws, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ready := &obs.Readiness{}
 	ready.SetReady()
-	return ss.routes(reg, mw, nil, ready, nil, nil, ws, nil), ss, ws, reg
+	return ss.routes(reg, mw, nil, ready, nil, nil, ws, nil, nil), ss, ws, reg
 }
 
 func postJSON(t *testing.T, h http.Handler, url, body string) *httptest.ResponseRecorder {
@@ -280,12 +280,12 @@ func TestWatchMetricsAndHistory(t *testing.T) {
 	alog := audit.NewLog(audit.LogOptions{Metrics: reg})
 	auditor := &audit.Auditor{Log: alog, Metrics: reg}
 	ws, err := newWatchStack(watchConfig{userCap: 3, feedCap: 16, budget: time.Second},
-		knowledge.Builtin(), reg, auditor, nil)
+		knowledge.Builtin(), reg, auditor, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	alog.OnRecord(ws.ev.HandleAuditEvent)
-	ss, err := newStoreServer(tempStoreDir(t, 1), nil, nil, obs.NewStoreMetrics(reg), auditor, ws)
+	ss, err := newStoreServer(tempStoreDir(t, 1), nil, nil, obs.NewStoreMetrics(reg), auditor, ws, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestWatchMetricsAndHistory(t *testing.T) {
 	})
 	hist.OnScrape(eng.Tick)
 	slos := &sloStack{hist: hist, eng: eng}
-	h := ss.routes(reg, mw, nil, ready, nil, slos, ws, nil)
+	h := ss.routes(reg, mw, nil, ready, nil, slos, ws, nil, nil)
 
 	if rec := postJSON(t, h, "/api/watchlists", `{"user":"alice","drugs":["aspirin"]}`); rec.Code != http.StatusCreated {
 		t.Fatalf("create = %d", rec.Code)

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_seconds", "help", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "trace-a")
+	h.ObserveExemplar(0.06, "trace-b") // same bucket: last writer wins
+	h.ObserveExemplar(0.5, "trace-c")
+	h.ObserveExemplar(5, "trace-inf")
+	h.Observe(0.07) // no trace: must not clobber the exemplar
+
+	if e := h.BucketExemplar(0); e == nil || e.TraceID != "trace-b" || e.Value != 0.06 {
+		t.Fatalf("bucket 0 exemplar = %+v, want trace-b", e)
+	}
+	if e := h.BucketExemplar(1); e == nil || e.TraceID != "trace-c" {
+		t.Fatalf("bucket 1 exemplar = %+v, want trace-c", e)
+	}
+	if e := h.BucketExemplar(2); e == nil || e.TraceID != "trace-inf" {
+		t.Fatalf("+Inf bucket exemplar = %+v, want trace-inf", e)
+	}
+	if e := h.BucketExemplar(3); e != nil {
+		t.Fatalf("out-of-range exemplar = %+v, want nil", e)
+	}
+	if e := h.BucketExemplar(-1); e != nil {
+		t.Fatalf("negative index exemplar = %+v, want nil", e)
+	}
+}
+
+func TestOpenMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_seconds", "Request latency.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "abcdef0123456789")
+
+	var classic, om strings.Builder
+	reg.WritePrometheus(&classic)
+	reg.WriteOpenMetrics(&om)
+
+	if strings.Contains(classic.String(), "# {trace_id=") {
+		t.Fatalf("classic exposition must not carry exemplars:\n%s", classic.String())
+	}
+	if !strings.Contains(om.String(), `# {trace_id="abcdef0123456789"} 0.05`) {
+		t.Fatalf("openmetrics exposition missing exemplar:\n%s", om.String())
+	}
+	// Exemplars attach to bucket lines only, never to _sum/_count.
+	for _, line := range strings.Split(om.String(), "\n") {
+		if (strings.Contains(line, "_sum") || strings.Contains(line, "_count")) &&
+			strings.Contains(line, "trace_id") {
+			t.Fatalf("exemplar on non-bucket line: %s", line)
+		}
+	}
+}
+
+func TestMetricsHandlerOpenMetricsNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("neg_seconds", "help", []float64{1})
+	h.ObserveExemplar(0.5, "deadbeefcafe0123")
+	handler := MetricsHandler(reg)
+
+	// Accept-header negotiation.
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+		t.Fatalf("openmetrics body must end with # EOF:\n...%s", body[max(0, len(body)-80):])
+	}
+	if !strings.Contains(body, `trace_id="deadbeefcafe0123"`) {
+		t.Fatal("openmetrics body missing exemplar")
+	}
+
+	// Query-parameter override.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=openmetrics", nil))
+	if !strings.Contains(rec.Body.String(), "# EOF") {
+		t.Fatal("?format=openmetrics did not negotiate OpenMetrics")
+	}
+
+	// Default stays classic Prometheus text without exemplars.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if strings.Contains(rec.Body.String(), "trace_id") || strings.Contains(rec.Body.String(), "# EOF") {
+		t.Fatal("classic exposition leaked OpenMetrics syntax")
+	}
+}
+
+func TestJournalFind(t *testing.T) {
+	j := NewJournal(3, time.Hour)
+	for _, id := range []string{"a", "b", "c", "d"} { // "a" wraps away
+		j.Add(TraceRecord{ID: id})
+	}
+	if _, ok := j.Find("d"); !ok {
+		t.Fatal("Find(d) missed")
+	}
+	if _, ok := j.Find("b"); !ok {
+		t.Fatal("Find(b) missed")
+	}
+	if _, ok := j.Find("nope"); ok {
+		t.Fatal("Find(nope) hit")
+	}
+	// "a" left the ring but survives in the pinned-slowest set when it
+	// was slow enough.
+	slow := NewJournal(2, time.Millisecond)
+	slow.Add(TraceRecord{ID: "slowest", DurationNS: int64(time.Second)})
+	slow.Add(TraceRecord{ID: "x"})
+	slow.Add(TraceRecord{ID: "y"})
+	slow.Add(TraceRecord{ID: "z"})
+	if tr, ok := slow.Find("slowest"); !ok || !tr.Slow {
+		t.Fatalf("pinned slowest not findable: %+v %v", tr, ok)
+	}
+	var nilJ *Journal
+	if _, ok := nilJ.Find("a"); ok {
+		t.Fatal("nil journal Find hit")
+	}
+}
+
+func TestOnCompleteHook(t *testing.T) {
+	reg := NewRegistry()
+	mw := NewHTTPMetrics(reg, nil)
+	journal := NewJournal(8, time.Hour)
+	mw.EnableTracing(journal)
+	var got RequestSample
+	mw.OnComplete(func(s RequestSample) { got = s })
+
+	h := mw.Wrap("/thing/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Maras-Stale", "1")
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("hello"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/thing/42", nil))
+
+	if got.RequestID == "" || got.Route != "/thing/" || got.Status != http.StatusTeapot {
+		t.Fatalf("sample = %+v", got)
+	}
+	if got.Bytes != 5 || !got.Stale || got.Gzip {
+		t.Fatalf("body dims wrong: %+v", got)
+	}
+	if got.Trace == nil || got.Trace.ID != got.RequestID {
+		t.Fatalf("trace not attached: %+v", got.Trace)
+	}
+	// The journal should hold the same trace under the same ID.
+	if _, ok := journal.Find(got.RequestID); !ok {
+		t.Fatal("trace not in journal")
+	}
+	// The latency histogram carries the request ID as an exemplar.
+	var om strings.Builder
+	reg.WriteOpenMetrics(&om)
+	if !strings.Contains(om.String(), `trace_id="`+got.RequestID+`"`) {
+		t.Fatal("latency histogram missing request exemplar")
+	}
+}
+
+func TestOnCompleteWithoutTracing(t *testing.T) {
+	mw := NewHTTPMetrics(NewRegistry(), nil)
+	var got RequestSample
+	mw.OnComplete(func(s RequestSample) { got = s })
+	h := mw.Wrap("/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if got.Trace != nil {
+		t.Fatalf("tracing disabled but sample has trace: %+v", got.Trace)
+	}
+	if got.Status != http.StatusOK || got.Bytes != 2 {
+		t.Fatalf("sample = %+v", got)
+	}
+}

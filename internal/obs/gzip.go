@@ -74,9 +74,12 @@ func (g *gzipResponseWriter) WriteHeader(code int) {
 	}
 	g.wroteHeader = true
 	g.status = code
-	// No body to compress, or the handler already encoded it itself.
+	// No body to compress, the handler already encoded it itself, or
+	// the payload is an opaque binary download (profile artifacts)
+	// whose Content-Length clients rely on.
 	if code == http.StatusNoContent || code == http.StatusNotModified ||
-		g.Header().Get("Content-Encoding") != "" {
+		g.Header().Get("Content-Encoding") != "" ||
+		strings.HasPrefix(g.Header().Get("Content-Type"), "application/octet-stream") {
 		g.skip = true
 		g.ResponseWriter.WriteHeader(code)
 		return

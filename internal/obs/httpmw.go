@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
 	rpprof "runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,7 +31,32 @@ type HTTPMetrics struct {
 	journal    *Journal
 	traces     *Counter
 	slowTraces *Counter
+
+	onComplete func(RequestSample)
 }
+
+// RequestSample is the flat per-request record handed to the
+// OnComplete hook when the wrapped handler finishes: identity, route,
+// outcome, and (when tracing is enabled) the completed trace. It is
+// the raw material of a wide event — defined here rather than in
+// obs/wide so the middleware stays free of that dependency.
+type RequestSample struct {
+	Time      time.Time // completion time
+	RequestID string
+	Route     string
+	Status    int
+	Duration  time.Duration
+	Bytes     int64
+	Gzip      bool         // response negotiated Content-Encoding: gzip
+	Stale     bool         // response carried X-Maras-Stale
+	Trace     *TraceRecord // completed trace; nil when tracing is disabled
+}
+
+// OnComplete registers fn to run after every wrapped request, outside
+// any lock, on the serving goroutine. One subscriber; set it during
+// wiring, before traffic. A nil hook (the default) adds nothing to the
+// request path.
+func (m *HTTPMetrics) OnComplete(fn func(RequestSample)) { m.onComplete = fn }
 
 // NewHTTPMetrics builds the middleware over a registry. logger may
 // be nil to disable request logging.
@@ -173,12 +200,16 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 				status = http.StatusOK
 			}
 			byClass[codeClass(status)].Inc()
-			latency.Observe(dur.Seconds())
+			// The request ID doubles as the trace ID, so the exemplar on
+			// the latency bucket links straight to /debug/diag/{id}.
+			latency.ObserveExemplar(dur.Seconds(), reqID)
+			var snap TraceRecord
 			if root != nil {
 				root.SetInt("status", int64(status))
 				root.SetInt("bytes", rec.bytes)
 				root.End()
-				slow := m.journal.Add(tr.Snapshot())
+				snap = tr.Snapshot()
+				slow := m.journal.Add(snap)
 				m.traces.Inc()
 				if slow {
 					m.slowTraces.Inc()
@@ -190,6 +221,22 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 						)
 					}
 				}
+			}
+			if m.onComplete != nil {
+				s := RequestSample{
+					Time:      start.Add(dur),
+					RequestID: reqID,
+					Route:     route,
+					Status:    status,
+					Duration:  dur,
+					Bytes:     rec.bytes,
+					Gzip:      rec.Header().Get("Content-Encoding") == "gzip",
+					Stale:     rec.Header().Get("X-Maras-Stale") != "",
+				}
+				if root != nil {
+					s.Trace = &snap
+				}
+				m.onComplete(s)
 			}
 			if m.logger != nil {
 				m.logger.Info("request",
@@ -229,19 +276,33 @@ func (m *HTTPMetrics) Handle(mux *http.ServeMux, pattern string, h http.Handler)
 	mux.Handle(pattern, m.Wrap(pattern, h))
 }
 
+// openMetricsContentType is the negotiated OpenMetrics media type;
+// scrapers opt in with Accept: application/openmetrics-text (as
+// Prometheus does when exemplar ingestion is on).
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // MetricsHandler serves the registry. The default rendering is
 // Prometheus exposition text (with runtime series appended);
-// ?format=json returns the full expvar dump, so one endpoint covers
-// both scrape styles.
+// ?format=json returns the full expvar dump, and clients accepting
+// application/openmetrics-text (or asking ?format=openmetrics) get
+// the OpenMetrics rendering with histogram exemplars and the terminal
+// `# EOF` — so one endpoint covers all three scrape styles.
 func MetricsHandler(reg *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("format") == "json" {
+		switch {
+		case r.URL.Query().Get("format") == "json":
 			ExpvarHandler().ServeHTTP(w, r)
-			return
+		case r.URL.Query().Get("format") == "openmetrics" ||
+			strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text"):
+			w.Header().Set("Content-Type", openMetricsContentType)
+			reg.WriteOpenMetrics(w)
+			WriteRuntimePrometheus(w)
+			io.WriteString(w, "# EOF\n")
+		default:
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+			WriteRuntimePrometheus(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WritePrometheus(w)
-		WriteRuntimePrometheus(w)
 	})
 }
 

@@ -161,6 +161,35 @@ func (j *Journal) Recent(n int) []TraceRecord {
 	return out
 }
 
+// Find returns the completed trace with the given ID, preferring the
+// most recent match in the ring and falling back to the pinned slowest
+// set (a trace evicted from the ring for age can survive there). A nil
+// journal finds nothing.
+func (j *Journal) Find(id string) (TraceRecord, bool) {
+	if j == nil {
+		return TraceRecord{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Scan the ring newest-first: oldest..newest is ring[next:]+ring[:next]
+	// when full, plain order otherwise.
+	for k := len(j.ring) - 1; k >= 0; k-- {
+		i := k
+		if j.full {
+			i = (j.next + k) % j.capacity
+		}
+		if j.ring[i].ID == id {
+			return j.ring[i], true
+		}
+	}
+	for _, tr := range j.slowest {
+		if tr.ID == id {
+			return tr, true
+		}
+	}
+	return TraceRecord{}, false
+}
+
 // Slowest returns up to n of the slowest traces seen since startup,
 // slowest first. n <= 0 returns the full pinned set.
 func (j *Journal) Slowest(n int) []TraceRecord {
@@ -238,17 +267,18 @@ func TracesHandler(j *Journal) http.Handler {
 			stats.Total, stats.Slow, stats.SlowThreshold, stats.Capacity)
 		fmt.Fprintf(w, "\n== slowest (%d) ==\n", len(slowest))
 		for _, tr := range slowest {
-			writeTraceText(w, tr)
+			WriteTraceText(w, tr)
 		}
 		fmt.Fprintf(w, "\n== recent (%d, newest first) ==\n", len(recent))
 		for _, tr := range recent {
-			writeTraceText(w, tr)
+			WriteTraceText(w, tr)
 		}
 	})
 }
 
-// writeTraceText renders one trace as an indented span tree.
-func writeTraceText(w io.Writer, tr TraceRecord) {
+// WriteTraceText renders one trace as an indented span tree — the
+// human-readable form /debug/traces and /debug/diag share.
+func WriteTraceText(w io.Writer, tr TraceRecord) {
 	flag := ""
 	if tr.Slow {
 		flag = " SLOW"

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Label is one metric dimension (e.g. route="/signal/").
@@ -67,13 +68,29 @@ func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram is a fixed-bucket distribution (Prometheus classic
-// histogram semantics: cumulative buckets plus sum and count).
+// histogram semantics: cumulative buckets plus sum and count). Each
+// bucket additionally remembers the last exemplar observed into it —
+// a trace ID, the exact value, and when — so the OpenMetrics rendering
+// can link a latency bucket straight to /debug/diag/{trace-id}.
 type Histogram struct {
 	bounds []float64 // upper bounds, ascending; +Inf implicit
 	counts []atomic.Int64
 	inf    atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
 	count  atomic.Int64
+	// ex holds one exemplar pointer per finite bucket plus the +Inf
+	// slot at the end. Written with a plain pointer store (last writer
+	// wins; exemplars are samples, not ledgers).
+	ex []atomic.Pointer[Exemplar]
+}
+
+// Exemplar is the last observation recorded into one histogram bucket
+// with an identity attached: the trace (request) ID that produced the
+// value, for OpenMetrics `# {trace_id="..."}` rendering.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
 }
 
 // DefaultLatencyBuckets are the fixed request-latency bucket bounds
@@ -87,17 +104,31 @@ func newHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)),
+		ex:     make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one sample.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v, "") }
+
+// ObserveExemplar records one sample and pins it as the bucket's
+// exemplar under traceID (an empty ID records the sample without an
+// exemplar, exactly like Observe).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) { h.observe(v, traceID) }
+
+func (h *Histogram) observe(v float64, traceID string) {
 	// Cumulative at render time; store per-bucket here.
 	idx := sort.SearchFloat64s(h.bounds, v)
 	if idx < len(h.counts) {
 		h.counts[idx].Add(1)
 	} else {
 		h.inf.Add(1)
+	}
+	if traceID != "" {
+		h.ex[idx].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
 	}
 	h.count.Add(1)
 	for {
@@ -107,6 +138,15 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// BucketExemplar returns bucket i's exemplar (i == len(bounds) is the
+// +Inf bucket), or nil when none has been observed.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.ex) {
+		return nil
+	}
+	return h.ex[i].Load()
 }
 
 // Count returns the total number of observations.
@@ -322,7 +362,16 @@ func formatFloat(v float64) string {
 // WritePrometheus renders every family in the Prometheus text
 // exposition format (HELP/TYPE comments, escaped labels, cumulative
 // histogram buckets with sum and count).
-func (r *Registry) WritePrometheus(w io.Writer) {
+func (r *Registry) WritePrometheus(w io.Writer) { r.writeExposition(w, false) }
+
+// WriteOpenMetrics renders the same families in OpenMetrics text
+// format: identical lines, plus `# {trace_id="..."} value timestamp`
+// exemplar suffixes on histogram bucket lines that have observed one.
+// The caller owns the terminal `# EOF` line (runtime series are
+// usually appended first).
+func (r *Registry) WriteOpenMetrics(w io.Writer) { r.writeExposition(w, true) }
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) {
 	r.mu.Lock()
 	names := append([]string{}, r.order...)
 	r.mu.Unlock()
@@ -357,16 +406,35 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			case typeHistogram:
 				cum, total := s.h.snapshot()
 				for i, bound := range s.h.bounds {
-					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-						renderLabels(s.labels, Label{"le", formatFloat(bound)}), cum[i])
+					fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+						renderLabels(s.labels, Label{"le", formatFloat(bound)}), cum[i],
+						exemplarSuffix(s.h, i, openMetrics))
 				}
-				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-					renderLabels(s.labels, Label{"le", "+Inf"}), total)
+				fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+					renderLabels(s.labels, Label{"le", "+Inf"}), total,
+					exemplarSuffix(s.h, len(s.h.bounds), openMetrics))
 				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, renderLabels(s.labels), formatFloat(s.h.Sum()))
 				fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(s.labels), total)
 			}
 		}
 	}
+}
+
+// exemplarSuffix renders bucket i's exemplar as an OpenMetrics
+// ` # {trace_id="..."} value timestamp` suffix, or "" when exemplars
+// are off (classic Prometheus text) or the bucket has none.
+func exemplarSuffix(h *Histogram, i int, openMetrics bool) string {
+	if !openMetrics {
+		return ""
+	}
+	e := h.BucketExemplar(i)
+	if e == nil {
+		return ""
+	}
+	ts := float64(e.Time.UnixNano()) / 1e9
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s",
+		escapeLabelValue(e.TraceID), formatFloat(e.Value),
+		strconv.FormatFloat(ts, 'f', 3, 64))
 }
 
 // runtimeSamples are the runtime/metrics series exported alongside

@@ -70,6 +70,11 @@ type StoreOptions struct {
 	Metrics *obs.Registry
 	// Logger reports recovery actions and eviction churn.
 	Logger *slog.Logger
+	// OnAdd, when non-nil, runs after every successful artifact write,
+	// outside the store lock on the capturing goroutine — the hook the
+	// wide-event ring uses to back-link in-flight events to the
+	// artifact that profiled them.
+	OnAdd func(Artifact)
 }
 
 // Store is a bounded on-disk ring of profile artifacts with a
@@ -83,6 +88,7 @@ type Store struct {
 	max    int
 	maxB   int64
 	logger *slog.Logger
+	onAdd  func(Artifact)
 
 	artifactsG *obs.Gauge   // nil without metrics
 	bytesG     *obs.Gauge   // nil without metrics
@@ -111,7 +117,7 @@ func OpenStore(dir string, opts StoreOptions) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("prof: open store: %w", err)
 	}
-	s := &Store{dir: dir, max: opts.MaxArtifacts, maxB: opts.MaxBytes, logger: opts.Logger}
+	s := &Store{dir: dir, max: opts.MaxArtifacts, maxB: opts.MaxBytes, logger: opts.Logger, onAdd: opts.OnAdd}
 	if reg := opts.Metrics; reg != nil {
 		s.artifactsG = reg.Gauge("maras_prof_store_artifacts",
 			"Profile capture artifacts retained on disk.")
@@ -265,8 +271,17 @@ func (s *Store) verifyCRC(a Artifact) bool {
 }
 
 // Add writes one capture artifact and its manifest entry, evicting
-// the oldest artifacts past the count or byte caps.
+// the oldest artifacts past the count or byte caps. The OnAdd hook
+// (if any) runs after the write, outside the store lock.
 func (s *Store) Add(kind, cause, event, note string, data []byte, wall time.Duration) (Artifact, error) {
+	a, err := s.add(kind, cause, event, note, data, wall)
+	if err == nil && s.onAdd != nil {
+		s.onAdd(a)
+	}
+	return a, err
+}
+
+func (s *Store) add(kind, cause, event, note string, data []byte, wall time.Duration) (Artifact, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	a := Artifact{

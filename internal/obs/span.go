@@ -100,6 +100,16 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, activeSpanKey{}, s), s
 }
 
+// TraceID returns the ID of the trace this span belongs to — the
+// handle callers use to link derived records (wide events) back to the
+// journal. A nil span (tracing disabled) returns "".
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.id
+}
+
 // SetAttr records a string attribute on the span.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {

@@ -1,0 +1,108 @@
+package wide
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler serves the wide-event ring at /debug/events. Without
+// parameters it lists recent events newest-first; ?where=key=value
+// (repeatable), ?group=key&agg=p99, ?window=5m, and ?limit=N shape
+// the query; ?format=json returns the structured result. A nil ring
+// answers 404 so the route can be mounted unconditionally.
+func Handler(r *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "wide events disabled (-wide-events 0)", http.StatusNotFound)
+			return
+		}
+		q, err := ParseQuery(req.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res := r.Run(q)
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(res)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "wide events: %d/%d held (sample 1/%d, %d emitted), %d matched\n",
+			res.Stats.Len, res.Stats.Capacity, res.Stats.Sample, res.Stats.Emitted, res.Matched)
+		if len(q.Where) > 0 || q.Window > 0 {
+			fmt.Fprintf(w, "filter:")
+			for _, c := range q.Where {
+				fmt.Fprintf(w, " %s=%s", c.Field, c.Value)
+			}
+			if q.Window > 0 {
+				fmt.Fprintf(w, " window=%s", q.Window)
+			}
+			fmt.Fprintln(w)
+		}
+		if q.Group != "" {
+			fmt.Fprintf(w, "\n%-32s %8s %12s\n", q.Group, "count", q.Agg+"(ms)")
+			for _, g := range res.Groups {
+				fmt.Fprintf(w, "%-32s %8d %12.3f\n", g.Key, g.Count, g.Value)
+			}
+			return
+		}
+		fmt.Fprintln(w)
+		for _, e := range res.Events {
+			writeEventText(w, e)
+		}
+	})
+}
+
+// writeEventText renders one event as a single key=value line, empty
+// dimensions omitted — the flat "wide row" view.
+func writeEventText(w io.Writer, e Event) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-10s", e.Time.Format(time.RFC3339Nano), e.Kind)
+	add := func(k, v string) {
+		if v != "" {
+			b.WriteByte(' ')
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(v)
+		}
+	}
+	add("id", e.ID)
+	add("route", e.Route)
+	if e.Status != 0 {
+		fmt.Fprintf(&b, " status=%d", e.Status)
+	}
+	fmt.Fprintf(&b, " dur=%s", e.Duration.Round(time.Microsecond))
+	add("quarter", e.Quarter)
+	add("cache", e.Cache)
+	if e.Stale {
+		b.WriteString(" stale=true")
+	}
+	add("shed", e.Shed)
+	if e.Breaker {
+		b.WriteString(" breaker=open")
+	}
+	if e.Gzip {
+		b.WriteString(" gzip=true")
+	}
+	if e.Bytes > 0 {
+		fmt.Fprintf(&b, " bytes=%d", e.Bytes)
+	}
+	add("user", e.User)
+	if e.Spans > 0 {
+		fmt.Fprintf(&b, " spans=%d", e.Spans)
+	}
+	if e.Slowest != "" {
+		fmt.Fprintf(&b, " slowest=%s(%s)", e.Slowest, e.SlowestDur.Round(time.Microsecond))
+	}
+	add("trace", e.Trace)
+	add("profile", e.Profile)
+	b.WriteByte('\n')
+	io.WriteString(w, b.String())
+}

@@ -1,0 +1,257 @@
+package wide
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Query is a parsed /debug/events request: equality filters, an
+// optional group-by dimension with a latency aggregate, a lookback
+// window, and a row limit for ungrouped listings.
+type Query struct {
+	Where  []Cond
+	Group  string
+	Agg    string // count | avg | max | p50 | p90 | p95 | p99
+	Window time.Duration
+	Limit  int
+}
+
+// Cond is one key=value equality filter.
+type Cond struct {
+	Field string
+	Value string
+}
+
+// DefaultLimit bounds ungrouped event listings.
+const DefaultLimit = 100
+
+// queryFields are the dimensions usable in where= and group=. "code"
+// is the status class (2xx/4xx/5xx) derived from status.
+var queryFields = map[string]bool{
+	"kind": true, "id": true, "route": true, "status": true, "code": true,
+	"quarter": true, "cache": true, "stale": true, "shed": true,
+	"breaker": true, "gzip": true, "user": true, "slowest": true,
+	"trace": true, "profile": true,
+}
+
+var aggregates = map[string]bool{
+	"count": true, "avg": true, "max": true,
+	"p50": true, "p90": true, "p95": true, "p99": true,
+}
+
+// ParseQuery interprets URL parameters: where=key=value (repeatable),
+// group=key, agg=count|avg|max|p50|p90|p95|p99 (default count),
+// window=5m, limit=N.
+func ParseQuery(v url.Values) (Query, error) {
+	q := Query{Agg: "count", Limit: DefaultLimit}
+	for _, raw := range v["where"] {
+		field, val, ok := strings.Cut(raw, "=")
+		if !ok {
+			return q, fmt.Errorf("where=%q: want key=value", raw)
+		}
+		if !queryFields[field] {
+			return q, fmt.Errorf("where: unknown field %q", field)
+		}
+		q.Where = append(q.Where, Cond{Field: field, Value: val})
+	}
+	if g := v.Get("group"); g != "" {
+		if !queryFields[g] {
+			return q, fmt.Errorf("group: unknown field %q", g)
+		}
+		q.Group = g
+	}
+	if a := v.Get("agg"); a != "" {
+		if !aggregates[a] {
+			return q, fmt.Errorf("agg: unknown aggregate %q", a)
+		}
+		q.Agg = a
+	}
+	if w := v.Get("window"); w != "" {
+		d, err := time.ParseDuration(w)
+		if err != nil || d <= 0 {
+			return q, fmt.Errorf("window=%q: want a positive duration like 5m", w)
+		}
+		q.Window = d
+	}
+	if l := v.Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n <= 0 {
+			return q, fmt.Errorf("limit=%q: want a positive integer", l)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// GroupRow is one group-by bucket: its key, how many events matched,
+// and the requested latency aggregate in milliseconds.
+type GroupRow struct {
+	Key   string  `json:"key"`
+	Count int     `json:"count"`
+	Value float64 `json:"value_ms"`
+}
+
+// Result is a query answer: grouped rows when Group is set, otherwise
+// matching events newest-first up to the limit. Matched counts every
+// event passing the filters regardless of the limit.
+type Result struct {
+	Stats   Stats      `json:"stats"`
+	Matched int        `json:"matched"`
+	Groups  []GroupRow `json:"groups,omitempty"`
+	Agg     string     `json:"agg,omitempty"`
+	Events  []Event    `json:"events,omitempty"`
+}
+
+// fieldValue renders field for row index i as the string form the
+// query engine compares and groups on. Callers hold r.mu.
+func (r *Ring) fieldValue(field string, i int) string {
+	switch field {
+	case "kind":
+		return r.kind[i]
+	case "id":
+		return r.id[i]
+	case "route":
+		return r.route[i]
+	case "status":
+		return strconv.Itoa(int(r.status[i]))
+	case "code":
+		if r.status[i] == 0 {
+			return ""
+		}
+		return strconv.Itoa(int(r.status[i])/100) + "xx"
+	case "quarter":
+		return r.quarter[i]
+	case "cache":
+		return r.cache[i]
+	case "stale":
+		return strconv.FormatBool(r.stale[i])
+	case "shed":
+		return r.shed[i]
+	case "breaker":
+		return strconv.FormatBool(r.breaker[i])
+	case "gzip":
+		return strconv.FormatBool(r.gzip[i])
+	case "user":
+		return r.user[i]
+	case "slowest":
+		return r.slowest[i]
+	case "trace":
+		return r.trace[i]
+	case "profile":
+		return r.profile[i]
+	}
+	return ""
+}
+
+// Run executes a query over the ring's current contents. The scan is
+// newest-first over the columns under the ring lock; quantiles are
+// computed after the lock is released. A nil ring returns an empty
+// result.
+func (r *Ring) Run(q Query) Result {
+	res := Result{Agg: q.Agg}
+	if r == nil {
+		return res
+	}
+	if q.Limit <= 0 {
+		q.Limit = DefaultLimit
+	}
+	var cutoff int64
+	if q.Window > 0 {
+		cutoff = time.Now().Add(-q.Window).UnixNano()
+	}
+	groups := map[string][]int64{}
+	r.mu.Lock()
+	res.Stats = Stats{Capacity: r.capacity, Len: r.n, Sample: r.sample, Emitted: r.seq.Load()}
+scan:
+	for k := 0; k < r.n; k++ {
+		i := r.rowAt(k)
+		if cutoff != 0 && r.timeNS[i] < cutoff {
+			// Rows are newest-first but emission times are not strictly
+			// monotonic (background emitters stamp their own clocks), so
+			// keep scanning rather than early-exiting.
+			continue
+		}
+		for _, c := range q.Where {
+			if r.fieldValue(c.Field, i) != c.Value {
+				continue scan
+			}
+		}
+		res.Matched++
+		if q.Group != "" {
+			key := r.fieldValue(q.Group, i)
+			if key == "" {
+				key = "(none)"
+			}
+			groups[key] = append(groups[key], r.durNS[i])
+		} else if len(res.Events) < q.Limit {
+			res.Events = append(res.Events, r.eventAt(k))
+		}
+	}
+	r.mu.Unlock()
+	if q.Group == "" {
+		return res
+	}
+	res.Groups = make([]GroupRow, 0, len(groups))
+	for key, durs := range groups {
+		res.Groups = append(res.Groups, GroupRow{
+			Key:   key,
+			Count: len(durs),
+			Value: aggregate(q.Agg, durs),
+		})
+	}
+	// Largest buckets first, then by key for determinism.
+	sort.Slice(res.Groups, func(a, b int) bool {
+		if res.Groups[a].Count != res.Groups[b].Count {
+			return res.Groups[a].Count > res.Groups[b].Count
+		}
+		return res.Groups[a].Key < res.Groups[b].Key
+	})
+	return res
+}
+
+// aggregate reduces a bucket's latencies (ns) to the requested
+// aggregate in milliseconds. count returns the count itself.
+func aggregate(agg string, durs []int64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	switch agg {
+	case "count":
+		return float64(len(durs))
+	case "avg":
+		var sum int64
+		for _, d := range durs {
+			sum += d
+		}
+		return float64(sum) / float64(len(durs)) / 1e6
+	case "max":
+		max := durs[0]
+		for _, d := range durs[1:] {
+			if d > max {
+				max = d
+			}
+		}
+		return float64(max) / 1e6
+	case "p50":
+		return quantile(durs, 0.50)
+	case "p90":
+		return quantile(durs, 0.90)
+	case "p95":
+		return quantile(durs, 0.95)
+	case "p99":
+		return quantile(durs, 0.99)
+	}
+	return 0
+}
+
+// quantile returns the q-quantile of durs in milliseconds
+// (nearest-rank on the sorted values; durs is sorted in place).
+func quantile(durs []int64, q float64) float64 {
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	idx := int(q * float64(len(durs)-1))
+	return float64(durs[idx]) / 1e6
+}

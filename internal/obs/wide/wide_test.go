@@ -1,0 +1,351 @@
+package wide
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"maras/internal/obs"
+)
+
+func TestRingEmitAndFind(t *testing.T) {
+	r := NewRing(4, 1, nil)
+	for i := 0; i < 6; i++ {
+		r.Emit(Event{Kind: KindRequest, ID: "req-" + strconv.Itoa(i), Duration: time.Duration(i) * time.Millisecond})
+	}
+	st := r.RingStats()
+	if st.Len != 4 || st.Capacity != 4 {
+		t.Fatalf("stats = %+v, want len=4 cap=4", st)
+	}
+	if st.Emitted != 6 {
+		t.Fatalf("emitted = %d, want 6", st.Emitted)
+	}
+	// Oldest two wrapped away.
+	if _, ok := r.Find("req-0"); ok {
+		t.Fatal("req-0 should have been evicted")
+	}
+	e, ok := r.Find("req-5")
+	if !ok || e.Duration != 5*time.Millisecond {
+		t.Fatalf("Find(req-5) = %+v, %v", e, ok)
+	}
+	// Find by trace ID too.
+	r.Emit(Event{Kind: KindStoreLoad, Trace: "tr-9"})
+	if _, ok := r.Find("tr-9"); !ok {
+		t.Fatal("Find by trace ID failed")
+	}
+}
+
+func TestRingSampling(t *testing.T) {
+	r := NewRing(100, 10, nil)
+	for i := 0; i < 100; i++ {
+		r.Emit(Event{Kind: KindRequest})
+	}
+	if st := r.RingStats(); st.Len != 10 {
+		t.Fatalf("with sample=10, 100 emissions should store 10, got %d", st.Len)
+	}
+}
+
+func TestNilRingSafe(t *testing.T) {
+	var r *Ring
+	r.Emit(Event{Kind: KindRequest})
+	r.EmitRequest(obs.RequestSample{})
+	if n := r.LinkProfile("p", time.Now(), time.Minute); n != 0 {
+		t.Fatalf("nil LinkProfile = %d", n)
+	}
+	if _, ok := r.Find("x"); ok {
+		t.Fatal("nil Find should miss")
+	}
+	if got := r.Run(Query{}); got.Matched != 0 {
+		t.Fatalf("nil Run matched %d", got.Matched)
+	}
+	if r.Capacity() != 0 || r.RingStats() != (Stats{}) {
+		t.Fatal("nil stats should be zero")
+	}
+}
+
+func TestRequestEventDerivesDims(t *testing.T) {
+	tr := &obs.TraceRecord{
+		ID: "abc123",
+		Spans: []obs.SpanRecord{
+			{ID: 0, Parent: -1, Name: "GET /api/quarters/", DurationNS: int64(50 * time.Millisecond),
+				Attrs: map[string]string{"shed": "bulkhead_full"}},
+			{ID: 1, Parent: 0, Name: "store_load", DurationNS: int64(40 * time.Millisecond),
+				Attrs: map[string]string{"quarter": "2014Q2", "cache": "lru_miss", "stale": "true"}},
+			{ID: 2, Parent: 0, Name: "render", DurationNS: int64(5 * time.Millisecond),
+				Attrs: map[string]string{"breaker": "open", "user": "alice"}},
+		},
+	}
+	e := RequestEvent(obs.RequestSample{
+		RequestID: "abc123", Route: "/api/quarters/", Status: 503,
+		Duration: 50 * time.Millisecond, Bytes: 128, Gzip: true, Trace: tr,
+	})
+	if e.Kind != KindRequest || e.ID != "abc123" || e.Trace != "abc123" {
+		t.Fatalf("identity wrong: %+v", e)
+	}
+	if e.Quarter != "2014Q2" || e.Cache != "lru_miss" || !e.Stale || !e.Breaker {
+		t.Fatalf("derived dims wrong: %+v", e)
+	}
+	if e.Shed != "bulkhead_full" || e.User != "alice" {
+		t.Fatalf("shed/user wrong: %+v", e)
+	}
+	if e.Spans != 3 || e.Slowest != "store_load" || e.SlowestDur != 40*time.Millisecond {
+		t.Fatalf("span summary wrong: %+v", e)
+	}
+}
+
+func TestRequestEventNoTrace(t *testing.T) {
+	e := RequestEvent(obs.RequestSample{RequestID: "x", Route: "/healthz", Status: 200})
+	if e.Trace != "" || e.Spans != 0 {
+		t.Fatalf("traceless sample should have no trace dims: %+v", e)
+	}
+}
+
+func TestLinkProfile(t *testing.T) {
+	r := NewRing(8, 1, nil)
+	now := time.Now()
+	r.Emit(Event{Kind: KindRequest, ID: "in-window", Time: now})
+	r.Emit(Event{Kind: KindRequest, ID: "out-of-window", Time: now.Add(-time.Hour)})
+	r.Emit(Event{Kind: KindRequest, ID: "already-linked", Time: now, Profile: "old"})
+	if n := r.LinkProfile("7-cpu", now, time.Minute); n != 1 {
+		t.Fatalf("linked %d, want 1", n)
+	}
+	e, _ := r.Find("in-window")
+	if e.Profile != "7-cpu" {
+		t.Fatalf("in-window profile = %q", e.Profile)
+	}
+	e, _ = r.Find("already-linked")
+	if e.Profile != "old" {
+		t.Fatalf("already-linked profile overwritten: %q", e.Profile)
+	}
+	e, _ = r.Find("out-of-window")
+	if e.Profile != "" {
+		t.Fatalf("out-of-window got linked: %q", e.Profile)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery(url.Values{
+		"where":  []string{"route=/api/quarters/", "code=5xx"},
+		"group":  []string{"quarter"},
+		"agg":    []string{"p99"},
+		"window": []string{"5m"},
+		"limit":  []string{"7"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where) != 2 || q.Group != "quarter" || q.Agg != "p99" ||
+		q.Window != 5*time.Minute || q.Limit != 7 {
+		t.Fatalf("parsed %+v", q)
+	}
+	for _, bad := range []url.Values{
+		{"where": []string{"noequals"}},
+		{"where": []string{"bogus=x"}},
+		{"group": []string{"bogus"}},
+		{"agg": []string{"p42"}},
+		{"window": []string{"yesterday"}},
+		{"limit": []string{"-1"}},
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Fatalf("ParseQuery(%v) should fail", bad)
+		}
+	}
+}
+
+func TestQueryGroupAndFilter(t *testing.T) {
+	r := NewRing(64, 1, nil)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: KindRequest, Route: "/a", Status: 200, Duration: time.Duration(i+1) * time.Millisecond})
+	}
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: KindRequest, Route: "/b", Status: 500, Duration: 100 * time.Millisecond})
+	}
+	res := r.Run(Query{Group: "route", Agg: "p50"})
+	if res.Matched != 15 || len(res.Groups) != 2 {
+		t.Fatalf("matched=%d groups=%d", res.Matched, len(res.Groups))
+	}
+	// Largest group first.
+	if res.Groups[0].Key != "/a" || res.Groups[0].Count != 10 {
+		t.Fatalf("groups[0] = %+v", res.Groups[0])
+	}
+	// p50 of 1..10ms (nearest rank at index 4) is 5ms.
+	if res.Groups[0].Value != 5 {
+		t.Fatalf("p50(/a) = %v, want 5", res.Groups[0].Value)
+	}
+	res = r.Run(Query{Where: []Cond{{Field: "code", Value: "5xx"}}})
+	if res.Matched != 5 || len(res.Events) != 5 {
+		t.Fatalf("code=5xx matched=%d events=%d", res.Matched, len(res.Events))
+	}
+	for _, e := range res.Events {
+		if e.Status != 500 {
+			t.Fatalf("filter leaked %+v", e)
+		}
+	}
+	// Limit bounds events but not the matched count.
+	res = r.Run(Query{Limit: 3})
+	if res.Matched != 15 || len(res.Events) != 3 {
+		t.Fatalf("limit: matched=%d events=%d", res.Matched, len(res.Events))
+	}
+	// Newest first.
+	if res.Events[0].Route != "/b" {
+		t.Fatalf("events[0] = %+v, want newest (/b)", res.Events[0])
+	}
+}
+
+func TestQueryWindow(t *testing.T) {
+	r := NewRing(16, 1, nil)
+	r.Emit(Event{Kind: KindRequest, Time: time.Now().Add(-time.Hour)})
+	r.Emit(Event{Kind: KindRequest})
+	res := r.Run(Query{Window: 5 * time.Minute, Limit: DefaultLimit})
+	if res.Matched != 1 {
+		t.Fatalf("window matched %d, want 1", res.Matched)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	durs := []int64{int64(time.Millisecond), int64(3 * time.Millisecond), int64(2 * time.Millisecond)}
+	if got := aggregate("max", append([]int64(nil), durs...)); got != 3 {
+		t.Fatalf("max = %v", got)
+	}
+	if got := aggregate("avg", append([]int64(nil), durs...)); got != 2 {
+		t.Fatalf("avg = %v", got)
+	}
+	if got := aggregate("count", durs); got != 3 {
+		t.Fatalf("count = %v", got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRing(16, 1, nil)
+	r.Emit(Event{Kind: KindRequest, ID: "req-1", Route: "/api/quarters/", Status: 200,
+		Duration: 3 * time.Millisecond, Quarter: "2014Q1", Trace: "req-1"})
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "id=req-1") {
+		t.Fatalf("text view: %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?group=route&agg=p99&format=json", nil))
+	var res Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || res.Groups[0].Key != "/api/quarters/" {
+		t.Fatalf("json groups: %+v", res.Groups)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?where=bogus=1", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad query = %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil ring = %d, want 404", rec.Code)
+	}
+}
+
+func TestDiagReportAndHandler(t *testing.T) {
+	r := NewRing(16, 1, nil)
+	now := time.Now()
+	r.Emit(Event{Kind: KindRequest, ID: "deadbeef", Route: "/api/quarters/", Status: 200,
+		Duration: 300 * time.Millisecond, Time: now, Trace: "deadbeef", Profile: "3-cpu"})
+	trace := obs.TraceRecord{ID: "deadbeef", Name: "GET /api/quarters/", Slow: true,
+		DurationNS: int64(300 * time.Millisecond),
+		Spans:      []obs.SpanRecord{{Parent: -1, Name: "GET /api/quarters/", DurationNS: int64(300 * time.Millisecond)}}}
+	d := Diag{
+		Ring: r,
+		FindTrace: func(id string) (obs.TraceRecord, bool) {
+			return trace, id == "deadbeef"
+		},
+		Audit: func(from, to time.Time) []DiagAuditEvent {
+			if now.Before(from) || now.After(to) {
+				t.Fatalf("window [%s, %s] should contain %s", from, to, now)
+			}
+			return []DiagAuditEvent{{Time: now, Rule: "slow_trace", Severity: "warn", Message: "slow request"}}
+		},
+		SLO: func() SLOState { return SLOState{Breached: []string{"availability"}} },
+		Profiles: func(from, to time.Time) []ProfileRef {
+			return []ProfileRef{{ID: "3-cpu", Kind: "cpu", Verified: true, Link: "/debug/profiles/3-cpu"}}
+		},
+	}
+	rep, ok := d.Report("deadbeef")
+	if !ok || !rep.HasEvent || rep.Trace == nil {
+		t.Fatalf("report = %+v, %v", rep, ok)
+	}
+	if len(rep.Audit) != 1 || len(rep.Profiles) != 1 || len(rep.SLO.Breached) != 1 {
+		t.Fatalf("joins missing: %+v", rep)
+	}
+
+	h := DiagHandler(d, "/debug/diag/")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/diag/deadbeef", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"wide event", "trace deadbeef", "slow_trace", "breached: availability", "3-cpu"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("diag text missing %q:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/diag/deadbeef?format=json", nil))
+	var jr DiagReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &jr); err != nil {
+		t.Fatal(err)
+	}
+	if !jr.HasEvent || jr.Trace == nil || len(jr.Profiles) != 1 {
+		t.Fatalf("diag json: %+v", jr)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/diag/", nil))
+	if rec.Code != 400 {
+		t.Fatalf("no id = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/diag/unknown", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown id = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	DiagHandler(Diag{}, "/debug/diag/").ServeHTTP(rec, httptest.NewRequest("GET", "/debug/diag/x", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil ring diag = %d, want 404", rec.Code)
+	}
+}
+
+// Trace-only diag: the event was sampled out but the journal still has
+// the trace — the view degrades instead of 404ing.
+func TestDiagTraceOnly(t *testing.T) {
+	d := Diag{
+		Ring: NewRing(4, 1, nil),
+		FindTrace: func(id string) (obs.TraceRecord, bool) {
+			return obs.TraceRecord{ID: id, Start: time.Now()}, id == "ghost"
+		},
+	}
+	rep, ok := d.Report("ghost")
+	if !ok || rep.HasEvent || rep.Trace == nil {
+		t.Fatalf("trace-only report = %+v, %v", rep, ok)
+	}
+}
+
+func TestEmitZeroAllocWhenDisabled(t *testing.T) {
+	var nilRing *Ring
+	e := Event{Kind: KindRequest, ID: "x"}
+	if n := testing.AllocsPerRun(100, func() { nilRing.Emit(e) }); n != 0 {
+		t.Fatalf("nil ring Emit allocates %v/op", n)
+	}
+	sampled := NewRing(8, 1000, nil)
+	if n := testing.AllocsPerRun(100, func() { sampled.Emit(e) }); n != 0 {
+		t.Fatalf("sampled-out Emit allocates %v/op", n)
+	}
+}

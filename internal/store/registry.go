@@ -14,6 +14,7 @@ import (
 	"maras/internal/core"
 	"maras/internal/obs"
 	"maras/internal/obs/prof"
+	"maras/internal/obs/wide"
 	"maras/internal/trend"
 )
 
@@ -53,6 +54,11 @@ type RegistryOptions struct {
 	// LoadResilient's stale serving (see ResilienceOptions). Nil keeps
 	// the registry's original fail-on-first-error behavior.
 	Resilience *ResilienceOptions
+	// Wide, when non-nil, receives one wide event per cold load (disk
+	// decode) — kind store_load, quarter, duration, bytes, outcome —
+	// linked to the paying request's trace when one is active. LRU hits
+	// emit nothing; they are visible on the request event's cache dim.
+	Wide *wide.Ring
 	// OnLoad, when non-nil, is called after every successful cold load
 	// (disk decode) with the freshly rehydrated analysis — once per
 	// decode, not per LRU hit, so re-serving a resident quarter costs
@@ -83,6 +89,7 @@ type Registry struct {
 	onEvict func(string)
 	onLoad  func(context.Context, string, *core.Analysis)
 	auditor *audit.Auditor
+	wide    *wide.Ring
 
 	mu       sync.Mutex
 	quarters []string          // sorted labels discovered on disk
@@ -133,6 +140,7 @@ func OpenRegistry(dir string, opts RegistryOptions) (*Registry, error) {
 		onEvict: opts.OnEvict,
 		onLoad:  opts.OnLoad,
 		auditor: opts.Auditor,
+		wide:    opts.Wide,
 		open:    map[string]*entry{},
 		quality: map[string]*audit.QualityReport{},
 	}
@@ -317,6 +325,10 @@ func (r *Registry) LoadContext(ctx context.Context, label string) (*core.Analysi
 				e.err = err
 				dspan.SetAttr("error", err.Error())
 				st.End()
+				r.wide.Emit(wide.Event{
+					Kind: wide.KindStoreLoad, Quarter: label, Status: 500,
+					Duration: time.Since(start), Trace: obs.ActiveSpan(ctx).TraceID(),
+				})
 				return
 			}
 			e.a = snap.Analysis
@@ -329,16 +341,23 @@ func (r *Registry) LoadContext(ctx context.Context, label string) (*core.Analysi
 			if m != nil {
 				m.LoadSeconds.Observe(time.Since(start).Seconds())
 			}
+			var loadBytes int64
 			if fi, statErr := os.Stat(path); statErr == nil {
+				loadBytes = fi.Size()
 				if m != nil {
-					m.BytesRead.Add(fi.Size())
+					m.BytesRead.Add(loadBytes)
 				}
-				dspan.SetInt("bytes", fi.Size())
+				dspan.SetInt("bytes", loadBytes)
 			}
 			dspan.SetInt("signals", int64(len(snap.Analysis.Signals)))
 			st.Count("signals", int64(len(snap.Analysis.Signals)))
 			st.Count("reports", int64(snap.Analysis.Stats.Reports))
 			st.End()
+			r.wide.Emit(wide.Event{
+				Kind: wide.KindStoreLoad, Quarter: label, Status: 200,
+				Duration: time.Since(start), Bytes: loadBytes,
+				Cache: "lru_miss", Trace: obs.ActiveSpan(ctx).TraceID(),
+			})
 			if r.onLoad != nil {
 				r.onLoad(ctx, label, snap.Analysis)
 			}

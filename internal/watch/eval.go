@@ -11,6 +11,7 @@ import (
 	"maras/internal/knowledge"
 	"maras/internal/obs"
 	"maras/internal/obs/prof"
+	"maras/internal/obs/wide"
 )
 
 // SpanEvaluate is the trace span emitted around every evaluation pass.
@@ -33,6 +34,10 @@ type Options struct {
 	// Budget is the per-pass latency budget (DefaultEvalBudget when
 	// zero); exceeding it records a watch_eval_slow audit event.
 	Budget time.Duration
+	// Wide, when non-nil, receives one wide event per evaluation pass
+	// (kind watch_eval, quarter, duration) linked to the triggering
+	// trace when one is active.
+	Wide *wide.Ring
 	// Now stubs the clock in tests.
 	Now func() time.Time
 }
@@ -157,6 +162,11 @@ func (ev *Evaluator) EvaluateQuarter(ctx context.Context, label string, sigs []S
 	sp.SetInt("candidates", int64(res.Candidates))
 	sp.SetInt("alerts", int64(res.Alerts))
 	sp.End()
+	ev.opts.Wide.Emit(wide.Event{
+		Kind: wide.KindWatchEval, Quarter: label, Status: 200,
+		Duration: time.Duration(res.DurationMS * float64(time.Millisecond)),
+		Trace:    sp.TraceID(),
+	})
 
 	// Audit the budget breach after releasing ev.mu: Record invokes
 	// subscribers synchronously, and HandleAuditEvent may be one.
