@@ -49,4 +49,4 @@ vuln:
 clean:
 	$(GO) clean ./...
 	rm -f BENCH_trace.json BENCH_drift.json BENCH_chaos.json BENCH_slo.json \
-		BENCH_watch.json BENCH_prof.json BENCH_wide.json
+		BENCH_watch.json BENCH_prof.json BENCH_wide.json BENCH_replica.json

@@ -84,20 +84,18 @@ type chaosArtifact struct {
 const chaosRequestsPerWorker = 60
 
 // chaosHandler serves /q/{label} through LoadResilient the way
-// maras-server's quarter routes do: fresh, stale-marked, or 503 with
-// Retry-After — never a plain error.
+// maras-server's quarter routes do: origin-labeled fresh/stale/peer
+// answers, or 503 with Retry-After — never a plain error.
 func chaosHandler(reg *store.Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		label := strings.TrimPrefix(r.URL.Path, "/q/")
-		a, stale, err := reg.LoadResilient(r.Context(), label)
+		a, origin, err := reg.LoadResilient(r.Context(), label)
 		if err != nil {
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "quarter unavailable: "+err.Error(), http.StatusServiceUnavailable)
 			return
 		}
-		if stale {
-			w.Header().Set("X-Maras-Stale", "1")
-		}
+		w.Header().Set(store.OriginHeader, string(origin))
 		fmt.Fprintf(w, "%s: %d signals\n", label, len(a.Signals))
 	})
 }
@@ -226,7 +224,8 @@ func runChaosMix(mix chaosMix, labels []string, analyses []*core.Analysis) (chao
 				rec := httptest.NewRecorder()
 				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/q/"+label, nil))
 				switch {
-				case rec.Code == http.StatusOK && rec.Header().Get("X-Maras-Stale") == "1":
+				case rec.Code == http.StatusOK &&
+					rec.Header().Get(store.OriginHeader) != string(store.OriginLocal):
 					stale++
 				case rec.Code == http.StatusOK:
 					fresh++
@@ -280,7 +279,8 @@ func runChaosMix(mix chaosMix, labels []string, analyses []*core.Analysis) (chao
 		for _, label := range labels {
 			rec := httptest.NewRecorder()
 			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/q/"+label, nil))
-			if rec.Code != http.StatusOK || rec.Header().Get("X-Maras-Stale") == "1" {
+			if rec.Code != http.StatusOK ||
+				rec.Header().Get(store.OriginHeader) != string(store.OriginLocal) {
 				allFresh = false
 			}
 		}

@@ -21,6 +21,7 @@
 //	watch         watchlist alerting at scale: index build + eval latency vs population (BENCH_watch.json)
 //	prof          continuous profiling: stage attribution, capture overhead, triggered snapshots (BENCH_prof.json)
 //	wide          wide-event telemetry: emit cost, disabled-path allocs, query p99, diag correlation (BENCH_wide.json)
+//	replica       replicated snapshot store: 3-node anti-entropy under partition/lag/flap/corrupt-peer (BENCH_replica.json)
 //	all           everything above
 //
 // Usage:
@@ -59,6 +60,7 @@ type benchConfig struct {
 	watchOut   string
 	profOut    string
 	wideOut    string
+	replicaOut string
 }
 
 // traceRun is one traced pipeline execution: which experiment ran
@@ -138,6 +140,7 @@ func main() {
 		watchOut   = flag.String("watch-out", "BENCH_watch.json", "watch-experiment JSON artifact (empty = skip)")
 		profOut    = flag.String("prof-out", "BENCH_prof.json", "profiling-experiment JSON artifact (empty = skip)")
 		wideOut    = flag.String("wide-out", "BENCH_wide.json", "wide-event-experiment JSON artifact (empty = skip)")
+		replicaOut = flag.String("replica-out", "BENCH_replica.json", "replica-experiment JSON artifact (empty = skip)")
 	)
 	flag.Parse()
 
@@ -146,7 +149,7 @@ func main() {
 		paperScale: *paperScale, svgOut: *svgOut, traceOut: *traceOut,
 		driftOut: *driftOut, chaosOut: *chaosOut, sloOut: *sloOut, failpoints: *failpoints,
 		watchLists: *watchLists, watchIters: *watchIters, watchOut: *watchOut,
-		profOut: *profOut, wideOut: *wideOut,
+		profOut: *profOut, wideOut: *wideOut, replicaOut: *replicaOut,
 	}
 
 	runners := map[string]func(benchConfig) error{
@@ -168,12 +171,13 @@ func main() {
 		"watch":          runWatch,
 		"prof":           runProf,
 		"wide":           runWide,
+		"replica":        runReplica,
 	}
 	order := []string{
 		"table5.1", "fig5.1", "table5.2", "cases", "fig5.2", "figs4",
 		"ablate-theta", "ablate-decay", "ablate-closed", "ablate-suspect",
 		"baselines", "trend", "drift", "chaos", "slo", "watch", "prof",
-		"wide",
+		"wide", "replica",
 	}
 
 	var ids []string

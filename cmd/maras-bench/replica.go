@@ -1,0 +1,441 @@
+package main
+
+// The replica experiment measures the replicated snapshot store under
+// network chaos. It spins three in-process nodes — full, partial, and
+// empty — wired into a full mesh through a fault-injecting transport,
+// then drives the anti-entropy loop through cold convergence, a
+// partition with live client reads (failover availability), heal,
+// added lag, a flapping peer, and a peer serving corrupt bytes. Gates:
+// every phase converges all three merkle roots before its deadline,
+// client reads sustain >=99% availability with one of three nodes
+// partitioned, the set recovers to all-local serving after heal, and
+// corrupt peer bytes are rejected without ever being installed. The
+// numbers land in BENCH_replica.json; any gate failure exits nonzero.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"maras/internal/audit"
+	"maras/internal/core"
+	"maras/internal/obs"
+	"maras/internal/replica"
+	"maras/internal/resilience"
+	"maras/internal/store"
+)
+
+// chaosNet is the shared fault switchboard every node's (and the
+// client's) transport consults per request.
+type chaosNet struct {
+	mu          sync.Mutex
+	partitioned map[string]bool // host:port -> unreachable
+	corrupt     map[string]bool // host:port -> snapshot bodies get a flipped byte
+	lag         time.Duration
+}
+
+func newChaosNet() *chaosNet {
+	return &chaosNet{partitioned: map[string]bool{}, corrupt: map[string]bool{}}
+}
+
+func (c *chaosNet) setPartitioned(host string, on bool) {
+	c.mu.Lock()
+	c.partitioned[host] = on
+	c.mu.Unlock()
+}
+
+func (c *chaosNet) setCorrupt(host string, on bool) {
+	c.mu.Lock()
+	c.corrupt[host] = on
+	c.mu.Unlock()
+}
+
+func (c *chaosNet) setLag(d time.Duration) {
+	c.mu.Lock()
+	c.lag = d
+	c.mu.Unlock()
+}
+
+// chaosTransport injects the switchboard's faults into one endpoint's
+// outbound requests: a partition severs the pair when either end is
+// cut off, lag delays every request, and a corrupt host's snapshot
+// bodies get one byte flipped in flight.
+type chaosTransport struct {
+	net  *chaosNet
+	self string // this endpoint's host:port; "" for the client
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	target := req.URL.Host
+	t.net.mu.Lock()
+	cut := t.net.partitioned[target] || (t.self != "" && t.net.partitioned[t.self])
+	lag := t.net.lag
+	corrupt := t.net.corrupt[target]
+	t.net.mu.Unlock()
+	if cut {
+		return nil, fmt.Errorf("chaos: partitioned (%s -> %s)", t.self, target)
+	}
+	if lag > 0 {
+		time.Sleep(lag)
+	}
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt && strings.Contains(req.URL.Path, "/sync/snapshot/") && resp.StatusCode == http.StatusOK {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(body) > 0 {
+			body[len(body)/2] ^= 0x55
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+	}
+	return resp, nil
+}
+
+// benchNode is one in-process replica: registry, node, metrics, and
+// its HTTP front door (read route + sync endpoints on one listener).
+type benchNode struct {
+	name string
+	reg  *store.Registry
+	node *replica.Node
+	met  *replica.Metrics
+	srv  *httptest.Server
+	host string
+}
+
+func (b *benchNode) root() (string, int, error) {
+	t, err := b.node.InventoryTree()
+	if err != nil {
+		return "", 0, err
+	}
+	return t.RootHex(), t.Len(), nil
+}
+
+// replicaArtifact is the BENCH_replica.json payload.
+type replicaArtifact struct {
+	Nodes                 int            `json:"nodes"`
+	SyncIntervalMillis    int64          `json:"sync_interval_millis"`
+	ConvergeMillis        int64          `json:"converge_millis"`
+	PartitionReads        int            `json:"partition_reads"`
+	PartitionFailed       int            `json:"partition_failed"`
+	PartitionAvailability float64        `json:"partition_availability"`
+	PartitionOrigins      map[string]int `json:"partition_origins"`
+	HealMillis            int64          `json:"heal_millis"`
+	LagConvergeMillis     int64          `json:"lag_converge_millis"`
+	FlapConvergeMillis    int64          `json:"flap_converge_millis"`
+	CorruptRejected       int64          `json:"corrupt_rejected"`
+	CorruptConvergeMillis int64          `json:"corrupt_converge_millis"`
+	SyncRounds            int64          `json:"sync_rounds"`
+	FetchedSnapshots      int64          `json:"fetched_snapshots"`
+}
+
+const (
+	replicaSyncInterval = 25 * time.Millisecond
+	replicaDeadline     = 20 * time.Second
+)
+
+// runReplica builds the 3-node set and drives it through the chaos
+// phases.
+func runReplica(cfg benchConfig) error {
+	q, _, err := genQuarter(cfg, quarterLabels[0], 0)
+	if err != nil {
+		return err
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = cfg.minsup
+	a, err := tracedRun("replica", q, opts)
+	if err != nil {
+		return err
+	}
+
+	net := newChaosNet()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Three nodes with divergent starting inventories: A holds three
+	// quarters, B one, C none.
+	seeds := map[string][]string{
+		"a": {"2014Q1", "2014Q2", "2014Q3"},
+		"b": {"2014Q1"},
+		"c": {},
+	}
+	var nodes []*benchNode
+	for _, name := range []string{"a", "b", "c"} {
+		dir, err := os.MkdirTemp("", "maras-replica-"+name+"-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		reg, err := store.OpenRegistry(dir, store.RegistryOptions{
+			Auditor: &audit.Auditor{Log: audit.NewLog(audit.LogOptions{})},
+			Resilience: &store.ResilienceOptions{
+				Quarantine: true,
+				Retry: resilience.RetryConfig{MaxAttempts: 2, BaseDelay: time.Millisecond,
+					MaxDelay: 5 * time.Millisecond, Budget: time.Second},
+				Breaker: resilience.BreakerConfig{FailureThreshold: 2, Cooldown: 100 * time.Millisecond},
+			},
+		})
+		if err != nil {
+			return err
+		}
+		for _, label := range seeds[name] {
+			if err := reg.Save(label, a); err != nil {
+				return err
+			}
+		}
+		bn := &benchNode{name: name, reg: reg}
+		mux := http.NewServeMux()
+		bn.srv = httptest.NewServer(mux)
+		defer bn.srv.Close()
+		u, err := url.Parse(bn.srv.URL)
+		if err != nil {
+			return err
+		}
+		bn.host = u.Host
+		nodes = append(nodes, bn)
+		// Routes land on the mux after the peer URLs are known (below);
+		// ServeMux registration is safe after the server starts.
+		_ = mux
+	}
+
+	// Full mesh: every node peers with the other two through its own
+	// chaos transport; reads go through LoadResilient with the peer
+	// tier wired, exactly like maras-server's quarter routes.
+	for i, bn := range nodes {
+		var peers []string
+		for j, other := range nodes {
+			if j != i {
+				peers = append(peers, other.srv.URL)
+			}
+		}
+		bn.met = replica.NewMetrics(obs.NewRegistry())
+		bn.node = replica.NewNode(bn.reg, replica.Options{
+			Name:      bn.name,
+			Peers:     peers,
+			Interval:  replicaSyncInterval,
+			Timeout:   2 * time.Second,
+			Breaker:   resilience.BreakerConfig{FailureThreshold: 2, Cooldown: 150 * time.Millisecond},
+			Transport: &chaosTransport{net: net, self: bn.host},
+			Metrics:   bn.met,
+		})
+		bn.reg.SetPeerFetch(bn.node.FetchAnalysis)
+		mux := bn.srv.Config.Handler.(*http.ServeMux)
+		bn.node.Mount(mux)
+		mux.Handle("/q/", chaosHandler(bn.reg))
+		bn.node.Start(ctx)
+	}
+
+	art := replicaArtifact{Nodes: len(nodes), SyncIntervalMillis: replicaSyncInterval.Milliseconds()}
+	var gateFailures []string
+	gate := func(ok bool, format string, args ...any) {
+		if !ok {
+			msg := fmt.Sprintf(format, args...)
+			gateFailures = append(gateFailures, msg)
+			fmt.Printf("  !! %s\n", msg)
+		}
+	}
+
+	fmt.Printf("Replicated store: %d nodes, %s sync interval, full mesh\n\n", len(nodes), replicaSyncInterval)
+
+	// Phase 1 — cold convergence: divergent inventories must agree.
+	d, ok := waitConverged(nodes, 3, replicaDeadline)
+	art.ConvergeMillis = d.Milliseconds()
+	gate(ok, "cold convergence did not finish within %s", replicaDeadline)
+	fmt.Printf("%-26s %6dms  (3 quarters on every node)\n", "cold convergence", art.ConvergeMillis)
+
+	// Phase 2 — partition node a, write a new quarter to b, and read
+	// from the client's point of view with failover across nodes.
+	net.setPartitioned(nodes[0].host, true)
+	if err := nodes[1].reg.Save("2014Q4", a); err != nil {
+		return err
+	}
+	client := &http.Client{Transport: &chaosTransport{net: net}, Timeout: 2 * time.Second}
+	labels := []string{"2014Q1", "2014Q2", "2014Q3", "2014Q4"}
+	art.PartitionOrigins = map[string]int{}
+	const partitionReads = 300
+	for i := 0; i < partitionReads; i++ {
+		label := labels[i%len(labels)]
+		served := false
+		for attempt := 0; attempt < len(nodes); attempt++ {
+			bn := nodes[(i+attempt)%len(nodes)]
+			resp, err := client.Get(bn.srv.URL + "/q/" + label)
+			if err != nil {
+				continue
+			}
+			origin := resp.Header.Get(store.OriginHeader)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				art.PartitionOrigins[origin]++
+				served = true
+				break
+			}
+		}
+		art.PartitionReads++
+		if !served {
+			art.PartitionFailed++
+		}
+		time.Sleep(time.Millisecond)
+	}
+	art.PartitionAvailability = float64(art.PartitionReads-art.PartitionFailed) / float64(art.PartitionReads)
+	gate(art.PartitionAvailability >= 0.99,
+		"read availability %.4f under partition, want >= 0.99", art.PartitionAvailability)
+	fmt.Printf("%-26s %6.2f%%  (%d reads, %d failed, origins %v)\n", "partition availability",
+		100*art.PartitionAvailability, art.PartitionReads, art.PartitionFailed, art.PartitionOrigins)
+
+	// Phase 3 — heal: the partitioned node catches up (4 quarters
+	// everywhere) and every label on every node serves local again.
+	net.setPartitioned(nodes[0].host, false)
+	d, ok = waitConverged(nodes, 4, replicaDeadline)
+	art.HealMillis = d.Milliseconds()
+	gate(ok, "post-heal convergence did not finish within %s", replicaDeadline)
+	localStart := time.Now()
+	_, allLocal := pollUntil(replicaDeadline, func() bool {
+		for _, bn := range nodes {
+			for _, label := range labels {
+				resp, err := client.Get(bn.srv.URL + "/q/" + label)
+				if err != nil {
+					return false
+				}
+				origin := resp.Header.Get(store.OriginHeader)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || origin != string(store.OriginLocal) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	gate(allLocal, "not every read returned to origin=local within %s of heal", replicaDeadline)
+	fmt.Printf("%-26s %6dms  (all reads origin=local after %s)\n", "heal + catch-up",
+		art.HealMillis, time.Since(localStart).Round(time.Millisecond))
+
+	// Phase 4 — lag on every link: a new quarter still propagates.
+	net.setLag(15 * time.Millisecond)
+	if err := nodes[2].reg.Save("2015Q1", a); err != nil {
+		return err
+	}
+	d, ok = waitConverged(nodes, 5, replicaDeadline)
+	art.LagConvergeMillis = d.Milliseconds()
+	gate(ok, "convergence under 15ms lag did not finish within %s", replicaDeadline)
+	net.setLag(0)
+	fmt.Printf("%-26s %6dms  (15ms lag on every link)\n", "lag convergence", art.LagConvergeMillis)
+
+	// Phase 5 — flapping peer: node b cycles in and out of the network
+	// while a new quarter lands on a; the set still converges.
+	flapDone := make(chan struct{})
+	go func() {
+		defer close(flapDone)
+		for i := 0; i < 10; i++ {
+			net.setPartitioned(nodes[1].host, i%2 == 0)
+			time.Sleep(40 * time.Millisecond)
+		}
+		net.setPartitioned(nodes[1].host, false)
+	}()
+	if err := nodes[0].reg.Save("2015Q2", a); err != nil {
+		return err
+	}
+	<-flapDone
+	d, ok = waitConverged(nodes, 6, replicaDeadline)
+	art.FlapConvergeMillis = d.Milliseconds()
+	gate(ok, "convergence after peer flapping did not finish within %s", replicaDeadline)
+	fmt.Printf("%-26s %6dms  (peer b flapped 10x at 40ms)\n", "flap convergence", art.FlapConvergeMillis)
+
+	// Phase 6 — corrupt peer: b serves flipped snapshot bytes for a
+	// new quarter. The fetchers must reject every copy (nothing
+	// installed on a or c), then converge once the corruption clears.
+	net.setCorrupt(nodes[1].host, true)
+	if err := nodes[1].reg.Save("2015Q3", a); err != nil {
+		return err
+	}
+	_, sawRejects := pollUntil(replicaDeadline, func() bool {
+		return nodes[0].met.CorruptFetches.Value()+nodes[2].met.CorruptFetches.Value() > 0
+	})
+	gate(sawRejects, "no corrupt fetch was rejected while peer b served flipped bytes")
+	time.Sleep(4 * replicaSyncInterval) // a few more rounds of rejected fetches
+	gate(!nodes[0].reg.Has("2015Q3") && !nodes[2].reg.Has("2015Q3"),
+		"corrupt peer bytes were installed into a healthy node's store")
+	net.setCorrupt(nodes[1].host, false)
+	d, ok = waitConverged(nodes, 7, replicaDeadline)
+	art.CorruptConvergeMillis = d.Milliseconds()
+	gate(ok, "convergence after corruption cleared did not finish within %s", replicaDeadline)
+	art.CorruptRejected = nodes[0].met.CorruptFetches.Value() + nodes[2].met.CorruptFetches.Value()
+	fmt.Printf("%-26s %6dms  (%d corrupt fetches rejected, none installed)\n",
+		"corrupt-peer recovery", art.CorruptConvergeMillis, art.CorruptRejected)
+
+	for _, bn := range nodes {
+		art.SyncRounds += bn.met.SyncRounds.Value()
+		art.FetchedSnapshots += bn.met.Fetches.Value()
+	}
+	fmt.Printf("\n%d sync rounds total, %d snapshots fetched across the set\n",
+		art.SyncRounds, art.FetchedSnapshots)
+	fmt.Println("\nShape check: cold divergence, a healed partition, lag, a flapping peer, and a")
+	fmt.Println("corrupt peer all converge to identical merkle roots; reads ride the ladder")
+	fmt.Println("(local -> stale -> peer) to stay above 99% availability with one node down; and")
+	fmt.Println("corrupt bytes are rejected at the verify-before-disk gate, never installed.")
+
+	if cfg.replicaOut != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.replicaOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote replica artifact to %s\n", cfg.replicaOut)
+	}
+	if len(gateFailures) > 0 {
+		return fmt.Errorf("replica gates failed: %s", strings.Join(gateFailures, "; "))
+	}
+	return nil
+}
+
+// waitConverged polls until every node advertises wantLeaves quarters
+// and all merkle roots agree.
+func waitConverged(nodes []*benchNode, wantLeaves int, deadline time.Duration) (time.Duration, bool) {
+	return pollUntil(deadline, func() bool {
+		var first string
+		for i, bn := range nodes {
+			root, n, err := bn.root()
+			if err != nil || n != wantLeaves {
+				return false
+			}
+			if i == 0 {
+				first = root
+			} else if root != first {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// pollUntil runs cond every few milliseconds until it holds or the
+// deadline passes, returning the elapsed time and whether it held.
+func pollUntil(deadline time.Duration, cond func() bool) (time.Duration, bool) {
+	start := time.Now()
+	for {
+		if cond() {
+			return time.Since(start), true
+		}
+		if time.Since(start) > deadline {
+			return time.Since(start), false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

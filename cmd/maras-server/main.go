@@ -53,8 +53,10 @@ import (
 	"maras/internal/obs/history"
 	"maras/internal/obs/prof"
 	"maras/internal/obs/wide"
+	"maras/internal/replica"
 	"maras/internal/resilience"
 	"maras/internal/slo"
+	"maras/internal/store"
 	"maras/internal/strata"
 	"maras/internal/watch"
 )
@@ -95,7 +97,15 @@ func (s *server) log() *slog.Logger {
 // endpoints negotiate gzip — exposition text and trace dumps
 // compress an order of magnitude.
 func (s *server) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *obs.Journal, ready *obs.Readiness, shed *resilience.Bulkhead, slos *sloStack, ws *watchStack, captor *prof.Captor, events *wide.Ring) http.Handler {
-	app := func(h http.HandlerFunc) http.Handler { return shed.Middleware(h) }
+	// Mining mode serves the one in-memory analysis, so every
+	// application response carries the "local" serving origin — the
+	// same header the store mode's degradation ladder populates.
+	app := func(h http.HandlerFunc) http.Handler {
+		return shed.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set(store.OriginHeader, string(store.OriginLocal))
+			h(w, r)
+		}))
+	}
 	mux := http.NewServeMux()
 	mw.Handle(mux, "/", app(s.handleIndex))
 	mw.Handle(mux, "/signal/", app(s.handleSignal))
@@ -221,6 +231,11 @@ func main() {
 		mutexFraction = flag.Int("mutex-profile-fraction", 0, "sample 1/N of mutex contention events into /debug/pprof/mutex (0 disables)")
 		blockRate     = flag.Duration("block-profile-rate", 0, "record goroutine blocking events at least this long into /debug/pprof/block (0 disables)")
 
+		peers          = flag.String("peers", "", "comma-separated base URLs of replica peers to sync snapshots from (store mode only)")
+		syncInterval   = flag.Duration("sync-interval", replica.DefaultInterval, "anti-entropy sync loop period, jittered ±25% (effective with -peers)")
+		replicaListen  = flag.String("replica-listen", "", "serve the /sync/* replica endpoints on this extra listener too (store mode only; they are always mounted on -addr outside the bulkhead)")
+		rescanInterval = flag.Duration("rescan-interval", 0, "re-scan the snapshot directory on this jittered period to pick up externally written files (0 disables; store mode only)")
+
 		failpoints  = flag.String("failpoints", "", "arm fault-injection sites, e.g. 'store/decode=error*1;store/load=delay(50ms,0.2)' (also read from "+resilience.FailpointEnv+")")
 		maxInflight = flag.Int("max-inflight", 64, "bulkhead: application requests executing concurrently (0 disables load shedding)")
 		shedQueue   = flag.Int("shed-queue", 64, "bulkhead: requests allowed to queue for a slot before overflow sheds with 503")
@@ -234,6 +249,14 @@ func main() {
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, *logFormat, level)
+
+	// Replication only makes sense over an on-disk snapshot store: a
+	// mining server has nothing to advertise and nowhere to install
+	// fetched quarters.
+	if *storeDir == "" && (*peers != "" || *replicaListen != "" || *rescanInterval > 0) {
+		fmt.Fprintln(os.Stderr, "maras-server: -peers, -replica-listen, and -rescan-interval require -store")
+		os.Exit(2)
+	}
 
 	// Arm failpoints from the environment first, then the flag (the
 	// flag adds to or overrides the env spec site by site).
@@ -412,12 +435,36 @@ func main() {
 	}
 
 	var handler http.Handler
+	var replicaSrv *http.Server
 	if *storeDir != "" {
 		ss, err := newStoreServer(*storeDir, logger, tracer, obs.NewStoreMetrics(reg), auditor, ws, events)
 		if err != nil {
 			logger.Error("open store", "err", err)
 			os.Exit(1)
 		}
+		// The replica node always exists in store mode so peers can pull
+		// from this server even when it has no -peers of its own; the
+		// sync loop only runs when there is someone to pull from.
+		node := replica.NewNode(ss.reg, replica.Options{
+			Name:     *addr,
+			Peers:    splitPeers(*peers),
+			Interval: *syncInterval,
+			Metrics:  replica.NewMetrics(reg),
+			Wide:     events,
+			Auditor:  auditor,
+			Logger:   logger,
+			OnRound: func(st replica.SyncStats) {
+				ready.SetDegraded("replica", st.Unreachable > 0)
+			},
+		})
+		ss.replica = node
+		if len(node.Peers()) > 0 {
+			ss.reg.SetPeerFetch(node.FetchAnalysis)
+			node.Start(ctx)
+			logger.Info("replica sync started",
+				"peers", node.Peers(), "interval", *syncInterval)
+		}
+		ss.reg.StartRescan(ctx, *rescanInterval)
 		quarters := ss.reg.Quarters()
 		logger.Info("serving from store", "dir", *storeDir,
 			"quarters", len(quarters), "default", ss.reg.Latest())
@@ -427,6 +474,28 @@ func main() {
 		// quarter, drift per adjacent pair. Serving never waits on it,
 		// and the sweep stops with the lifecycle context on SIGTERM.
 		go ss.auditSweep(ctx)
+		// An optional second listener carries only the replica sync
+		// endpoints, so operators can keep peer traffic off the public
+		// address (and firewall the two apart).
+		if *replicaListen != "" {
+			rmux := http.NewServeMux()
+			node.Mount(rmux)
+			replicaSrv = &http.Server{
+				Addr:              *replicaListen,
+				Handler:           rmux,
+				ReadHeaderTimeout: 5 * time.Second,
+				ReadTimeout:       30 * time.Second,
+				WriteTimeout:      2 * time.Minute,
+				IdleTimeout:       2 * time.Minute,
+				ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+			}
+			go func() {
+				if err := replicaSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					logger.Error("replica listener", "err", err)
+				}
+			}()
+			logger.Info("replica sync listening", "addr", *replicaListen)
+		}
 	} else {
 		q, err := faers.LoadQuarter(*data, *quarter)
 		if err != nil {
@@ -523,12 +592,30 @@ func main() {
 		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
+		if replicaSrv != nil {
+			if err := replicaSrv.Shutdown(shutdownCtx); err != nil {
+				logger.Warn("replica listener shutdown", "err", err)
+			}
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("shutdown", "err", err)
 			os.Exit(1)
 		}
 		logger.Info("drained cleanly")
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs,
+// whitespace-tolerant, trailing slashes dropped, empties skipped.
+func splitPeers(spec string) []string {
+	var out []string
+	for _, p := range strings.Split(spec, ",") {
+		p = strings.TrimSuffix(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // renderHTML executes a template into a buffer first so a mid-render

@@ -16,6 +16,7 @@ import (
 
 	"maras/internal/audit"
 	"maras/internal/obs"
+	"maras/internal/replica"
 	"maras/internal/resilience"
 	"maras/internal/store"
 )
@@ -111,18 +112,19 @@ func TestServerShedsWhenSaturated(t *testing.T) {
 
 // TestServerServesStaleWhenLoadFails drives the degradation loop
 // through the HTTP surface: a warmed quarter whose disk path starts
-// failing is served from the last-good copy with X-Maras-Stale, the
-// readiness probe reports "degraded" (still 200 — the load balancer
-// keeps routing), and a fresh load clears both.
+// failing is served from the last-good copy with X-Maras-Origin:
+// stale, the readiness probe reports "degraded" (still 200 — the load
+// balancer keeps routing), and a fresh load clears both.
 func TestServerServesStaleWhenLoadFails(t *testing.T) {
 	t.Cleanup(resilience.DisableAll)
 	dir := tempStoreDir(t, 1)
 	h, ss, _, _ := storeHandler(t, dir)
 
-	// Warm: fresh serve populates the last-good cache.
+	// Warm: fresh serve populates the last-good cache and carries the
+	// local serving origin.
 	rec := getMux(t, h, "/api/signals")
-	if rec.Code != http.StatusOK || rec.Header().Get("X-Maras-Stale") != "" {
-		t.Fatalf("warm request: status=%d stale=%q", rec.Code, rec.Header().Get("X-Maras-Stale"))
+	if rec.Code != http.StatusOK || rec.Header().Get(store.OriginHeader) != string(store.OriginLocal) {
+		t.Fatalf("warm request: status=%d origin=%q", rec.Code, rec.Header().Get(store.OriginHeader))
 	}
 
 	// Invalidate the resident copy so the next request must hit disk,
@@ -143,8 +145,11 @@ func TestServerServesStaleWhenLoadFails(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("degraded request status = %d, want 200 from stale copy", rec.Code)
 	}
+	if got := rec.Header().Get(store.OriginHeader); got != string(store.OriginStale) {
+		t.Fatalf("degraded response origin = %q, want %q", got, store.OriginStale)
+	}
 	if rec.Header().Get("X-Maras-Stale") != "1" {
-		t.Fatal("stale response missing X-Maras-Stale: 1")
+		t.Fatal("stale response missing back-compat X-Maras-Stale: 1")
 	}
 	rec = getMux(t, h, "/readyz")
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"degraded"`) {
@@ -157,8 +162,8 @@ func TestServerServesStaleWhenLoadFails(t *testing.T) {
 	// Fault clears: serving turns fresh again and the probe recovers.
 	resilience.DisableAll()
 	rec = getMux(t, h, "/api/signals")
-	if rec.Code != http.StatusOK || rec.Header().Get("X-Maras-Stale") != "" {
-		t.Fatalf("recovered request: status=%d stale=%q", rec.Code, rec.Header().Get("X-Maras-Stale"))
+	if rec.Code != http.StatusOK || rec.Header().Get(store.OriginHeader) != string(store.OriginLocal) {
+		t.Fatalf("recovered request: status=%d origin=%q", rec.Code, rec.Header().Get(store.OriginHeader))
 	}
 	rec = getMux(t, h, "/readyz")
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ready"`) {
@@ -203,6 +208,53 @@ func TestServerQuarantinesCorruptQuarter(t *testing.T) {
 	}
 	if rec := getMux(t, h, "/q/2014Q1/api/signals"); rec.Code != http.StatusNotFound {
 		t.Fatalf("quarantined quarter status = %d, want 404", rec.Code)
+	}
+}
+
+// TestServerFailsOverToPeer exercises the deepest rung of the
+// degradation ladder through the HTTP surface: the local snapshot is
+// corrupt (quarantined on first touch) and no stale copy exists, so
+// the quarter is answered by proxying from a replica peer — 200 with
+// X-Maras-Origin: peer — and the cached peer copy keeps that label on
+// re-serves.
+func TestServerFailsOverToPeer(t *testing.T) {
+	dirA := tempStoreDir(t, 1)
+	dirB := tempStoreDir(t, 1)
+	flipByte(t, filepath.Join(dirA, "2014Q1"+store.Ext))
+
+	// Peer B: a healthy replica serving the sync endpoints.
+	regB, err := store.OpenRegistry(dirB, store.RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB := replica.NewNode(regB, replica.Options{Name: "b"})
+	peerMux := http.NewServeMux()
+	nodeB.Mount(peerMux)
+	srvB := httptest.NewServer(peerMux)
+	defer srvB.Close()
+
+	h, ss, _, _ := storeHandler(t, dirA)
+	nodeA := replica.NewNode(ss.reg, replica.Options{Name: "a", Peers: []string{srvB.URL}})
+	ss.replica = nodeA
+	ss.reg.SetPeerFetch(nodeA.FetchAnalysis)
+
+	// First touch: local decode fails (quarantining the file), no stale
+	// copy exists, and the peer tier answers.
+	rec := getMux(t, h, "/q/2014Q1/api/signals")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("peer-failover status = %d, want 200; body=%s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(store.OriginHeader); got != string(store.OriginPeer) {
+		t.Fatalf("failover origin = %q, want %q", got, store.OriginPeer)
+	}
+	if _, err := os.Stat(filepath.Join(dirA, "2014Q1"+store.Ext+store.QuarantinedExt)); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+
+	// Re-serve: the cached copy came from a peer and stays labeled so.
+	rec = getMux(t, h, "/q/2014Q1/api/signals")
+	if rec.Code != http.StatusOK || rec.Header().Get(store.OriginHeader) != string(store.OriginPeer) {
+		t.Fatalf("cached failover: status=%d origin=%q", rec.Code, rec.Header().Get(store.OriginHeader))
 	}
 }
 

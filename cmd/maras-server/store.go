@@ -36,6 +36,7 @@ import (
 	"maras/internal/obs"
 	"maras/internal/obs/prof"
 	"maras/internal/obs/wide"
+	"maras/internal/replica"
 	"maras/internal/resilience"
 	"maras/internal/store"
 	"maras/internal/trend"
@@ -53,17 +54,24 @@ type storeServer struct {
 	started time.Time
 	ready   *obs.Readiness // degraded flag target; set by routes, may be nil
 	slos    *sloStack      // SLO rollup for the quarters page; set by routes, may be nil
+	// replica, when non-nil, is this node's replication layer: routes
+	// mounts its /sync endpoints (outside the bulkhead) and quarter
+	// routing consults its peer inventories before 404ing a label the
+	// local disk has never seen. Assigned after newStoreServer, before
+	// routes.
+	replica *replica.Node
 
 	mu       sync.Mutex
 	handlers map[string]http.Handler // per-quarter muxes, dropped on LRU evict
-	// staleHandlers caches the mux built over a quarter's last-good
-	// stale analysis, keyed by quarter and invalidated when the stale
-	// copy itself changes. Deliberately NOT dropped on LRU evict: the
-	// whole point is surviving the live path going away.
-	staleHandlers map[string]staleHandler
+	// fallbackHandlers caches the mux built over a quarter's fallback
+	// analysis (last-good stale copy or a peer-fetched one), keyed by
+	// quarter and invalidated when the copy itself changes.
+	// Deliberately NOT dropped on LRU evict: the whole point is
+	// surviving the live path going away.
+	fallbackHandlers map[string]fallbackHandler
 }
 
-type staleHandler struct {
+type fallbackHandler struct {
 	a *core.Analysis
 	h http.Handler
 }
@@ -77,11 +85,11 @@ type staleHandler struct {
 // degradation.
 func newStoreServer(dir string, logger *slog.Logger, tracer *obs.Tracer, m *obs.StoreMetrics, auditor *audit.Auditor, ws *watchStack, events *wide.Ring) (*storeServer, error) {
 	ss := &storeServer{
-		logger:        logger,
-		auditor:       auditor,
-		started:       time.Now(),
-		handlers:      map[string]http.Handler{},
-		staleHandlers: map[string]staleHandler{},
+		logger:           logger,
+		auditor:          auditor,
+		started:          time.Now(),
+		handlers:         map[string]http.Handler{},
+		fallbackHandlers: map[string]fallbackHandler{},
 	}
 	reg, err := store.OpenRegistry(dir, store.RegistryOptions{
 		Metrics: m,
@@ -133,6 +141,15 @@ func (ss *storeServer) routes(reg *obs.Registry, mw *obs.HTTPMetrics, journal *o
 	mw.Handle(mux, "/q/", app(ss.handleQuarterScoped))
 	mw.Handle(mux, "/", app(ss.handleDefaultQuarter))
 	ws.register(mux, mw, app)
+	if ss.replica != nil {
+		// The peer-sync endpoints mount OUTSIDE the bulkhead, next to
+		// the operational surface: a node saturated with client traffic
+		// must keep feeding its replicas, or one hot node degrades the
+		// whole set. Inventories are repetitive JSON, so they gzip;
+		// snapshot bodies are CRC-carrying binaries and stay identity.
+		mw.Handle(mux, "/sync/inventory", obs.GzipHandler(ss.replica.InventoryHandler()))
+		mw.Handle(mux, "/sync/snapshot/", ss.replica.SnapshotHandler())
+	}
 	mountOperational(mux, reg, journal, ready, slos, ss.healthDetail, ss.auditLog(), captor, events)
 	return mux
 }
@@ -155,6 +172,9 @@ func (ss *storeServer) healthDetail() map[string]any {
 		"open_quarters":  ss.reg.OpenCount(),
 		"default":        ss.reg.Latest(),
 		"uptime_seconds": int64(time.Since(ss.started).Seconds()),
+	}
+	if ss.replica != nil {
+		detail["replica"] = ss.replica.CurrentStatus()
 	}
 	if ss.reg.Degraded() {
 		detail["degraded"] = true
@@ -179,6 +199,12 @@ func (ss *storeServer) noteDegradation() {
 	ss.ready.SetDegraded("store", ss.reg.Degraded())
 }
 
+// peerHas reports whether a replica peer's last-known inventory
+// advertises label.
+func (ss *storeServer) peerHas(label string) bool {
+	return ss.replica != nil && ss.replica.PeerHas(label)
+}
+
 // dropHandler is the registry's eviction callback: when a quarter's
 // analysis leaves the LRU, the route handler holding it must go too,
 // or the memory bound is fiction.
@@ -193,59 +219,63 @@ func (ss *storeServer) dropHandler(label string) {
 // snapshot through the registry LRU on first touch. The lookup runs
 // under a "quarter_mux" child span so a trace distinguishes the
 // handler cache from a registry load: handler_cache=hit means the
-// registry was never consulted this request. stale=true means the live
-// load failed and the handler serves the quarter's last-good snapshot.
-func (ss *storeServer) quarterHandler(ctx context.Context, label string) (h http.Handler, stale bool, err error) {
+// registry was never consulted this request. A non-local origin means
+// the live load failed and the handler serves a fallback copy (the
+// last-good stale snapshot, or one proxied from a replica peer).
+func (ss *storeServer) quarterHandler(ctx context.Context, label string) (http.Handler, store.Origin, error) {
 	ctx, span := obs.StartSpan(ctx, "quarter_mux")
 	defer span.End()
 	span.SetAttr("quarter", label)
 	ss.mu.Lock()
-	h = ss.handlers[label]
+	h := ss.handlers[label]
 	ss.mu.Unlock()
 	if h != nil {
 		span.SetAttr("handler_cache", "hit")
-		return h, false, nil
+		return h, store.OriginLocal, nil
 	}
 	span.SetAttr("handler_cache", "miss")
-	a, stale, err := ss.reg.LoadResilient(ctx, label)
+	a, origin, err := ss.reg.LoadResilient(ctx, label)
 	defer ss.noteDegradation()
 	if err != nil {
-		return nil, false, err
+		return nil, "", err
 	}
-	if stale {
-		span.SetAttr("stale", "true")
-		return ss.staleQuarterHandler(label, a), true, nil
+	if origin != store.OriginLocal {
+		span.SetAttr("origin", string(origin))
+		return ss.fallbackQuarterHandler(label, a), origin, nil
 	}
 	qs := &server{analysis: a, quarter: label, logger: ss.logger, started: ss.started}
 	h = qs.quarterMux()
 	ss.mu.Lock()
 	ss.handlers[label] = h
 	ss.mu.Unlock()
-	return h, false, nil
+	return h, store.OriginLocal, nil
 }
 
-// staleQuarterHandler returns (building if needed) the mux over a
-// quarter's last-good analysis. Cached separately from the live
-// handlers so LRU eviction cannot take it, and rebuilt only when the
-// stale copy itself changes.
-func (ss *storeServer) staleQuarterHandler(label string, a *core.Analysis) http.Handler {
+// fallbackQuarterHandler returns (building if needed) the mux over a
+// quarter's fallback analysis — stale or peer-fetched. Cached
+// separately from the live handlers so LRU eviction cannot take it,
+// and rebuilt only when the fallback copy itself changes.
+func (ss *storeServer) fallbackQuarterHandler(label string, a *core.Analysis) http.Handler {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
-	if sh, ok := ss.staleHandlers[label]; ok && sh.a == a {
-		return sh.h
+	if fh, ok := ss.fallbackHandlers[label]; ok && fh.a == a {
+		return fh.h
 	}
 	qs := &server{analysis: a, quarter: label, logger: ss.logger, started: ss.started}
 	h := qs.quarterMux()
-	ss.staleHandlers[label] = staleHandler{a: a, h: h}
+	ss.fallbackHandlers[label] = fallbackHandler{a: a, h: h}
 	return h
 }
 
 // serveQuarter dispatches a request into label's application mux with
 // graceful degradation: a fresh handler when the live path works, the
-// last-good stale copy (marked X-Maras-Stale: 1) when it does not, and
-// 503 with Retry-After — never a 500 — when neither exists.
+// last-good stale copy or a replica peer's verified copy when it does
+// not, and 503 with Retry-After — never a 500 — when no tier can
+// answer. Every quarter response carries X-Maras-Origin
+// (local|stale|peer); stale responses keep the X-Maras-Stale: 1
+// header for back compatibility.
 func (ss *storeServer) serveQuarter(w http.ResponseWriter, r *http.Request, label string) {
-	h, stale, err := ss.quarterHandler(r.Context(), label)
+	h, origin, err := ss.quarterHandler(r.Context(), label)
 	if err != nil {
 		ss.log().Error("load quarter", "quarter", label, "err", err)
 		w.Header().Set("Retry-After", staleRetryAfter)
@@ -253,9 +283,13 @@ func (ss *storeServer) serveQuarter(w http.ResponseWriter, r *http.Request, labe
 			http.StatusServiceUnavailable)
 		return
 	}
-	if stale {
+	w.Header().Set(store.OriginHeader, string(origin))
+	switch origin {
+	case store.OriginStale:
 		ss.log().Warn("serving stale quarter", "quarter", label)
 		w.Header().Set("X-Maras-Stale", "1")
+	case store.OriginPeer:
+		ss.log().Warn("serving quarter from replica peer", "quarter", label)
 	}
 	h.ServeHTTP(w, r)
 }
@@ -282,9 +316,9 @@ func (ss *storeServer) handleQuarterScoped(w http.ResponseWriter, r *http.Reques
 		return
 	}
 	// A quarter missing from disk (e.g. quarantined) but held as a
-	// last-good stale copy is still servable; only a label the store
-	// has never seen is a true 404.
-	if !ss.reg.Has(label) && !ss.reg.HasStale(label) {
+	// last-good stale copy — or advertised by a replica peer — is
+	// still servable; only a label nobody has seen is a true 404.
+	if !ss.reg.Has(label) && !ss.reg.HasStale(label) && !ss.peerHas(label) {
 		http.Error(w, fmt.Sprintf("quarter %q not in store", label), http.StatusNotFound)
 		return
 	}

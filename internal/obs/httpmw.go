@@ -49,6 +49,7 @@ type RequestSample struct {
 	Bytes     int64
 	Gzip      bool         // response negotiated Content-Encoding: gzip
 	Stale     bool         // response carried X-Maras-Stale
+	Origin    string       // response X-Maras-Origin (local|stale|peer)
 	Trace     *TraceRecord // completed trace; nil when tracing is disabled
 }
 
@@ -232,6 +233,7 @@ func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
 					Bytes:     rec.bytes,
 					Gzip:      rec.Header().Get("Content-Encoding") == "gzip",
 					Stale:     rec.Header().Get("X-Maras-Stale") != "",
+					Origin:    rec.Header().Get("X-Maras-Origin"),
 				}
 				if root != nil {
 					s.Trace = &snap

@@ -27,6 +27,9 @@ type StoreMetrics struct {
 	// StaleServes counts loads answered from the last-good stale
 	// cache because the live load failed.
 	StaleServes *Counter
+	// PeerServes counts loads answered by a replica peer (fetched or
+	// peer-cached) after the local and stale tiers both failed.
+	PeerServes *Counter
 	// BreakersOpen tracks how many per-quarter load breakers are
 	// currently not closed (open or half-open).
 	BreakersOpen *Gauge
@@ -54,6 +57,8 @@ func NewStoreMetrics(r *Registry) *StoreMetrics {
 			"Corrupt snapshots quarantined (renamed aside)."),
 		StaleServes: r.Counter("maras_store_stale_serves_total",
 			"Loads served from the last-good stale cache after a live-load failure."),
+		PeerServes: r.Counter("maras_store_peer_serves_total",
+			"Loads answered by a replica peer after the local and stale tiers failed."),
 		BreakersOpen: r.Gauge("maras_store_breakers_open",
 			"Per-quarter load circuit breakers currently open or half-open."),
 	}

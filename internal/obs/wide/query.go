@@ -33,9 +33,9 @@ const DefaultLimit = 100
 // is the status class (2xx/4xx/5xx) derived from status.
 var queryFields = map[string]bool{
 	"kind": true, "id": true, "route": true, "status": true, "code": true,
-	"quarter": true, "cache": true, "stale": true, "shed": true,
-	"breaker": true, "gzip": true, "user": true, "slowest": true,
-	"trace": true, "profile": true,
+	"quarter": true, "cache": true, "origin": true, "stale": true,
+	"shed": true, "breaker": true, "gzip": true, "user": true,
+	"slowest": true, "trace": true, "profile": true,
 }
 
 var aggregates = map[string]bool{
@@ -127,6 +127,8 @@ func (r *Ring) fieldValue(field string, i int) string {
 		return r.quarter[i]
 	case "cache":
 		return r.cache[i]
+	case "origin":
+		return r.origin[i]
 	case "stale":
 		return strconv.FormatBool(r.stale[i])
 	case "shed":

@@ -23,10 +23,11 @@ import (
 
 // Event kinds: which unit of work the event describes.
 const (
-	KindRequest   = "request"
-	KindStoreLoad = "store_load"
-	KindWatchEval = "watch_eval"
-	KindMine      = "mine"
+	KindRequest     = "request"
+	KindStoreLoad   = "store_load"
+	KindWatchEval   = "watch_eval"
+	KindMine        = "mine"
+	KindReplicaSync = "replica_sync"
 )
 
 // Event is one wide record. Only Time, Kind, and Duration are always
@@ -41,7 +42,8 @@ type Event struct {
 	Status     int           `json:"status,omitempty"`
 	Duration   time.Duration `json:"duration_ns"`
 	Quarter    string        `json:"quarter,omitempty"`
-	Cache      string        `json:"cache,omitempty"` // lru_hit | lru_miss
+	Cache      string        `json:"cache,omitempty"`  // lru_hit | lru_miss
+	Origin     string        `json:"origin,omitempty"` // serving origin: local | stale | peer
 	Stale      bool          `json:"stale,omitempty"`
 	Shed       string        `json:"shed,omitempty"` // bulkhead shed reason
 	Breaker    bool          `json:"breaker,omitempty"`
@@ -90,6 +92,7 @@ type Ring struct {
 	route   []string
 	quarter []string
 	cache   []string
+	origin  []string
 	shed    []string
 	user    []string
 	slowest []string
@@ -124,6 +127,7 @@ func NewRing(capacity, sample int, reg *obs.Registry) *Ring {
 		route:    make([]string, capacity),
 		quarter:  make([]string, capacity),
 		cache:    make([]string, capacity),
+		origin:   make([]string, capacity),
 		shed:     make([]string, capacity),
 		user:     make([]string, capacity),
 		slowest:  make([]string, capacity),
@@ -182,6 +186,7 @@ func (r *Ring) Emit(e Event) {
 	r.route[i] = e.Route
 	r.quarter[i] = e.Quarter
 	r.cache[i] = e.Cache
+	r.origin[i] = e.Origin
 	r.shed[i] = e.Shed
 	r.user[i] = e.User
 	r.slowest[i] = e.Slowest
@@ -217,6 +222,7 @@ func RequestEvent(s obs.RequestSample) Event {
 		Bytes:    s.Bytes,
 		Gzip:     s.Gzip,
 		Stale:    s.Stale,
+		Origin:   s.Origin,
 	}
 	tr := s.Trace
 	if tr == nil {
@@ -238,6 +244,10 @@ func RequestEvent(s obs.RequestSample) Event {
 			case "cache":
 				if e.Cache == "" {
 					e.Cache = v
+				}
+			case "origin":
+				if e.Origin == "" {
+					e.Origin = v
 				}
 			case "stale":
 				if v == "true" {
@@ -314,6 +324,7 @@ func (r *Ring) eventAt(k int) Event {
 		Duration:   time.Duration(r.durNS[i]),
 		Quarter:    r.quarter[i],
 		Cache:      r.cache[i],
+		Origin:     r.origin[i],
 		Stale:      r.stale[i],
 		Shed:       r.shed[i],
 		Breaker:    r.breaker[i],

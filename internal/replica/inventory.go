@@ -1,0 +1,80 @@
+package replica
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"maras/internal/store"
+)
+
+// Scanner builds a node's inventory from its registry directory,
+// caching each file's manifest keyed by (size, modtime): a
+// steady-state sync round costs one ReadDir and zero snapshot reads.
+type Scanner struct {
+	dir string
+
+	mu    sync.Mutex
+	cache map[string]cachedLeaf
+}
+
+type cachedLeaf struct {
+	size int64
+	mod  time.Time
+	leaf Leaf
+}
+
+// NewScanner scans the snapshot directory dir.
+func NewScanner(dir string) *Scanner {
+	return &Scanner{dir: dir, cache: map[string]cachedLeaf{}}
+}
+
+// Scan reads the directory and returns one leaf per snapshot file. A
+// file whose manifest cannot be read (damaged, caught mid-rename) is
+// simply not advertised — the local registry's quarantine machinery
+// owns damage; the inventory only vouches for what it can fingerprint.
+func (s *Scanner) Scan() ([]Leaf, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var leaves []Leaf
+	seen := make(map[string]bool, len(entries))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, store.Ext) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		seen[name] = true
+		if c, ok := s.cache[name]; ok && c.size == fi.Size() && c.mod.Equal(fi.ModTime()) {
+			leaves = append(leaves, c.leaf)
+			continue
+		}
+		m, err := store.ReadManifest(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		leaf := Leaf{
+			Label:   strings.TrimSuffix(name, store.Ext),
+			CRC:     m.CRC,
+			Size:    m.Size,
+			SavedAt: m.SavedAt.Unix(),
+		}
+		s.cache[name] = cachedLeaf{size: fi.Size(), mod: fi.ModTime(), leaf: leaf}
+		leaves = append(leaves, leaf)
+	}
+	for name := range s.cache {
+		if !seen[name] {
+			delete(s.cache, name)
+		}
+	}
+	return leaves, nil
+}

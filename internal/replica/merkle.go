@@ -1,0 +1,147 @@
+// Package replica implements multi-node replication for the snapshot
+// store: each node advertises its quarter inventory as a merkle tree
+// built over the codec's CRC-32 trailers, diffs that tree against
+// configured peers on a jittered anti-entropy loop, and pulls missing
+// or newer snapshots over HTTP into the local registry through the
+// store's atomic write-then-rename path. Reads gain a failover tier:
+// the registry's LoadResilient proxies from any peer holding a
+// verified copy when the local and stale tiers fail (origin "peer").
+//
+// The protocol is pull-only and needs two endpoints per node, mounted
+// OUTSIDE the bulkhead — a saturated node must keep feeding its peers
+// or one hot replica degrades the whole set:
+//
+//	GET /sync/inventory        node name, merkle root, leaves (JSON)
+//	GET /sync/snapshot/{label} raw snapshot bytes
+//
+// Every fetched snapshot is verified (magic, version, CRC trailer)
+// before a single byte reaches disk; corrupt peer bytes are counted
+// and rejected, never installed.
+package replica
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Leaf is one quarter's advertisement: the label, the snapshot's
+// CRC-32 trailer (its content fingerprint), the file size, and the
+// save time (unix seconds — the tiebreaker when two nodes hold the
+// same label with different bytes).
+type Leaf struct {
+	Label   string `json:"label"`
+	CRC     uint32 `json:"crc"`
+	Size    int64  `json:"size"`
+	SavedAt int64  `json:"saved_at"`
+}
+
+// Tree is a merkle tree over a label-sorted leaf set. Interior nodes
+// hash left-to-right pairs; an odd node is promoted unhashed. Leaf
+// identity is content-only (label, CRC, size): two nodes holding
+// byte-identical snapshots agree on the root even if their clocks
+// disagreed about when the bytes were saved.
+type Tree struct {
+	leaves []Leaf
+	root   [sha256.Size]byte
+}
+
+// emptyRoot is the root of an inventory with no snapshots — a fixed
+// sentinel, so an empty node can never collide with any non-empty one.
+var emptyRoot = sha256.Sum256([]byte("maras-replica-empty"))
+
+// BuildTree folds leaves (copied, then sorted by label) into a tree.
+func BuildTree(leaves []Leaf) *Tree {
+	ls := append([]Leaf(nil), leaves...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Label < ls[j].Label })
+	t := &Tree{leaves: ls}
+	if len(ls) == 0 {
+		t.root = emptyRoot
+		return t
+	}
+	level := make([][sha256.Size]byte, len(ls))
+	for i, l := range ls {
+		level[i] = leafHash(l)
+	}
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				break
+			}
+			h := sha256.New()
+			h.Write(level[i][:])
+			h.Write(level[i+1][:])
+			var d [sha256.Size]byte
+			h.Sum(d[:0])
+			next = append(next, d)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+func leafHash(l Leaf) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(l.Label))
+	h.Write([]byte{0}) // label/fingerprint separator
+	var b [12]byte
+	binary.LittleEndian.PutUint32(b[:4], l.CRC)
+	binary.LittleEndian.PutUint64(b[4:], uint64(l.Size))
+	h.Write(b[:])
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// RootHex returns the root hash as lowercase hex — the value nodes
+// compare (and operators eyeball) to decide whether two inventories
+// agree.
+func (t *Tree) RootHex() string { return hex.EncodeToString(t.root[:]) }
+
+// Leaves returns the label-sorted leaf set. Callers must not mutate.
+func (t *Tree) Leaves() []Leaf { return t.leaves }
+
+// Len returns how many snapshots the tree advertises.
+func (t *Tree) Len() int { return len(t.leaves) }
+
+// Diff returns the remote leaves local should fetch: labels local
+// lacks entirely, plus labels both sides hold with differing CRCs
+// where the remote copy wins. Equal roots short-circuit to nil, so
+// the steady state costs one comparison. The walk is a two-pointer
+// merge over the label-sorted leaf sets.
+func Diff(local, remote *Tree) []Leaf {
+	if local.root == remote.root {
+		return nil
+	}
+	var need []Leaf
+	i := 0
+	for _, rl := range remote.leaves {
+		for i < len(local.leaves) && local.leaves[i].Label < rl.Label {
+			i++
+		}
+		if i >= len(local.leaves) || local.leaves[i].Label != rl.Label {
+			need = append(need, rl)
+			continue
+		}
+		if ll := local.leaves[i]; ll.CRC != rl.CRC && remoteWins(ll, rl) {
+			need = append(need, rl)
+		}
+	}
+	return need
+}
+
+// remoteWins decides which of two differing copies of one label is
+// authoritative: the later save wins; on a tie the numerically larger
+// CRC does. The rule is a total order over (SavedAt, CRC), so two
+// nodes that wrote the same label independently converge on one copy
+// instead of fetching from each other forever.
+func remoteWins(local, remote Leaf) bool {
+	if remote.SavedAt != local.SavedAt {
+		return remote.SavedAt > local.SavedAt
+	}
+	return remote.CRC > local.CRC
+}

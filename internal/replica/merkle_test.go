@@ -1,0 +1,129 @@
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func mkLeaf(label string, crc uint32, savedAt int64) Leaf {
+	return Leaf{Label: label, CRC: crc, Size: 1000, SavedAt: savedAt}
+}
+
+func TestEmptyTreeRootIsSentinel(t *testing.T) {
+	a := BuildTree(nil)
+	b := BuildTree([]Leaf{})
+	if a.RootHex() != b.RootHex() {
+		t.Fatal("two empty trees disagree on the root")
+	}
+	if a.Len() != 0 {
+		t.Fatalf("empty tree Len = %d", a.Len())
+	}
+	full := BuildTree([]Leaf{mkLeaf("2014Q1", 1, 1)})
+	if a.RootHex() == full.RootHex() {
+		t.Fatal("empty root collides with a one-leaf root")
+	}
+}
+
+// TestDiffEmptyVersusFull covers the cold-start extremes: an empty
+// node pulls everything from a full peer, and a full node pulls
+// nothing from an empty peer (anti-entropy is pull-only — it never
+// deletes).
+func TestDiffEmptyVersusFull(t *testing.T) {
+	full := BuildTree([]Leaf{
+		mkLeaf("2014Q1", 11, 1), mkLeaf("2014Q2", 22, 2), mkLeaf("2014Q3", 33, 3),
+	})
+	empty := BuildTree(nil)
+
+	need := Diff(empty, full)
+	if len(need) != 3 {
+		t.Fatalf("empty vs full: need %d leaves, want 3", len(need))
+	}
+	for i, label := range []string{"2014Q1", "2014Q2", "2014Q3"} {
+		if need[i].Label != label {
+			t.Fatalf("need[%d] = %q, want %q", i, need[i].Label, label)
+		}
+	}
+	if need := Diff(full, empty); need != nil {
+		t.Fatalf("full vs empty: need = %v, want nil", need)
+	}
+	if need := Diff(empty, BuildTree(nil)); need != nil {
+		t.Fatalf("empty vs empty: need = %v, want nil", need)
+	}
+}
+
+// TestDiffSingleDivergenceAmongMany plants one differing quarter in a
+// thousand-leaf inventory and checks the diff isolates exactly it.
+func TestDiffSingleDivergenceAmongMany(t *testing.T) {
+	const n = 1000
+	local := make([]Leaf, n)
+	remote := make([]Leaf, n)
+	for i := 0; i < n; i++ {
+		l := mkLeaf(fmt.Sprintf("%04dQ%d", 1900+i/4, 1+i%4), uint32(i+1), int64(i+1))
+		local[i] = l
+		remote[i] = l
+	}
+	remote[617].CRC ^= 0xdeadbeef
+	remote[617].SavedAt++ // the remote copy is newer: it must win
+
+	lt, rt := BuildTree(local), BuildTree(remote)
+	if lt.RootHex() == rt.RootHex() {
+		t.Fatal("roots agree despite one divergent leaf")
+	}
+	need := Diff(lt, rt)
+	if len(need) != 1 || need[0].Label != remote[617].Label {
+		t.Fatalf("need = %v, want exactly %q", need, remote[617].Label)
+	}
+	// Identical inventories take the equal-roots fast path.
+	if need := Diff(lt, BuildTree(local)); need != nil {
+		t.Fatalf("identical trees: need = %v, want nil", need)
+	}
+}
+
+// TestDiffSameLabelsDifferingCRCs pins the conflict rule for one label
+// held with different bytes on both sides: the later save wins, a
+// timestamp tie goes to the higher CRC, and the rule is antisymmetric
+// so exactly one side fetches — the pair converges instead of trading
+// copies forever.
+func TestDiffSameLabelsDifferingCRCs(t *testing.T) {
+	older := mkLeaf("2014Q1", 0xaaaa, 100)
+	newer := mkLeaf("2014Q1", 0x1111, 200)
+
+	if need := Diff(BuildTree([]Leaf{older}), BuildTree([]Leaf{newer})); len(need) != 1 {
+		t.Fatalf("older local should fetch newer remote, need = %v", need)
+	}
+	if need := Diff(BuildTree([]Leaf{newer}), BuildTree([]Leaf{older})); need != nil {
+		t.Fatalf("newer local must not fetch older remote, need = %v", need)
+	}
+
+	tieLo := mkLeaf("2014Q1", 0x1111, 100)
+	tieHi := mkLeaf("2014Q1", 0xaaaa, 100)
+	lo2hi := Diff(BuildTree([]Leaf{tieLo}), BuildTree([]Leaf{tieHi}))
+	hi2lo := Diff(BuildTree([]Leaf{tieHi}), BuildTree([]Leaf{tieLo}))
+	if len(lo2hi) != 1 || hi2lo != nil {
+		t.Fatalf("CRC tiebreak not antisymmetric: lo->hi=%v hi->lo=%v", lo2hi, hi2lo)
+	}
+}
+
+// TestTreeRootIgnoresLeafOrderAndClock shuffled input and skewed save
+// times must not change the root: identity is (label, CRC, size) over
+// the label-sorted set.
+func TestTreeRootIgnoresLeafOrderAndClock(t *testing.T) {
+	leaves := make([]Leaf, 50)
+	for i := range leaves {
+		leaves[i] = mkLeaf(fmt.Sprintf("20%02dQ%d", i/4, 1+i%4), uint32(1000+i), int64(i))
+	}
+	want := BuildTree(leaves).RootHex()
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]Leaf(nil), leaves...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for i := range shuffled {
+			shuffled[i].SavedAt += int64(trial * 7) // clock skew: not hashed
+		}
+		if got := BuildTree(shuffled).RootHex(); got != want {
+			t.Fatalf("trial %d: root %s != %s", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maras/internal/core"
+	"maras/internal/faers"
+	"maras/internal/obs"
+	"maras/internal/store"
+)
+
+// testAnalysis mines a small deterministic quarter.
+func testAnalysis(t *testing.T, extra int) *core.Analysis {
+	t.Helper()
+	var reports []faers.Report
+	id := 0
+	add := func(drugs, reacs []string) {
+		id++
+		reports = append(reports, faers.Report{
+			PrimaryID: fmt.Sprintf("%d", 1000+id), CaseID: fmt.Sprintf("c%d", id),
+			ReportCode: "EXP", Drugs: drugs, Reactions: reacs,
+		})
+	}
+	for i := 0; i < 8+extra; i++ {
+		add([]string{"ASPIRIN", "WARFARIN"}, []string{"Haemorrhage"})
+	}
+	for i := 0; i < 20; i++ {
+		add([]string{"ASPIRIN"}, []string{"Nausea"})
+		add([]string{"WARFARIN"}, []string{"Dizziness"})
+	}
+	opts := core.NewOptions()
+	opts.MinSupport = 3
+	a, err := core.Run(reports, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func writeSnap(t *testing.T, dir, label string, a *core.Analysis) {
+	t.Helper()
+	if err := store.WriteFile(filepath.Join(dir, label+store.Ext), label, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// serveNode opens a registry over dir, binds a node named name to it,
+// and serves its sync endpoints over httptest.
+func serveNode(t *testing.T, dir, name string) (*Node, *httptest.Server) {
+	t.Helper()
+	reg, err := store.OpenRegistry(dir, store.RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(reg, Options{Name: name})
+	mux := http.NewServeMux()
+	n.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return n, srv
+}
+
+func TestTwoNodeSyncConverges(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a := testAnalysis(t, 0)
+	writeSnap(t, dirA, "2014Q1", a)
+	writeSnap(t, dirA, "2014Q2", a)
+
+	nodeA, srvA := serveNode(t, dirA, "a")
+	regB, err := store.OpenRegistry(dirB, store.RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeB := NewNode(regB, Options{
+		Name:    "b",
+		Peers:   []string{srvA.URL},
+		Metrics: NewMetrics(obs.NewRegistry()),
+	})
+
+	stats := nodeB.SyncOnce(context.Background())
+	if stats.Fetched != 2 || stats.Unreachable != 0 || stats.Rejected != 0 {
+		t.Fatalf("first round stats = %+v, want 2 fetched clean", stats)
+	}
+	ta, err := nodeA.InventoryTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := nodeB.InventoryTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.RootHex() != tb.RootHex() {
+		t.Fatalf("roots diverge after sync: %s != %s", ta.RootHex(), tb.RootHex())
+	}
+	for _, label := range []string{"2014Q1", "2014Q2"} {
+		if !regB.Has(label) {
+			t.Fatalf("node b missing %s after sync", label)
+		}
+		if _, err := regB.Load(label); err != nil {
+			t.Fatalf("installed snapshot %s unreadable: %v", label, err)
+		}
+	}
+	// Steady state: equal roots cost one comparison and fetch nothing.
+	if stats := nodeB.SyncOnce(context.Background()); stats.Fetched != 0 || stats.Needed != 0 {
+		t.Fatalf("steady-state round stats = %+v, want no work", stats)
+	}
+	// PeerHas reflects the last-known peer inventory.
+	if !nodeB.PeerHas("2014Q1") || nodeB.PeerHas("1999Q1") {
+		t.Fatal("PeerHas does not reflect the peer inventory")
+	}
+}
+
+// TestSyncRejectsCorruptPeerBytes serves a snapshot whose body is
+// damaged after the manifest (so the peer still advertises it) and
+// checks the fetcher's verify-before-disk gate: the bytes are counted
+// as rejected and never installed.
+func TestSyncRejectsCorruptPeerBytes(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeSnap(t, dirA, "2014Q1", testAnalysis(t, 0))
+	path := filepath.Join(dirA, "2014Q1"+store.Ext)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-8] ^= 0x55 // body damage; the meta header stays readable
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, srvA := serveNode(t, dirA, "a")
+	regB, err := store.OpenRegistry(dirB, store.RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(obs.NewRegistry())
+	nodeB := NewNode(regB, Options{Name: "b", Peers: []string{srvA.URL}, Metrics: m})
+
+	stats := nodeB.SyncOnce(context.Background())
+	if stats.Rejected != 1 || stats.Fetched != 0 {
+		t.Fatalf("corrupt-peer stats = %+v, want 1 rejected 0 fetched", stats)
+	}
+	if m.CorruptFetches.Value() != 1 {
+		t.Fatalf("corrupt fetch counter = %d, want 1", m.CorruptFetches.Value())
+	}
+	if regB.Has("2014Q1") {
+		t.Fatal("corrupt peer bytes were installed")
+	}
+	entries, err := os.ReadDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Fatalf("unexpected file %q in node b's store", e.Name())
+	}
+
+	// The peer repairs its copy; the next round installs it.
+	data[len(data)-8] ^= 0x55
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if stats := nodeB.SyncOnce(context.Background()); stats.Fetched != 1 {
+		t.Fatalf("post-repair stats = %+v, want 1 fetched", stats)
+	}
+	if _, err := regB.Load("2014Q1"); err != nil {
+		t.Fatalf("repaired snapshot unreadable: %v", err)
+	}
+}
+
+// TestCrashMidFetchOrphanReclaimed models a node that died between
+// CreateTemp and Rename during a snapshot install: the leftover temp
+// file is swept at the next registry open, and the following sync
+// round installs the quarter cleanly.
+func TestCrashMidFetchOrphanReclaimed(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeSnap(t, dirA, "2014Q1", testAnalysis(t, 0))
+
+	orphan := filepath.Join(dirB, "2014Q1"+store.Ext+".tmp98765")
+	if err := os.WriteFile(orphan, []byte("partial fetch, crashed"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	_, srvA := serveNode(t, dirA, "a")
+	regB, err := store.OpenRegistry(dirB, store.RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan temp file survived registry open: %v", err)
+	}
+	nodeB := NewNode(regB, Options{Name: "b", Peers: []string{srvA.URL}})
+	if stats := nodeB.SyncOnce(context.Background()); stats.Fetched != 1 {
+		t.Fatalf("post-crash sync stats = %+v, want 1 fetched", stats)
+	}
+	entries, err := os.ReadDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 1 || names[0] != "2014Q1"+store.Ext {
+		t.Fatalf("store contents after reclaim = %v", names)
+	}
+	if !strings.HasSuffix(names[0], store.Ext) {
+		t.Fatalf("installed file %q lacks snapshot extension", names[0])
+	}
+}

@@ -43,9 +43,11 @@ const FailpointEnv = "MARAS_FAILPOINTS"
 // Well-known failpoint site names. Sites live where Inject is called;
 // these constants exist so specs, tests, and docs agree on spelling.
 const (
-	FPDecode = "store/decode" // snapshot decode path (corruption)
-	FPLoad   = "store/load"   // registry disk-load path (slow/failing I/O)
-	FPMine   = "core/mine"    // quarter mining path (pipeline stall)
+	FPDecode       = "store/decode"  // snapshot decode path (corruption)
+	FPLoad         = "store/load"    // registry disk-load path (slow/failing I/O)
+	FPMine         = "core/mine"     // quarter mining path (pipeline stall)
+	FPReplicaFetch = "replica/fetch" // replica snapshot fetch from a peer
+	FPReplicaDiff  = "replica/diff"  // replica inventory diff against a peer
 )
 
 // fpAction is what an armed site does when its trigger fires.

@@ -181,13 +181,24 @@ func writeVersion(w io.Writer, label string, a *core.Analysis, savedAt time.Time
 // a temporary file in the same directory which is fsynced and renamed
 // over path, so readers only ever see a complete snapshot.
 func WriteFile(path, label string, a *core.Analysis) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return Write(w, label, a)
+	})
+}
+
+// writeFileAtomic runs emit into a temp file in path's directory, then
+// fsyncs and renames it over path — the write-then-rename protocol
+// every snapshot producer (local save, replica install) shares. The
+// temp name embeds Ext+".tmp", the pattern sweepOrphans reclaims, so a
+// crash mid-write can never leave a file readers would discover.
+func writeFileAtomic(path string, emit func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if err := Write(tmp, label, a); err != nil {
+	if err := emit(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: writing %s: %w", path, err)
 	}
@@ -251,21 +262,102 @@ func Open(path string) (*Snapshot, error) {
 	return s, nil
 }
 
-// Decode parses a complete in-memory snapshot.
-func Decode(data []byte) (*Snapshot, error) {
+// CheckBytes verifies a snapshot's envelope — magic, version range,
+// and the CRC-32 trailer over everything before it — without parsing
+// a single section. It is the verification gate for bytes that arrive
+// over the network (replica sync, peer-failover reads): a pass means
+// the bytes are exactly what some encoder produced; Decode can still
+// reject deeper structural damage, but nothing CheckBytes passes can
+// have flipped in transit.
+func CheckBytes(data []byte) error {
 	if len(data) < len(magic) || [4]byte(data[:4]) != magic {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if len(data) < 12 { // header + trailer
-		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		return fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
 	if v := binary.LittleEndian.Uint16(data[4:6]); v < minVersion || v > Version {
-		return nil, fmt.Errorf("%w: file is v%d, reader speaks v%d..v%d", ErrVersion, v, minVersion, Version)
+		return fmt.Errorf("%w: file is v%d, reader speaks v%d..v%d", ErrVersion, v, minVersion, Version)
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
-		return nil, fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrCorrupt, want, got)
+		return fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrCorrupt, want, got)
 	}
+	return nil
+}
+
+// Manifest is a snapshot's sync-relevant identity, readable without
+// decoding the file: the label and save time from the meta section,
+// the CRC-32 trailer (the content fingerprint replica merkle trees
+// are built over), and the file size. ReadManifest does NOT verify
+// the CRC — that would read the whole file; fetched bytes are
+// verified with CheckBytes before installation instead.
+type Manifest struct {
+	Label   string
+	SavedAt time.Time
+	CRC     uint32
+	Size    int64
+}
+
+// ReadManifest reads path's manifest with two small reads — the
+// header plus the meta section at the front, the CRC trailer at the
+// back — so inventory scans over large stores stay cheap.
+func ReadManifest(path string) (Manifest, error) {
+	var m Manifest
+	f, err := os.Open(path)
+	if err != nil {
+		return m, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return m, fmt.Errorf("store: %w", err)
+	}
+	m.Size = fi.Size()
+	if m.Size < 12 {
+		return m, fmt.Errorf("%s: %w: truncated header", path, ErrCorrupt)
+	}
+	// Header + section headers + the meta payload all sit at the front;
+	// 4 KiB covers any realistic label, and a meta section that somehow
+	// runs past it is treated as damage.
+	head := make([]byte, min(m.Size-4, 4096))
+	if _, err := io.ReadFull(f, head); err != nil {
+		return m, fmt.Errorf("store: %s: %w", path, err)
+	}
+	if [4]byte(head[:4]) != magic {
+		return m, fmt.Errorf("%s: %w", path, ErrBadMagic)
+	}
+	if v := binary.LittleEndian.Uint16(head[4:6]); v < minVersion || v > Version {
+		return m, fmt.Errorf("%s: %w: file is v%d, reader speaks v%d..v%d", path, ErrVersion, v, minVersion, Version)
+	}
+	d := &dec{b: head, off: 8}
+	for d.err == nil && d.off < len(d.b) {
+		id, payload := d.nextSection()
+		if d.err != nil || id != secMeta {
+			continue
+		}
+		sd := &dec{b: payload}
+		m.Label = sd.str()
+		m.SavedAt = time.Unix(sd.i64(), 0)
+		if sd.err != nil {
+			return m, fmt.Errorf("%s: %w: meta section: %v", path, ErrCorrupt, sd.err)
+		}
+		var tail [4]byte
+		if _, err := f.ReadAt(tail[:], m.Size-4); err != nil {
+			return m, fmt.Errorf("store: %s: %w", path, err)
+		}
+		m.CRC = binary.LittleEndian.Uint32(tail[:])
+		return m, nil
+	}
+	return m, fmt.Errorf("%s: %w: meta section not found", path, ErrCorrupt)
+}
+
+// Decode parses a complete in-memory snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	if err := CheckBytes(data); err != nil {
+		return nil, err
+	}
+	body := data[:len(data)-4]
 
 	s := &Snapshot{}
 	var (

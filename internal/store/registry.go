@@ -3,6 +3,8 @@ package store
 import (
 	"context"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -115,6 +117,10 @@ type Registry struct {
 	// res is the resilience machinery (breakers, stale cache,
 	// quarantine); nil unless RegistryOptions.Resilience was set.
 	res *resState
+
+	// peerFetch is the replica read-failover hook (SetPeerFetch);
+	// guarded by mu, nil when this registry has no replica peers.
+	peerFetch func(context.Context, string) (*core.Analysis, error)
 }
 
 // entry is one resident (or loading) quarter. The sync.Once decouples
@@ -379,9 +385,37 @@ func (r *Registry) Save(label string, a *core.Analysis) error {
 	if err := WriteFile(r.Path(label), label, a); err != nil {
 		return err
 	}
-	// The store's contents changed: cached derivations of the old
-	// bytes — this quarter's quality report and the cross-quarter
-	// trend analysis — are stale.
+	r.noteWritten(label)
+	return nil
+}
+
+// InstallBytes atomically installs raw snapshot bytes — fetched from
+// a replica peer — under label, verifying the envelope first so
+// corrupt peer bytes never reach disk. The write shares WriteFile's
+// temp-file pattern, so a crash mid-install leaves only an orphan the
+// next OpenRegistry sweep reclaims; on success the label is
+// immediately loadable, exactly as after Save.
+func (r *Registry) InstallBytes(label string, data []byte) error {
+	if err := CheckBytes(data); err != nil {
+		return fmt.Errorf("store: installing %q: %w", label, err)
+	}
+	err := writeFileAtomic(r.Path(label), func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	r.noteWritten(label)
+	return nil
+}
+
+// noteWritten records that label's bytes on disk just changed (Save or
+// InstallBytes): cached derivations of the old bytes — the quarter's
+// quality report, any resident analysis, the cross-quarter trend
+// assembly — are dropped, and the label becomes discoverable without
+// waiting for a rescan.
+func (r *Registry) noteWritten(label string) {
 	r.qmu.Lock()
 	delete(r.quality, label)
 	r.qmu.Unlock()
@@ -407,7 +441,35 @@ func (r *Registry) Save(label string, a *core.Analysis) error {
 	if r.metrics != nil {
 		r.metrics.OpenQuarters.Set(n)
 	}
-	return nil
+}
+
+// StartRescan refreshes the directory listing every interval until ctx
+// ends. The first rescan fires after a uniformly random delay in
+// [0, interval) and each later tick re-arms at interval ±25%, so a
+// replica fleet restarted together spreads its first rescans (and the
+// sync rounds they feed) instead of thundering-herding its peers in
+// lockstep. A non-positive interval disables the loop.
+func (r *Registry) StartRescan(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		t := time.NewTimer(time.Duration(rng.Int63n(int64(interval))))
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				// A failed rescan (directory briefly unreadable) is
+				// transient; the next tick retries.
+				_ = r.Refresh()
+				spread := float64(interval) * 0.25
+				t.Reset(time.Duration(float64(interval) - spread + 2*spread*rng.Float64()))
+			}
+		}
+	}()
 }
 
 // Timeline replays the trajectory of one drug combination across

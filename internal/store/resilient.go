@@ -25,6 +25,22 @@ const QuarantinedExt = ".quarantined"
 // ResilienceOptions.StaleCap is zero.
 const DefaultStaleCap = 8
 
+// Origin labels which tier of the degradation ladder answered a
+// LoadResilient call: a fresh local load, the in-memory last-good
+// cache, or a replica peer. It is the value clients see in the
+// OriginHeader on every quarter response.
+type Origin string
+
+const (
+	OriginLocal Origin = "local"
+	OriginStale Origin = "stale"
+	OriginPeer  Origin = "peer"
+)
+
+// OriginHeader is the response header carrying the serving origin
+// (local|stale|peer) on every quarter response.
+const OriginHeader = "X-Maras-Origin"
+
 // ResilienceOptions opts a Registry into fault-tolerant loading. The
 // zero value (referenced via RegistryOptions.Resilience) enables retry,
 // circuit breaking, and stale serving with defaults; quarantine stays
@@ -47,6 +63,15 @@ type ResilienceOptions struct {
 	StaleCap int
 }
 
+// fallbackCopy is one entry in the last-good cache. Copies cached by
+// a fresh local load carry OriginStale (that is what a later serve of
+// them is); copies fetched from a replica peer keep OriginPeer so the
+// header never claims a peer's bytes were ours.
+type fallbackCopy struct {
+	a      *core.Analysis
+	origin Origin
+}
+
 // resState is a registry's resilience machinery; nil means the
 // registry behaves exactly as before the resilience layer existed.
 type resState struct {
@@ -54,9 +79,23 @@ type resState struct {
 	breakers *resilience.BreakerSet
 
 	mu       sync.Mutex
-	stale    map[string]*core.Analysis
+	stale    map[string]fallbackCopy
 	order    []string        // stale keys, least-recent first
-	degraded map[string]bool // labels currently served stale
+	degraded map[string]bool // labels currently served from a fallback tier
+}
+
+// put inserts a copy into the bounded last-good cache. Caller holds
+// s.mu.
+func (s *resState) put(label string, a *core.Analysis, origin Origin) {
+	if _, ok := s.stale[label]; !ok {
+		s.order = append(s.order, label)
+		for len(s.order) > s.opts.StaleCap {
+			victim := s.order[0]
+			s.order = s.order[1:]
+			delete(s.stale, victim)
+		}
+	}
+	s.stale[label] = fallbackCopy{a: a, origin: origin}
 }
 
 // initResilience wires the resilience machinery into r from opts.
@@ -66,7 +105,7 @@ func (r *Registry) initResilience(opts ResilienceOptions) {
 	}
 	s := &resState{
 		opts:     opts,
-		stale:    map[string]*core.Analysis{},
+		stale:    map[string]fallbackCopy{},
 		degraded: map[string]bool{},
 	}
 	s.breakers = resilience.NewBreakerSet(opts.Breaker, func(key string, from, to resilience.BreakerState) {
@@ -197,32 +236,77 @@ func (r *Registry) quarantine(label, path string, cause error) {
 	}
 }
 
-// LoadResilient is LoadContext with graceful degradation: when the
-// live load fails (open breaker, quarantined file, exhausted retries)
-// but a last-good copy of the quarter is cached, the copy is served
-// with stale=true instead of an error. A fresh success repopulates the
-// cache and clears the quarter's degraded mark. Without resilience
-// options it is LoadContext with stale always false.
-func (r *Registry) LoadResilient(ctx context.Context, label string) (a *core.Analysis, stale bool, err error) {
-	a, err = r.LoadContext(ctx, label)
+// SetPeerFetch installs the replica read-failover hook: a function
+// that fetches label's analysis from any healthy peer (verified
+// bytes, decoded in memory). LoadResilient consults it as the last
+// rung of the degradation ladder, after the live load and the
+// last-good cache have both failed. Wire it before serving starts.
+func (r *Registry) SetPeerFetch(fetch func(ctx context.Context, label string) (*core.Analysis, error)) {
+	r.mu.Lock()
+	r.peerFetch = fetch
+	r.mu.Unlock()
+}
+
+func (r *Registry) peerFetcher() func(ctx context.Context, label string) (*core.Analysis, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.peerFetch
+}
+
+// LoadResilient is LoadContext with graceful degradation, answering
+// from the first tier of the ladder that can: the live local load
+// (OriginLocal), the in-memory last-good cache (OriginStale — or
+// OriginPeer when the cached copy itself came from a replica), then a
+// replica peer via the SetPeerFetch hook (OriginPeer). A fresh local
+// success repopulates the cache and clears the quarter's degraded
+// mark; on error the returned Origin is empty. Without resilience
+// options it is LoadContext with OriginLocal on success.
+func (r *Registry) LoadResilient(ctx context.Context, label string) (*core.Analysis, Origin, error) {
+	a, err := r.LoadContext(ctx, label)
 	if err == nil {
 		r.noteFresh(label, a)
-		return a, false, nil
+		return a, OriginLocal, nil
 	}
 	if r.res == nil {
-		return nil, false, err
+		return nil, "", err
 	}
-	if sa := r.staleCopy(label); sa != nil {
-		if m := r.metrics; m != nil && m.StaleServes != nil {
-			m.StaleServes.Inc()
+	if fc := r.fallbackFor(label); fc.a != nil {
+		if m := r.metrics; m != nil {
+			switch {
+			case fc.origin == OriginPeer && m.PeerServes != nil:
+				m.PeerServes.Inc()
+			case fc.origin != OriginPeer && m.StaleServes != nil:
+				m.StaleServes.Inc()
+			}
 		}
 		if span := obs.ActiveSpan(ctx); span != nil {
-			span.SetAttr("stale", "true")
+			span.SetAttr("origin", string(fc.origin))
+			if fc.origin == OriginStale {
+				span.SetAttr("stale", "true")
+			}
 		}
-		r.markDegraded(label, err)
-		return sa, true, nil
+		r.markDegraded(label, fc.origin, err)
+		return fc.a, fc.origin, nil
 	}
-	return nil, false, err
+	if fetch := r.peerFetcher(); fetch != nil {
+		pa, perr := fetch(ctx, label)
+		if perr == nil && pa != nil {
+			if m := r.metrics; m != nil && m.PeerServes != nil {
+				m.PeerServes.Inc()
+			}
+			if span := obs.ActiveSpan(ctx); span != nil {
+				span.SetAttr("origin", string(OriginPeer))
+			}
+			if s := r.res; s != nil {
+				s.mu.Lock()
+				s.put(label, pa, OriginPeer)
+				s.mu.Unlock()
+			}
+			r.markDegraded(label, OriginPeer, err)
+			return pa, OriginPeer, nil
+		}
+	}
+	return nil, "", err
 }
 
 // noteFresh records a successful live load: the analysis becomes the
@@ -234,15 +318,7 @@ func (r *Registry) noteFresh(label string, a *core.Analysis) {
 		return
 	}
 	s.mu.Lock()
-	if _, ok := s.stale[label]; !ok {
-		s.order = append(s.order, label)
-		for len(s.order) > s.opts.StaleCap {
-			victim := s.order[0]
-			s.order = s.order[1:]
-			delete(s.stale, victim)
-		}
-	}
-	s.stale[label] = a
+	s.put(label, a, OriginStale)
 	recovered := s.degraded[label]
 	delete(s.degraded, label)
 	s.mu.Unlock()
@@ -257,14 +333,14 @@ func (r *Registry) noteFresh(label string, a *core.Analysis) {
 	}
 }
 
-// staleCopy returns label's last-good analysis, refreshing its LRU
-// position, or nil.
-func (r *Registry) staleCopy(label string) *core.Analysis {
+// fallbackFor returns label's cached last-good copy, refreshing its
+// LRU position; the zero value means no copy.
+func (r *Registry) fallbackFor(label string) fallbackCopy {
 	s := r.res
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	a := s.stale[label]
-	if a != nil {
+	fc := s.stale[label]
+	if fc.a != nil {
 		for i, l := range s.order {
 			if l == label {
 				s.order = append(append(append([]string{}, s.order[:i]...), s.order[i+1:]...), label)
@@ -272,28 +348,33 @@ func (r *Registry) staleCopy(label string) *core.Analysis {
 			}
 		}
 	}
-	return a
+	return fc
 }
 
-// markDegraded flags label as served-stale and records one audit event
-// per degradation episode (cleared by the next fresh load).
-func (r *Registry) markDegraded(label string, cause error) {
+// markDegraded flags label as served from a fallback tier and records
+// one audit event per degradation episode (cleared by the next fresh
+// load).
+func (r *Registry) markDegraded(label string, origin Origin, cause error) {
 	s := r.res
 	s.mu.Lock()
 	first := !s.degraded[label]
 	s.degraded[label] = true
 	s.mu.Unlock()
 	if first {
+		msg := "serving last-good stale snapshot: " + cause.Error()
+		if origin == OriginPeer {
+			msg = "serving from replica peer: " + cause.Error()
+		}
 		r.auditor.RecordEventOnce("store_stale/"+label, audit.Event{
 			Rule:     "store_degraded",
 			Severity: audit.SevWarn,
 			Scope:    label,
-			Message:  "serving last-good stale snapshot: " + cause.Error(),
+			Message:  msg,
 		})
 	}
 }
 
-// HasStale reports whether label has a last-good stale copy — i.e.
+// HasStale reports whether label has a cached last-good copy — i.e.
 // whether LoadResilient could still answer for it even if the snapshot
 // vanished from disk (quarantined, deleted).
 func (r *Registry) HasStale(label string) bool {
@@ -303,7 +384,7 @@ func (r *Registry) HasStale(label string) bool {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stale[label] != nil
+	return s.stale[label].a != nil
 }
 
 // Degraded reports whether the registry is currently limping: any

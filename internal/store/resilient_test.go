@@ -149,8 +149,8 @@ func TestBreakerOpensAndServesStale(t *testing.T) {
 
 	// Warm the quarter (populates the stale cache) then evict it so the
 	// next load must hit disk.
-	if a, stale, err := reg.LoadResilient(ctx, "2014Q1"); err != nil || stale || a == nil {
-		t.Fatalf("warm load: stale=%v err=%v", stale, err)
+	if a, origin, err := reg.LoadResilient(ctx, "2014Q1"); err != nil || origin != OriginLocal || a == nil {
+		t.Fatalf("warm load: origin=%v err=%v", origin, err)
 	}
 	reg.mu.Lock()
 	delete(reg.open, "2014Q1")
@@ -162,9 +162,9 @@ func TestBreakerOpensAndServesStale(t *testing.T) {
 	if err := resilience.Enable(resilience.FPLoad + "=error"); err != nil {
 		t.Fatal(err)
 	}
-	a, stale, err := reg.LoadResilient(ctx, "2014Q1")
-	if err != nil || !stale || a == nil {
-		t.Fatalf("degraded load: stale=%v err=%v", stale, err)
+	a, origin, err := reg.LoadResilient(ctx, "2014Q1")
+	if err != nil || origin != OriginStale || a == nil {
+		t.Fatalf("degraded load: origin=%v err=%v", origin, err)
 	}
 	if !reg.Degraded() {
 		t.Fatal("registry does not report degraded while serving stale")
@@ -178,8 +178,8 @@ func TestBreakerOpensAndServesStale(t *testing.T) {
 	if st := reg.BreakerStates()["2014Q1"]; st != resilience.StateOpen {
 		t.Fatalf("breaker state = %v, want open", st)
 	}
-	if _, stale, err := reg.LoadResilient(ctx, "2014Q1"); err != nil || !stale {
-		t.Fatalf("open-breaker load: stale=%v err=%v", stale, err)
+	if _, origin, err := reg.LoadResilient(ctx, "2014Q1"); err != nil || origin != OriginStale {
+		t.Fatalf("open-breaker load: origin=%v err=%v", origin, err)
 	}
 
 	// Fault clears; after the cooldown the half-open probe succeeds,
@@ -187,8 +187,8 @@ func TestBreakerOpensAndServesStale(t *testing.T) {
 	// event on the log.
 	resilience.DisableAll()
 	time.Sleep(60 * time.Millisecond)
-	if _, stale, err := reg.LoadResilient(ctx, "2014Q1"); err != nil || stale {
-		t.Fatalf("recovered load: stale=%v err=%v", stale, err)
+	if _, origin, err := reg.LoadResilient(ctx, "2014Q1"); err != nil || origin != OriginLocal {
+		t.Fatalf("recovered load: origin=%v err=%v", origin, err)
 	}
 	if st := reg.BreakerStates()["2014Q1"]; st != resilience.StateClosed {
 		t.Fatalf("breaker state after recovery = %v", st)
@@ -214,8 +214,8 @@ func TestLoadResilientNoStaleCopyFails(t *testing.T) {
 	if err := resilience.Enable(resilience.FPLoad + "=error"); err != nil {
 		t.Fatal(err)
 	}
-	if _, stale, err := reg.LoadResilient(context.Background(), "2014Q1"); err == nil || stale {
-		t.Fatalf("cold failing quarter served somehow: stale=%v err=%v", stale, err)
+	if _, origin, err := reg.LoadResilient(context.Background(), "2014Q1"); err == nil || origin != "" {
+		t.Fatalf("cold failing quarter served somehow: origin=%v err=%v", origin, err)
 	}
 }
 
